@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's claims (see DESIGN.md's
+per-experiment index) as a measured table.  Tables are printed and also
+written to ``benchmarks/results/<experiment>.txt`` so the recorded
+numbers in EXPERIMENTS.md can be re-derived after any run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    print(f"\n{text}\n")
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+def once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments measure *model work* (completed update cycles), which
+    is deterministic — repeating runs only costs wall-clock time.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""A3 — ablation: the machine's optional fairness window.
+
+The reproduction surfaced a model subtlety (see DESIGN.md): the progress
+condition alone admits adversaries that complete only repeatable
+read-only cycles.  The machine's opt-in ``fairness_window=K`` formalizes
+the "eventual progress" reading — a processor interrupted K consecutive
+times gets its next cycle forced through.
+
+This ablation runs V+X under the iteration starver across windows and
+shows (a) X-design immunity means V+X terminates even with fairness off,
+and (b) smaller windows buy shorter runs at the cost of more forced
+vetoes — quantifying what the implicit assumption is worth.
+"""
+
+from _support import emit, once
+
+from repro.core import AlgorithmVX, solve_write_all
+from repro.faults import IterationStarver
+from repro.metrics.tables import render_table
+
+N = 64
+WINDOWS = [None, 16, 4, 1]
+
+
+def run_sweep():
+    rows = []
+    ticks = {}
+    for window in WINDOWS:
+        result = solve_write_all(
+            AlgorithmVX(), N, N, adversary=IterationStarver(),
+            max_ticks=2_000_000, fairness_window=window,
+        )
+        assert result.solved
+        ticks[window] = result.parallel_time
+        rows.append([
+            "off" if window is None else window,
+            result.parallel_time, result.completed_work,
+            result.pattern_size, result.ledger.fairness_vetoes,
+        ])
+    return rows, ticks
+
+
+def test_fairness_trades_vetoes_for_time(benchmark):
+    rows, ticks = once(benchmark, run_sweep)
+    table = render_table(
+        ["window", "ticks", "S", "|F|", "fairness vetoes"],
+        rows,
+        title=(
+            f"A3  ablation — fairness window vs the iteration starver "
+            f"(V+X, N=P={N})"
+        ),
+    )
+    emit("A3_fairness", table)
+    # Termination everywhere (X's design), faster with a tight window.
+    assert ticks[1] <= ticks[None]

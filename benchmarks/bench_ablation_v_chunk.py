@@ -1,0 +1,54 @@
+"""A2 — ablation: algorithm V's elements-per-leaf factor.
+
+The [KS 89] design hangs log N array elements off each progress-tree
+leaf.  This ablation sweeps the chunk factor from 1 (a leaf per
+element: maximal tree, allocation overhead dominates) to N (a single
+leaf: no parallelism in the tree, one processor's assignment covers
+everything).  The paper's ~log N choice balances the two; measured work
+should be U-shaped in the chunk size.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import AlgorithmV, solve_write_all
+from repro.faults import NoRestartAdversary, RandomAdversary
+from repro.metrics.tables import render_table
+
+N = 256
+CHUNKS = [1, 8, 16, 64, 256]  # 8 = next_power_of_two(log2 256) = default
+
+
+def run_sweep():
+    rows = []
+    works = {}
+    for chunk in CHUNKS:
+        adversary = NoRestartAdversary(RandomAdversary(0.02, seed=5))
+        result = solve_write_all(
+            AlgorithmV(chunk=chunk), N, N // 4, adversary=adversary,
+            max_ticks=4_000_000,
+        )
+        assert result.solved, chunk
+        works[chunk] = result.completed_work
+        rows.append([
+            chunk, N // chunk, result.completed_work, result.parallel_time,
+        ])
+    return rows, works
+
+
+def test_log_n_chunk_is_the_sweet_spot(benchmark):
+    rows, works = once(benchmark, run_sweep)
+    default_chunk = 8  # next power of two >= log2(N)
+    table = render_table(
+        ["chunk", "leaves", "S", "ticks"],
+        rows,
+        title=(
+            f"A2  ablation — V's elements-per-leaf at N={N}, P={N // 4} "
+            f"(paper's choice: ~log N = {int(math.log2(N))} -> {default_chunk})"
+        ),
+    )
+    emit("A2_v_chunk", table)
+    # The ~log N regime beats both extremes.
+    assert works[default_chunk] <= works[1]
+    assert works[default_chunk] <= works[N]

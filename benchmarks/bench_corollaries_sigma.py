@@ -1,0 +1,68 @@
+"""E10 — Corollaries 4.10 and 4.11: the overhead-ratio regimes.
+
+sigma = S / (N + |F|) for the V+X algorithm:
+
+* |F| <= P (Corollary 4.10):            sigma = O(log^2 N);
+* |F| = Omega(N log N) (Corollary 4.11): sigma = O(log N);
+* |F| = Omega(N^1.6):                    sigma = O(1).
+
+"Thus the efficiency of our algorithm improves for large failure
+patterns" — the measured sigma, normalized by each predicted bound,
+must stay bounded, and raw sigma must *decrease* across the regimes.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import AlgorithmVX, solve_write_all
+from repro.faults import FailureBudgetAdversary, ThrashingAdversary
+from repro.metrics.tables import render_table
+
+N = 128
+
+
+def regimes(n):
+    log_n = math.log2(n)
+    return [
+        ("|F| <= P", int(n), log_n ** 2),
+        ("|F| ~ N log N", int(4 * n * log_n), log_n),
+        ("|F| ~ N^1.6", int(n ** 1.6) * 4, 1.0),
+    ]
+
+
+def run_sweep():
+    rows = []
+    sigmas = []
+    for label, budget, sigma_bound in regimes(N):
+        adversary = FailureBudgetAdversary(ThrashingAdversary(), budget)
+        result = solve_write_all(
+            AlgorithmVX(), N, N, adversary=adversary, max_ticks=4_000_000
+        )
+        assert result.solved
+        sigma = result.overhead_ratio
+        sigmas.append(sigma)
+        rows.append([
+            label, result.pattern_size, result.completed_work,
+            round(sigma, 3), round(sigma_bound, 1),
+            round(sigma / sigma_bound, 3),
+        ])
+    return rows, sigmas
+
+
+def test_sigma_improves_with_failure_volume(benchmark):
+    rows, sigmas = once(benchmark, run_sweep)
+    table = render_table(
+        ["regime", "|F|", "S", "sigma", "bound", "sigma/bound"],
+        rows,
+        title=(
+            f"E10  Corollaries 4.10/4.11 — V+X at N=P={N}: sigma across "
+            "failure-volume regimes"
+        ),
+    )
+    emit("E10_corollaries_sigma", table)
+    # sigma decreases as the pattern grows.
+    assert sigmas[0] >= sigmas[1] >= sigmas[2]
+    # And each regime respects its bound (generous constant).
+    for row in rows:
+        assert row[5] <= 6.0, row

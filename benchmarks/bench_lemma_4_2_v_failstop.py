@@ -1,0 +1,61 @@
+"""E4 — Lemma 4.2: algorithm V without restarts, S = O(N + P log^2 N).
+
+Crash-only (fail-stop, [KS 89] model) runs of V across N, in two
+processor regimes: P = N (the P log^2 N term dominates) and
+P = N / log^2 N (the bound collapses to O(N), the optimality window).
+The ratio to the predicted bound must flatten in both regimes.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import AlgorithmV, solve_write_all
+from repro.faults import NoRestartAdversary, RandomAdversary
+from repro.metrics.bounds import work_upper_lemma42
+from repro.metrics.fitting import is_flat
+from repro.metrics.tables import render_table
+
+SIZES = [64, 128, 256, 512]
+
+
+def crash_only(seed):
+    return NoRestartAdversary(RandomAdversary(0.02, seed=seed))
+
+
+def run_sweep():
+    rows = []
+    dense_ratios, slack_ratios = [], []
+    for n in SIZES:
+        dense = solve_write_all(
+            AlgorithmV(), n, n, adversary=crash_only(1), max_ticks=2_000_000
+        )
+        slack_p = max(1, n // int(math.log2(n)) ** 2)
+        slack = solve_write_all(
+            AlgorithmV(), n, slack_p, adversary=crash_only(2),
+            max_ticks=2_000_000,
+        )
+        assert dense.solved and slack.solved
+        dense_ratio = dense.completed_work / work_upper_lemma42(n, n)
+        slack_ratio = slack.completed_work / work_upper_lemma42(n, slack_p)
+        dense_ratios.append(dense_ratio)
+        slack_ratios.append(slack_ratio)
+        rows.append([
+            n, dense.completed_work, round(dense_ratio, 3),
+            slack_p, slack.completed_work, round(slack_ratio, 3),
+        ])
+    return rows, dense_ratios, slack_ratios
+
+
+def test_v_failstop_tracks_lemma_4_2(benchmark):
+    rows, dense_ratios, slack_ratios = once(benchmark, run_sweep)
+    table = render_table(
+        ["N", "S(P=N)", "S/(N+Plog^2N)", "P slack", "S(slack)",
+         "S/(N+Plog^2N)"],
+        rows,
+        title="E4  Lemma 4.2 — V under crash-only failures: O(N + P log^2 N)",
+    )
+    emit("E4_lemma42_v_failstop", table)
+    assert is_flat(dense_ratios, tolerance=4.0), dense_ratios
+    assert is_flat(slack_ratios, tolerance=4.0), slack_ratios
+    assert all(ratio <= 4.0 for ratio in dense_ratios + slack_ratios)

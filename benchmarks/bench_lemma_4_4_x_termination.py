@@ -1,0 +1,66 @@
+"""E6 — Lemma 4.4: algorithm X is a correct Omega(log N)/O(N)-time
+fault-tolerant Write-All solution.
+
+X must terminate under every environment we can throw at it; its
+parallel time lands between ~log N (full crew) and ~c*N (lone
+survivor).
+"""
+
+from _support import emit, once
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import (
+    BurstAdversary,
+    NoFailures,
+    RandomAdversary,
+    ThrashingAdversary,
+)
+from repro.metrics.tables import render_table
+
+N = 128
+
+
+def environments():
+    return [
+        ("no failures", NoFailures()),
+        ("random 10%", RandomAdversary(0.1, 0.3, seed=1)),
+        ("random 30%", RandomAdversary(0.3, 0.5, seed=2)),
+        ("bursts", BurstAdversary(period=2, fraction=0.7, downtime=1)),
+        ("thrashing", ThrashingAdversary()),
+    ]
+
+
+def run_sweep():
+    rows = []
+    for label, adversary in environments():
+        result = solve_write_all(
+            AlgorithmX(), N, N, adversary=adversary, max_ticks=2_000_000
+        )
+        assert result.solved, f"X failed to terminate under {label}"
+        rows.append([
+            label, result.parallel_time, result.completed_work,
+            result.pattern_size,
+        ])
+    lone = solve_write_all(AlgorithmX(), N, 1)
+    assert lone.solved
+    rows.append(["P=1 (sequential DFS)", lone.parallel_time,
+                 lone.completed_work, 0])
+    return rows, lone
+
+
+def test_x_terminates_everywhere(benchmark):
+    rows, lone = once(benchmark, run_sweep)
+    table = render_table(
+        ["environment", "ticks", "S", "|F|"],
+        rows,
+        title=(
+            f"E6  Lemma 4.4 — X at N={N}: correct termination in "
+            "[~log N, O(N)] time"
+        ),
+    )
+    emit("E6_lemma44_x_termination", table)
+    # Time band: the failure-free run is ~log N-ish; the lone processor
+    # is Theta(N) (with a log-factor of tree walking).
+    ticks = {row[0]: row[1] for row in rows}
+    assert ticks["no failures"] <= 16
+    assert N / 2 <= ticks["P=1 (sequential DFS)"] <= 12 * N

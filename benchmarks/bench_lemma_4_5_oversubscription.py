@@ -1,0 +1,60 @@
+"""E14 — Lemma 4.5: oversubscribed X (P > N).
+
+    "if N <= P1 <= P2, then the work using P1 processors and the work
+    using P2 processors relate as S_{N,P2} <= ceil(P2/P1) * S_{N,P1}"
+
+— because processors whose PIDs agree modulo N follow identical paths.
+We sweep P over multiples of N under a deterministic adversary and
+check the scaling, plus the exact-duplication corollary failure-free.
+"""
+
+from _support import emit, once
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import BurstAdversary, NoFailures
+from repro.metrics.tables import render_table
+
+N = 64
+MULTIPLES = [1, 2, 4, 8]
+
+
+def run_sweep():
+    rows = []
+    works = {}
+    for multiple in MULTIPLES:
+        p = multiple * N
+        adversarial = solve_write_all(
+            AlgorithmX(), N, p,
+            adversary=BurstAdversary(period=2, fraction=0.8, downtime=1),
+            max_ticks=2_000_000,
+        )
+        free = solve_write_all(AlgorithmX(), N, p, adversary=NoFailures())
+        assert adversarial.solved and free.solved
+        works[multiple] = adversarial.completed_work
+        rows.append([
+            p, free.completed_work, adversarial.completed_work,
+            round(adversarial.completed_work / works[1], 3), multiple,
+        ])
+    return rows, works
+
+
+def test_oversubscription_scales_at_most_linearly(benchmark):
+    rows, works = once(benchmark, run_sweep)
+    table = render_table(
+        ["P", "S free", "S burst", "S/S(P=N)", "ceil(P/N)"],
+        rows,
+        title=(
+            f"E14  Lemma 4.5 — X at N={N} with P > N: "
+            "S_{N,P} <= ceil(P/N) * S_{N,N}"
+        ),
+    )
+    emit("E14_lemma45_oversubscription", table)
+    for multiple in MULTIPLES:
+        assert works[multiple] <= multiple * works[1] + 4 * multiple * N, (
+            multiple, works
+        )
+    # Failure-free: PID-mod-N duplication makes the per-processor work
+    # identical, so total work is exactly proportional.
+    free_works = {row[4]: row[1] for row in rows}
+    for multiple in MULTIPLES:
+        assert free_works[multiple] == multiple * free_works[1]

@@ -1,0 +1,63 @@
+"""E13 — simulator micro-benchmarks (wall-clock, not model work).
+
+These measure the host cost of simulating one processor-tick, which is
+what bounds the instance sizes every other experiment can afford.  They
+are the only benchmarks here where wall-clock time is the point.
+"""
+
+from _support import emit
+
+from repro.core import AlgorithmVX, AlgorithmX, solve_write_all
+from repro.faults import NoFailures, RandomAdversary
+from repro.metrics.tables import render_table
+
+
+def test_x_failure_free_throughput(benchmark):
+    def run():
+        return solve_write_all(AlgorithmX(), 256, 64, adversary=NoFailures())
+
+    result = benchmark(run)
+    assert result.solved
+
+
+def test_x_under_churn_throughput(benchmark):
+    def run():
+        return solve_write_all(
+            AlgorithmX(), 128, 128,
+            adversary=RandomAdversary(0.1, 0.3, seed=1),
+            max_ticks=500_000,
+        )
+
+    result = benchmark(run)
+    assert result.solved
+
+
+def test_vx_throughput(benchmark):
+    def run():
+        return solve_write_all(AlgorithmVX(), 128, 128)
+
+    result = benchmark(run)
+    assert result.solved
+
+
+def test_report_processor_cycle_rate(benchmark):
+    """Estimate simulated processor-cycles per wall-clock second."""
+
+    def run():
+        return solve_write_all(
+            AlgorithmX(), 256, 256,
+            adversary=RandomAdversary(0.05, 0.3, seed=2),
+            max_ticks=500_000,
+        )
+
+    result = benchmark(run)
+    assert result.solved
+    stats = benchmark.stats.stats
+    cycles = result.charged_work
+    rate = cycles / stats.mean
+    table = render_table(
+        ["charged cycles", "mean seconds", "cycles/second"],
+        [[cycles, round(stats.mean, 4), int(rate)]],
+        title="E13  simulator throughput (host wall-clock)",
+    )
+    emit("E13_machine_micro", table)

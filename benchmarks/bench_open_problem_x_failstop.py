@@ -1,0 +1,77 @@
+"""A4 — the paper's open problem: X under fail-stop (no restarts).
+
+Section 5: "What is the worst case completed work S of the algorithm X
+in the case of fail-stop errors without restarts? ... We conjecture
+that the fail-stop (no restart) performance of X has work
+S = O(N log N log log N) using N processors."
+
+We cannot prove the conjecture, but we can measure it: run X against
+the strongest no-restart adversaries we have (the halving strategy and
+the no-restart stalker) and fit the growth.  A fitted exponent close to
+1 (with the ratio to N log N log log N flat or shrinking) is consistent
+with the conjecture; anything approaching N^{log 3} would refute our
+adversaries' optimality, not the conjecture — which is exactly the open
+problem's character.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import (
+    HalvingAdversary,
+    NoRestartAdversary,
+    StalkingAdversaryX,
+)
+from repro.metrics.fitting import fitted_exponent
+from repro.metrics.tables import render_table
+
+SIZES = [32, 64, 128, 256, 512]
+
+
+def conjecture(n: int) -> float:
+    log_n = max(2.0, math.log2(n))
+    return n * log_n * math.log2(log_n)
+
+
+def run_sweep():
+    rows = []
+    worst_works = []
+    for n in SIZES:
+        halved = solve_write_all(
+            AlgorithmX(), n, n,
+            adversary=NoRestartAdversary(HalvingAdversary()),
+            max_ticks=20_000_000,
+        )
+        stalked = solve_write_all(
+            AlgorithmX(), n, n,
+            adversary=NoRestartAdversary(StalkingAdversaryX()),
+            max_ticks=20_000_000,
+        )
+        assert halved.solved and stalked.solved
+        worst = max(halved.completed_work, stalked.completed_work)
+        worst_works.append(worst)
+        rows.append([
+            n, halved.completed_work, stalked.completed_work,
+            round(worst / conjecture(n), 3),
+        ])
+    return rows, worst_works
+
+
+def test_failstop_x_is_consistent_with_the_conjecture(benchmark):
+    rows, worst_works = once(benchmark, run_sweep)
+    exponent = fitted_exponent(SIZES, worst_works)
+    table = render_table(
+        ["N=P", "S(halving)", "S(no-restart stalker)",
+         "worst/(N logN loglogN)"],
+        rows,
+        title=(
+            "A4  open problem — X under fail-stop (no restarts): fitted "
+            f"exponent {exponent:.3f} (conjecture ~1+o(1), refutation "
+            f"threshold ~{math.log2(3):.3f})"
+        ),
+    )
+    emit("A4_x_failstop_conjecture", table)
+    # Consistency check, not proof: stays well below the restart regime.
+    assert exponent < math.log2(3)

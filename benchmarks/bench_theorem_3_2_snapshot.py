@@ -1,0 +1,54 @@
+"""E3 — Theorem 3.2: the matching Theta(N log N) upper bound.
+
+Under the unit-cost-snapshot assumption, the oblivious balanced
+reassignment algorithm completes Write-All in Theta(N log N) against
+the optimal (halving) adversary: the measured ratio S / (N log N) must
+stay flat as N doubles.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import SnapshotAlgorithm, solve_write_all
+from repro.faults import HalvingAdversary, NoFailures
+from repro.metrics.fitting import is_flat
+from repro.metrics.tables import render_table
+
+SIZES = [16, 32, 64, 128, 256, 512]
+
+
+def run_sweep():
+    rows, ratios = [], []
+    for n in SIZES:
+        adversarial = solve_write_all(
+            SnapshotAlgorithm(), n, n, adversary=HalvingAdversary(),
+            max_ticks=2_000_000,
+        )
+        free = solve_write_all(SnapshotAlgorithm(), n, n,
+                               adversary=NoFailures())
+        assert adversarial.solved and free.solved
+        ratio = adversarial.completed_work / (n * math.log2(n))
+        ratios.append(ratio)
+        rows.append([
+            n, free.completed_work, adversarial.completed_work,
+            round(ratio, 3), adversarial.parallel_time,
+        ])
+    return rows, ratios
+
+
+def test_snapshot_is_theta_n_log_n(benchmark):
+    rows, ratios = once(benchmark, run_sweep)
+    table = render_table(
+        ["N=P", "S(no failures)", "S(halving)", "S/(N log N)", "ticks"],
+        rows,
+        title=(
+            "E3  Theorem 3.2 — snapshot algorithm under the halving "
+            "adversary: Theta(N log N)"
+        ),
+    )
+    emit("E3_thm32_snapshot", table)
+    assert is_flat(ratios, tolerance=3.0), (
+        f"S/(N log N) should flatten, got {ratios}"
+    )
+    assert all(0.4 <= ratio <= 8.0 for ratio in ratios)

@@ -1,0 +1,59 @@
+"""E7 — Theorem 4.8 (with Lemma 4.6): the stalked worst case of X.
+
+The post-order stalking adversary forces S = Omega(N^{log2 3}) out of
+algorithm X at P = N, and Lemma 4.6 caps any pattern at
+O(N^{log2 3 + delta}).  The fitted log-log exponent of the measured work
+must land in that band: >= ~1.585 (converging from above) and strictly
+below quadratic.
+"""
+
+import math
+
+from _support import emit, once
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import StalkingAdversaryX
+from repro.metrics.fitting import doubling_exponents, fitted_exponent
+from repro.metrics.tables import render_table
+
+SIZES = [16, 32, 64, 128, 256]
+
+
+def run_sweep():
+    rows, works = [], []
+    for n in SIZES:
+        result = solve_write_all(
+            AlgorithmX(), n, n, adversary=StalkingAdversaryX(),
+            max_ticks=20_000_000,
+        )
+        assert result.solved
+        works.append(result.completed_work)
+        rows.append([
+            n, result.completed_work,
+            round(result.completed_work / n ** math.log2(3), 3),
+            result.pattern_size, result.parallel_time,
+        ])
+    return rows, works
+
+
+def test_stalked_x_hits_n_to_log3(benchmark):
+    rows, works = once(benchmark, run_sweep)
+    steps = doubling_exponents(SIZES, works)
+    exponent = fitted_exponent(SIZES, works)
+    table = render_table(
+        ["N=P", "S", "S/N^1.585", "|F|", "ticks"],
+        rows,
+        title=(
+            "E7  Theorem 4.8 — stalking adversary vs X: fitted exponent "
+            f"{exponent:.3f} (target log2 3 = {math.log2(3):.3f}, "
+            f"per-doubling {['%.3f' % step for step in steps]})"
+        ),
+    )
+    emit("E7_thm48_x_stalking", table)
+    assert exponent >= math.log2(3) - 0.1, exponent
+    assert exponent < 2.0, exponent
+    # Convergence from above: the per-doubling exponent decreases.
+    assert steps[-1] <= steps[0]
+    # Lower bound holds pointwise (up to a small constant).
+    for n, work in zip(SIZES, works):
+        assert work >= 0.5 * n ** math.log2(3)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Adversary showdown: every algorithm against every adversary.
+
+Reproduces the paper's qualitative landscape in one table:
+
+* the trivial assignment dies to a single crash;
+* W and V handle crash-only failures but V can be *starved* by an
+  adversary that never lets an iteration complete (Section 4.1);
+* X terminates under everything — at a price against its stalker
+  (Theorem 4.8);
+* the interleaved V+X takes the best of both (Theorem 4.9).
+
+Entries are completed work S; "DNF" marks runs that did not finish
+within the tick budget.
+
+Usage:  python examples/adversary_showdown.py [N]
+"""
+
+import sys
+
+from repro import (
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    IterationStarver,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ThrashingAdversary,
+    TrivialAssignment,
+    solve_write_all,
+)
+from repro.faults import HalvingAdversary, StalkingAdversaryX
+from repro.metrics.tables import render_table
+
+
+def adversaries():
+    return [
+        ("none", lambda: NoFailures(), None),
+        ("crash-only", lambda: NoRestartAdversary(RandomAdversary(0.05, seed=3)),
+         None),
+        ("random restarts", lambda: RandomAdversary(0.1, 0.3, seed=5), None),
+        ("thrashing", lambda: ThrashingAdversary(), None),
+        ("halving (Thm 3.1)", lambda: HalvingAdversary(), None),
+        ("starver (Sec 4.1)", lambda: IterationStarver(), 20_000),
+        ("stalker (Thm 4.8)", lambda: StalkingAdversaryX(),
+         {"needs": "w_base"}),
+    ]
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    # P < N so that each processor owns several elements — a crashed
+    # trivial-assignment processor then strands its share.
+    p = max(4, n // 4)
+    algorithms = [
+        TrivialAssignment(), AlgorithmW(), AlgorithmV(), AlgorithmX(),
+        AlgorithmVX(),
+    ]
+    rows = []
+    for label, factory, extra in adversaries():
+        row = [label]
+        for algorithm in algorithms:
+            if isinstance(extra, dict) and not hasattr(
+                algorithm.build_layout(n, p), extra["needs"]
+            ):
+                row.append("n/a")
+                continue
+            budget = extra if isinstance(extra, int) else 4_000_000
+            result = solve_write_all(
+                algorithm, n, p, adversary=factory(), max_ticks=budget,
+                # The non-fault-tolerant baseline is run without the
+                # model's forced-restart crutch so its failure shows.
+                enforce_progress=algorithm.fault_tolerant,
+            )
+            row.append(result.completed_work if result.solved else "DNF")
+        rows.append(row)
+
+    print(render_table(
+        ["adversary"] + [algorithm.name for algorithm in algorithms],
+        rows,
+        title=f"Completed work S on Write-All(N={n}, P={p})  (DNF = starved)",
+    ))
+    print(
+        "\nReading guide: the trivial assignment only survives the "
+        "failure-free row;\nV is starved by the iteration starver; X and "
+        "V+X terminate everywhere;\nthe stalker extracts ~N^1.585 from X "
+        "(Theorem 4.8) but nothing worse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The work landscape: measured growth exponents for the key bounds.
+
+Sweeps N and fits log-log exponents for:
+
+* Theorem 3.1/3.2 — halving adversary vs the snapshot algorithm:
+  work ~ N log N (exponent slightly above 1);
+* Theorem 4.8 — stalking adversary vs algorithm X: work ~ N^{log2 3};
+* Example 2.2 — thrashing: charged work S' ~ N^2 while completed work
+  S stays near-linear.
+
+Usage:  python examples/work_landscape.py [max_N]
+"""
+
+import math
+import sys
+
+from repro import AlgorithmX, SnapshotAlgorithm, ThrashingAdversary, solve_write_all
+from repro.faults import HalvingAdversary, StalkingAdversaryX
+from repro.metrics.fitting import fitted_exponent
+from repro.metrics.tables import render_table
+
+
+def sweep(max_n):
+    sizes = []
+    n = 16
+    while n <= max_n:
+        sizes.append(n)
+        n *= 2
+    return sizes
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    sizes = sweep(max_n)
+
+    series = {"halving/snapshot": [], "stalker/X": [], "thrash S'": [],
+              "thrash S": []}
+    rows = []
+    for n in sizes:
+        snap = solve_write_all(
+            SnapshotAlgorithm(), n, n, adversary=HalvingAdversary(),
+            max_ticks=2_000_000,
+        )
+        stalked = solve_write_all(
+            AlgorithmX(), n, n, adversary=StalkingAdversaryX(),
+            max_ticks=20_000_000,
+        )
+        thrashed = solve_write_all(
+            AlgorithmX(), n, n, adversary=ThrashingAdversary(),
+            max_ticks=2_000_000,
+        )
+        series["halving/snapshot"].append(snap.completed_work)
+        series["stalker/X"].append(stalked.completed_work)
+        series["thrash S'"].append(thrashed.charged_work)
+        series["thrash S"].append(thrashed.completed_work)
+        rows.append([
+            n, snap.completed_work, stalked.completed_work,
+            thrashed.charged_work, thrashed.completed_work,
+        ])
+
+    print(render_table(
+        ["N", "S halving/snap", "S stalker/X", "S' thrash", "S thrash"],
+        rows,
+        title="measured completed/charged work",
+    ))
+    print()
+    print(render_table(
+        ["series", "fitted exponent", "paper prediction"],
+        [
+            ["halving/snapshot",
+             round(fitted_exponent(sizes, series["halving/snapshot"]), 3),
+             "~1 + o(1)   (N log N)"],
+            ["stalker/X",
+             round(fitted_exponent(sizes, series["stalker/X"]), 3),
+             f"~{math.log2(3):.3f}  (N^log2 3)"],
+            ["thrash S'",
+             round(fitted_exponent(sizes, series["thrash S'"]), 3),
+             "~2          (P*N)"],
+            ["thrash S",
+             round(fitted_exponent(sizes, series["thrash S"]), 3),
+             "~1          (near-linear)"],
+        ],
+        title="growth exponents (log-log least squares)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — Efficient Parallel Algorithms on Restartable Fail-Stop Processors.
+
+A full reproduction of Kanellakis & Shvartsman (PODC 1991): a
+restartable fail-stop CRCW PRAM simulator with the paper's completed-work
+accounting, the Write-All algorithms W, V, X, V+X, the Theorem 3.2
+snapshot matcher and a randomized ACC reconstruction, the paper's
+adversaries (thrashing, pigeonhole-halving, stalking), and the iterated
+Write-All execution of arbitrary PRAM programs on faulty processors.
+
+Quickstart::
+
+    from repro import AlgorithmX, RandomAdversary, solve_write_all
+
+    result = solve_write_all(
+        AlgorithmX(), n=256, p=256,
+        adversary=RandomAdversary(0.05, restart_probability=0.2, seed=7),
+    )
+    assert result.solved
+    print(result.summary())
+"""
+
+from repro.core import (
+    AccAlgorithm,
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    TrivialAssignment,
+    WriteAllAlgorithm,
+    WriteAllResult,
+    solve_write_all,
+)
+from repro.faults import (
+    AccStalker,
+    Adversary,
+    BurstAdversary,
+    FailureBudgetAdversary,
+    HalvingAdversary,
+    IterationStarver,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ScheduledAdversary,
+    StalkingAdversaryX,
+    ThrashingAdversary,
+)
+from repro.pram import Machine, RunLedger, SharedMemory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccAlgorithm",
+    "AccStalker",
+    "Adversary",
+    "AlgorithmV",
+    "AlgorithmVX",
+    "AlgorithmW",
+    "AlgorithmX",
+    "BurstAdversary",
+    "FailureBudgetAdversary",
+    "HalvingAdversary",
+    "IterationStarver",
+    "Machine",
+    "NoFailures",
+    "NoRestartAdversary",
+    "RandomAdversary",
+    "RunLedger",
+    "ScheduledAdversary",
+    "SharedMemory",
+    "SnapshotAlgorithm",
+    "StalkingAdversaryX",
+    "ThrashingAdversary",
+    "TrivialAssignment",
+    "WriteAllAlgorithm",
+    "WriteAllResult",
+    "solve_write_all",
+    "__version__",
+]

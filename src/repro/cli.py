@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``solve``     — run one Write-All instance and print the accounting;
+* ``sweep``     — sweep N (and seeds), print the aggregate table and the
+  fitted growth exponent, optionally export CSV;
+* ``simulate``  — robustly execute a library PRAM program and verify it;
+* ``trace``     — run a small instance and print the per-processor
+  failure/restart timeline;
+* ``showdown``  — the algorithms × adversaries matrix.
+
+Adversaries are selected by name; stochastic ones take ``--fail``,
+``--restart-prob`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    AccAlgorithm,
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    TrivialAssignment,
+    solve_write_all,
+)
+from repro.experiments import SweepSpec, run_sweep
+from repro.faults import (
+    AccStalker,
+    BurstAdversary,
+    HalvingAdversary,
+    IterationStarver,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    StalkingAdversaryX,
+    ThrashingAdversary,
+)
+from repro.metrics.tables import render_table
+from repro.pram.trace import Tracer, render_timeline
+from repro.simulation import RobustSimulator
+from repro.simulation.programs import (
+    list_ranking_program,
+    matvec_program,
+    max_find_program,
+    odd_even_sort_program,
+    prefix_sum_program,
+)
+
+ALGORITHMS = {
+    "trivial": TrivialAssignment,
+    "W": AlgorithmW,
+    "V": AlgorithmV,
+    "X": AlgorithmX,
+    "VX": AlgorithmVX,
+    "snapshot": SnapshotAlgorithm,
+    "ACC": AccAlgorithm,
+}
+
+ADVERSARIES = ["none", "random", "crash", "thrashing", "halving",
+               "stalker", "starver", "acc-stalker", "burst"]
+
+PROGRAMS = {
+    "prefix-sum": prefix_sum_program,
+    "max-find": max_find_program,
+    "list-ranking": list_ranking_program,
+    "odd-even-sort": odd_even_sort_program,
+    "matvec": matvec_program,
+}
+
+
+def build_adversary(name: str, fail: float, restart_prob: float, seed: int):
+    if name == "none":
+        return NoFailures()
+    if name == "random":
+        return RandomAdversary(fail, restart_prob, seed=seed)
+    if name == "crash":
+        return NoRestartAdversary(RandomAdversary(fail, seed=seed))
+    if name == "thrashing":
+        return ThrashingAdversary()
+    if name == "halving":
+        return HalvingAdversary()
+    if name == "stalker":
+        return StalkingAdversaryX()
+    if name == "starver":
+        return IterationStarver()
+    if name == "acc-stalker":
+        return AccStalker()
+    if name == "burst":
+        return BurstAdversary(period=3, fraction=0.5, downtime=1)
+    raise SystemExit(f"unknown adversary {name!r}; known: {ADVERSARIES}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--algorithm", default="X", choices=sorted(ALGORITHMS))
+    parser.add_argument("--adversary", default="random", choices=ADVERSARIES)
+    parser.add_argument("--fail", type=float, default=0.1,
+                        help="per-tick failure probability (stochastic)")
+    parser.add_argument("--restart-prob", type=float, default=0.3,
+                        help="per-tick restart probability (stochastic)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-ticks", type=int, default=None)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    adversary = build_adversary(args.adversary, args.fail,
+                                args.restart_prob, args.seed)
+    result = solve_write_all(
+        ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
+        max_ticks=args.max_ticks,
+    )
+    print(result.summary())
+    return 0 if result.solved else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(token) for token in args.sizes.split(",")]
+    spec = SweepSpec(
+        name=f"{args.algorithm}/{args.adversary}",
+        algorithm=ALGORITHMS[args.algorithm],
+        sizes=sizes,
+        processors=(lambda n: n) if args.p is None else args.p,
+        adversary=lambda seed: build_adversary(
+            args.adversary, args.fail, args.restart_prob, seed
+        ),
+        seeds=range(args.seeds),
+        max_ticks=args.max_ticks,
+    )
+    result = run_sweep(spec)
+    print(result.table())
+    if len(sizes) >= 2:
+        print(f"\nfitted work exponent (worst case): "
+              f"{result.fitted_exponent():.3f}")
+    if args.csv:
+        result.export_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0 if result.all_solved() else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    width = args.width
+    if args.program == "list-ranking":
+        from repro.simulation.programs.list_ranking import list_ranking_input
+
+        successor = list(range(1, width)) + [width - 1]
+        initial, _ = list_ranking_input(successor)
+        program = list_ranking_program(width)
+    elif args.program == "matvec":
+        program = matvec_program(width)
+        initial = (
+            [rng.randint(-3, 3) for _ in range(width * width)]
+            + [rng.randint(-3, 3) for _ in range(width)]
+            + [0] * width
+        )
+    else:
+        program = PROGRAMS[args.program](width)
+        initial = [rng.randint(0, 9) for _ in range(width)]
+    adversary = build_adversary(args.adversary, args.fail,
+                                args.restart_prob, args.seed)
+    if args.persistent:
+        from repro.simulation import PersistentSimulator
+
+        persistent = PersistentSimulator(p=args.p, adversary=adversary)
+        result = persistent.execute(program, initial)
+        status = "solved" if result.solved else "INCOMPLETE"
+        print(f"{program.name} (persistent): {status}; "
+              f"total S={result.total_work}, "
+              f"|F|={result.total_pattern_size}, "
+              f"generations={result.generations}")
+        print("memory head:", result.memory[: min(16, len(result.memory))])
+        return 0 if result.solved else 1
+    simulator = RobustSimulator(
+        p=args.p, algorithm=ALGORITHMS[args.algorithm](), adversary=adversary
+    )
+    result = simulator.execute(program, initial)
+    status = "solved" if result.solved else "INCOMPLETE"
+    print(f"{program.name}: {status}; total S={result.total_work}, "
+          f"|F|={result.total_pattern_size}, "
+          f"max per-step sigma={result.max_step_overhead_ratio:.2f}")
+    print("memory head:", result.memory[: min(16, len(result.memory))])
+    return 0 if result.solved else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.faults import UnionAdversary
+
+    tracer = Tracer()
+    adversary = UnionAdversary([
+        tracer,
+        build_adversary(args.adversary, args.fail, args.restart_prob,
+                        args.seed),
+    ])
+    result = solve_write_all(
+        ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
+        max_ticks=args.max_ticks,
+    )
+    print(result.summary())
+    print()
+    print(render_timeline(tracer, result.ledger, width=args.width))
+    return 0 if result.solved else 1
+
+
+def cmd_showdown(args: argparse.Namespace) -> int:
+    adversaries = [
+        ("none", NoFailures()),
+        ("crash", NoRestartAdversary(RandomAdversary(0.05, seed=args.seed))),
+        ("random", RandomAdversary(0.1, 0.3, seed=args.seed)),
+        ("thrashing", ThrashingAdversary()),
+        ("halving", HalvingAdversary()),
+    ]
+    names = ["W", "V", "X", "VX"]
+    rows = []
+    for label, adversary in adversaries:
+        row = [label]
+        for name in names:
+            result = solve_write_all(
+                ALGORITHMS[name](), args.n, args.p or args.n,
+                adversary=adversary, max_ticks=args.max_ticks or 2_000_000,
+            )
+            row.append(result.completed_work if result.solved else "DNF")
+        rows.append(row)
+    print(render_table(["adversary"] + names, rows,
+                       title=f"completed work S at N={args.n}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Restartable fail-stop PRAM reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="run one Write-All instance")
+    solve.add_argument("--n", type=int, default=256)
+    solve.add_argument("--p", type=int, default=None)
+    _add_common(solve)
+    solve.set_defaults(func=cmd_solve)
+
+    sweep = commands.add_parser("sweep", help="sweep sizes and seeds")
+    sweep.add_argument("--sizes", default="32,64,128")
+    sweep.add_argument("--p", type=int, default=None,
+                       help="fixed P (default: P = N)")
+    sweep.add_argument("--seeds", type=int, default=3)
+    sweep.add_argument("--csv", default=None)
+    _add_common(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    simulate = commands.add_parser(
+        "simulate", help="robustly execute a PRAM program"
+    )
+    simulate.add_argument("--program", default="prefix-sum",
+                          choices=sorted(PROGRAMS))
+    simulate.add_argument("--width", type=int, default=16)
+    simulate.add_argument("--p", type=int, default=4)
+    simulate.add_argument("--persistent", action="store_true",
+                          help="use the generational no-reset executor")
+    _add_common(simulate)
+    simulate.set_defaults(func=cmd_simulate)
+
+    trace = commands.add_parser("trace", help="print a failure timeline")
+    trace.add_argument("--n", type=int, default=16)
+    trace.add_argument("--p", type=int, default=8)
+    trace.add_argument("--width", type=int, default=72)
+    _add_common(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    showdown = commands.add_parser(
+        "showdown", help="algorithms x adversaries matrix"
+    )
+    showdown.add_argument("--n", type=int, default=64)
+    showdown.add_argument("--p", type=int, default=None)
+    showdown.add_argument("--seed", type=int, default=0)
+    showdown.add_argument("--max-ticks", type=int, default=None)
+    showdown.set_defaults(func=cmd_showdown)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "p", None) is None and hasattr(args, "n"):
+        args.p = args.n
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's contribution: robust Write-All algorithms.
+
+Algorithms available:
+
+* :class:`TrivialAssignment` — the optimal failure-free baseline;
+* :class:`AlgorithmW` — the four-phase fail-stop algorithm of [KS 89];
+* :class:`AlgorithmV` — W modified for restarts (Section 4.1);
+* :class:`AlgorithmX` — the local-traversal algorithm (Section 4.2);
+* :class:`AlgorithmVX` — the interleaved combination (Theorem 4.9);
+* :class:`SnapshotAlgorithm` — Theorem 3.2's unit-cost-snapshot matcher;
+* :class:`AccAlgorithm` — the randomized ACC reconstruction (Section 5).
+"""
+
+from repro.core.acc import AccAlgorithm, AccLayout
+from repro.core.algorithm_v import AlgorithmV, VLayout
+from repro.core.algorithm_vx import AlgorithmVX, VXLayout
+from repro.core.algorithm_w import AlgorithmW, WLayout
+from repro.core.algorithm_x import AlgorithmX, XLayout
+from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
+from repro.core.generational import GenerationalX, GenXLayout
+from repro.core.problem import (
+    WriteAllInstance,
+    padded_size,
+    unvisited_count,
+    verify_solution,
+)
+from repro.core.runner import WriteAllResult, default_tick_budget, solve_write_all
+from repro.core.snapshot import SnapshotAlgorithm, SnapshotLayout
+from repro.core.tasks import CycleFactoryTasks, TaskSet, TrivialTasks
+from repro.core.trees import HeapTree
+from repro.core.trivial import TrivialAssignment, TrivialLayout
+
+__all__ = [
+    "AccAlgorithm",
+    "AccLayout",
+    "AlgorithmV",
+    "AlgorithmVX",
+    "AlgorithmW",
+    "AlgorithmX",
+    "BaseLayout",
+    "CycleFactoryTasks",
+    "GenXLayout",
+    "GenerationalX",
+    "HeapTree",
+    "SnapshotAlgorithm",
+    "SnapshotLayout",
+    "TaskSet",
+    "TrivialAssignment",
+    "TrivialLayout",
+    "TrivialTasks",
+    "VLayout",
+    "VXLayout",
+    "WLayout",
+    "WriteAllAlgorithm",
+    "WriteAllInstance",
+    "WriteAllResult",
+    "XLayout",
+    "default_tick_budget",
+    "done_predicate",
+    "padded_size",
+    "solve_write_all",
+    "unvisited_count",
+    "verify_solution",
+]

@@ -1,0 +1,136 @@
+"""A reconstruction of the randomized ACC algorithm ([MSP 90], Section 5).
+
+The paper cites the "asynchronous coupon clipping" (ACC) randomized
+Write-All algorithm of Martel, Subramonian and Park and observes that a
+simple on-line *stalking* adversary ruins its expected performance,
+while off-line adversaries leave it efficient.  The original source is
+unavailable to us; this is a faithful-behavior reconstruction from the
+paper's own description (see DESIGN.md, substitutions): processors
+independently descend a binary progress tree over the array, choosing
+*uniformly at random* between children whose subtrees are unfinished,
+perform the work at the leaf they reach, propagate done-marks upwards —
+and, having lost their position on a failure, restart from the root
+with fresh randomness.
+
+What matters for Section 5 is preserved: progress at any single leaf is
+a random event the adversary can veto one tick at a time, so an on-line
+stalker starves a chosen leaf for an expected super-polynomial time in
+the restart game, while random/off-line failure patterns barely slow
+the algorithm down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.core.base import BaseLayout, WriteAllAlgorithm, default_tasks
+from repro.core.tasks import TaskSet
+from repro.core.trees import HeapTree
+from repro.pram.cycles import Cycle, Write
+from repro.util.bits import is_power_of_two
+from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class AccLayout(BaseLayout):
+    d_base: int = 0
+
+    @property
+    def tree(self) -> HeapTree:
+        return HeapTree(base=self.d_base, leaves=self.n)
+
+
+class AccAlgorithm(WriteAllAlgorithm):
+    """Randomized tree descent with restart-from-root recovery."""
+
+    name = "ACC"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._incarnations: Dict[int, int] = {}
+
+    def build_layout(self, n: int, p: int) -> AccLayout:
+        if not is_power_of_two(n):
+            raise ValueError(f"ACC needs power-of-two n, got {n}")
+        return AccLayout(n=n, p=p, x_base=0, size=n + 2 * n - 1, d_base=n)
+
+    def program(
+        self, layout: AccLayout, tasks: Optional[TaskSet] = None
+    ) -> Callable[[int], Generator[Cycle, tuple, None]]:
+        tasks = default_tasks(tasks)
+        if tasks.cycles_per_task != 0:
+            raise ValueError(
+                "the ACC reconstruction solves plain Write-All only "
+                "(it exists for the Section 5 adversary study)"
+            )
+
+        def factory(pid: int) -> Generator[Cycle, tuple, None]:
+            incarnation = self._incarnations.get(pid, 0)
+            self._incarnations[pid] = incarnation + 1
+            seed = derive_seed(self.seed, pid, incarnation)
+            return _acc_program(pid, layout, seed)
+
+        return factory
+
+
+def _acc_program(
+    pid: int, layout: AccLayout, seed: int
+) -> Generator[Cycle, tuple, None]:
+    n = layout.n
+    x_base = layout.x_base
+    tree = layout.tree
+    rng = make_rng(seed)
+
+    node = tree.root  # private position: lost (reset to root) on restart
+    while True:
+        at_leaf = node >= n
+        if at_leaf:
+            reads: Tuple[int, ...] = (
+                tree.address(node),
+                x_base + (node - n),
+            )
+        else:
+            reads = (
+                tree.address(node),
+                tree.address(2 * node),
+                tree.address(2 * node + 1),
+            )
+        # Draw this cycle's coin before yielding so the write function
+        # and the post-cycle move agree on it.
+        coin = rng.getrandbits(1)
+
+        def writes(
+            values: Tuple[int, ...],
+            node: int = node,
+            at_leaf: bool = at_leaf,
+        ) -> Tuple[Write, ...]:
+            if values[0] != 0:
+                return ()  # subtree done: move up, no write
+            if at_leaf:
+                if values[1] == 0:
+                    return (Write(x_base + (node - n), 1),)
+                return (Write(tree.address(node), 1),)
+            left, right = values[1], values[2]
+            if left != 0 and right != 0:
+                return (Write(tree.address(node), 1),)
+            return ()  # descending: position is private, no write
+
+        values = yield Cycle(reads=reads, writes=writes, label="acc:step")
+
+        if values[0] != 0:  # this subtree is done
+            if node == tree.root:
+                return
+            node = tree.parent(node)
+            continue
+        if at_leaf:
+            continue  # stay: next cycle marks done / was interrupted
+        left, right = values[1], values[2]
+        if left != 0 and right != 0:
+            continue  # we just marked this node done; re-read and move up
+        if left == 0 and right == 0:
+            node = 2 * node + coin  # both open: clip a random coupon
+        elif left == 0:
+            node = 2 * node
+        else:
+            node = 2 * node + 1

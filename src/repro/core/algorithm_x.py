@@ -1,0 +1,230 @@
+"""Algorithm X (Section 4.2 and the appendix of the paper).
+
+X is the paper's new Write-All algorithm whose completed work is bounded
+for *any* failure/restart pattern: ``S = O(N * P^{log(3/2)+delta})``
+(Theorem 4.7), i.e. sub-quadratic, with a matching stalking-adversary
+lower bound of ``Omega(N^{log 3})`` at ``P = N`` (Theorem 4.8).
+
+Structure (Figure 5): a progress heap ``d[1 .. 2N-1]`` over the input
+array ``x[1 .. N]``; each processor independently walks the tree, storing
+its position in the shared array ``w[0 .. P-1]``:
+
+* at a node marked done — move up;
+* at an unvisited leaf — perform the work, then mark the leaf done;
+* at an interior node — mark it done if both children are, descend into
+  a single undone child, or, when *both* are undone, descend left/right
+  according to the PID bit at the node's depth (MSB first).
+
+Each loop body is one update cycle: at most 4 reads (``w[PID]``,
+``d[where]``, and either the leaf's ``x`` cell or the two children), a
+fixed compute, and exactly one write.  Two properties carry the
+fault-tolerance story:
+
+* the position array ``w`` lives in shared memory, so a restarted
+  processor resumes exactly where it stopped ([SS 83] action/recovery,
+  Remark 6) — no free teleports back to the initial leaf, which is what
+  keeps the work bounded under restarts;
+* *every* cycle writes (position value 0 means "not yet initialized" and
+  triggers the initial leaf assignment; the sentinel ``2N`` means
+  "exited").  There is no repeatable read-only cycle an adversary could
+  let complete for free, so the model's progress condition ("at least
+  one update cycle completes at any time") forces genuine progress —
+  this is why X terminates under arbitrary failure/restart patterns
+  (Lemma 4.4) while algorithm V, whose restarted processors poll
+  read-only while waiting, can be starved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional, Tuple
+
+from repro.core.base import BaseLayout, WriteAllAlgorithm, default_tasks
+from repro.core.tasks import TaskSet
+from repro.core.trees import HeapTree
+from repro.pram.cycles import Cycle, Write
+from repro.util.bits import bit_length_of_power, is_power_of_two, msb_first_bit
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class XLayout(BaseLayout):
+    """Shared-memory plan: ``x`` | ``d`` heap | ``w`` positions."""
+
+    d_base: int = 0
+    w_base: int = 0
+
+    @property
+    def tree(self) -> HeapTree:
+        return HeapTree(base=self.d_base, leaves=self.n)
+
+    @property
+    def exit_marker(self) -> int:
+        """The ``w`` value of a processor that has left the tree."""
+        return 2 * self.n
+
+
+#: Routing rules for the "both subtrees undone" case.  The paper's X
+#: uses the PID bit at the node's depth; the alternatives exist for the
+#: ablation study (benchmarks/bench_ablation_x_routing.py) showing why
+#: the PID split matters.
+ROUTING_RULES = ("pid", "left", "right", "random")
+
+
+class AlgorithmX(WriteAllAlgorithm):
+    """The appendix's algorithm X, generalized over task sets.
+
+    ``routing`` selects the both-children-undone descent rule: "pid"
+    (the paper's balanced PID-bit split), "left"/"right" (everyone
+    piles into one subtree), or "random" (a stateless hash coin —
+    balanced in expectation but uncoordinated, so processors following
+    it do not partition the tree the way PID bits do).
+    """
+
+    name = "X"
+
+    def __init__(self, routing: str = "pid", spread: bool = False) -> None:
+        if routing not in ROUTING_RULES:
+            raise ValueError(
+                f"unknown routing {routing!r}; options: {ROUTING_RULES}"
+            )
+        self.routing = routing
+        #: Remark 5(i): space the P processors N/P leaves apart instead
+        #: of packing them into the first P leaves (Theorem 4.7's proof
+        #: layout).  "Our worst case analysis does not benefit from
+        #: these modifications" — but failure-free runs with P < N do.
+        self.spread = spread
+        if routing != "pid" or spread:
+            tags = [routing] if routing != "pid" else []
+            tags += ["spread"] if spread else []
+            self.name = f"X[{','.join(tags)}]"
+
+    def build_layout(self, n: int, p: int) -> XLayout:
+        if not is_power_of_two(n):
+            raise ValueError(f"algorithm X needs power-of-two n, got {n}")
+        x_base = 0
+        d_base = n
+        w_base = d_base + (2 * n - 1)
+        size = w_base + p
+        return XLayout(
+            n=n, p=p, x_base=x_base, size=size,
+            d_base=d_base, w_base=w_base,
+        )
+
+    def program(
+        self, layout: XLayout, tasks: Optional[TaskSet] = None
+    ) -> Callable[[int], Generator[Cycle, tuple, None]]:
+        tasks = default_tasks(tasks)
+
+        routing = self.routing
+        spread = self.spread
+
+        def factory(pid: int) -> Generator[Cycle, tuple, None]:
+            return _x_program(pid, layout, tasks, routing, spread)
+
+        return factory
+
+
+def _x_program(
+    pid: int,
+    layout: XLayout,
+    tasks: TaskSet,
+    routing: str = "pid",
+    spread: bool = False,
+) -> Generator[Cycle, tuple, None]:
+    n = layout.n
+    x_base = layout.x_base
+    tree = layout.tree
+    w_address = layout.w_base + pid
+    exit_marker = layout.exit_marker
+    log_n = bit_length_of_power(n)
+    route_pid = pid % n
+    trivial = tasks.cycles_per_task == 0
+    if spread and layout.p < n:
+        initial_leaf = n + (pid * (n // layout.p)) % n
+    else:
+        initial_leaf = n + (pid % n)
+
+    def in_tree(where: int) -> bool:
+        return 1 <= where < exit_marker
+
+    def read_done(so_far: Tuple[int, ...]) -> Optional[int]:
+        where = so_far[0]
+        return tree.address(where) if in_tree(where) else None
+
+    def read_third(so_far: Tuple[int, ...]) -> Optional[int]:
+        where, done = so_far[0], so_far[1]
+        if not in_tree(where) or done != 0:
+            return None
+        if where >= n:  # leaf: read its x element
+            return x_base + (where - n)
+        return tree.address(2 * where)  # interior: left child
+
+    def read_fourth(so_far: Tuple[int, ...]) -> Optional[int]:
+        where, done = so_far[0], so_far[1]
+        if not in_tree(where) or done != 0 or where >= n:
+            return None
+        return tree.address(2 * where + 1)  # interior: right child
+
+    body_reads = (w_address, read_done, read_third, read_fourth)
+
+    def body_writes(values: Tuple[int, ...]) -> Tuple[Write, ...]:
+        where, done, third, fourth = values
+        if where == 0:
+            # First-ever cycle: take the initial leaf assignment.
+            return (Write(w_address, initial_leaf),)
+        if where == exit_marker:
+            # Final cycle before halting (idempotent rewrite, so even
+            # this cycle is not a free read-only completion).
+            return (Write(w_address, exit_marker),)
+        if done != 0:
+            parent = where // 2
+            return (
+                Write(w_address, parent if parent >= 1 else exit_marker),
+            )  # move up one level / leave the tree
+        if where >= n:  # at a leaf
+            element = where - n
+            if third == 0:  # leaf not yet visited
+                if trivial:
+                    return (Write(x_base + element, 1),)
+                # Non-trivial task: the task cycles emitted below do the
+                # work; rewrite the position so this cycle still writes.
+                return (Write(w_address, where),)
+            return (Write(tree.address(where), 1),)  # indicate "done"
+        # interior node, not done
+        left, right = third, fourth
+        if left != 0 and right != 0:
+            return (Write(tree.address(where), 1),)  # both children done
+        if left == 0 and right != 0:
+            return (Write(w_address, 2 * where),)  # go left
+        if left != 0 and right == 0:
+            return (Write(w_address, 2 * where + 1),)  # go right
+        # both subtrees not done: move down according to the routing rule
+        if routing == "pid":
+            bit = msb_first_bit(route_pid, tree.depth(where), log_n)
+        elif routing == "left":
+            bit = 0
+        elif routing == "right":
+            bit = 1
+        else:  # "random": a stateless coin keyed by (pid, node)
+            bit = derive_seed(pid, where) & 1
+        return (Write(w_address, 2 * where + bit),)
+
+    while True:
+        values = yield Cycle(reads=body_reads, writes=body_writes, label="x:step")
+        where, done, third, _fourth = values
+        if where == exit_marker:
+            return  # exited the tree: the processor halts
+        if where == 0:
+            continue  # position just initialized
+        if done == 0 and where >= n and third == 0 and not trivial:
+            # Unvisited leaf with a non-trivial task: run its cycles,
+            # then mark x (the marking cycle makes re-execution after a
+            # mid-task failure safe — x stays 0 until the task finished).
+            element = where - n
+            for task_cycle in tasks.task_cycles(element, pid):
+                yield task_cycle
+            yield Cycle(
+                writes=(Write(x_base + element, 1),),
+                label="x:mark",
+            )

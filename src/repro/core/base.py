@@ -1,0 +1,87 @@
+"""Base classes for Write-All algorithms.
+
+Every algorithm in this package describes:
+
+* a *layout* — where its shared data structures live in memory (the
+  Write-All array ``x`` always occupies ``[x_base, x_base + n)``); the
+  layout is also handed to adversaries via the machine context, which is
+  how the paper's omniscient adversaries find the progress tree and the
+  processor position array;
+* a *program* — the per-processor generator of update cycles, written in
+  recovery style (the [SS 83] action/recovery construct of Remark 6):
+  the program's first cycles read shared checkpoints to decide where to
+  resume, because a restarted processor re-enters at its initial state
+  knowing only its PID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.core.tasks import TaskSet, TrivialTasks
+from repro.pram.cycles import Cycle
+from repro.pram.memory import MemoryReader, SharedMemory
+
+
+@dataclass(frozen=True)
+class BaseLayout:
+    """Common fields of every Write-All layout."""
+
+    n: int
+    p: int
+    x_base: int
+    size: int
+
+
+class WriteAllAlgorithm:
+    """A Write-All solution parameterized by a :class:`TaskSet`."""
+
+    #: Short name used in tables and benchmark output.
+    name = "abstract"
+    #: Whether the algorithm needs unit-cost memory snapshots (Thm 3.2).
+    requires_snapshot = False
+    #: Whether the algorithm tolerates processor failures at all.
+    fault_tolerant = True
+    #: Whether the algorithm guarantees termination under arbitrary
+    #: failure/restart patterns (V does not — Section 4.1).
+    terminates_under_restarts = True
+
+    def build_layout(self, n: int, p: int) -> BaseLayout:
+        """Plan the shared-memory layout for an (n, p) instance."""
+        raise NotImplementedError
+
+    def initialize_memory(self, memory: SharedMemory, layout: BaseLayout) -> None:
+        """Set up non-zero initial shared state (most algorithms: none).
+
+        The model clears shared memory to zeroes; anything else written
+        here must be justified as part of the input encoding.
+        """
+
+    def program(
+        self, layout: BaseLayout, tasks: TaskSet
+    ) -> Callable[[int], Generator[Cycle, tuple, None]]:
+        """Return the per-processor program factory."""
+        raise NotImplementedError
+
+    def is_done(self, memory: MemoryReader, layout: BaseLayout) -> bool:
+        """Whether the Write-All array is fully visited (uncharged check)."""
+        x_base = layout.x_base
+        return all(memory.read(x_base + index) != 0 for index in range(layout.n))
+
+
+def done_predicate(layout: BaseLayout) -> Callable[[MemoryReader], bool]:
+    """An ``until`` predicate for the machine: all of x is written."""
+
+    def all_written(memory: MemoryReader) -> bool:
+        x_base = layout.x_base
+        for index in range(layout.n):
+            if memory.read(x_base + index) == 0:
+                return False
+        return True
+
+    return all_written
+
+
+def default_tasks(tasks: Optional[TaskSet]) -> TaskSet:
+    return tasks if tasks is not None else TrivialTasks()

@@ -1,0 +1,447 @@
+"""The synchronized-iteration engine shared by algorithms W and V.
+
+Both algorithms of [KS 89]/Section 4.1 run as a sequence of fixed-length
+*iterations* over a progress tree with ``L = N / log N`` leaves, each
+leaf owning ``log N`` array elements:
+
+* (W only) *enumerate*: live processors count themselves bottom-up in a
+  processor-counting tree and obtain a rank;
+* *allocate*: processors descend the progress tree top-down, splitting
+  proportionally to the unvisited-leaf counts — the Theorem 3.2 balanced
+  allocation, driven by the permanent PID in V and by the (rank, total)
+  pair in W;
+* *work*: each processor performs the work at its leaf's elements;
+* *update*: processors ascend from their leaf, rewriting each node with
+  the sum of its children's done-counts, and a final cycle raises the
+  completion flag once the root count reaches L.
+
+Synchronization and restarts (the paper's "iteration wrap-around
+counter", Section 4.1): every active processor writes the absolute step
+number into a shared ``step`` cell on every cycle, so the cell always
+holds the step executed one tick ago.  A restarted processor polls the
+cell; when it reads a value two steps short of an iteration boundary it
+joins the next iteration in lock step.  If the cell stays frozen for
+three polls, no processor is active — the waiter asserts exactly that
+("if after a restart, a processor detects that the counter did not
+change for one cycle, it asserts that no processors were active") and
+kick-starts a new iteration by writing a pre-boundary step value.
+
+The step counter is *absolute* (monotone, never wrapped) so the
+counting-tree entries of W can be tagged with the iteration number and
+stale entries from earlier iterations decode to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from repro.core.base import BaseLayout
+from repro.core.tasks import TaskSet
+from repro.core.trees import HeapTree
+from repro.pram.cycles import Cycle, Write
+from repro.pram.errors import ProgramError
+
+#: Consecutive identical step-cell reads a waiter needs before asserting
+#: that no processor is active.  Every active cycle writes the cell, so
+#: two identical reads already imply a dead machine; three adds margin.
+DEAD_POLLS = 3
+
+#: Sentinel returned by :func:`_iterations` when a guarded join failed
+#: (the waiter was one tick off); the caller goes back to waiting.
+RESYNC = "resync"
+
+
+@dataclass(frozen=True)
+class IterativeLayout(BaseLayout):
+    """Shared-memory plan for the V/W iteration engine."""
+
+    d_base: int = 0
+    leaves: int = 1
+    chunk: int = 1
+    step_addr: int = 0
+    done_addr: int = 0
+    # W only; c_base < 0 means "no counting tree" (algorithm V).
+    c_base: int = -1
+    p_leaves: int = 1
+
+    @property
+    def progress_tree(self) -> HeapTree:
+        return HeapTree(base=self.d_base, leaves=self.leaves)
+
+    @property
+    def counting_tree(self) -> HeapTree:
+        if self.c_base < 0:
+            raise ValueError("this layout has no counting tree (algorithm V)")
+        return HeapTree(base=self.c_base, leaves=self.p_leaves)
+
+    @property
+    def has_counting_tree(self) -> bool:
+        return self.c_base >= 0
+
+
+def iteration_length(layout: IterativeLayout, tasks: TaskSet) -> int:
+    """Total update cycles per iteration ("fixed at compile time")."""
+    log_l = layout.progress_tree.height
+    slot = tasks.cycles_per_task + 1
+    length = (1 + log_l) + layout.chunk * slot + (1 + log_l) + 1
+    if layout.has_counting_tree:
+        length += 1 + layout.counting_tree.height
+    return length
+
+
+def _wrap_with_step(cycle: Cycle, step_write: Write) -> Cycle:
+    """Append the step-counter write to a task cycle.
+
+    Task cycles used with V/W may carry at most one write of their own so
+    the wrapped cycle stays within the two-write budget.
+    """
+
+    def writes(values: Tuple[int, ...]) -> Tuple[Write, ...]:
+        own = tuple(cycle.materialize_writes(values))
+        if len(own) > 1:
+            raise ProgramError(
+                f"task cycle {cycle.label!r} has {len(own)} writes; tasks "
+                f"used with the V/W engine may write at most one cell"
+            )
+        return own + (step_write,)
+
+    return Cycle(reads=cycle.reads, writes=writes, label=cycle.label)
+
+
+def phased_program(
+    pid: int, layout: IterativeLayout, tasks: TaskSet
+) -> Generator[Cycle, tuple, None]:
+    """The per-processor program (waiter/recovery loop + iterations)."""
+    lam = iteration_length(layout, tasks)
+    step_addr = layout.step_addr
+    done_addr = layout.done_addr
+
+    last_seen: Optional[int] = None
+    same_polls = 0
+    while True:
+        values = yield Cycle(reads=(step_addr, done_addr), label="vw:wait")
+        step_seen, done = values
+        if done != 0:
+            return
+        if step_seen % lam == lam - 2:
+            # The active group executes step `step_seen + 1` this very
+            # tick and the iteration boundary (step ≡ 0 mod lam) on the
+            # next one — join it there.  The join is *guarded*: the first
+            # joined cycle re-reads the step cell and commits only if the
+            # cell confirms alignment (a cohort can die on exactly the
+            # tick we read it, which would otherwise let a later waiter
+            # join one tick off and break the COMMON write discipline).
+            outcome = yield from _iterations(
+                pid, layout, tasks, lam, step_seen + 2
+            )
+            if outcome != RESYNC:
+                return
+            last_seen = None
+            same_polls = 0
+            continue
+        if step_seen == last_seen:
+            same_polls += 1
+        else:
+            last_seen = step_seen
+            same_polls = 1
+        if same_polls >= DEAD_POLLS:
+            # Nobody is active: kick-start the next iteration by placing
+            # the counter two steps before its boundary; every waiter
+            # (including this one) will then join in lock step.  The kick
+            # must move the counter strictly forward — a cohort that died
+            # at step ≡ lam-1 would otherwise be "kicked" backwards,
+            # breaking the counter's monotonicity (and with it the
+            # iteration tags of W's counting tree).
+            kick = (step_seen // lam) * lam + (lam - 2)
+            if kick <= step_seen:
+                kick += lam
+            yield Cycle(
+                writes=(Write(step_addr, kick),), label="vw:kickstart"
+            )
+            last_seen = None
+            same_polls = 0
+
+
+def _iterations(
+    pid: int,
+    layout: IterativeLayout,
+    tasks: TaskSet,
+    lam: int,
+    start_step: int,
+) -> Generator[Cycle, tuple, None]:
+    """Run iterations forever; return when the done flag is observed."""
+    n = layout.n
+    p = layout.p
+    x_base = layout.x_base
+    tree = layout.progress_tree
+    leaves = layout.leaves
+    log_l = tree.height
+    chunk = layout.chunk
+    k = tasks.cycles_per_task
+    step_addr = layout.step_addr
+    done_addr = layout.done_addr
+    st = start_step
+    joining = True
+
+    def beat(extra: Tuple[Write, ...] = ()) -> Tuple[Write, ...]:
+        return extra + (Write(step_addr, st),)
+
+    def guarded(
+        reads: Tuple[int, ...], payload: Tuple[Write, ...], label: str
+    ) -> Cycle:
+        """The join cycle: commit only if the step cell confirms sync.
+
+        The cell must hold ``st - 2`` (frozen boundary value we joined
+        on) or ``st - 1`` (a live cohort wrote it last tick).  Any other
+        value means we are off by a tick — write nothing.
+        """
+        expected = (st - 1, st - 2)
+
+        def writes(values: Tuple[int, ...]) -> Tuple[Write, ...]:
+            if values[-1] in expected:
+                return payload
+            return ()
+
+        return Cycle(reads=reads + (step_addr,), writes=writes, label=label)
+
+    while True:
+        iteration_number = st // lam
+
+        # ---- enumerate (W only) -------------------------------------- #
+        rank, total = pid, p
+        if layout.has_counting_tree:
+            counting = layout.counting_tree
+            mult = 2 * layout.p_leaves + 1
+
+            def decode(raw: int) -> int:
+                return raw % mult if raw // mult == iteration_number else 0
+
+            own_leaf = counting.leaf_node(pid)
+            leaf_payload = beat(
+                (Write(counting.address(own_leaf),
+                       iteration_number * mult + 1),)
+            )
+            if joining:
+                values = yield guarded((done_addr,), leaf_payload,
+                                       "w:count-leaf")
+                if values[-1] not in (st - 1, st - 2):
+                    return RESYNC
+                joining = False
+            else:
+                values = yield Cycle(
+                    reads=(done_addr,), writes=leaf_payload,
+                    label="w:count-leaf",
+                )
+            if values[0] != 0:
+                return
+            st += 1
+            rank = 0
+            node = own_leaf
+            count_below = 1
+            for _level in range(counting.height):
+                parent = node // 2
+                left, right = 2 * parent, 2 * parent + 1
+                tag = iteration_number * mult
+
+                def sum_writes(
+                    values: Tuple[int, ...],
+                    parent_address: int = counting.address(parent),
+                    tag: int = tag,
+                    step_value: int = st,
+                ) -> Tuple[Write, ...]:
+                    total_count = decode_pair(values, mult, iteration_number)
+                    return (
+                        Write(parent_address, tag + total_count),
+                        Write(step_addr, step_value),
+                    )
+
+                values = yield Cycle(
+                    reads=(counting.address(left), counting.address(right),
+                           done_addr),
+                    writes=sum_writes,
+                    label="w:count-up",
+                )
+                left_count, right_count, done = (
+                    decode(values[0]), decode(values[1]), values[2],
+                )
+                if done != 0:
+                    return
+                if node == right:
+                    rank += left_count
+                count_below = left_count + right_count
+                node = parent
+                st += 1
+            total = max(1, count_below)
+            rank = min(rank, total - 1)
+
+        # ---- allocate: Theorem 3.2 balanced descent ------------------- #
+        if joining:
+            values = yield guarded(
+                (tree.address(1), done_addr), beat(), "vw:alloc-root"
+            )
+            if values[-1] not in (st - 1, st - 2):
+                return RESYNC
+            joining = False
+        else:
+            values = yield Cycle(
+                reads=(tree.address(1), done_addr),
+                writes=beat(),
+                label="vw:alloc-root",
+            )
+        root_count, done = values[0], values[1]
+        if done != 0:
+            return
+        st += 1
+        unvisited = leaves - root_count
+        target: Optional[int] = None
+        if unvisited > 0:
+            target = (rank * unvisited) // total
+            if target >= unvisited:
+                target = target % unvisited
+        node = 1
+        for _level in range(log_l):
+            if target is None:
+                values = yield Cycle(
+                    reads=(done_addr,), writes=beat(), label="vw:alloc-idle"
+                )
+                if values[0] != 0:
+                    return
+                st += 1
+                continue
+            left, right = 2 * node, 2 * node + 1
+            values = yield Cycle(
+                reads=(tree.address(left), tree.address(right), done_addr),
+                writes=beat(),
+                label="vw:alloc-descend",
+            )
+            left_done, right_done, done = values
+            if done != 0:
+                return
+            st += 1
+            left_unvisited = tree.leaves_under(left) - left_done
+            right_unvisited = tree.leaves_under(right) - right_done
+            remaining = left_unvisited + right_unvisited
+            if remaining <= 0:
+                # The parent's count was stale: this subtree is complete
+                # although an ancestor believes otherwise.  Keep
+                # descending (leftwards) so the bottom-up update phase
+                # re-aggregates — and thereby repairs — exactly this
+                # path; idling here would leave the stale count in place
+                # forever and deadlock the allocation.
+                node, target = left, 0
+                continue
+            slot_index = min(target, remaining - 1)
+            if slot_index < left_unvisited:
+                node, target = left, slot_index
+            else:
+                node, target = right, slot_index - left_unvisited
+        leaf = node if target is not None else None
+
+        # ---- work at the leaf ----------------------------------------- #
+        for offset in range(chunk):
+            element: Optional[int] = None
+            if leaf is not None:
+                element = tree.element_of(leaf) * chunk + offset
+            task_cycles: List[Cycle] = []
+            if element is not None and k > 0:
+                task_cycles = tasks.task_cycles(element, pid)
+            for index in range(k):
+                if element is None:
+                    values = yield Cycle(
+                        reads=(done_addr,), writes=beat(), label="vw:work-idle"
+                    )
+                    if values[0] != 0:
+                        return
+                else:
+                    yield _wrap_with_step(
+                        task_cycles[index], Write(step_addr, st)
+                    )
+                st += 1
+            if element is None:
+                values = yield Cycle(
+                    reads=(done_addr,), writes=beat(), label="vw:beat-idle"
+                )
+            else:
+                values = yield Cycle(
+                    reads=(done_addr,),
+                    writes=beat((Write(x_base + element, 1),)),
+                    label="vw:beat",
+                )
+            if values[0] != 0:
+                return
+            st += 1
+
+        # ---- update the progress tree bottom-up ----------------------- #
+        if leaf is None:
+            values = yield Cycle(
+                reads=(done_addr,), writes=beat(), label="vw:up-idle"
+            )
+        else:
+            values = yield Cycle(
+                reads=(done_addr,),
+                writes=beat((Write(tree.address(leaf), 1),)),
+                label="vw:up-leaf",
+            )
+        if values[0] != 0:
+            return
+        st += 1
+        node = leaf if leaf is not None else 0
+        for _level in range(log_l):
+            if leaf is None:
+                values = yield Cycle(
+                    reads=(done_addr,), writes=beat(), label="vw:up-idle"
+                )
+                if values[0] != 0:
+                    return
+                st += 1
+                continue
+            parent = node // 2
+            left, right = 2 * parent, 2 * parent + 1
+
+            def up_writes(
+                values: Tuple[int, ...],
+                parent_address: int = tree.address(parent),
+                step_value: int = st,
+            ) -> Tuple[Write, ...]:
+                return (
+                    Write(parent_address, values[0] + values[1]),
+                    Write(step_addr, step_value),
+                )
+
+            values = yield Cycle(
+                reads=(tree.address(left), tree.address(right), done_addr),
+                writes=up_writes,
+                label="vw:up",
+            )
+            if values[2] != 0:
+                return
+            node = parent
+            st += 1
+
+        # ---- finalize: raise the done flag when the root is full ------ #
+        def finalize_writes(
+            values: Tuple[int, ...],
+            full: int = leaves,
+            step_value: int = st,
+        ) -> Tuple[Write, ...]:
+            if values[0] >= full:
+                return (Write(done_addr, 1), Write(step_addr, step_value))
+            return (Write(step_addr, step_value),)
+
+        values = yield Cycle(
+            reads=(tree.address(1), done_addr),
+            writes=finalize_writes,
+            label="vw:finalize",
+        )
+        root_count, done = values
+        if done != 0 or root_count >= leaves:
+            return
+        st += 1
+
+
+def decode_pair(values: Tuple[int, ...], mult: int, iteration: int) -> int:
+    """Decode and sum two tagged counting-tree cells."""
+    left = values[0] % mult if values[0] // mult == iteration else 0
+    right = values[1] % mult if values[1] // mult == iteration else 0
+    return left + right

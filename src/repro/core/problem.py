@@ -1,0 +1,55 @@
+"""The Write-All problem: instance validation and solution checking.
+
+    "Given a P-processor PRAM and a 0-valued array of N elements,
+    write value 1 into all array locations."  (Section 1)
+
+N must be a power of two ("Nonpowers of 2 can be handled using
+conventional padding techniques", Section 4); :func:`padded_size` applies
+that convention for callers with awkward sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pram.memory import MemoryReader
+from repro.util.bits import is_power_of_two, next_power_of_two
+from repro.util.checks import require_positive
+
+
+@dataclass(frozen=True)
+class WriteAllInstance:
+    """An (N, P) Write-All instance."""
+
+    n: int
+    p: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.n, "n")
+        require_positive(self.p, "p")
+        if not is_power_of_two(self.n):
+            raise ValueError(
+                f"Write-All size n must be a power of two, got {self.n} "
+                f"(pad to {next_power_of_two(self.n)})"
+            )
+
+
+def padded_size(n: int) -> int:
+    """The padded power-of-two instance size for a raw size ``n``."""
+    require_positive(n, "n")
+    return next_power_of_two(n)
+
+
+def verify_solution(memory: MemoryReader, x_base: int, n: int) -> bool:
+    """Check that every element of the Write-All array equals 1.
+
+    This is the harness-level correctness oracle (uncharged reads); the
+    algorithms themselves must discover completion through charged update
+    cycles.
+    """
+    return all(memory.read(x_base + index) == 1 for index in range(n))
+
+
+def unvisited_count(memory: MemoryReader, x_base: int, n: int) -> int:
+    """Number of still-unwritten elements (harness-level)."""
+    return sum(1 for index in range(n) if memory.read(x_base + index) == 0)

@@ -1,0 +1,125 @@
+"""The harness that runs a Write-All algorithm on the simulated PRAM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
+from repro.core.problem import WriteAllInstance, verify_solution
+from repro.core.tasks import TaskSet
+from repro.pram.ledger import RunLedger
+from repro.pram.machine import Machine
+from repro.pram.memory import MemoryReader, SharedMemory
+from repro.pram.policies import WritePolicy
+
+
+@dataclass
+class WriteAllResult:
+    """Outcome of one Write-All run."""
+
+    algorithm: str
+    n: int
+    p: int
+    ledger: RunLedger
+    layout: BaseLayout
+    memory: SharedMemory
+    solved: bool
+
+    @property
+    def completed_work(self) -> int:
+        """S — the paper's completed-work measure."""
+        return self.ledger.completed_work
+
+    @property
+    def charged_work(self) -> int:
+        """S' — completed plus interrupted cycles."""
+        return self.ledger.charged_work
+
+    @property
+    def pattern_size(self) -> int:
+        """|F| — failures plus restarts."""
+        return self.ledger.pattern_size
+
+    @property
+    def overhead_ratio(self) -> float:
+        """sigma = S / (N + |F|)."""
+        return self.ledger.overhead_ratio(self.n)
+
+    @property
+    def parallel_time(self) -> int:
+        return self.ledger.parallel_time
+
+    def summary(self) -> str:
+        return (
+            f"{self.algorithm}(N={self.n}, P={self.p}): "
+            f"{self.ledger.describe(self.n)}"
+        )
+
+
+def solve_write_all(
+    algorithm: WriteAllAlgorithm,
+    n: int,
+    p: int,
+    adversary: Optional[object] = None,
+    tasks: Optional[TaskSet] = None,
+    policy: Optional[WritePolicy] = None,
+    max_ticks: Optional[int] = None,
+    enforce_progress: bool = True,
+    fairness_window: Optional[int] = None,
+    raise_on_limit: bool = False,
+) -> WriteAllResult:
+    """Run ``algorithm`` on an (n, p) instance under ``adversary``.
+
+    The algorithm's layout is placed in the machine context under
+    ``"layout"`` so omniscient adversaries (halving, stalking) can locate
+    the Write-All array and auxiliary structures.  The run ends when all
+    of ``x`` is written, when every processor halts, or at ``max_ticks``
+    (recorded in the ledger; ``raise_on_limit=True`` raises instead).
+    """
+    WriteAllInstance(n, p)  # validates the instance shape
+    layout = algorithm.build_layout(n, p)
+    memory = SharedMemory(layout.size)
+    algorithm.initialize_memory(memory, layout)
+    if adversary is not None and hasattr(adversary, "reset"):
+        adversary.reset()
+    machine = Machine(
+        num_processors=p,
+        memory=memory,
+        policy=policy,
+        adversary=adversary,
+        allow_snapshot=algorithm.requires_snapshot,
+        enforce_progress=enforce_progress,
+        fairness_window=fairness_window,
+        context={"layout": layout, "algorithm": algorithm.name},
+    )
+    machine.load_program(algorithm.program(layout, tasks))
+    if max_ticks is None:
+        max_ticks = default_tick_budget(n, p)
+    ledger = machine.run(
+        until=done_predicate(layout),
+        max_ticks=max_ticks,
+        raise_on_limit=raise_on_limit,
+    )
+    solved = verify_solution(MemoryReader(memory), layout.x_base, n)
+    return WriteAllResult(
+        algorithm=algorithm.name,
+        n=n,
+        p=p,
+        ledger=ledger,
+        layout=layout,
+        memory=memory,
+        solved=solved,
+    )
+
+
+def default_tick_budget(n: int, p: int) -> int:
+    """A generous default tick limit.
+
+    Worst-case runs (stalking adversaries) take far more ticks than
+    failure-free ones; the default scales super-linearly in N so honest
+    runs never trip it, while still bounding runaway configurations.
+    Benchmarks that exercise adversarial worst cases pass an explicit
+    budget.
+    """
+    return 20_000 + 64 * n * max(1, n // max(1, p))

@@ -1,0 +1,79 @@
+"""Generalized Write-All task sets.
+
+The Write-All problem proper assigns the trivial unit task "write 1 into
+x[i]".  The simulation strategy of Section 4.3 replaces that assignment
+with "the appropriate components of the PRAM steps" — each element of
+the Write-All instance becomes an idempotent unit of real work.  The
+algorithms in this package are written against the :class:`TaskSet`
+interface so the *same* V/X/V+X code solves plain Write-All and executes
+simulated PRAM steps.
+
+Contract for task cycles:
+
+* exactly ``cycles_per_task`` update cycles per element, each within the
+  machine's read/write budget;
+* *idempotent*: re-executing (after a failure) or executing concurrently
+  (several processors at the same element, COMMON CRCW) must be safe —
+  all executions read the same immutable inputs and write the same
+  values;
+* task cycles never touch the Write-All array ``x`` — the algorithm
+  itself marks ``x[i] = 1`` after the task cycles complete, which is what
+  makes re-execution after a mid-task failure possible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.pram.cycles import Cycle
+
+
+class TaskSet:
+    """A set of N idempotent tasks, one per Write-All element."""
+
+    #: Update cycles each task consumes (uniform across elements, so the
+    #: synchronous algorithms V and W can keep fixed-length iterations).
+    cycles_per_task: int = 0
+
+    def task_cycles(self, element: int, pid: int) -> List[Cycle]:
+        """The update cycles realizing task ``element``.
+
+        Must return exactly ``cycles_per_task`` cycles.
+        """
+        return []
+
+
+class TrivialTasks(TaskSet):
+    """Plain Write-All: the x[i] := 1 assignment *is* the work."""
+
+    cycles_per_task = 0
+
+
+class CycleFactoryTasks(TaskSet):
+    """A task set built from a cycle-factory callable.
+
+    ``factory(element, pid)`` returns the task's cycles; the caller
+    promises they are idempotent and exactly ``cycles_per_task`` long.
+    Used by the simulation executor and by tests.
+    """
+
+    def __init__(
+        self,
+        cycles_per_task: int,
+        factory: Callable[[int, int], Sequence[Cycle]],
+    ) -> None:
+        if cycles_per_task < 0:
+            raise ValueError(
+                f"cycles_per_task must be non-negative, got {cycles_per_task}"
+            )
+        self.cycles_per_task = cycles_per_task
+        self._factory = factory
+
+    def task_cycles(self, element: int, pid: int) -> List[Cycle]:
+        cycles = list(self._factory(element, pid))
+        if len(cycles) != self.cycles_per_task:
+            raise ValueError(
+                f"task {element}: factory produced {len(cycles)} cycles, "
+                f"declared {self.cycles_per_task}"
+            )
+        return cycles

@@ -1,0 +1,89 @@
+"""Heap-coded full binary trees in shared memory.
+
+"The algorithm uses a full binary tree of size 2N-1, stored as a heap
+d[1 .. 2N-1] in shared memory.  An internal tree node d[i] has the left
+child d[2i] and the right child d[2i+1]" (Section 4.2).  The same
+encoding backs algorithm V's progress tree and algorithm W's processor
+counting tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bits import bit_length_of_power, is_power_of_two
+
+
+@dataclass(frozen=True)
+class HeapTree:
+    """Address arithmetic for a heap-coded full binary tree.
+
+    Nodes are numbered 1 (root) through ``2 * leaves - 1``; node ``i``
+    lives at shared-memory address ``base + i - 1``.  Leaf ``j`` (element
+    index, 0-based) is node ``leaves + j``.
+    """
+
+    base: int
+    leaves: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.leaves):
+            raise ValueError(
+                f"HeapTree needs a power-of-two leaf count, got {self.leaves}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of nodes (= cells) in the tree."""
+        return 2 * self.leaves - 1
+
+    @property
+    def height(self) -> int:
+        """Edges from root to leaf: log2(leaves)."""
+        return bit_length_of_power(self.leaves)
+
+    @property
+    def root(self) -> int:
+        return 1
+
+    def address(self, node: int) -> int:
+        """Shared-memory address of node ``node``."""
+        if not 1 <= node <= self.size:
+            raise ValueError(f"node {node} out of range [1, {self.size}]")
+        return self.base + node - 1
+
+    def left(self, node: int) -> int:
+        return 2 * node
+
+    def right(self, node: int) -> int:
+        return 2 * node + 1
+
+    def parent(self, node: int) -> int:
+        return node // 2
+
+    def is_leaf(self, node: int) -> bool:
+        return node >= self.leaves
+
+    def leaf_node(self, element: int) -> int:
+        """Tree node holding leaf ``element`` (0-based)."""
+        if not 0 <= element < self.leaves:
+            raise ValueError(
+                f"leaf element {element} out of range [0, {self.leaves})"
+            )
+        return self.leaves + element
+
+    def element_of(self, node: int) -> int:
+        """Leaf element index (0-based) of leaf node ``node``."""
+        if not self.is_leaf(node):
+            raise ValueError(f"node {node} is not a leaf")
+        return node - self.leaves
+
+    def depth(self, node: int) -> int:
+        """Depth of ``node`` (root = 0)."""
+        if not 1 <= node <= self.size:
+            raise ValueError(f"node {node} out of range [1, {self.size}]")
+        return node.bit_length() - 1
+
+    def leaves_under(self, node: int) -> int:
+        """Number of leaves in the subtree rooted at ``node``."""
+        return self.leaves >> self.depth(node)

@@ -1,0 +1,59 @@
+"""The trivial (non-fault-tolerant) parallel assignment.
+
+"In the absence of failures, this problem is solved by a trivial and
+optimal parallel assignment" (Section 1).  Each processor writes its
+N/P-th share of the array.  It is the work-optimal baseline every
+fault-tolerant algorithm is compared against — and it simply never
+finishes if a processor with unwritten elements stays failed, which the
+failure-injection tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.core.base import BaseLayout, WriteAllAlgorithm, default_tasks
+from repro.core.tasks import TaskSet
+from repro.pram.cycles import Cycle, Write
+from repro.util.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class TrivialLayout(BaseLayout):
+    pass
+
+
+class TrivialAssignment(WriteAllAlgorithm):
+    """One pass over a static partition of the array; no recovery."""
+
+    name = "trivial"
+    fault_tolerant = False
+    terminates_under_restarts = False
+
+    def build_layout(self, n: int, p: int) -> TrivialLayout:
+        if not is_power_of_two(n):
+            raise ValueError(f"trivial assignment needs power-of-two n, got {n}")
+        return TrivialLayout(n=n, p=p, x_base=0, size=n)
+
+    def program(
+        self, layout: TrivialLayout, tasks: Optional[TaskSet] = None
+    ) -> Callable[[int], Generator[Cycle, tuple, None]]:
+        tasks = default_tasks(tasks)
+        n = layout.n
+        p = layout.p
+        x_base = layout.x_base
+
+        def factory(pid: int) -> Generator[Cycle, tuple, None]:
+            def run() -> Generator[Cycle, tuple, None]:
+                for element in range(pid, n, p):
+                    for task_cycle in tasks.task_cycles(element, pid):
+                        yield task_cycle
+                    yield Cycle(
+                        writes=(Write(x_base + element, 1),),
+                        label="trivial:write",
+                    )
+
+            return run()
+
+        return factory

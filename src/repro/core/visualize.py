@@ -1,0 +1,76 @@
+"""ASCII rendering of algorithm state (progress trees, processor maps).
+
+Debug/teaching aids: render algorithm X's progress heap with processor
+positions, or V/W's counted progress tree, straight from a shared
+memory snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.algorithm_x import XLayout
+from repro.core.iterative import IterativeLayout
+from repro.pram.memory import MemoryReader
+
+
+def render_x_state(memory: MemoryReader, layout: XLayout) -> str:
+    """Algorithm X's heap, one line per level, with processor positions.
+
+    Done nodes render as ``#``, open nodes as ``.``; the leaf row is
+    followed by the x array (0/1) and a processor map ``pid@node``.
+    """
+    tree = layout.tree
+    lines: List[str] = []
+    level_start = 1
+    while level_start <= tree.leaves:
+        level_nodes = range(level_start, level_start * 2)
+        width = (2 * tree.leaves) // level_start
+        cells = []
+        for node in level_nodes:
+            done = memory.read(tree.address(node))
+            cells.append("#" if done else ".")
+        lines.append("".join(cell.center(width) for cell in cells).rstrip())
+        level_start *= 2
+    x_row = "".join(
+        str(memory.read(layout.x_base + index)) for index in range(layout.n)
+    )
+    lines.append("x: " + x_row)
+    positions = []
+    for pid in range(layout.p):
+        where = memory.read(layout.w_base + pid)
+        if where == 0:
+            place = "start"
+        elif where >= layout.exit_marker:
+            place = "exit"
+        else:
+            place = f"n{where}"
+        positions.append(f"{pid}@{place}")
+    lines.append("w: " + " ".join(positions))
+    return "\n".join(lines)
+
+
+def render_progress_counts(
+    memory: MemoryReader, layout: IterativeLayout
+) -> str:
+    """V/W's counted progress tree: each node shows done-leaves below."""
+    tree = layout.progress_tree
+    lines: List[str] = []
+    level_start = 1
+    while level_start <= tree.leaves:
+        level_nodes = range(level_start, level_start * 2)
+        width = max(4, (4 * tree.leaves) // level_start)
+        cells = []
+        for node in level_nodes:
+            count = memory.read(tree.address(node))
+            total = tree.leaves_under(node)
+            cells.append(f"{count}/{total}")
+        lines.append("".join(cell.center(width) for cell in cells).rstrip())
+        level_start *= 2
+    lines.append(
+        "step="
+        + str(memory.read(layout.step_addr))
+        + " done="
+        + str(memory.read(layout.done_addr))
+    )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Declarative experiment sweeps over the Write-All algorithms.
+
+The benchmark harness hard-codes each of the paper's experiments; this
+package provides the general machinery for *new* questions: sweep
+instance sizes, processor counts, adversaries and seeds; aggregate the
+paper's measures per configuration (worst case over seeds, per
+Definition 2.3); fit growth exponents; export CSV.
+
+Example::
+
+    from repro.experiments import SweepSpec, run_sweep
+    from repro.core import AlgorithmX
+    from repro.faults import RandomAdversary
+
+    spec = SweepSpec(
+        name="x-under-churn",
+        algorithm=AlgorithmX,
+        sizes=[64, 128, 256],
+        processors=lambda n: n,
+        adversary=lambda seed: RandomAdversary(0.1, 0.3, seed=seed),
+        seeds=range(5),
+    )
+    result = run_sweep(spec)
+    print(result.table())
+    print(result.fitted_exponent())
+"""
+
+from repro.experiments.spec import SweepSpec
+from repro.experiments.runner import RunPoint, SweepResult, run_sweep
+
+__all__ = ["RunPoint", "SweepResult", "SweepSpec", "run_sweep"]

@@ -1,0 +1,131 @@
+"""Sweep execution, aggregation, and export."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.runner import solve_write_all
+from repro.experiments.spec import SweepSpec
+from repro.metrics.fitting import fitted_exponent
+from repro.metrics.tables import render_table
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """The paper's measures for one (N, P, seed) run."""
+
+    n: int
+    p: int
+    seed: int
+    solved: bool
+    completed_work: int
+    charged_work: int
+    pattern_size: int
+    overhead_ratio: float
+    parallel_time: int
+
+    @staticmethod
+    def csv_header() -> List[str]:
+        return [
+            "n", "p", "seed", "solved", "S", "S_prime", "F",
+            "sigma", "ticks",
+        ]
+
+    def csv_row(self) -> List[object]:
+        return [
+            self.n, self.p, self.seed, int(self.solved),
+            self.completed_work, self.charged_work, self.pattern_size,
+            f"{self.overhead_ratio:.6f}", self.parallel_time,
+        ]
+
+
+@dataclass
+class SweepResult:
+    """All run points of a sweep plus aggregation helpers."""
+
+    spec: SweepSpec
+    points: List[RunPoint]
+
+    def cells(self) -> List[Tuple[int, int]]:
+        """The distinct (N, P) cells, in sweep order."""
+        seen: Dict[Tuple[int, int], None] = {}
+        for point in self.points:
+            seen.setdefault((point.n, point.p), None)
+        return list(seen)
+
+    def points_at(self, n: int, p: int) -> List[RunPoint]:
+        return [pt for pt in self.points if pt.n == n and pt.p == p]
+
+    def worst_work(self, n: int, p: int) -> int:
+        """max S over seeds — Definition 2.3's worst case."""
+        return max(pt.completed_work for pt in self.points_at(n, p))
+
+    def mean_work(self, n: int, p: int) -> float:
+        cell = self.points_at(n, p)
+        return sum(pt.completed_work for pt in cell) / len(cell)
+
+    def all_solved(self) -> bool:
+        return all(pt.solved for pt in self.points)
+
+    def fitted_exponent(self, worst: bool = True) -> float:
+        """Growth exponent of (worst-case) work against N."""
+        cells = self.cells()
+        sizes = [n for n, _p in cells]
+        works = [
+            self.worst_work(n, p) if worst else self.mean_work(n, p)
+            for n, p in cells
+        ]
+        return fitted_exponent(sizes, works)
+
+    def table(self) -> str:
+        rows = []
+        for n, p in self.cells():
+            cell = self.points_at(n, p)
+            rows.append([
+                n, p, len(cell),
+                max(pt.completed_work for pt in cell),
+                round(sum(pt.completed_work for pt in cell) / len(cell), 1),
+                max(pt.pattern_size for pt in cell),
+                round(max(pt.overhead_ratio for pt in cell), 3),
+                sum(1 for pt in cell if not pt.solved),
+            ])
+        return render_table(
+            ["N", "P", "runs", "S worst", "S mean", "|F| worst",
+             "sigma worst", "DNF"],
+            rows,
+            title=f"sweep: {self.spec.name}",
+        )
+
+    def export_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(RunPoint.csv_header())
+            for point in self.points:
+                writer.writerow(point.csv_row())
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute every (N, seed) run of the sweep."""
+    points: List[RunPoint] = []
+    for n in spec.sizes:
+        p = spec.processors_for(n)
+        for seed in spec.seeds:
+            result = solve_write_all(
+                spec.algorithm(), n, p,
+                adversary=spec.adversary_for(seed),
+                max_ticks=spec.max_ticks,
+                fairness_window=spec.fairness_window,
+            )
+            points.append(
+                RunPoint(
+                    n=n, p=p, seed=seed, solved=result.solved,
+                    completed_work=result.completed_work,
+                    charged_work=result.charged_work,
+                    pattern_size=result.pattern_size,
+                    overhead_ratio=result.overhead_ratio,
+                    parallel_time=result.parallel_time,
+                )
+            )
+    return SweepResult(spec=spec, points=points)

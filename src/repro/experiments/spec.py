@@ -1,0 +1,53 @@
+"""Sweep specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.base import WriteAllAlgorithm
+
+#: Processor count: a constant or a function of N.
+ProcessorRule = Union[int, Callable[[int], int]]
+#: Adversary factory: called per (seed) — return None for failure-free.
+AdversaryFactory = Callable[[int], Optional[object]]
+
+
+@dataclass
+class SweepSpec:
+    """A grid of Write-All runs to execute and aggregate.
+
+    Attributes:
+        name: identifier used in tables and CSV exports.
+        algorithm: the algorithm class (instantiated fresh per run —
+            algorithms may hold incidental state, e.g. ACC's incarnation
+            counters).
+        sizes: instance sizes N (powers of two).
+        processors: P, constant or ``f(n)``.
+        adversary: factory called with the seed; ``None``/returning
+            ``None`` means failure-free.
+        seeds: seeds swept per (N, P) cell; the aggregate takes the
+            worst case across them (Definition 2.3 takes maxima over
+            failure patterns).
+        max_ticks: per-run tick budget (``None``: the runner default).
+        fairness_window: optional machine fairness guarantee.
+    """
+
+    name: str
+    algorithm: Callable[[], WriteAllAlgorithm]
+    sizes: Sequence[int]
+    processors: ProcessorRule = lambda n: n
+    adversary: Optional[AdversaryFactory] = None
+    seeds: Iterable[int] = (0,)
+    max_ticks: Optional[int] = None
+    fairness_window: Optional[int] = None
+
+    def processors_for(self, n: int) -> int:
+        if callable(self.processors):
+            return max(1, int(self.processors(n)))
+        return max(1, int(self.processors))
+
+    def adversary_for(self, seed: int):
+        if self.adversary is None:
+            return None
+        return self.adversary(seed)

@@ -1,0 +1,71 @@
+"""Adversary base classes.
+
+An on-line adversary is consulted once per machine tick with a
+:class:`~repro.pram.view.TickView` — full knowledge of the algorithm's
+state, including the write sets its pending update cycles are about to
+produce — and returns a :class:`~repro.pram.failures.Decision`.
+
+Off-line (non-adaptive) adversaries commit to a failure pattern before
+the run; :class:`ScheduledAdversary` replays such a pattern.  The paper's
+Section 5 point — randomization defeats off-line adversaries but not
+on-line ones — is exercised by running the same algorithm under both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class Adversary:
+    """Base class: a do-nothing adversary; subclasses override decide()."""
+
+    #: Whether the adversary adapts to the run (True) or committed to a
+    #: schedule beforehand (False).  Purely informational.
+    online = True
+
+    def decide(self, view: TickView) -> Decision:
+        return Decision.none()
+
+    def reset(self) -> None:
+        """Clear mutable state so the instance can adjudicate a new run."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class ScheduledAdversary(Adversary):
+    """Replays a fixed (off-line) failure/restart schedule.
+
+    The schedule maps tick numbers to ``(fail_pids, restart_pids)``.
+    Failures land before any write of the victim's current cycle; pids
+    that are not currently running/failed as required are skipped silently
+    (an off-line pattern cannot know the run's exact state, and the model
+    lets failure events be vacuous).
+    """
+
+    online = False
+
+    def __init__(
+        self,
+        schedule: Mapping[int, Tuple[Iterable[int], Iterable[int]]],
+    ) -> None:
+        self._schedule: Dict[int, Tuple[List[int], List[int]]] = {
+            tick: (sorted(set(fails)), sorted(set(restarts)))
+            for tick, (fails, restarts) in schedule.items()
+        }
+
+    def decide(self, view: TickView) -> Decision:
+        entry = self._schedule.get(view.time)
+        if entry is None:
+            return Decision.none()
+        fail_pids, restart_pids = entry
+        failures = {
+            pid: BEFORE_WRITES for pid in fail_pids if pid in view.pending
+        }
+        failed_now: Set[int] = set(view.failed_pids) | set(failures)
+        restarts = frozenset(pid for pid in restart_pids if pid in failed_now)
+        return Decision(failures=failures, restarts=restarts)

@@ -1,0 +1,89 @@
+"""Adversary wrappers: failure budgets and the no-restart model.
+
+* :class:`FailureBudgetAdversary` caps the realized pattern size at
+  ``|F| <= M`` — the M that parameterizes Theorem 4.3's
+  ``S = O(N + P log^2 N + M log N)`` and the optimality window of
+  Corollary 4.12 (``O(N / log N)`` failures per simulated step).
+
+* :class:`NoRestartAdversary` suppresses restarts, recovering the original
+  fail-stop model of [KS 89] under which Lemma 4.2 analyzes algorithm V.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Adversary
+from repro.pram.failures import Decision
+from repro.pram.view import TickView
+
+
+class FailureBudgetAdversary(Adversary):
+    """Limits an inner adversary to at most ``budget`` pattern events.
+
+    Both failures and restarts count toward the budget (Definition 2.1
+    counts the cardinality of the event set).  Once the budget would be
+    exceeded the surplus events of a tick are dropped deterministically
+    (failures first, by ascending PID), and later ticks are silent.
+    """
+
+    def __init__(self, inner: Adversary, budget: int) -> None:
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        self.inner = inner
+        self.budget = budget
+        self._spent = 0
+
+    def reset(self) -> None:
+        self._spent = 0
+        self.inner.reset()
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    def decide(self, view: TickView) -> Decision:
+        remaining = self.budget - self._spent
+        if remaining <= 0:
+            return Decision.none()
+        decision = self.inner.decide(view)
+        failures = {}
+        for pid in sorted(decision.failures):
+            if remaining <= 0:
+                break
+            failures[pid] = decision.failures[pid]
+            remaining -= 1
+        restarts = set()
+        failed_now = set(view.failed_pids) | set(failures)
+        for pid in sorted(decision.restarts):
+            if remaining <= 0:
+                break
+            if pid in failed_now:
+                restarts.add(pid)
+                remaining -= 1
+        self._spent = self.budget - remaining
+        return Decision(failures=failures, restarts=frozenset(restarts))
+
+
+class NoRestartAdversary(Adversary):
+    """Drops every restart of an inner adversary (the [KS 89] model).
+
+    Also refuses to fail the last running processor, matching the
+    fail-stop model's requirement that one processor never fails (the
+    machine would veto anyway; doing it here keeps the realized pattern
+    clean).
+    """
+
+    def __init__(self, inner: Adversary) -> None:
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def decide(self, view: TickView) -> Decision:
+        decision = self.inner.decide(view)
+        failures = dict(decision.failures)
+        pending_pids = set(view.pending)
+        if failures and set(failures) >= pending_pids:
+            # spare the lowest-PID pending processor
+            spared = min(pending_pids)
+            failures.pop(spared, None)
+        return Decision(failures=failures, restarts=frozenset())

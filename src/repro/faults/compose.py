@@ -1,0 +1,63 @@
+"""Adversary composition: unions and phase switches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.base import Adversary
+from repro.pram.failures import Decision
+from repro.pram.view import TickView
+
+
+class UnionAdversary(Adversary):
+    """Merges the decisions of several adversaries.
+
+    Later adversaries' failure verdicts win on overlapping PIDs; restart
+    sets are unioned.  Useful to combine, e.g., a random background
+    failure process with a targeted stalker.
+    """
+
+    def __init__(self, members: Sequence[Adversary]) -> None:
+        if not members:
+            raise ValueError("UnionAdversary needs at least one member")
+        self.members = list(members)
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()
+
+    def decide(self, view: TickView) -> Decision:
+        merged = Decision.none()
+        for member in self.members:
+            merged = merged.merged_with(member.decide(view))
+        # A union can restart a pid another member failed this very tick;
+        # the machine handles that (fail-then-restart within a tick is a
+        # legal pattern).  But restarting a pid that is neither failed nor
+        # failing now would be invalid — filter those.
+        failed_now = set(view.failed_pids) | set(merged.failures)
+        restarts = frozenset(pid for pid in merged.restarts if pid in failed_now)
+        return Decision(failures=merged.failures, restarts=restarts)
+
+
+class PhaseSwitchAdversary(Adversary):
+    """Runs one adversary until a tick threshold, another afterwards.
+
+    Models regime changes (quiet start, then a failure storm) used by the
+    crossover benchmarks.
+    """
+
+    def __init__(self, first: Adversary, second: Adversary, switch_tick: int) -> None:
+        if switch_tick < 1:
+            raise ValueError(f"switch_tick must be >= 1, got {switch_tick}")
+        self.first = first
+        self.second = second
+        self.switch_tick = switch_tick
+
+    def reset(self) -> None:
+        self.first.reset()
+        self.second.reset()
+
+    def decide(self, view: TickView) -> Decision:
+        if view.time < self.switch_tick:
+            return self.first.decide(view)
+        return self.second.decide(view)

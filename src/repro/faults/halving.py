@@ -1,0 +1,80 @@
+"""Theorem 3.1's pigeonhole-halving adversary.
+
+    "All N processors are revived.  For the upcoming cycle, the
+    adversary determines the processors assignment to array elements.
+    Let U >= 1 be the number of unvisited array elements.  By the
+    pigeonhole principle, for any processor assignment to the U
+    elements, there is a set of floor(U/2) unvisited elements with no
+    more than ceil(P/U) processors assigned to them [per element].  The
+    adversary chooses half of the remaining previously unvisited array
+    locations that would have had no more than [that many] processors
+    assigned to them, and it fails these processors, allowing all
+    others to proceed."
+
+Each round at most half of the unvisited elements get visited while at
+least floor(N/2) processors complete their cycle, so the strategy
+sustains log N rounds and forces ``S = Omega(N log N)`` against *any*
+Write-All algorithm — even one that can read all of shared memory at
+unit cost (the E2 benchmark runs it against the Theorem 3.2 snapshot
+algorithm, where the bound is tight).
+
+The adversary needs to know where the Write-All array lives; it reads
+``x_base`` and ``n`` from the layout object the runner places in the
+machine context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class HalvingAdversary(Adversary):
+    """Fails the processors aimed at the least-covered unvisited half."""
+
+    def decide(self, view: TickView) -> Decision:
+        layout = view.context.get("layout")
+        if layout is None:
+            raise ValueError(
+                "HalvingAdversary requires context['layout'] with "
+                "x_base and n attributes"
+            )
+        x_base = layout.x_base
+        n = layout.n
+
+        restarts = frozenset(view.failed_pids)
+
+        unvisited = [
+            index for index in range(n) if view.memory.read(x_base + index) == 0
+        ]
+        if len(unvisited) <= 1:
+            # Endgame: let the algorithm finish the last element.
+            return Decision(restarts=restarts)
+
+        # Which pending processors are about to visit which unvisited cell?
+        assigned: Dict[int, List[int]] = {index: [] for index in unvisited}
+        for pid, pending in view.pending.items():
+            for write in pending.writes:
+                index = write.address - x_base
+                if index in assigned and write.value != 0:
+                    assigned[index].append(pid)
+
+        # Least-covered half of the unvisited elements (stable by index).
+        by_load = sorted(unvisited, key=lambda index: (len(assigned[index]), index))
+        doomed_cells = by_load[: len(unvisited) // 2]
+        victims: Set[int] = set()
+        for index in doomed_cells:
+            victims.update(assigned[index])
+
+        # Keep the progress condition honest: never interrupt every
+        # pending cycle (the survivors are precisely the processors
+        # covering the well-covered half, which is the point).
+        if victims and victims >= set(view.pending):
+            spared = min(victims)
+            victims.discard(spared)
+
+        failures = {pid: BEFORE_WRITES for pid in sorted(victims)}
+        return Decision(failures=failures, restarts=restarts)

@@ -1,0 +1,104 @@
+"""Stochastic adversaries: i.i.d. per-tick failures and periodic bursts.
+
+These model the "benign" failure environments against which the paper's
+worst-case adversaries are contrasted ([KPS 90] analyzed expected behavior
+under a random failure model).  Both are fully seeded for reproducible
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+from repro.util.rng import RandomLike, make_rng
+
+
+class RandomAdversary(Adversary):
+    """Fails each running processor i.i.d. per tick; restarts likewise.
+
+    Args:
+        fail_probability: chance a running processor fails this tick.
+        restart_probability: chance a failed processor restarts this tick
+            (0 gives crash-only behavior).
+        mid_cycle: when True the failure point within the cycle is chosen
+            uniformly among the legal write prefixes; when False failures
+            always land before the first write.
+        seed: RNG seed or instance.
+    """
+
+    def __init__(
+        self,
+        fail_probability: float,
+        restart_probability: float = 0.0,
+        mid_cycle: bool = True,
+        seed: RandomLike = 0,
+    ) -> None:
+        if not 0.0 <= fail_probability <= 1.0:
+            raise ValueError(f"fail_probability out of [0,1]: {fail_probability}")
+        if not 0.0 <= restart_probability <= 1.0:
+            raise ValueError(
+                f"restart_probability out of [0,1]: {restart_probability}"
+            )
+        self.fail_probability = fail_probability
+        self.restart_probability = restart_probability
+        self.mid_cycle = mid_cycle
+        self._seed = seed
+        self._rng = make_rng(seed)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+
+    def decide(self, view: TickView) -> Decision:
+        failures = {}
+        for pid, pending in view.pending.items():
+            if self._rng.random() < self.fail_probability:
+                if self.mid_cycle and pending.writes:
+                    failures[pid] = self._rng.randint(0, len(pending.writes))
+                else:
+                    failures[pid] = BEFORE_WRITES
+        restarts = frozenset(
+            pid
+            for pid in view.failed_pids
+            if self._rng.random() < self.restart_probability
+        )
+        return Decision(failures=failures, restarts=restarts)
+
+
+class BurstAdversary(Adversary):
+    """Periodically fails a fixed fraction of the running processors.
+
+    Every ``period`` ticks, the ``fraction`` of running processors with the
+    highest PIDs fail; they all restart ``downtime`` ticks later.  Models
+    correlated failures (rack power loss and recovery).
+    """
+
+    def __init__(
+        self,
+        period: int,
+        fraction: float = 0.5,
+        downtime: int = 1,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction out of [0,1]: {fraction}")
+        if downtime <= 0:
+            raise ValueError(f"downtime must be positive, got {downtime}")
+        self.period = period
+        self.fraction = fraction
+        self.downtime = downtime
+
+    def decide(self, view: TickView) -> Decision:
+        failures = {}
+        restarts: frozenset = frozenset()
+        if view.time % self.period == 0:
+            running = sorted(view.pending)
+            count = int(len(running) * self.fraction)
+            for pid in running[len(running) - count :]:
+                failures[pid] = BEFORE_WRITES
+        if view.time % self.period == self.downtime % self.period:
+            restarts = frozenset(view.failed_pids)
+        return Decision(failures=failures, restarts=restarts)

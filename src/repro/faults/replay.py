@@ -1,0 +1,61 @@
+"""Recording and replaying failure patterns.
+
+Section 5's punchline is the gap between *on-line* (adaptive) and
+*off-line* (pre-committed) adversaries: the very same volume of
+failures devastates a randomized algorithm when chosen adaptively and
+barely slows it down when committed in advance.  The cleanest way to
+demonstrate that is to **record** an adaptive adversary's decisions
+during one run and **replay** them verbatim — as an off-line schedule —
+against a fresh run whose randomness differs.
+
+:class:`RecordingAdversary` wraps any adversary and captures the
+realized per-tick decisions; :meth:`RecordingAdversary.schedule` turns
+them into the mapping a
+:class:`~repro.faults.base.ScheduledAdversary` replays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.faults.base import Adversary, ScheduledAdversary
+from repro.pram.failures import Decision
+from repro.pram.view import TickView
+
+
+class RecordingAdversary(Adversary):
+    """Wraps an adversary and records every decision it makes."""
+
+    def __init__(self, inner: Adversary) -> None:
+        self.inner = inner
+        self._log: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._log = {}
+
+    def decide(self, view: TickView) -> Decision:
+        decision = self.inner.decide(view)
+        fails = sorted(decision.failures)
+        restarts = sorted(decision.restarts)
+        if fails or restarts:
+            self._log[view.time] = (fails, restarts)
+        return decision
+
+    @property
+    def events_recorded(self) -> int:
+        return sum(
+            len(fails) + len(restarts)
+            for fails, restarts in self._log.values()
+        )
+
+    def schedule(self) -> Dict[int, Tuple[List[int], List[int]]]:
+        """The recorded pattern as a replayable schedule."""
+        return {
+            tick: (list(fails), list(restarts))
+            for tick, (fails, restarts) in self._log.items()
+        }
+
+    def as_offline(self) -> ScheduledAdversary:
+        """An off-line adversary replaying the recorded pattern."""
+        return ScheduledAdversary(self.schedule())

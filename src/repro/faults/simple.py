@@ -1,0 +1,34 @@
+"""Trivial adversaries used as baselines and in tests."""
+
+from __future__ import annotations
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class NoFailures(Adversary):
+    """The failure-free PRAM (the classical model)."""
+
+    online = False
+
+    def decide(self, view: TickView) -> Decision:
+        return Decision.none()
+
+
+class SinglePidKiller(Adversary):
+    """Permanently fails one processor at a given tick.
+
+    The smallest non-trivial failure pattern (|F| = 1); used to check
+    that algorithms survive losing a specific processor, including PID 0
+    (no algorithm may rely on a distinguished immortal processor).
+    """
+
+    def __init__(self, pid: int, at_tick: int = 1) -> None:
+        self.pid = pid
+        self.at_tick = at_tick
+
+    def decide(self, view: TickView) -> Decision:
+        if view.time == self.at_tick and self.pid in view.pending:
+            return Decision.fail([self.pid], BEFORE_WRITES)
+        return Decision.none()

@@ -1,0 +1,167 @@
+"""The paper's stalking adversaries (Theorem 4.8 and Section 5).
+
+**Against algorithm X** (Theorem 4.8): processor 0 is allowed to traverse
+the progress tree in post-order, left to right.  Any other processor is
+failed the moment it would perform leaf work at an unfinished leaf other
+than the one processor 0 currently occupies; it is restarted once its
+stored position becomes harmless (its leaf got finished, or it sits at
+processor 0's leaf).  The restarted processors travel to the new work
+frontier — completing travel cycles that are charged to S — only to be
+stopped again at the next leaf.  This realizes the recursion
+``S(N) = 3 * S(N/2) + O(N log N)`` (left subtree with half the
+processors, then everybody migrates right and the right subtree costs
+twice the half-size work by Lemma 4.5), forcing
+``S = Omega(N^{log 3}) ~ N^1.585`` with ``P = N``.
+
+**Against ACC** (Section 5): "choosing a single leaf in a binary tree
+employed by ACC, and failing all processors that touch that leaf until
+only one processor remains in the fail-stop case, or until all
+processors simultaneously touch the leaf in the fail-stop/restart
+case."  Randomization does not help against this on-line strategy; the
+same algorithm under an *off-line* random pattern is efficient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+def _layout_from(view: TickView, *attributes: str) -> object:
+    layout = view.context.get("layout")
+    if layout is None:
+        raise ValueError(
+            f"{attributes and attributes[0]}: adversary requires "
+            "context['layout']"
+        )
+    for attribute in attributes:
+        if not hasattr(layout, attribute):
+            raise ValueError(
+                f"layout lacks attribute {attribute!r} required by the adversary"
+            )
+    return layout
+
+
+class StalkingAdversaryX(Adversary):
+    """Theorem 4.8's post-order stalker against algorithm X.
+
+    Requires a layout exposing ``n``, ``x_base`` (the Write-All array) and
+    ``w_base`` (algorithm X's shared position array, ``w[pid]`` holding
+    the heap index of the processor's current progress-tree node; leaves
+    are heap indices ``>= n``).
+    """
+
+    def decide(self, view: TickView) -> Decision:
+        layout = _layout_from(view, "n", "x_base", "w_base")
+        n = layout.n
+        x_base = layout.x_base
+        w_base = layout.w_base
+
+        # Where is processor 0 working?  (None once it halted/exited.)
+        leader_element: Optional[int] = None
+        position_of_leader = view.memory.read(w_base + 0)
+        if position_of_leader >= n:
+            leader_element = position_of_leader - n
+
+        failures = {}
+        for pid, pending in view.pending.items():
+            if pid == 0:
+                continue
+            for write in pending.writes:
+                element = write.address - x_base
+                if 0 <= element < n and element != leader_element:
+                    if view.memory.read(x_base + element) == 0:
+                        failures[pid] = BEFORE_WRITES
+                        break
+
+        restarts: Set[int] = set()
+        for pid in view.failed_pids:
+            position = view.memory.read(w_base + pid)
+            if position < n or position >= 2 * n:
+                # Interior node, uninitialized, or exited: travelling is
+                # harmless — revive.
+                restarts.add(pid)
+                continue
+            element = position - n
+            if view.memory.read(x_base + element) == 1 or element == leader_element:
+                restarts.add(pid)
+
+        return Decision(failures=failures, restarts=frozenset(restarts))
+
+
+class AccStalker(Adversary):
+    """Section 5's stalker against the randomized ACC algorithm.
+
+    Targets a single element of the Write-All array (by default the last
+    one) and fails every processor about to write it.  With restarts
+    enabled the element is only completed when *every* live processor
+    attempts it in the same tick (or when a lone survivor attempts it);
+    wrap this adversary in :class:`~repro.faults.budget.NoRestartAdversary`
+    for the fail-stop variant, where the stalker kills touchers until a
+    single processor remains.
+    """
+
+    def __init__(
+        self,
+        target: Optional[int] = None,
+        stagger: int = 3,
+        fail_stop: bool = False,
+    ) -> None:
+        if stagger < 1:
+            raise ValueError(f"stagger must be >= 1, got {stagger}")
+        self.target = target
+        self.stagger = stagger
+        #: Fail-stop play (paper: "failing all processors that touch that
+        #: leaf until only one processor remains"): when every live
+        #: processor touches the target at once, kill all but one instead
+        #: of conceding.  Wrap in NoRestartAdversary to suppress revivals.
+        self.fail_stop = fail_stop
+
+    def _target_element(self, n: int) -> int:
+        return self.target if self.target is not None else n - 1
+
+    def decide(self, view: TickView) -> Decision:
+        layout = _layout_from(view, "n", "x_base")
+        n = layout.n
+        x_base = layout.x_base
+        target = self._target_element(n)
+        target_address = x_base + target
+
+        if view.memory.read(target_address) != 0:
+            # Target already done; stand down, revive everyone.
+            return Decision(restarts=frozenset(view.failed_pids))
+
+        touchers = sorted(
+            pid
+            for pid, pending in view.pending.items()
+            if pending.writes_to(target_address)
+        )
+        alive = set(view.pending)
+        non_touchers = alive - set(touchers)
+
+        failures = {}
+        if touchers and non_touchers:
+            # Someone else keeps the progress condition; kill all touchers.
+            failures = {pid: BEFORE_WRITES for pid in touchers}
+        elif touchers and not non_touchers and len(touchers) > 1:
+            if self.fail_stop:
+                # Fail-stop play: whittle the crew down to one survivor.
+                failures = {pid: BEFORE_WRITES for pid in touchers[1:]}
+            # Restart play: everybody is at the target simultaneously —
+            # the adversary has lost this round, let them through
+            # (failing all would violate progress anyway).
+        # A lone toucher is always allowed through (progress condition).
+
+        # Staggered restarts: reviving every victim in the same tick would
+        # hand the algorithm a synchronization gift (the lock-step restart
+        # cohort reaches the target simultaneously).  A real on-line
+        # adversary restarts them out of phase.
+        restarts = frozenset(
+            pid
+            for pid in view.failed_pids
+            if view.time % self.stagger == pid % self.stagger
+        )
+        return Decision(failures=failures, restarts=restarts)

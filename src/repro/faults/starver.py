@@ -1,0 +1,45 @@
+"""The iteration starver — algorithm V's nemesis (Section 4.1).
+
+    "However this algorithm may not terminate if the adversary does not
+    allow any of the processors that were alive at the beginning of an
+    iteration to complete that iteration.  Even if the extended
+    algorithm were to terminate, its completed work is not bounded by a
+    function of N and P."
+
+The strategy stays entirely inside the model: fail every processor the
+moment it attempts a shared-memory *write*, and let the read-only
+polling cycles of the waiters complete — they satisfy the progress
+condition (some update cycle completes at every tick) without ever
+advancing the algorithm.  When every pending cycle happens to carry a
+write, one processor is spared on a rotating schedule so that no single
+processor strings together enough spared cycles to cross an allocation
+phase.  Against algorithm V this starves the Write-All array forever
+while completed work grows linearly in time — unbounded in N and P.
+
+(Algorithm X is immune: a vetoed x-write eventually lands because X's
+work cycles ARE its progress; this adversary exists to exhibit V's
+non-termination and the value of interleaving — Theorem 4.9.)
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class IterationStarver(Adversary):
+    """Fails every write attempt; restarts victims immediately."""
+
+    def decide(self, view: TickView) -> Decision:
+        writers = sorted(
+            pid for pid, pending in view.pending.items() if pending.writes
+        )
+        failures = {pid: BEFORE_WRITES for pid in writers}
+        if failures and set(failures) >= set(view.pending):
+            # Every pending cycle writes: spare one on a rotating
+            # schedule (never the same processor twice in a row).
+            spared = writers[view.time % len(writers)]
+            del failures[spared]
+        restarts = frozenset(view.failed_pids)
+        return Decision(failures=failures, restarts=restarts)

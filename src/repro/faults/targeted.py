@@ -1,0 +1,77 @@
+"""Further adaptive adversaries: cell guards and productivity hunters.
+
+These generalize the paper's targeted strategies:
+
+* :class:`CellGuardAdversary` — the AccStalker's core move lifted to any
+  set of cells: fail every processor about to write a guarded cell
+  (while someone else keeps the progress condition).  Guarding a
+  Write-All cell starves algorithms whose only path to that cell is a
+  direct write; guarding an auxiliary cell (a tree node, the V step
+  counter) probes which shared structures an algorithm *needs*.
+* :class:`AdaptiveLoadAdversary` — each tick, fail the processors that
+  have completed the most cycles ("punish the productive"), the
+  intuition behind the pigeonhole strategy of Theorem 3.1 expressed as
+  a greedy heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class CellGuardAdversary(Adversary):
+    """Fails any processor whose pending cycle writes a guarded cell."""
+
+    def __init__(self, cells: Iterable[int], restart: bool = True) -> None:
+        self.cells: FrozenSet[int] = frozenset(cells)
+        if not self.cells:
+            raise ValueError("CellGuardAdversary needs at least one cell")
+        self.restart = restart
+
+    def decide(self, view: TickView) -> Decision:
+        offenders = sorted(
+            pid
+            for pid, pending in view.pending.items()
+            if any(write.address in self.cells for write in pending.writes)
+        )
+        innocents = set(view.pending) - set(offenders)
+        failures = {}
+        if offenders and innocents:
+            failures = {pid: BEFORE_WRITES for pid in offenders}
+        elif offenders and not innocents and len(offenders) > 1:
+            # Keep the progress condition: spare one offender.
+            failures = {pid: BEFORE_WRITES for pid in offenders[1:]}
+        restarts = frozenset(view.failed_pids) if self.restart else frozenset()
+        return Decision(failures=failures, restarts=restarts)
+
+
+class AdaptiveLoadAdversary(Adversary):
+    """Fails the ``count`` most productive processors every ``period`` ticks."""
+
+    def __init__(self, count: int, period: int = 1, restart: bool = True) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.count = count
+        self.period = period
+        self.restart = restart
+
+    def decide(self, view: TickView) -> Decision:
+        failures = {}
+        if view.time % self.period == 0:
+            completed = view.ledger.completed_by_pid
+            ranked = sorted(
+                view.pending,
+                key=lambda pid: (-completed.get(pid, 0), pid),
+            )
+            victims = ranked[: self.count]
+            if len(victims) >= len(view.pending) and victims:
+                victims = victims[:-1]  # keep the progress condition
+            failures = {pid: BEFORE_WRITES for pid in victims}
+        restarts = frozenset(view.failed_pids) if self.restart else frozenset()
+        return Decision(failures=failures, restarts=restarts)

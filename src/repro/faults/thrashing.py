@@ -1,0 +1,40 @@
+"""Example 2.2's thrashing adversary.
+
+    "A thrashing adversary allows all processors to perform the read and
+    compute instructions, then it fails all but one processor for the
+    write operation.  The adversary then restarts all failed processors.
+    Since one write operation is performed per read, compute, write
+    cycle, N cycles will be required to initialize N array elements.
+    Each of the P processors performs O(N) instructions which results in
+    work of O(P * N)."
+
+Under the S' measure (incomplete cycles charged) this forces quadratic
+work for *any* Write-All algorithm; under the paper's completed-work
+measure S the interrupted cycles cost nothing — which is exactly the
+point of the update-cycle accounting.  The E1 benchmark reproduces the
+separation.
+"""
+
+from __future__ import annotations
+
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.view import TickView
+
+
+class ThrashingAdversary(Adversary):
+    """Every tick: fail all pending processors but one, revive everyone.
+
+    The single survivor is the lowest-PID pending processor, so exactly
+    one update cycle completes per tick — the minimum the progress
+    condition allows.
+    """
+
+    def decide(self, view: TickView) -> Decision:
+        pending_pids = sorted(view.pending)
+        failures = {}
+        if pending_pids:
+            for pid in pending_pids[1:]:
+                failures[pid] = BEFORE_WRITES
+        restarts = frozenset(view.failed_pids)
+        return Decision(failures=failures, restarts=restarts)

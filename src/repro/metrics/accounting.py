@@ -1,0 +1,45 @@
+"""Aggregation across runs.
+
+Definition 2.3 takes the completed work ``S_{N,M,P}`` and overhead ratio
+``sigma`` as *maxima* over inputs and failure patterns of size ≤ M.  A
+single simulated run realizes one (I, F) pair; benchmarks approximate
+the maxima by aggregating several runs (different adversaries/seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass
+class WorstCase:
+    """Maxima of the paper's measures over a set of runs."""
+
+    runs: int = 0
+    max_completed_work: int = 0
+    max_charged_work: int = 0
+    max_pattern_size: int = 0
+    max_overhead_ratio: float = 0.0
+    max_parallel_time: int = 0
+    all_solved: bool = True
+
+
+def aggregate_worst_case(results: Iterable[object]) -> WorstCase:
+    """Fold :class:`~repro.core.runner.WriteAllResult`-likes into maxima."""
+    worst = WorstCase()
+    for result in results:
+        worst.runs += 1
+        worst.max_completed_work = max(
+            worst.max_completed_work, result.completed_work
+        )
+        worst.max_charged_work = max(worst.max_charged_work, result.charged_work)
+        worst.max_pattern_size = max(worst.max_pattern_size, result.pattern_size)
+        worst.max_overhead_ratio = max(
+            worst.max_overhead_ratio, result.overhead_ratio
+        )
+        worst.max_parallel_time = max(
+            worst.max_parallel_time, result.parallel_time
+        )
+        worst.all_solved = worst.all_solved and result.solved
+    return worst

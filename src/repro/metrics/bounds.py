@@ -1,0 +1,55 @@
+"""Closed-form predictors for the paper's bounds (without constants).
+
+Benchmarks divide measured completed work by these predictors; a bound
+of the right *shape* makes the ratio flatten (upper bounds) or stay
+bounded away from zero (lower bounds) as N grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2ceil(value: int) -> float:
+    """``max(1, log2(value))`` — the log factor in the bounds."""
+    return max(1.0, math.log2(max(2, value)))
+
+
+def work_lower_thm31(n: int) -> float:
+    """Theorem 3.1: Write-All with restarts needs Omega(N log N) work."""
+    return n * log2ceil(n)
+
+
+def work_upper_thm32(n: int) -> float:
+    """Theorem 3.2: the snapshot algorithm's Theta(N log N) work."""
+    return n * log2ceil(n)
+
+
+def work_upper_lemma42(n: int, p: int) -> float:
+    """Lemma 4.2: algorithm V without restarts, O(N + P log^2 N)."""
+    return n + p * log2ceil(n) ** 2
+
+
+def work_upper_thm43(n: int, p: int, m: int) -> float:
+    """Theorem 4.3: algorithm V with restarts, O(N + P log^2 N + M log N)."""
+    return n + p * log2ceil(n) ** 2 + m * log2ceil(n)
+
+
+def work_upper_thm47(n: int, p: int, delta: float = 0.015) -> float:
+    """Theorem 4.7: algorithm X, O(N * P^{log2(3/2) + delta})."""
+    return n * p ** (math.log2(1.5) + delta)
+
+
+def work_lower_thm48(n: int) -> float:
+    """Theorem 4.8: the stalker forces X to Omega(N^{log2 3})."""
+    return n ** math.log2(3)
+
+
+def work_upper_thm49(n: int, p: int, m: int, delta: float = 0.015) -> float:
+    """Theorem 4.9: interleaved V+X, O(min{...}) of the two bounds."""
+    return min(work_upper_thm43(n, p, m), work_upper_thm47(n, p, delta))
+
+
+def sigma_bound_thm41(n: int) -> float:
+    """Theorem 4.1: overhead ratio O(log^2 N)."""
+    return log2ceil(n) ** 2

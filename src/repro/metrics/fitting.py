@@ -1,0 +1,63 @@
+"""Growth-shape analysis: log-log exponent fits and ratio series."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def fitted_exponent(sizes: Sequence[int], works: Sequence[float]) -> float:
+    """Least-squares slope of log(work) against log(size).
+
+    For ``work ~ c * size^e`` this recovers ``e`` (up to lower-order
+    terms); benchmarks compare it against predicted exponents such as
+    ``log2 3`` for the stalked algorithm X.
+    """
+    if len(sizes) != len(works):
+        raise ValueError(
+            f"sizes and works must align, got {len(sizes)} vs {len(works)}"
+        )
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    xs = [math.log(size) for size in sizes]
+    ys = [math.log(max(1e-12, work)) for work in works]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        raise ValueError("all sizes identical; exponent undefined")
+    return numerator / denominator
+
+
+def ratio_series(
+    works: Sequence[float], predictions: Sequence[float]
+) -> List[float]:
+    """Element-wise measured/predicted ratios (flat = matching shape)."""
+    if len(works) != len(predictions):
+        raise ValueError(
+            f"series must align, got {len(works)} vs {len(predictions)}"
+        )
+    return [work / prediction for work, prediction in zip(works, predictions)]
+
+
+def is_flat(ratios: Sequence[float], tolerance: float = 3.0) -> bool:
+    """Whether a ratio series stays within a multiplicative band.
+
+    ``tolerance`` is the allowed max/min ratio; constants and lower-order
+    terms make small series wobble, so the default band is generous.
+    """
+    positive = [ratio for ratio in ratios if ratio > 0]
+    if not positive:
+        return False
+    return max(positive) / min(positive) <= tolerance
+
+
+def doubling_exponents(
+    sizes: Sequence[int], works: Sequence[float]
+) -> List[float]:
+    """Per-step exponents log(work ratio)/log(size ratio) between points."""
+    exponents = []
+    for (s0, w0), (s1, w1) in zip(zip(sizes, works), zip(sizes[1:], works[1:])):
+        exponents.append(math.log(w1 / w0) / math.log(s1 / s0))
+    return exponents

@@ -1,0 +1,98 @@
+"""The restartable fail-stop CRCW PRAM substrate.
+
+This package implements the abstract machine of Section 2 of the paper:
+synchronous processors executing update cycles over reliable shared
+memory, subject to on-line failure/restart adversaries, with completed
+work and overhead-ratio accounting.
+"""
+
+from repro.pram.cycles import (
+    SNAPSHOT,
+    Cycle,
+    Write,
+    noop_cycle,
+    read_cycle,
+    snapshot_cycle,
+    write_cycle,
+)
+from repro.pram.errors import (
+    AdversaryError,
+    MachineStalledError,
+    MemoryError_,
+    PramError,
+    ProgramError,
+    ProgressViolationError,
+    ReadConflictError,
+    TickLimitError,
+    WriteConflictError,
+)
+from repro.pram.failures import (
+    AFTER_ALL_WRITES,
+    BEFORE_WRITES,
+    Decision,
+    FailureEvent,
+    FailurePattern,
+    FailureTag,
+)
+from repro.pram.ledger import RunLedger
+from repro.pram.machine import Machine
+from repro.pram.memory import MemoryReader, SharedMemory
+from repro.pram.policies import (
+    ArbitraryCrcw,
+    CollisionCrcw,
+    CommonCrcw,
+    Crew,
+    Erew,
+    PriorityCrcw,
+    RotatingArbitraryCrcw,
+    StrongCrcw,
+    WritePolicy,
+    policy_by_name,
+    policy_names,
+)
+from repro.pram.processor import Processor, ProcessorStatus
+from repro.pram.view import PendingCycleView, TickView
+
+__all__ = [
+    "AFTER_ALL_WRITES",
+    "AdversaryError",
+    "ArbitraryCrcw",
+    "BEFORE_WRITES",
+    "CollisionCrcw",
+    "CommonCrcw",
+    "Crew",
+    "Cycle",
+    "Decision",
+    "Erew",
+    "FailureEvent",
+    "FailurePattern",
+    "FailureTag",
+    "Machine",
+    "MachineStalledError",
+    "MemoryError_",
+    "MemoryReader",
+    "PendingCycleView",
+    "PramError",
+    "PriorityCrcw",
+    "Processor",
+    "ProcessorStatus",
+    "ProgramError",
+    "ProgressViolationError",
+    "ReadConflictError",
+    "RotatingArbitraryCrcw",
+    "RunLedger",
+    "SNAPSHOT",
+    "SharedMemory",
+    "StrongCrcw",
+    "TickLimitError",
+    "TickView",
+    "Write",
+    "WriteConflictError",
+    "WritePolicy",
+    "noop_cycle",
+    "policy_by_name",
+    "policy_names",
+    "read_cycle",
+    "snapshot_cycle",
+    "write_cycle",
+]

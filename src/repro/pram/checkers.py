@@ -1,0 +1,127 @@
+"""Composable runtime invariant checkers.
+
+Checkers are passive observers (no-op adversaries) that watch every
+tick through the omniscient view and collect violations of structural
+invariants.  Compose them with real adversaries via
+:class:`~repro.faults.compose.UnionAdversary`; assert
+``checker.violations == []`` afterwards.  The property-test suite runs
+them under hypothesis-generated fault environments.
+
+Provided checkers:
+
+* :class:`MonotoneCellChecker` — watched cells never decrease
+  (Write-All arrays, progress counts, step counters, generation flags);
+* :class:`WriteQuiesceChecker` — watched cells never change after
+  reaching a target value (e.g. x cells are written once and final);
+* :class:`BudgetChecker` — every pending cycle respects the update-cycle
+  read/write budget (redundant with machine enforcement; useful when
+  auditing custom machines with relaxed limits);
+* :class:`CompletionFloorChecker` — the progress condition holds: at
+  least one cycle completes whenever cycles were pending.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.faults.base import Adversary
+from repro.pram.failures import Decision
+from repro.pram.view import TickView
+
+
+class CheckerBase(Adversary):
+    """Common plumbing: a violation list and a reset."""
+
+    def __init__(self) -> None:
+        self.violations: List[Tuple] = []
+
+    def reset(self) -> None:
+        self.violations = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class MonotoneCellChecker(CheckerBase):
+    """Watched cells must never decrease across ticks."""
+
+    def __init__(self, cells: Iterable[int]) -> None:
+        super().__init__()
+        self.cells = tuple(cells)
+        self._last: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._last = {}
+
+    def decide(self, view: TickView) -> Decision:
+        for address in self.cells:
+            value = view.memory.read(address)
+            previous = self._last.get(address)
+            if previous is not None and value < previous:
+                self.violations.append(
+                    ("decreased", view.time, address, previous, value)
+                )
+            self._last[address] = value
+        return Decision.none()
+
+
+class WriteQuiesceChecker(CheckerBase):
+    """Once a watched cell reaches ``target``, it must stay there."""
+
+    def __init__(self, cells: Iterable[int], target: int) -> None:
+        super().__init__()
+        self.cells = tuple(cells)
+        self.target = target
+        self._reached: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._reached = {}
+
+    def decide(self, view: TickView) -> Decision:
+        for address in self.cells:
+            value = view.memory.read(address)
+            if address in self._reached and value != self.target:
+                self.violations.append(
+                    ("changed-after-quiesce", view.time, address, value)
+                )
+            elif value == self.target:
+                self._reached[address] = view.time
+        return Decision.none()
+
+
+class BudgetChecker(CheckerBase):
+    """Pending cycles must respect the read/write budget."""
+
+    def __init__(self, max_reads: int = 4, max_writes: int = 2) -> None:
+        super().__init__()
+        self.max_reads = max_reads
+        self.max_writes = max_writes
+
+    def decide(self, view: TickView) -> Decision:
+        for pid, pending in view.pending.items():
+            if len(pending.read_values) > self.max_reads:
+                self.violations.append(
+                    ("reads", view.time, pid, len(pending.read_values))
+                )
+            if len(pending.writes) > self.max_writes:
+                self.violations.append(
+                    ("writes", view.time, pid, len(pending.writes))
+                )
+        return Decision.none()
+
+
+class CompletionFloorChecker(CheckerBase):
+    """At least one completion per tick with pending work.
+
+    Checked retrospectively: on each tick it verifies the *previous*
+    tick's completion count in the ledger.
+    """
+
+    def decide(self, view: TickView) -> Decision:
+        series = view.ledger.completed_per_tick
+        if series and series[-1] == 0:
+            self.violations.append(("no-completion", view.time - 1))
+        return Decision.none()

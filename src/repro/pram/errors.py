@@ -1,0 +1,63 @@
+"""Exception hierarchy for the PRAM substrate.
+
+Every failure mode of the simulated machine maps to a distinct exception
+type so tests can assert precisely which model rule was violated.
+"""
+
+from __future__ import annotations
+
+
+class PramError(Exception):
+    """Base class for all errors raised by the PRAM substrate."""
+
+
+class ProgramError(PramError):
+    """A processor program violated the update-cycle protocol.
+
+    Raised when a program yields something that is not a :class:`Cycle`,
+    exceeds the machine's read/write limits, or requests a snapshot read on
+    a machine that does not grant unit-cost snapshots.
+    """
+
+
+class MemoryError_(PramError):
+    """An address was out of range or a value violated the word size."""
+
+
+class WriteConflictError(PramError):
+    """Concurrent writes violated the machine's write-resolution policy.
+
+    COMMON CRCW raises this when concurrent writers disagree on the value;
+    EREW/CREW raise it on any concurrent write.
+    """
+
+
+class ReadConflictError(PramError):
+    """Concurrent reads violated an EREW machine's exclusive-read rule."""
+
+
+class AdversaryError(PramError):
+    """An adversary produced an inconsistent decision.
+
+    Examples: failing a processor that is not running, restarting a
+    processor that is not failed, or reporting more applied writes than the
+    cycle contains.
+    """
+
+
+class ProgressViolationError(PramError):
+    """The adversary stopped every pending update cycle in strict mode.
+
+    The model (Section 2.1, condition 2.(i)) requires that at any time at
+    least one processor is executing an update cycle that successfully
+    completes.  With ``enforce_progress=False`` and ``strict_progress=True``
+    the machine raises this instead of silently thrashing.
+    """
+
+
+class MachineStalledError(PramError):
+    """Every processor is failed and the adversary issued no restarts."""
+
+
+class TickLimitError(PramError):
+    """The run exceeded ``max_ticks`` without reaching its goal."""

@@ -1,0 +1,123 @@
+"""Run accounting: completed work ``S``, charged work ``S'`` and friends.
+
+Definitions 2.2 and 2.3 of the paper:
+
+* ``S = c * sum_i P_i(I, F)`` where ``P_i`` is the number of processors
+  *completing* an update cycle at time ``i`` (we take the cycle cost
+  ``c = 1``);
+* ``S'`` additionally charges cycles the adversary interrupted
+  (``S' <= S + |F|`` — Remark 2);
+* the overhead ratio ``sigma = max S / (|I| + |F|)`` amortizes work over
+  the input size and the failure-pattern size.
+
+The ledger records everything a single run produced; the aggregate
+measures of Definition 2.3 (maxima over inputs and patterns) are taken by
+the benchmark harness across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.pram.failures import FailurePattern
+
+
+@dataclass
+class RunLedger:
+    """Accounting record of one machine run."""
+
+    #: Number of clock ticks executed.
+    ticks: int = 0
+    #: Completed update cycles, per PID.
+    completed_by_pid: Dict[int, int] = field(default_factory=dict)
+    #: Update cycles charged under the S' measure, per PID (completed plus
+    #: adversary-interrupted attempts).
+    attempted_by_pid: Dict[int, int] = field(default_factory=dict)
+    #: The realized failure pattern F.
+    pattern: FailurePattern = field(default_factory=FailurePattern)
+    #: Times the machine vetoed the adversary to preserve the progress
+    #: condition (Section 2.1, condition 2.(i)).
+    progress_vetoes: int = 0
+    #: Times the optional fairness window forced an interrupted
+    #: processor's cycle through (see Machine(fairness_window=...)).
+    fairness_vetoes: int = 0
+    #: Number of P_i(I, F) values, i.e. completed cycles per tick.
+    completed_per_tick: List[int] = field(default_factory=list)
+    #: Shared-memory traffic totals.
+    memory_reads: int = 0
+    memory_writes: int = 0
+    #: Why the run ended.
+    halted: bool = False
+    goal_reached: bool = False
+    stalled: bool = False
+    tick_limited: bool = False
+
+    # ------------------------------------------------------------------ #
+    # paper measures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def completed_work(self) -> int:
+        """``S`` — completed update cycles across all processors."""
+        return sum(self.completed_by_pid.values())
+
+    @property
+    def charged_work(self) -> int:
+        """``S'`` — completed plus interrupted update cycles."""
+        return sum(self.attempted_by_pid.values())
+
+    @property
+    def pattern_size(self) -> int:
+        """``|F|`` — cardinality of the realized failure pattern."""
+        return self.pattern.size
+
+    def overhead_ratio(self, input_size: int) -> float:
+        """``sigma = S / (|I| + |F|)`` for this run."""
+        denominator = input_size + self.pattern_size
+        if denominator <= 0:
+            raise ValueError(
+                f"overhead ratio needs |I| + |F| > 0, got {denominator}"
+            )
+        return self.completed_work / denominator
+
+    @property
+    def parallel_time(self) -> int:
+        """Ticks elapsed — the tau of Parallel-time x Processors."""
+        return self.ticks
+
+    # ------------------------------------------------------------------ #
+    # recording hooks (called by the machine)
+    # ------------------------------------------------------------------ #
+
+    def charge_attempt(self, pid: int) -> None:
+        self.attempted_by_pid[pid] = self.attempted_by_pid.get(pid, 0) + 1
+
+    def charge_completion(self, pid: int) -> None:
+        self.completed_by_pid[pid] = self.completed_by_pid.get(pid, 0) + 1
+
+    def describe(self, input_size: Optional[int] = None) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"ticks={self.ticks}",
+            f"S (completed work)={self.completed_work}",
+            f"S' (charged work)={self.charged_work}",
+            f"|F| (failures+restarts)={self.pattern_size}"
+            f" ({self.pattern.failure_count} failures,"
+            f" {self.pattern.restart_count} restarts)",
+        ]
+        if input_size is not None and input_size + self.pattern_size > 0:
+            lines.append(f"sigma=S/(N+|F|)={self.overhead_ratio(input_size):.3f}")
+        status = (
+            "goal reached"
+            if self.goal_reached
+            else "halted"
+            if self.halted
+            else "stalled"
+            if self.stalled
+            else "tick limited"
+            if self.tick_limited
+            else "running"
+        )
+        lines.append(f"status={status}")
+        return ", ".join(lines)

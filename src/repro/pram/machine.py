@@ -1,0 +1,424 @@
+"""The restartable fail-stop CRCW PRAM, executed in lock step.
+
+One machine tick implements one synchronous PRAM clock step for every
+running processor:
+
+1. restart events from the previous tick take effect (revived processors
+   run their first cycle on the *next* tick — they restart "at their
+   initial state with their PID as their only knowledge");
+2. every running processor's pending update cycle performs its reads
+   against the memory state at the start of the tick (synchronous PRAM
+   semantics) and its fixed compute step produces a write set;
+3. the on-line adversary inspects everything (clock, memory, statuses,
+   pending cycles *including* their computed write sets) and rules: for
+   each processor, survive, or fail after a prefix of its atomic writes;
+4. the machine enforces the model's progress condition — at least one
+   pending cycle must complete per tick — by vetoing the adversary on one
+   processor if necessary (configurable);
+5. the surviving writes are resolved under the machine's CRCW policy and
+   applied atomically;
+6. processors whose cycles completed are charged one unit of completed
+   work and advance to their next cycle; interrupted cycles are charged
+   only under the S' measure.
+
+This is a *model-level* simulator: "work" is the paper's completed-work
+measure, not wall-clock time, so the results are exact in the paper's own
+cost model regardless of host parallelism.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.pram.cycles import Cycle, Write
+from repro.pram.errors import (
+    AdversaryError,
+    MachineStalledError,
+    ProgramError,
+    ProgressViolationError,
+    TickLimitError,
+)
+from repro.pram.failures import (
+    AFTER_ALL_WRITES,
+    Decision,
+    FailureTag,
+)
+from repro.pram.ledger import RunLedger
+from repro.pram.memory import MemoryReader, SharedMemory
+from repro.pram.policies import CommonCrcw, WritePolicy
+from repro.pram.processor import Processor, ProcessorStatus, ProgramFactory
+from repro.pram.view import PendingCycleView, TickView
+
+#: Termination predicate: receives a read-only memory view.
+UntilPredicate = Callable[[MemoryReader], bool]
+
+
+class Machine:
+    """A P-processor restartable fail-stop PRAM over shared memory."""
+
+    def __init__(
+        self,
+        num_processors: int,
+        memory: SharedMemory,
+        policy: Optional[WritePolicy] = None,
+        adversary: Optional[object] = None,
+        max_reads: int = 4,
+        max_writes: int = 2,
+        allow_snapshot: bool = False,
+        enforce_progress: bool = True,
+        strict_progress: bool = False,
+        fairness_window: Optional[int] = None,
+        context: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if num_processors <= 0:
+            raise ValueError(
+                f"machine needs at least one processor, got {num_processors}"
+            )
+        self.num_processors = num_processors
+        self.memory = memory
+        self.policy = policy if policy is not None else CommonCrcw()
+        self.adversary = adversary
+        self.max_reads = max_reads
+        self.max_writes = max_writes
+        self.allow_snapshot = allow_snapshot
+        self.enforce_progress = enforce_progress
+        self.strict_progress = strict_progress
+        # Optional fairness guarantee: a processor whose attempts were
+        # interrupted `fairness_window` consecutive times cannot be
+        # interrupted again until it completes a cycle.  This is the
+        # "eventual progress" reading of the model's condition 2.(i) —
+        # without it, an adversary can satisfy the letter of the
+        # condition by letting only repeatable read-only cycles (e.g.
+        # algorithm V's waiter polls) complete, while starving every
+        # productive cycle forever.  None disables the guarantee.
+        if fairness_window is not None and fairness_window < 1:
+            raise ValueError(
+                f"fairness_window must be >= 1 or None, got {fairness_window}"
+            )
+        self.fairness_window = fairness_window
+        self._consecutive_interrupts: Dict[int, int] = {}
+        self.context: Dict[str, object] = dict(context or {})
+        self.ledger = RunLedger()
+        self._processors: List[Processor] = []
+        self._reader = MemoryReader(memory)
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    def load_program(self, program_factory: ProgramFactory) -> None:
+        """Install the program on all P processors and start them."""
+        self._processors = [
+            Processor(pid, program_factory) for pid in range(self.num_processors)
+        ]
+        for processor in self._processors:
+            processor.spawn()
+
+    @property
+    def processors(self) -> Tuple[Processor, ...]:
+        return tuple(self._processors)
+
+    @property
+    def time(self) -> int:
+        """Ticks executed so far."""
+        return self.ledger.ticks
+
+    def statuses(self) -> Dict[int, ProcessorStatus]:
+        return {proc.pid: proc.status for proc in self._processors}
+
+    # ------------------------------------------------------------------ #
+    # one tick
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Execute one clock tick.
+
+        Returns ``True`` when the machine is still live (some processor is
+        running or failed-but-restartable), ``False`` once every processor
+        has halted.
+        """
+        if not self._processors:
+            raise ProgramError("no program loaded; call load_program() first")
+
+        running = [proc for proc in self._processors if proc.is_running]
+        failed = [proc for proc in self._processors if proc.is_failed]
+        if not running and not failed:
+            return False
+
+        self.ledger.ticks += 1
+        tick = self.ledger.ticks
+
+        pending = self._collect_pending(running)
+        view = TickView(
+            time=tick,
+            memory=self._reader,
+            statuses=self.statuses(),
+            pending=pending,
+            ledger=self.ledger,
+            context=self.context,
+        )
+        decision = self._consult_adversary(view)
+        failures = self._validated_failures(decision, pending)
+        failures = self._apply_fairness(failures)
+        failures = self._apply_progress_policy(failures, pending)
+
+        self._apply_writes(pending, failures)
+        completed_this_tick = self._settle_processors(pending, failures, tick)
+        self.ledger.completed_per_tick.append(completed_this_tick)
+        self._apply_restarts(decision, failures, pending, tick)
+        self._sync_traffic()
+        return True
+
+    # -- tick sub-phases ------------------------------------------------ #
+
+    def _collect_pending(
+        self, running: List[Processor]
+    ) -> Dict[int, PendingCycleView]:
+        pending: Dict[int, PendingCycleView] = {}
+        readers_by_address: Dict[int, List[int]] = defaultdict(list)
+        for processor in running:
+            cycle = processor.pending_cycle
+            if cycle.is_snapshot:
+                if not self.allow_snapshot:
+                    raise ProgramError(
+                        f"pid {processor.pid}: snapshot read on a machine "
+                        f"without allow_snapshot (label={cycle.label!r})"
+                    )
+                values: Tuple[int, ...] = tuple(self.memory.snapshot())
+                self.memory.reads_served += 1  # unit cost by assumption
+            else:
+                specs = cycle.read_specs()
+                if len(specs) > self.max_reads:
+                    raise ProgramError(
+                        f"pid {processor.pid}: cycle reads {len(specs)} "
+                        f"cells, limit is {self.max_reads} "
+                        f"(label={cycle.label!r})"
+                    )
+                value_list: List[int] = []
+                for spec in specs:
+                    address = spec(tuple(value_list)) if callable(spec) else spec
+                    if address is None:
+                        value_list.append(0)
+                        continue
+                    value_list.append(self.memory.read(address))
+                    readers_by_address[address].append(processor.pid)
+                values = tuple(value_list)
+            writes = cycle.materialize_writes(values)
+            if len(writes) > self.max_writes:
+                raise ProgramError(
+                    f"pid {processor.pid}: cycle writes {len(writes)} cells, "
+                    f"limit is {self.max_writes} (label={cycle.label!r})"
+                )
+            pending[processor.pid] = PendingCycleView(
+                pid=processor.pid, cycle=cycle, read_values=values, writes=writes
+            )
+        for address, reader_pids in readers_by_address.items():
+            self.policy.check_reads(address, reader_pids)
+        return pending
+
+    def _consult_adversary(self, view: TickView) -> Decision:
+        if self.adversary is None:
+            return Decision.none()
+        decision = self.adversary.decide(view)
+        if decision is None:
+            return Decision.none()
+        if not isinstance(decision, Decision):
+            raise AdversaryError(
+                f"adversary returned {decision!r}, expected a Decision"
+            )
+        return decision
+
+    def _validated_failures(
+        self, decision: Decision, pending: Mapping[int, PendingCycleView]
+    ) -> Dict[int, int]:
+        failures: Dict[int, int] = {}
+        for pid, writes_applied in decision.failures.items():
+            if pid not in pending:
+                raise AdversaryError(
+                    f"adversary failed pid {pid}, which has no pending cycle"
+                )
+            write_count = len(pending[pid].writes)
+            if writes_applied == AFTER_ALL_WRITES:
+                writes_applied = write_count
+            if not 0 <= writes_applied <= write_count:
+                raise AdversaryError(
+                    f"adversary applied {writes_applied} writes for pid {pid}, "
+                    f"cycle has {write_count}"
+                )
+            failures[pid] = writes_applied
+        return failures
+
+    def _apply_fairness(self, failures: Dict[int, int]) -> Dict[int, int]:
+        if self.fairness_window is None:
+            return failures
+        for pid in list(failures):
+            if self._consecutive_interrupts.get(pid, 0) >= self.fairness_window:
+                del failures[pid]
+                self.ledger.fairness_vetoes += 1
+        return failures
+
+    def _cycle_completes(
+        self, pid: int, failures: Mapping[int, int], pending: Mapping[int, PendingCycleView]
+    ) -> bool:
+        """A cycle completes iff the processor was not failed during it.
+
+        A failure with ``writes_applied == len(writes)`` leaves every
+        atomic write in memory but the cycle still counts as interrupted
+        (charged to S' only): the processor stopped before reaching the
+        cycle boundary.
+        """
+        return pid not in failures
+
+    def _apply_progress_policy(
+        self, failures: Dict[int, int], pending: Mapping[int, PendingCycleView]
+    ) -> Dict[int, int]:
+        if not pending:
+            return failures
+        if any(self._cycle_completes(pid, failures, pending) for pid in pending):
+            return failures
+        # Every pending cycle would be interrupted: the model's progress
+        # condition (at least one completing update cycle at any time) is
+        # violated.
+        if self.strict_progress:
+            raise ProgressViolationError(
+                "adversary interrupted every pending update cycle at tick "
+                f"{self.ledger.ticks}"
+            )
+        if not self.enforce_progress:
+            return failures
+        spared_pid = min(failures)
+        del failures[spared_pid]
+        self.ledger.progress_vetoes += 1
+        return failures
+
+    def _apply_writes(
+        self,
+        pending: Mapping[int, PendingCycleView],
+        failures: Mapping[int, int],
+    ) -> None:
+        writers_by_address: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for pid in sorted(pending):
+            entry = pending[pid]
+            if pid in failures:
+                surviving: Tuple[Write, ...] = entry.writes[: failures[pid]]
+            else:
+                surviving = entry.writes
+            for write in surviving:
+                writers_by_address[write.address].append((pid, write.value))
+        for address in sorted(writers_by_address):
+            writers = writers_by_address[address]
+            value = self.policy.resolve(address, writers)
+            self.memory.write(address, value)
+
+    def _settle_processors(
+        self,
+        pending: Mapping[int, PendingCycleView],
+        failures: Mapping[int, int],
+        tick: int,
+    ) -> int:
+        completed_this_tick = 0
+        for pid in sorted(pending):
+            processor = self._processors[pid]
+            self.ledger.charge_attempt(pid)
+            completes = self._cycle_completes(pid, failures, pending)
+            if completes:
+                self.ledger.charge_completion(pid)
+                completed_this_tick += 1
+                self._consecutive_interrupts[pid] = 0
+            else:
+                self._consecutive_interrupts[pid] = (
+                    self._consecutive_interrupts.get(pid, 0) + 1
+                )
+            if pid in failures:
+                self.ledger.pattern.record(FailureTag.FAILURE, pid, tick)
+                processor.fail()
+            else:
+                processor.complete_cycle(pending[pid].read_values)
+        return completed_this_tick
+
+    def _apply_restarts(
+        self,
+        decision: Decision,
+        failures: Mapping[int, int],
+        pending: Mapping[int, PendingCycleView],
+        tick: int,
+    ) -> None:
+        for pid in sorted(decision.restarts):
+            if not 0 <= pid < self.num_processors:
+                raise AdversaryError(f"adversary restarted unknown pid {pid}")
+            processor = self._processors[pid]
+            if not processor.is_failed:
+                if processor.is_running and pid in decision.failures:
+                    # The progress veto cancelled this pid's failure, so
+                    # its paired restart is vacuous — skip it.
+                    continue
+                raise AdversaryError(
+                    f"adversary restarted pid {pid}, which is "
+                    f"{processor.status.value}"
+                )
+            self.ledger.pattern.record(FailureTag.RESTART, pid, tick)
+            processor.restart()
+        # Progress policy for an all-failed machine: something must be
+        # executing an update cycle.  If the adversary left every processor
+        # failed, forcibly restart the lowest PID.
+        if self.enforce_progress and not pending and not decision.restarts:
+            failed = [proc for proc in self._processors if proc.is_failed]
+            if failed:
+                revived = min(failed, key=lambda proc: proc.pid)
+                self.ledger.pattern.record(FailureTag.RESTART, revived.pid, tick)
+                revived.restart()
+                self.ledger.progress_vetoes += 1
+
+    def _sync_traffic(self) -> None:
+        self.ledger.memory_reads = self.memory.reads_served
+        self.ledger.memory_writes = self.memory.writes_applied
+
+    # ------------------------------------------------------------------ #
+    # whole runs
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        until: Optional[UntilPredicate] = None,
+        max_ticks: int = 1_000_000,
+        raise_on_limit: bool = True,
+        stall_limit: int = 1024,
+    ) -> RunLedger:
+        """Tick until ``until`` holds, all processors halt, or limits hit.
+
+        ``stall_limit`` bounds consecutive ticks in which no update cycle
+        was even attempted (all processors failed, adversary silent) —
+        only reachable with ``enforce_progress=False``.
+        """
+        stalled_ticks = 0
+        while True:
+            if until is not None and until(self._reader):
+                self.ledger.goal_reached = True
+                break
+            live = self.step()
+            if not live:
+                self.ledger.halted = True
+                break
+            if self.ledger.completed_per_tick and self.ledger.completed_per_tick[-1] == 0 and not any(
+                proc.is_running for proc in self._processors
+            ):
+                stalled_ticks += 1
+                if stalled_ticks >= stall_limit:
+                    self.ledger.stalled = True
+                    break
+            else:
+                stalled_ticks = 0
+            if self.ledger.ticks >= max_ticks:
+                if until is not None and until(self._reader):
+                    self.ledger.goal_reached = True
+                    break
+                self.ledger.tick_limited = True
+                if raise_on_limit:
+                    raise TickLimitError(
+                        f"run exceeded max_ticks={max_ticks} "
+                        f"(S={self.ledger.completed_work})"
+                    )
+                break
+        self._sync_traffic()
+        return self.ledger

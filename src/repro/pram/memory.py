@@ -1,0 +1,150 @@
+"""Reliable shared memory with atomic word writes.
+
+Model assumptions from Section 2.1/2.3 of the paper:
+
+* shared memory is reliable — failures never corrupt it;
+* cells store ``O(log max(N, P))``-bit words and word writes are atomic
+  (failures land between writes, never inside one);
+* the input occupies the first cells and the rest is cleared (zeroes).
+
+The class also keeps running read/write counters; they feed the ledger's
+traffic statistics (useful for sanity-checking the ≤4-read / ≤2-write
+update-cycle discipline at the aggregate level).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.pram.errors import MemoryError_
+
+
+class SharedMemory:
+    """A flat array of integer word cells."""
+
+    def __init__(
+        self,
+        size: int,
+        initial: Optional[Sequence[int]] = None,
+        word_bits: Optional[int] = None,
+    ) -> None:
+        if size <= 0:
+            raise MemoryError_(f"shared memory size must be positive, got {size}")
+        self._cells: List[int] = [0] * size
+        self._word_bits = word_bits
+        self.reads_served = 0
+        self.writes_applied = 0
+        if initial is not None:
+            if len(initial) > size:
+                raise MemoryError_(
+                    f"initial contents ({len(initial)} cells) exceed memory size {size}"
+                )
+            for address, value in enumerate(initial):
+                self._validate_value(address, value)
+                self._cells[address] = value
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def size(self) -> int:
+        return len(self._cells)
+
+    @property
+    def word_bits(self) -> Optional[int]:
+        """Word width enforced on writes, or ``None`` for unbounded."""
+        return self._word_bits
+
+    def _validate_address(self, address: int) -> None:
+        if not isinstance(address, int) or isinstance(address, bool):
+            raise MemoryError_(f"address must be an integer, got {address!r}")
+        if not 0 <= address < len(self._cells):
+            raise MemoryError_(
+                f"address {address} out of range [0, {len(self._cells)})"
+            )
+
+    def _validate_value(self, address: int, value: int) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise MemoryError_(
+                f"cell {address}: values must be integers, got {value!r}"
+            )
+        if self._word_bits is not None and abs(value) >= (1 << self._word_bits):
+            raise MemoryError_(
+                f"cell {address}: value {value} does not fit in a "
+                f"{self._word_bits}-bit word"
+            )
+
+    def read(self, address: int) -> int:
+        """Read one cell (counted toward the traffic statistics)."""
+        self._validate_address(address)
+        self.reads_served += 1
+        return self._cells[address]
+
+    def peek(self, address: int) -> int:
+        """Read one cell without charging traffic (for harness/adversary use)."""
+        self._validate_address(address)
+        return self._cells[address]
+
+    def write(self, address: int, value: int) -> None:
+        """Atomically write one word (counted toward traffic statistics)."""
+        self._validate_address(address)
+        self._validate_value(address, value)
+        self.writes_applied += 1
+        self._cells[address] = value
+
+    def poke(self, address: int, value: int) -> None:
+        """Write without charging traffic (for harness initialization)."""
+        self._validate_address(address)
+        self._validate_value(address, value)
+        self._cells[address] = value
+
+    def snapshot(self) -> List[int]:
+        """A copy of the entire contents (harness/adversary use; uncharged)."""
+        return list(self._cells)
+
+    def load(self, values: Iterable[int], offset: int = 0) -> None:
+        """Bulk-load ``values`` starting at ``offset`` (uncharged)."""
+        for delta, value in enumerate(values):
+            self.poke(offset + delta, value)
+
+    def region(self, start: int, length: int) -> List[int]:
+        """A copy of ``length`` cells starting at ``start`` (uncharged)."""
+        if length < 0:
+            raise MemoryError_(f"region length must be non-negative, got {length}")
+        self._validate_address(start)
+        if length and start + length > len(self._cells):
+            raise MemoryError_(
+                f"region [{start}, {start + length}) exceeds memory size "
+                f"{len(self._cells)}"
+            )
+        return self._cells[start : start + length]
+
+
+class MemoryReader:
+    """A read-only facade over :class:`SharedMemory`.
+
+    Handed to adversaries (which are omniscient about machine state but
+    must not mutate it) and to termination predicates.
+    """
+
+    def __init__(self, memory: SharedMemory) -> None:
+        self._memory = memory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def size(self) -> int:
+        return self._memory.size
+
+    def read(self, address: int) -> int:
+        return self._memory.peek(address)
+
+    def __getitem__(self, address: int) -> int:
+        return self._memory.peek(address)
+
+    def region(self, start: int, length: int) -> List[int]:
+        return self._memory.region(start, length)
+
+    def snapshot(self) -> List[int]:
+        return self._memory.snapshot()

@@ -1,0 +1,145 @@
+"""Processor lifecycle: running, failed, restarted, halted.
+
+A restartable fail-stop processor (Section 2.1):
+
+* runs a synchronous program, one update cycle per clock tick;
+* may be failed by the adversary at any point of a cycle — its private
+  memory (here: the program generator's local state) is lost;
+* may later be restarted *"at their initial state with their PID as their
+  only knowledge"* — here: a fresh generator built from the same program
+  factory;
+* halts voluntarily when its program returns (e.g. algorithm X exits once
+  its pointer leaves the progress-tree root).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Generator, Optional
+
+from repro.pram.cycles import Cycle
+from repro.pram.errors import ProgramError
+
+#: A processor program: called with the PID, returns a generator that
+#: yields :class:`Cycle` objects and receives read-value tuples.
+ProgramFactory = Callable[[int], Generator[Cycle, tuple, None]]
+
+
+class ProcessorStatus(Enum):
+    RUNNING = "running"
+    FAILED = "failed"
+    HALTED = "halted"
+
+
+class Processor:
+    """State of one fail-stop processor inside the machine."""
+
+    def __init__(self, pid: int, program_factory: ProgramFactory) -> None:
+        self.pid = pid
+        self._program_factory = program_factory
+        self.status = ProcessorStatus.FAILED  # becomes RUNNING on spawn()
+        self._generator: Optional[Generator[Cycle, tuple, None]] = None
+        self._pending: Optional[Cycle] = None
+        self.cycles_completed = 0
+        self.cycles_attempted = 0
+        self.restart_count = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle transitions
+    # ------------------------------------------------------------------ #
+
+    def spawn(self) -> None:
+        """Start (or restart) the program from its initial state."""
+        generator = self._program_factory(self.pid)
+        try:
+            first_cycle = next(generator)
+        except StopIteration:
+            # A program may legitimately do nothing (already-halted PID).
+            self.status = ProcessorStatus.HALTED
+            self._generator = None
+            self._pending = None
+            return
+        self._check_cycle(first_cycle)
+        self._generator = generator
+        self._pending = first_cycle
+        self.status = ProcessorStatus.RUNNING
+
+    def fail(self) -> None:
+        """Stop the processor; private memory (generator state) is lost."""
+        if self.status is not ProcessorStatus.RUNNING:
+            raise ProgramError(
+                f"pid {self.pid}: cannot fail a {self.status.value} processor"
+            )
+        if self._generator is not None:
+            self._generator.close()
+        self._generator = None
+        self._pending = None
+        self.status = ProcessorStatus.FAILED
+
+    def restart(self) -> None:
+        """Revive a failed processor at its initial state (PID-only)."""
+        if self.status is not ProcessorStatus.FAILED:
+            raise ProgramError(
+                f"pid {self.pid}: cannot restart a {self.status.value} processor"
+            )
+        self.restart_count += 1
+        self.spawn()
+
+    # ------------------------------------------------------------------ #
+    # cycle execution
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending_cycle(self) -> Cycle:
+        """The update cycle the processor executes on the current tick."""
+        if self.status is not ProcessorStatus.RUNNING or self._pending is None:
+            raise ProgramError(f"pid {self.pid}: no pending cycle")
+        return self._pending
+
+    def complete_cycle(self, read_values: tuple) -> None:
+        """Advance past a completed cycle; fetch the next one.
+
+        The read values are delivered into the program (they are the only
+        information a cycle brings into private memory).  If the program
+        returns, the processor halts.
+        """
+        if self.status is not ProcessorStatus.RUNNING or self._generator is None:
+            raise ProgramError(f"pid {self.pid}: no running program to advance")
+        self.cycles_completed += 1
+        try:
+            next_cycle = self._generator.send(read_values)
+        except StopIteration:
+            self._generator = None
+            self._pending = None
+            self.status = ProcessorStatus.HALTED
+            return
+        self._check_cycle(next_cycle)
+        self._pending = next_cycle
+
+    def _check_cycle(self, cycle: object) -> None:
+        if not isinstance(cycle, Cycle):
+            raise ProgramError(
+                f"pid {self.pid}: program yielded {cycle!r}, expected a Cycle"
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_running(self) -> bool:
+        return self.status is ProcessorStatus.RUNNING
+
+    @property
+    def is_failed(self) -> bool:
+        return self.status is ProcessorStatus.FAILED
+
+    @property
+    def is_halted(self) -> bool:
+        return self.status is ProcessorStatus.HALTED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Processor(pid={self.pid}, status={self.status.value}, "
+            f"completed={self.cycles_completed}, restarts={self.restart_count})"
+        )

@@ -1,0 +1,86 @@
+"""The omniscient on-line adversary's view of a machine tick.
+
+"A failure pattern F is determined by an on-line adversary, that knows
+everything about the algorithm and is unknown to the algorithm"
+(Section 2.1).  The view hands the adversary, per tick:
+
+* the clock, every processor's status, and the run ledger so far;
+* read-only shared memory;
+* each running processor's *pending* update cycle — including the write
+  set its compute step will produce — so the adversary can fail processors
+  based on what they are about to do (this is exactly the power the
+  pigeonhole-halving and stalking adversaries of the paper require);
+* harness-provided context (e.g. the algorithm's memory layout) so
+  adversaries can locate the Write-All array, progress tree, etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.pram.cycles import Cycle, Write
+from repro.pram.ledger import RunLedger
+from repro.pram.memory import MemoryReader
+from repro.pram.processor import ProcessorStatus
+
+
+@dataclass(frozen=True)
+class PendingCycleView:
+    """What one running processor is about to do this tick."""
+
+    pid: int
+    cycle: Cycle
+    read_values: Tuple[int, ...]
+    writes: Tuple[Write, ...]
+
+    @property
+    def label(self) -> str:
+        return self.cycle.label
+
+    def writes_to(self, address: int) -> bool:
+        return any(write.address == address for write in self.writes)
+
+
+@dataclass(frozen=True)
+class TickView:
+    """Everything the adversary may inspect before ruling on a tick."""
+
+    time: int
+    memory: MemoryReader
+    statuses: Mapping[int, ProcessorStatus]
+    pending: Mapping[int, PendingCycleView]
+    ledger: RunLedger
+    context: Mapping[str, object]
+
+    @property
+    def running_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid
+            for pid, status in sorted(self.statuses.items())
+            if status is ProcessorStatus.RUNNING
+        )
+
+    @property
+    def failed_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid
+            for pid, status in sorted(self.statuses.items())
+            if status is ProcessorStatus.FAILED
+        )
+
+    @property
+    def halted_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid
+            for pid, status in sorted(self.statuses.items())
+            if status is ProcessorStatus.HALTED
+        )
+
+    def writers_of(self, address: int) -> Tuple[int, ...]:
+        """PIDs whose pending cycle writes to ``address`` this tick."""
+        return tuple(
+            pid
+            for pid, pending in sorted(self.pending.items())
+            if pending.writes_to(address)
+        )

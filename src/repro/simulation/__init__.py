@@ -1,0 +1,39 @@
+"""Robust execution of arbitrary PRAM programs (Section 4.3).
+
+    "The simulations of the individual PRAM steps are based on replacing
+    the trivial array assignments in a Write-All solution with the
+    appropriate components of the PRAM steps. ... the results of
+    computations are stored in temporary memory before simulating the
+    synchronous updates of the shared memory with the new values."
+
+An N-processor synchronous PRAM program is expressed as a sequence of
+:class:`SimStep` objects.  The :class:`RobustSimulator` executes each
+step as *two* Write-All instances run with any of the robust algorithms
+(V+X by default): a compute phase stages every simulated processor's
+write values, and a commit phase installs them — so re-executed or
+concurrently executed tasks are idempotent and every simulated read
+observes the previous step's memory (exact synchronous semantics on
+faulty hardware).
+
+A library of classic PRAM programs for the simulator lives in
+:mod:`repro.simulation.programs`.
+"""
+
+from repro.simulation.executor import (
+    PhaseRecord,
+    RobustSimulator,
+    SimulationResult,
+)
+from repro.simulation.persistent import PersistentResult, PersistentSimulator
+from repro.simulation.step import FunctionStep, SimProgram, SimStep
+
+__all__ = [
+    "FunctionStep",
+    "PersistentResult",
+    "PersistentSimulator",
+    "PhaseRecord",
+    "RobustSimulator",
+    "SimProgram",
+    "SimStep",
+    "SimulationResult",
+]

@@ -1,0 +1,85 @@
+"""PRAM-variant classification of simulated programs.
+
+Theorem 4.1 distinguishes source models: "EREW, CREW, and WEAK and
+COMMON CRCW PRAM algorithms are simulated on fail-stop COMMON CRCW
+PRAMs; ARBITRARY and STRONG CRCW PRAMs are simulated on fail-stop CRCW
+PRAMs of the same type" (and PRIORITY cannot be simulated directly,
+Remark 4).
+
+A :class:`SimProgram` is data: its concurrency class depends on the
+input.  :func:`classify_program` dry-runs the program on the ideal
+synchronous PRAM for a given input and reports the weakest classical
+model consistent with the observed access patterns:
+
+* ``EREW`` — no cell is read or written by two processors in one step;
+* ``CREW`` — concurrent reads occur, writes stay exclusive;
+* ``COMMON`` — concurrent writes occur but all writers agree;
+* ``ARBITRARY`` — concurrent writers disagree (the robust executor's
+  commit order then picks a winner, which is exactly ARBITRARY
+  semantics; programs needing STRONG or PRIORITY resolution are not
+  faithfully executable and should be rejected by the caller).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simulation.step import SimProgram
+
+CLASSES = ("EREW", "CREW", "COMMON", "ARBITRARY")
+
+
+def classify_program(
+    program: SimProgram, initial_memory: Sequence[int]
+) -> str:
+    """The weakest PRAM class consistent with this program on this input."""
+    memory: List[int] = list(initial_memory)
+    memory += [0] * (program.memory_size - len(memory))
+    rank = 0  # index into CLASSES
+    for step in program.steps:
+        read_counts: Dict[int, int] = defaultdict(int)
+        writes: Dict[int, List[int]] = defaultdict(list)
+        for processor in range(program.width):
+            values: List[int] = []
+            for spec in step.read_addresses(processor):
+                address = spec(tuple(values)) if callable(spec) else spec
+                if address is None:
+                    values.append(0)
+                    continue
+                read_counts[address] += 1
+                values.append(memory[address])
+            write_addresses = step.write_addresses(processor)
+            if not write_addresses:
+                continue  # inactive processor this step: no compute
+            outputs = step.compute(processor, tuple(values))
+            for address, value in zip(write_addresses, outputs):
+                writes[address].append(value)
+        concurrent_reads = any(count > 1 for count in read_counts.values())
+        concurrent_writes = any(len(vals) > 1 for vals in writes.values())
+        disagreeing = any(
+            len(set(vals)) > 1 for vals in writes.values()
+        )
+        if disagreeing:
+            rank = max(rank, 3)
+        elif concurrent_writes:
+            rank = max(rank, 2)
+        elif concurrent_reads:
+            rank = max(rank, 1)
+        # Apply the step (lowest processor wins on ties; values agree in
+        # every class below ARBITRARY anyway).
+        for address, vals in writes.items():
+            memory[address] = vals[0]
+    return CLASSES[rank]
+
+
+def simulation_is_deterministic(program_class: str) -> bool:
+    """Whether the robust executor reproduces one canonical outcome.
+
+    EREW/CREW/COMMON programs have a unique synchronous semantics; the
+    executor realizes it exactly for any failure pattern.  ARBITRARY
+    programs are executed with *some* winner per conflicted cell (legal
+    for the ARBITRARY model) but the winner may depend on the failure
+    pattern.
+    """
+    return program_class in ("EREW", "CREW", "COMMON")

@@ -1,0 +1,210 @@
+"""The persistent (no-reset) robust executor.
+
+:class:`~repro.simulation.executor.RobustSimulator` builds a fresh
+machine per Write-All phase — a documented substitution for the paper's
+generation-counter technique.  :class:`PersistentSimulator` removes the
+substitution: the *entire* simulated program runs as one machine run,
+with :class:`~repro.core.generational.GenerationalX` executing the
+2-per-step sequence of compute/commit task phases over generation-tagged
+structures.  Consequences:
+
+* failures and restarts span phase boundaries — a processor crashed in
+  step 3's compute phase is still down in step 7 unless the adversary
+  revives it;
+* nothing is ever cleared by the harness: one shared memory, one
+  ledger, one continuous failure pattern;
+* per-phase accounting comes from a passive flag-clock observer that
+  records the tick at which each generation's flag rises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.generational import (
+    GenerationalX,
+    GenXLayout,
+    done_flags_predicate,
+)
+from repro.core.tasks import CycleFactoryTasks
+from repro.faults.base import Adversary
+from repro.faults.compose import UnionAdversary
+from repro.pram.failures import Decision
+from repro.pram.ledger import RunLedger
+from repro.pram.machine import Machine
+from repro.pram.memory import MemoryReader, SharedMemory
+from repro.pram.policies import WritePolicy
+from repro.pram.view import TickView
+from repro.simulation.executor import (
+    _commit_task_factory,
+    _compute_task_factory,
+)
+from repro.simulation.step import SimProgram
+from repro.util.bits import next_power_of_two
+
+
+class _FlagClock(Adversary):
+    """Records the first tick at which each generation flag rises."""
+
+    def __init__(self, layout: GenXLayout) -> None:
+        self._layout = layout
+        self.raised_at: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        self.raised_at = {}
+
+    def decide(self, view: TickView) -> Decision:
+        for generation in range(1, self._layout.generations + 1):
+            if generation in self.raised_at:
+                continue
+            if view.memory.read(self._layout.flag_address(generation)):
+                self.raised_at[generation] = view.time
+        return Decision.none()
+
+
+@dataclass
+class PersistentResult:
+    """Outcome of a persistent robust execution."""
+
+    program: str
+    width: int
+    p: int
+    generations: int
+    ledger: RunLedger
+    memory: List[int] = field(default_factory=list)
+    solved: bool = False
+    phase_ticks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> int:
+        return self.ledger.completed_work
+
+    @property
+    def total_pattern_size(self) -> int:
+        return self.ledger.pattern_size
+
+
+class PersistentSimulator:
+    """Runs a whole simulated program as one generational machine run."""
+
+    def __init__(
+        self,
+        p: int,
+        adversary: Optional[object] = None,
+        policy: Optional[WritePolicy] = None,
+        max_ticks: int = 5_000_000,
+    ) -> None:
+        if p <= 0:
+            raise ValueError(f"simulator needs p > 0, got {p}")
+        self.p = p
+        self.adversary = adversary
+        self.policy = policy
+        self.max_ticks = max_ticks
+
+    def execute(
+        self, program: SimProgram, initial_memory: Optional[List[int]] = None
+    ) -> PersistentResult:
+        program.validate()
+        simulated = list(initial_memory or [])
+        if len(simulated) > program.memory_size:
+            raise ValueError(
+                f"initial memory ({len(simulated)} cells) exceeds the "
+                f"program's memory size {program.memory_size}"
+            )
+        simulated += [0] * (program.memory_size - len(simulated))
+
+        width = program.width
+        n_tasks = next_power_of_two(width)
+        steps = [
+            step for step in program.steps
+            if any(step.write_addresses(i) for i in range(width))
+        ]
+        slot_counts = [
+            max(len(step.write_addresses(i)) for i in range(width))
+            for step in steps
+        ]
+        max_slots = max(slot_counts, default=0)
+        if max_slots == 0:
+            return PersistentResult(
+                program=program.name, width=width, p=self.p,
+                generations=0, ledger=RunLedger(),
+                memory=simulated, solved=True,
+            )
+
+        # Address plan: the generational layout first, then staging and
+        # the simulated memory.  The layout depends only on (n, p, number
+        # of generations), so plan it with placeholder task sets and
+        # build the real phases against the resulting bases.
+        generations = 2 * len(steps)
+        placeholder = GenerationalX(
+            [CycleFactoryTasks(0, lambda element, pid: [])] * generations
+        )
+        staging_base = placeholder.build_layout(n_tasks, self.p).size
+        sim_base = staging_base + width * max_slots
+        total_size = sim_base + len(simulated)
+
+        phase_tasks = []
+        for step, slots in zip(steps, slot_counts):
+            phase_tasks.append(
+                CycleFactoryTasks(
+                    slots,
+                    _compute_task_factory(step, slots, width, staging_base,
+                                          sim_base),
+                )
+            )
+            phase_tasks.append(
+                CycleFactoryTasks(
+                    slots,
+                    _commit_task_factory(step, slots, width, staging_base,
+                                         sim_base),
+                )
+            )
+
+        algorithm = GenerationalX(phase_tasks)
+        layout = algorithm.build_layout(n_tasks, self.p)
+        memory = SharedMemory(total_size)
+        algorithm.initialize_memory(memory, layout)
+        memory.load(simulated, sim_base)
+
+        clock = _FlagClock(layout)
+        members = [clock]
+        if self.adversary is not None:
+            if hasattr(self.adversary, "reset"):
+                self.adversary.reset()
+            members.append(self.adversary)
+        machine = Machine(
+            num_processors=self.p,
+            memory=memory,
+            policy=self.policy,
+            adversary=UnionAdversary(members),
+            context={
+                "layout": layout,
+                "algorithm": algorithm.name,
+                "program": program.name,
+            },
+        )
+        machine.load_program(algorithm.program(layout))
+        ledger = machine.run(
+            until=done_flags_predicate(layout),
+            max_ticks=self.max_ticks,
+            raise_on_limit=False,
+        )
+        reader = MemoryReader(memory)
+        # The run stops the moment the final flag rises, one tick before
+        # the clock would have observed it — backfill from memory.
+        for generation in range(1, layout.generations + 1):
+            if generation not in clock.raised_at and reader.read(
+                layout.flag_address(generation)
+            ):
+                clock.raised_at[generation] = ledger.ticks
+        return PersistentResult(
+            program=program.name,
+            width=width,
+            p=self.p,
+            generations=layout.generations,
+            ledger=ledger,
+            memory=reader.region(sim_base, len(simulated)),
+            solved=ledger.goal_reached,
+            phase_ticks=dict(clock.raised_at),
+        )

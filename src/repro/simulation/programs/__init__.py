@@ -1,0 +1,34 @@
+"""Classic PRAM programs expressed as :class:`SimProgram` step lists.
+
+These are the workloads the simulation benchmarks (Theorem 4.1,
+Corollary 4.12) execute on faulty processors:
+
+* :func:`prefix_sum_program` — log N rounds of pairwise accumulation;
+* :func:`max_find_program` — tournament maximum;
+* :func:`list_ranking_program` — pointer-jumping list ranking;
+* :func:`odd_even_sort_program` — odd-even transposition sort;
+* :func:`matvec_program` — matrix-vector product by accumulation.
+"""
+
+from repro.simulation.programs.bfs import bfs_input, bfs_program
+from repro.simulation.programs.list_ranking import list_ranking_program
+from repro.simulation.programs.matrix import matvec_program
+from repro.simulation.programs.max_find import max_find_program
+from repro.simulation.programs.polynomial import (
+    polynomial_input,
+    polynomial_program,
+)
+from repro.simulation.programs.prefix_sum import prefix_sum_program
+from repro.simulation.programs.sorting import odd_even_sort_program
+
+__all__ = [
+    "bfs_input",
+    "bfs_program",
+    "list_ranking_program",
+    "matvec_program",
+    "max_find_program",
+    "odd_even_sort_program",
+    "polynomial_input",
+    "polynomial_program",
+    "prefix_sum_program",
+]

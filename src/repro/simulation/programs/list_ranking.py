@@ -1,0 +1,72 @@
+"""Pointer-jumping list ranking.
+
+Memory layout: ``next[0..m-1]`` at addresses ``0..m-1`` (the list tail
+points to itself) and ``rank`` at ``m..2m-1`` (initialized by the caller
+to 0 at the tail, 1 elsewhere).  Each of the ``ceil(log m)`` rounds does
+the textbook jump::
+
+    rank[i] += rank[next[i]];  next[i] = next[next[i]]
+
+The reads chain through the pointer (``rank[next[i]]`` is a dependent
+read — legal within one update cycle, and consistent because all reads
+of a simulated step observe the previous step's memory).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.simulation.step import SimProgram, SimStep
+from repro.util.bits import ceil_log2
+
+
+class _JumpStep(SimStep):
+    label = "pointer-jump"
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+
+    def read_addresses(self, processor: int):
+        m = self.m
+        return (
+            processor,                      # next[i]
+            m + processor,                  # rank[i]
+            lambda values: values[0],       # next[next[i]]
+            lambda values: m + values[0],   # rank[next[i]]
+        )
+
+    def write_addresses(self, processor: int):
+        return (processor, self.m + processor)
+
+    def compute(self, processor: int, values):
+        next_i, rank_i, next_next, rank_next = values
+        if next_i == processor:  # tail: already done
+            return (next_i, rank_i)
+        return (next_next, rank_i + rank_next)
+
+
+def list_ranking_program(m: int) -> SimProgram:
+    """Rank every node of an m-node linked list (distance to the tail)."""
+    if m <= 0:
+        raise ValueError(f"list ranking needs m > 0, got {m}")
+    rounds = ceil_log2(m) if m > 1 else 0
+    steps = [_JumpStep(m) for _ in range(rounds)]
+    return SimProgram(
+        width=m, memory_size=2 * m, steps=steps, name=f"list-ranking[{m}]"
+    )
+
+
+def list_ranking_input(successor: List[int]) -> Tuple[List[int], int]:
+    """Build the initial memory for a list given successor pointers.
+
+    ``successor[i]`` is the next node of ``i``; the tail must point to
+    itself.  Returns ``(initial_memory, m)``.
+    """
+    m = len(successor)
+    tails = [i for i in range(m) if successor[i] == i]
+    if len(tails) != 1:
+        raise ValueError(
+            f"list must have exactly one self-looped tail, found {tails}"
+        )
+    ranks = [0 if successor[i] == i else 1 for i in range(m)]
+    return list(successor) + ranks, m

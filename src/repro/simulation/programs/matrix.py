@@ -1,0 +1,46 @@
+"""Matrix-vector product by per-row accumulation.
+
+Memory layout: the m×m matrix ``A`` row-major at ``0..m*m-1``, the
+vector ``x`` at ``m*m..m*m+m-1``, and the output ``y`` at
+``m*m+m..m*m+2m-1``.  Round ``k`` has simulated processor ``i`` fold
+``A[i][k] * x[k]`` into ``y[i]`` — m rounds of m processors, the
+classic work-optimal layout for this cost model (three reads and one
+write per processor per step).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.step import SimProgram, SimStep
+
+
+class _AccumulateStep(SimStep):
+    def __init__(self, m: int, k: int) -> None:
+        self.m = m
+        self.k = k
+        self.label = f"matvec(k={k})"
+
+    def read_addresses(self, processor: int):
+        m, k = self.m, self.k
+        return (
+            m * m + m + processor,   # y[i]
+            processor * m + k,       # A[i][k]
+            m * m + k,               # x[k]
+        )
+
+    def write_addresses(self, processor: int):
+        return (self.m * self.m + self.m + processor,)
+
+    def compute(self, processor: int, values):
+        y, a, x = values
+        return (y + a * x,)
+
+
+def matvec_program(m: int) -> SimProgram:
+    """Compute ``y = A @ x`` for an m×m integer matrix."""
+    if m <= 0:
+        raise ValueError(f"matvec needs m > 0, got {m}")
+    steps = [_AccumulateStep(m, k) for k in range(m)]
+    return SimProgram(
+        width=m, memory_size=m * m + 2 * m, steps=steps,
+        name=f"matvec[{m}]",
+    )

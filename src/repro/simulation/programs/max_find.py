@@ -1,0 +1,61 @@
+"""Tournament maximum: log N halving rounds.
+
+Memory layout: the input ``a[0..m-1]`` at addresses ``0..m-1``; a
+working array at ``m..2m-1``.  A copy step seeds the working array, then
+each round halves it pairwise; the maximum ends at address ``m``.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.step import SimProgram, SimStep
+from repro.util.bits import ceil_log2, is_power_of_two
+
+
+class _CopyStep(SimStep):
+    label = "copy"
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+
+    def read_addresses(self, processor: int):
+        return (processor,)
+
+    def write_addresses(self, processor: int):
+        return (self.m + processor,)
+
+    def compute(self, processor: int, values):
+        return (values[0],)
+
+
+class _HalveStep(SimStep):
+    def __init__(self, m: int, length: int) -> None:
+        self.m = m
+        self.length = length  # working-array length before this round
+        self.label = f"halve({length})"
+
+    def read_addresses(self, processor: int):
+        if processor >= self.length // 2:
+            return ()
+        return (self.m + 2 * processor, self.m + 2 * processor + 1)
+
+    def write_addresses(self, processor: int):
+        if processor >= self.length // 2:
+            return ()
+        return (self.m + processor,)
+
+    def compute(self, processor: int, values):
+        return (max(values[0], values[1]),)
+
+
+def max_find_program(m: int) -> SimProgram:
+    """Maximum of ``a[0..m-1]``; the result lands at address ``m``."""
+    if not is_power_of_two(m):
+        raise ValueError(f"max-find needs power-of-two m, got {m}")
+    steps = [_CopyStep(m)]
+    length = m
+    for _round in range(ceil_log2(m)):
+        steps.append(_HalveStep(m, length))
+        length //= 2
+    return SimProgram(
+        width=m, memory_size=2 * m, steps=steps, name=f"max-find[{m}]"
+    )

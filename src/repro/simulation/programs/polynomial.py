@@ -1,0 +1,114 @@
+"""Parallel polynomial evaluation: p(x) = sum c_i * x^i.
+
+Three phases, all in O(log m) synchronous steps:
+
+1. *powers by doubling* — ``pow[i] = x^i`` computed as
+   ``pow[i] = pow[i - 2^d] * pow[2^d]`` for ``d = 0, 1, ...``;
+2. *pointwise products* — ``term[i] = c_i * pow[i]``;
+3. *tournament sum* — halve the term array until ``term[0] = p(x)``.
+
+Memory layout: ``c[0..m-1]`` | ``pow[0..m-1]`` | ``term[0..m-1]``; the
+caller seeds ``pow[1] = x`` (and ``pow[0] = 1``) via
+:func:`polynomial_input`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.simulation.step import SimProgram, SimStep
+from repro.util.bits import ceil_log2, is_power_of_two
+
+
+class _PowerStep(SimStep):
+    def __init__(self, m: int, shift: int) -> None:
+        self.m = m
+        self.shift = shift
+        self.label = f"powers(shift={shift})"
+
+    def read_addresses(self, processor: int):
+        if processor < self.shift or processor >= self.m:
+            return ()
+        m = self.m
+        return (m + processor - self.shift, m + self.shift)
+
+    def write_addresses(self, processor: int):
+        if processor < self.shift or processor >= self.m:
+            return ()
+        return (self.m + processor,)
+
+    def compute(self, processor: int, values):
+        return (values[0] * values[1],)
+
+
+class _TermStep(SimStep):
+    label = "terms"
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+
+    def read_addresses(self, processor: int):
+        return (processor, self.m + processor)
+
+    def write_addresses(self, processor: int):
+        return (2 * self.m + processor,)
+
+    def compute(self, processor: int, values):
+        coefficient, power = values
+        return (coefficient * power,)
+
+
+class _SumStep(SimStep):
+    def __init__(self, m: int, length: int) -> None:
+        self.m = m
+        self.length = length
+        self.label = f"sum({length})"
+
+    def read_addresses(self, processor: int):
+        if processor >= self.length // 2:
+            return ()
+        base = 2 * self.m
+        return (base + 2 * processor, base + 2 * processor + 1)
+
+    def write_addresses(self, processor: int):
+        if processor >= self.length // 2:
+            return ()
+        return (2 * self.m + processor,)
+
+    def compute(self, processor: int, values):
+        return (values[0] + values[1],)
+
+
+def polynomial_program(m: int) -> SimProgram:
+    """Evaluate a degree-(m-1) polynomial; the value lands at ``2m``."""
+    if not is_power_of_two(m):
+        raise ValueError(f"polynomial evaluation needs power-of-two m, got {m}")
+    steps: List[SimStep] = []
+    for d in range(ceil_log2(m)):
+        steps.append(_PowerStep(m, 1 << d))
+    steps.append(_TermStep(m))
+    length = m
+    for _round in range(ceil_log2(m)):
+        steps.append(_SumStep(m, length))
+        length //= 2
+    return SimProgram(
+        width=m, memory_size=3 * m, steps=steps,
+        name=f"polynomial[{m}]",
+    )
+
+
+def polynomial_input(coefficients: Sequence[int], x: int) -> List[int]:
+    """Initial memory: coefficients, then pow seeded with [1, x, 0, ...]."""
+    m = len(coefficients)
+    powers = [0] * m
+    powers[0] = 1
+    if m > 1:
+        powers[1] = x
+    return list(coefficients) + powers + [0] * m
+
+
+def reference_polynomial(coefficients: Sequence[int], x: int) -> int:
+    value = 0
+    for coefficient in reversed(coefficients):
+        value = value * x + coefficient
+    return value

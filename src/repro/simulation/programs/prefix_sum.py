@@ -1,0 +1,43 @@
+"""Parallel prefix sums (inclusive scan) by recursive doubling.
+
+The classic O(log N)-time N-processor PRAM scan: in round ``d``,
+processor ``i`` (for ``i >= 2^d``) replaces ``a[i]`` with
+``a[i] + a[i - 2^d]``.  In-place is safe because the robust executor
+gives exact synchronous semantics (all reads of a step observe the
+previous step's memory).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.step import SimProgram, SimStep
+from repro.util.bits import ceil_log2
+
+
+class _ScanStep(SimStep):
+    def __init__(self, shift: int) -> None:
+        self.shift = shift
+        self.label = f"scan(shift={shift})"
+
+    def read_addresses(self, processor: int):
+        if processor < self.shift:
+            return ()
+        return (processor, processor - self.shift)
+
+    def write_addresses(self, processor: int):
+        if processor < self.shift:
+            return ()
+        return (processor,)
+
+    def compute(self, processor: int, values):
+        return (values[0] + values[1],)
+
+
+def prefix_sum_program(m: int) -> SimProgram:
+    """Inclusive prefix sums over ``a[0..m-1]`` held at addresses 0..m-1."""
+    if m <= 0:
+        raise ValueError(f"prefix sum needs m > 0, got {m}")
+    rounds = ceil_log2(m) if m > 1 else 0
+    steps = [_ScanStep(1 << d) for d in range(rounds)]
+    return SimProgram(
+        width=m, memory_size=m, steps=steps, name=f"prefix-sum[{m}]"
+    )

@@ -1,0 +1,51 @@
+"""Odd-even transposition sort: m rounds of compare-exchange.
+
+Round ``s`` compares the pairs ``(j, j+1)`` with ``j ≡ s (mod 2)``.
+Each simulated processor owns one pair and writes both cells (the
+sorted order), so every write address is data-independent.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.step import SimProgram, SimStep
+
+
+class _TranspositionStep(SimStep):
+    def __init__(self, m: int, parity: int) -> None:
+        self.m = m
+        self.parity = parity
+        self.label = f"transpose(parity={parity})"
+
+    def _pair(self, processor: int):
+        j = 2 * processor + self.parity
+        if j + 1 >= self.m:
+            return None
+        return j
+
+    def read_addresses(self, processor: int):
+        j = self._pair(processor)
+        if j is None:
+            return ()
+        return (j, j + 1)
+
+    def write_addresses(self, processor: int):
+        j = self._pair(processor)
+        if j is None:
+            return ()
+        return (j, j + 1)
+
+    def compute(self, processor: int, values):
+        low, high = sorted(values)
+        return (low, high)
+
+
+def odd_even_sort_program(m: int) -> SimProgram:
+    """Sort ``a[0..m-1]`` ascending, in place."""
+    if m <= 1:
+        return SimProgram(width=1, memory_size=max(1, m), steps=[],
+                          name=f"odd-even-sort[{m}]")
+    steps = [_TranspositionStep(m, s % 2) for s in range(m)]
+    return SimProgram(
+        width=m // 2, memory_size=m, steps=steps,
+        name=f"odd-even-sort[{m}]",
+    )

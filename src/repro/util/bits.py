@@ -1,0 +1,64 @@
+"""Bit-level and power-of-two arithmetic helpers.
+
+The paper assumes ``N`` is a power of two ("Nonpowers of 2 can be handled
+using conventional padding techniques", Section 4) and algorithm X routes
+processors down its progress tree using individual bits of the PID, most
+significant bit first (appendix, Figure 5).  The helpers here implement
+those conventions once so every algorithm shares identical semantics.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two ``>= value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError(f"next_power_of_two requires a positive value, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` for a positive integer ``value``."""
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def bit_length_of_power(value: int) -> int:
+    """Exact ``log2(value)`` for a power of two; raises otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division for non-negative numerators."""
+    if denominator <= 0:
+        raise ValueError(f"ceil_div requires a positive denominator, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bit_of(value: int, index: int) -> int:
+    """The ``index``-th least significant bit of ``value`` (0 or 1)."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def msb_first_bit(value: int, index: int, width: int) -> int:
+    """Bit ``index`` of ``value`` in an MSB-first, ``width``-bit view.
+
+    The paper's notation ``PID[log(where)]`` reads the PID as a
+    ``log N``-bit binary string whose *most significant* bit is bit number
+    0.  ``msb_first_bit(pid, h, log_n)`` returns that bit for depth ``h``.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not 0 <= index < width:
+        raise ValueError(f"bit index {index} out of range for width {width}")
+    return (value >> (width - 1 - index)) & 1

@@ -1,0 +1,30 @@
+"""Uniform argument validation helpers.
+
+Raising early with a precise message keeps the machine core free of
+scattered ``assert`` statements (which disappear under ``python -O``) and
+gives test code a single error type to match on.
+"""
+
+from __future__ import annotations
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_index(value: int, size: int, name: str) -> int:
+    """Validate ``0 <= value < size`` and return ``value``."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= value < size:
+        raise IndexError(f"{name}={value} out of range [0, {size})")
+    return value

@@ -1,0 +1,39 @@
+"""Seeded randomness helpers.
+
+All stochastic components (random adversaries, the randomized ACC
+algorithm) accept either a seed or a ``random.Random`` instance.  Runs are
+reproducible: the machine never consumes global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RandomLike = Union[int, random.Random, None]
+
+
+def make_rng(seed_or_rng: RandomLike = None) -> random.Random:
+    """Return a ``random.Random`` for ``seed_or_rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh generator seeded from entropy — only appropriate for
+    interactive exploration, never inside tests).
+    """
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def derive_seed(base_seed: int, *components: int) -> int:
+    """Derive a stable sub-seed from a base seed and integer components.
+
+    Used to give every processor / iteration an independent but
+    reproducible random stream.
+    """
+    value = base_seed & 0xFFFFFFFFFFFFFFFF
+    for component in components:
+        value ^= (component + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        value = (value * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+        value ^= value >> 31
+    return value

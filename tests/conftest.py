@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.core import (
+    AccAlgorithm,
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    TrivialAssignment,
+)
+
+
+def fault_tolerant_algorithms():
+    """Fresh instances of every fault-tolerant Write-All algorithm."""
+    return [
+        AlgorithmW(),
+        AlgorithmV(),
+        AlgorithmX(),
+        AlgorithmVX(),
+        SnapshotAlgorithm(),
+        AccAlgorithm(seed=0),
+    ]
+
+
+def all_algorithms():
+    return [TrivialAssignment()] + fault_tolerant_algorithms()
+
+
+def restart_safe_algorithms():
+    """Algorithms that terminate under arbitrary failure/restart patterns."""
+    return [AlgorithmX(), AlgorithmVX(), SnapshotAlgorithm()]
+
+
+@pytest.fixture(params=[a.name for a in all_algorithms()])
+def any_algorithm(request):
+    lookup = {a.name: a for a in all_algorithms()}
+    return lookup[request.param]
+
+
+@pytest.fixture(params=[a.name for a in fault_tolerant_algorithms()])
+def tolerant_algorithm(request):
+    lookup = {a.name: a for a in fault_tolerant_algorithms()}
+    return lookup[request.param]

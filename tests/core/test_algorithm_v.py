@@ -1,0 +1,133 @@
+"""Tests for algorithm V (Section 4.1)."""
+
+import math
+
+import pytest
+
+from repro.core import AlgorithmV, solve_write_all
+from repro.core.algorithm_v import progress_geometry
+from repro.faults import (
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ScheduledAdversary,
+)
+from repro.metrics.bounds import work_upper_lemma42, work_upper_thm43
+
+
+class TestGeometry:
+    def test_leaves_times_chunk_is_n(self):
+        for n in [1, 2, 4, 16, 64, 1024, 4096]:
+            leaves, chunk = progress_geometry(n)
+            assert leaves * chunk == n
+            assert chunk >= 1
+
+    def test_chunk_tracks_log_n(self):
+        leaves, chunk = progress_geometry(1024)
+        assert chunk == 16  # next power of two above log2(1024) = 10
+        assert leaves == 64
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            progress_geometry(10)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(8, 8), (16, 4), (64, 64), (64, 8),
+                                     (128, 3), (4, 16)])
+    def test_shapes(self, n, p):
+        result = solve_write_all(AlgorithmV(), n, p, adversary=NoFailures())
+        assert result.solved
+
+    def test_single_processor(self):
+        result = solve_write_all(AlgorithmV(), 32, 1)
+        assert result.solved
+
+    def test_done_flag_raised_when_run_to_completion(self):
+        from repro.core.base import done_predicate
+
+        # Let the machine run until every processor halts (no until), so
+        # the finalize step sets the done flag and everyone exits.
+        from repro.core import AlgorithmV
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        algorithm = AlgorithmV()
+        layout = algorithm.build_layout(16, 4)
+        memory = SharedMemory(layout.size)
+        machine = Machine(4, memory, context={"layout": layout})
+        machine.load_program(algorithm.program(layout))
+        ledger = machine.run(max_ticks=10_000)
+        assert ledger.halted
+        assert memory.peek(layout.done_addr) == 1
+
+
+class TestFaultTolerance:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crash_only(self, seed):
+        adversary = NoRestartAdversary(RandomAdversary(0.03, seed=seed))
+        result = solve_write_all(
+            AlgorithmV(), 64, 64, adversary=adversary, max_ticks=200_000
+        )
+        assert result.solved
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failures_with_restarts(self, seed):
+        result = solve_write_all(
+            AlgorithmV(), 64, 64,
+            adversary=RandomAdversary(0.08, 0.3, seed=seed),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_kickstart_after_mass_extinction(self):
+        """Kill everyone mid-iteration; revive two waiters; they must
+        detect the dead counter and start a fresh iteration alone."""
+        schedule = {7: (list(range(8)), []), 9: ([], [2, 5])}
+        result = solve_write_all(
+            AlgorithmV(), 16, 8, adversary=ScheduledAdversary(schedule),
+            max_ticks=50_000,
+        )
+        assert result.solved
+
+    def test_waiters_rejoin_at_iteration_boundary(self):
+        # Fail half the processors early and revive them shortly after;
+        # they must wait out the iteration, then participate.
+        schedule = {3: ([0, 1, 2, 3], []), 5: ([], [0, 1, 2, 3])}
+        result = solve_write_all(
+            AlgorithmV(), 64, 8, adversary=ScheduledAdversary(schedule),
+            max_ticks=50_000,
+        )
+        assert result.solved
+
+
+class TestWorkBounds:
+    def test_lemma_4_2_shape_without_restarts(self):
+        """S = O(N + P log^2 N) under crash-only failures."""
+        for n in [64, 256]:
+            adversary = NoRestartAdversary(RandomAdversary(0.01, seed=1))
+            result = solve_write_all(
+                AlgorithmV(), n, n, adversary=adversary, max_ticks=500_000
+            )
+            assert result.solved
+            assert result.completed_work <= 12 * work_upper_lemma42(n, n)
+
+    def test_theorem_4_3_shape_with_restarts(self):
+        """S = O(N + P log^2 N + M log N)."""
+        n = 128
+        result = solve_write_all(
+            AlgorithmV(), n, n,
+            adversary=RandomAdversary(0.05, 0.3, seed=3),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        m = result.pattern_size
+        assert result.completed_work <= 12 * work_upper_thm43(n, n, m)
+
+    def test_failure_free_work_near_optimal_with_slack(self):
+        """Corollary 4.12's regime: P <= N / log^2 N gives S = O(N)."""
+        n = 1024
+        p = max(1, n // int(math.log2(n) ** 2))
+        result = solve_write_all(AlgorithmV(), n, p)
+        assert result.solved
+        assert result.completed_work <= 16 * n

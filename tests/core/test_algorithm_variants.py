@@ -1,0 +1,111 @@
+"""Tests for the parameterized algorithm variants (ablation knobs)."""
+
+import pytest
+
+from repro.core import AlgorithmV, AlgorithmX, solve_write_all
+from repro.faults import BurstAdversary, RandomAdversary
+
+
+class TestXRouting:
+    @pytest.mark.parametrize("routing", ["pid", "left", "right", "random"])
+    def test_all_rules_are_correct(self, routing):
+        result = solve_write_all(
+            AlgorithmX(routing=routing), 32, 32,
+            adversary=RandomAdversary(0.1, 0.3, seed=2),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            AlgorithmX(routing="zigzag")
+
+    def test_names_distinguish_variants(self):
+        assert AlgorithmX().name == "X"
+        assert AlgorithmX(routing="left").name == "X[left]"
+
+    def test_herding_pays_under_convergent_churn(self):
+        adversary = BurstAdversary(period=2, fraction=0.9, downtime=1)
+        pid_routed = solve_write_all(
+            AlgorithmX(), 64, 64, adversary=adversary, max_ticks=2_000_000
+        )
+        herded = solve_write_all(
+            AlgorithmX(routing="left"), 64, 64, adversary=adversary,
+            max_ticks=2_000_000,
+        )
+        assert pid_routed.solved and herded.solved
+        assert pid_routed.completed_work <= herded.completed_work
+
+    def test_random_routing_is_deterministic_per_build(self):
+        """The 'random' rule is a stateless hash, so runs reproduce."""
+        runs = [
+            solve_write_all(
+                AlgorithmX(routing="random"), 32, 32,
+                adversary=BurstAdversary(period=2, fraction=0.8, downtime=1),
+                max_ticks=500_000,
+            ).completed_work
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestXSpread:
+    """Remark 5(i): even spacing of P < N processors across the leaves."""
+
+    def test_spread_is_correct(self):
+        from repro.faults import RandomAdversary
+
+        result = solve_write_all(
+            AlgorithmX(spread=True), 64, 8,
+            adversary=RandomAdversary(0.1, 0.3, seed=4),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_spread_helps_failure_free_with_slack(self):
+        """Spacing avoids the packed layout's pile-up in the left
+        subtree: spread is at least as fast failure-free."""
+        packed = solve_write_all(AlgorithmX(), 64, 4)
+        spread = solve_write_all(AlgorithmX(spread=True), 64, 4)
+        assert packed.solved and spread.solved
+        assert spread.parallel_time <= packed.parallel_time
+
+    def test_spread_irrelevant_at_p_equals_n(self):
+        packed = solve_write_all(AlgorithmX(), 32, 32)
+        spread = solve_write_all(AlgorithmX(spread=True), 32, 32)
+        assert packed.completed_work == spread.completed_work
+
+    def test_name_tagging(self):
+        assert AlgorithmX(spread=True).name == "X[spread]"
+        assert AlgorithmX(routing="left", spread=True).name == "X[left,spread]"
+
+
+class TestVChunk:
+    @pytest.mark.parametrize("chunk", [1, 2, 8, 32])
+    def test_chunks_are_correct(self, chunk):
+        result = solve_write_all(
+            AlgorithmV(chunk=chunk), 32, 8,
+            adversary=RandomAdversary(0.05, 0.3, seed=3),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_single_leaf_chunk(self):
+        result = solve_write_all(AlgorithmV(chunk=32), 32, 4)
+        assert result.solved
+        assert result.layout.leaves == 1
+
+    def test_invalid_chunks_rejected(self):
+        with pytest.raises(ValueError, match="chunk"):
+            AlgorithmV(chunk=3).build_layout(32, 4)
+        with pytest.raises(ValueError, match="chunk"):
+            AlgorithmV(chunk=64).build_layout(32, 4)
+
+    def test_name_reflects_override(self):
+        assert AlgorithmV().name == "V"
+        assert AlgorithmV(chunk=4).name == "V[chunk=4]"
+
+    def test_default_geometry_unchanged(self):
+        layout = AlgorithmV().build_layout(256, 64)
+        assert layout.chunk == 8  # next power of two >= log2(256)
+        assert layout.leaves == 32

@@ -1,0 +1,74 @@
+"""Tests for the V/W iteration engine internals."""
+
+import pytest
+
+from repro.core.algorithm_v import AlgorithmV
+from repro.core.algorithm_w import AlgorithmW
+from repro.core.iterative import (
+    DEAD_POLLS,
+    IterativeLayout,
+    _wrap_with_step,
+    iteration_length,
+)
+from repro.core.tasks import CycleFactoryTasks, TrivialTasks
+from repro.pram.cycles import Cycle, Write
+from repro.pram.errors import ProgramError
+
+
+class TestIterationLength:
+    def test_v_formula(self):
+        layout = AlgorithmV().build_layout(64, 8)
+        # leaves=8 (chunk 8): (1+3) + 8*1 + (1+3) + 1 = 17
+        assert iteration_length(layout, TrivialTasks()) == 17
+
+    def test_w_adds_enumeration(self):
+        v_layout = AlgorithmV().build_layout(64, 8)
+        w_layout = AlgorithmW().build_layout(64, 8)
+        v_lam = iteration_length(v_layout, TrivialTasks())
+        w_lam = iteration_length(w_layout, TrivialTasks())
+        # Enumeration phase: 1 + log2(8) = 4 extra cycles.
+        assert w_lam == v_lam + 4
+
+    def test_tasks_extend_work_phase(self):
+        layout = AlgorithmV().build_layout(64, 8)
+        tasks = CycleFactoryTasks(2, lambda element, pid: [Cycle(), Cycle()])
+        base = iteration_length(layout, TrivialTasks())
+        extended = iteration_length(layout, tasks)
+        assert extended == base + layout.chunk * 2
+
+    def test_minimum_length_covers_waiter_math(self):
+        layout = AlgorithmV().build_layout(1, 1)
+        assert iteration_length(layout, TrivialTasks()) >= 4
+
+
+class TestWrapWithStep:
+    def test_appends_step_write(self):
+        cycle = Cycle(reads=(3,), writes=(Write(0, 1),), label="task")
+        wrapped = _wrap_with_step(cycle, Write(9, 77))
+        writes = wrapped.materialize_writes((0,))
+        assert writes == (Write(0, 1), Write(9, 77))
+        assert wrapped.reads == (3,)
+
+    def test_rejects_two_write_tasks(self):
+        cycle = Cycle(writes=(Write(0, 1), Write(1, 1)))
+        wrapped = _wrap_with_step(cycle, Write(9, 0))
+        with pytest.raises(ProgramError, match="at most one"):
+            wrapped.materialize_writes(())
+
+    def test_zero_write_task_ok(self):
+        wrapped = _wrap_with_step(Cycle(), Write(9, 5))
+        assert wrapped.materialize_writes(()) == (Write(9, 5),)
+
+
+class TestLayoutProperties:
+    def test_counting_tree_guard(self):
+        layout = IterativeLayout(
+            n=8, p=2, x_base=0, size=32, d_base=8, leaves=2, chunk=4,
+            step_addr=20, done_addr=21,
+        )
+        assert not layout.has_counting_tree
+        with pytest.raises(ValueError, match="no counting tree"):
+            _ = layout.counting_tree
+
+    def test_dead_polls_constant_sane(self):
+        assert DEAD_POLLS >= 2

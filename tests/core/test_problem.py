@@ -1,0 +1,55 @@
+"""Unit tests for the Write-All problem definition and verification."""
+
+import pytest
+
+from repro.core.problem import (
+    WriteAllInstance,
+    padded_size,
+    unvisited_count,
+    verify_solution,
+)
+from repro.pram.memory import MemoryReader, SharedMemory
+
+
+class TestInstance:
+    def test_valid(self):
+        instance = WriteAllInstance(16, 4)
+        assert instance.n == 16
+        assert instance.p == 4
+
+    def test_rejects_non_power_n(self):
+        with pytest.raises(ValueError, match="pad to 8"):
+            WriteAllInstance(6, 4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            WriteAllInstance(0, 4)
+        with pytest.raises(ValueError):
+            WriteAllInstance(8, 0)
+
+    def test_p_may_exceed_n(self):
+        assert WriteAllInstance(4, 16).p == 16
+
+
+class TestPaddedSize:
+    def test_rounding(self):
+        assert padded_size(5) == 8
+        assert padded_size(8) == 8
+        assert padded_size(1) == 1
+
+
+class TestVerification:
+    def test_solved_array(self):
+        memory = SharedMemory(6, initial=[0, 1, 1, 1, 1, 0])
+        reader = MemoryReader(memory)
+        assert verify_solution(reader, x_base=1, n=4)
+        assert not verify_solution(reader, x_base=0, n=4)
+
+    def test_values_other_than_one_fail(self):
+        memory = SharedMemory(2, initial=[1, 2])
+        assert not verify_solution(MemoryReader(memory), 0, 2)
+
+    def test_unvisited_count(self):
+        memory = SharedMemory(4, initial=[1, 0, 1, 0])
+        assert unvisited_count(MemoryReader(memory), 0, 4) == 2
+        assert unvisited_count(MemoryReader(memory), 0, 1) == 0

@@ -1,0 +1,84 @@
+"""Tests for the Write-All runner harness."""
+
+import pytest
+
+from repro.core import AlgorithmX, default_tick_budget, solve_write_all
+from repro.faults import NoFailures, RandomAdversary
+from repro.pram.policies import PriorityCrcw
+
+
+class TestRunner:
+    def test_result_fields(self):
+        result = solve_write_all(AlgorithmX(), 16, 8, adversary=NoFailures())
+        assert result.algorithm == "X"
+        assert result.n == 16
+        assert result.p == 8
+        assert result.solved
+        assert result.completed_work > 0
+        assert result.overhead_ratio == result.completed_work / 16
+        assert "X(N=16, P=8)" in result.summary()
+
+    def test_validates_instance(self):
+        with pytest.raises(ValueError):
+            solve_write_all(AlgorithmX(), 12, 4)
+
+    def test_layout_in_adversary_context(self):
+        seen = {}
+
+        class Spy(NoFailures):
+            def decide(self, view):
+                seen["layout"] = view.context.get("layout")
+                seen["algorithm"] = view.context.get("algorithm")
+                return super().decide(view)
+
+        solve_write_all(AlgorithmX(), 8, 8, adversary=Spy())
+        assert seen["layout"].n == 8
+        assert seen["algorithm"] == "X"
+
+    def test_adversary_reset_called(self):
+        calls = []
+
+        class Tracking(NoFailures):
+            def reset(self):
+                calls.append(True)
+
+        solve_write_all(AlgorithmX(), 8, 8, adversary=Tracking())
+        assert calls == [True]
+
+    def test_tick_limit_reported_not_raised_by_default(self):
+        # An unsolvable setup: zero-progress adversary is impossible with
+        # enforcement, so use a tiny tick budget instead.
+        result = solve_write_all(
+            AlgorithmX(), 64, 1, max_ticks=3,
+        )
+        assert not result.solved
+        assert result.ledger.tick_limited
+
+    def test_raise_on_limit(self):
+        from repro.pram.errors import TickLimitError
+
+        with pytest.raises(TickLimitError):
+            solve_write_all(AlgorithmX(), 64, 1, max_ticks=3,
+                            raise_on_limit=True)
+
+    def test_custom_policy_accepted(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, policy=PriorityCrcw()
+        )
+        assert result.solved
+
+    def test_charged_work_dominates_completed(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32,
+            adversary=RandomAdversary(0.2, 0.4, seed=1),
+            max_ticks=200_000,
+        )
+        assert result.charged_work >= result.completed_work
+
+
+class TestDefaultTickBudget:
+    def test_scales_with_n(self):
+        assert default_tick_budget(1024, 1024) > default_tick_budget(64, 64)
+
+    def test_scales_with_sequentiality(self):
+        assert default_tick_budget(1024, 1) > default_tick_budget(1024, 1024)

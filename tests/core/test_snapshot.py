@@ -1,0 +1,69 @@
+"""Tests for the Theorem 3.2 snapshot algorithm."""
+
+import math
+
+import pytest
+
+from repro.core import SnapshotAlgorithm, solve_write_all
+from repro.core.tasks import CycleFactoryTasks
+from repro.faults import HalvingAdversary, NoFailures, RandomAdversary
+from repro.pram.cycles import Cycle
+
+
+class TestBasics:
+    def test_failure_free_single_pass(self):
+        result = solve_write_all(SnapshotAlgorithm(), 32, 32,
+                                 adversary=NoFailures())
+        assert result.solved
+        # One assignment tick plus one completion-observation tick.
+        assert result.parallel_time <= 2
+
+    def test_fewer_processors_than_elements(self):
+        result = solve_write_all(SnapshotAlgorithm(), 32, 4)
+        assert result.solved
+        # Balanced assignment: ceil(N/P) assignment rounds.
+        assert result.parallel_time <= 32 // 4 + 2
+
+    def test_requires_snapshot_machine(self):
+        assert SnapshotAlgorithm.requires_snapshot
+
+    def test_rejects_non_trivial_tasks(self):
+        algorithm = SnapshotAlgorithm()
+        layout = algorithm.build_layout(8, 8)
+        tasks = CycleFactoryTasks(1, lambda element, pid: [Cycle()])
+        with pytest.raises(ValueError, match="trivial"):
+            algorithm.program(layout, tasks)
+
+
+class TestLoadBalancing:
+    def test_distinct_assignments_when_p_equals_n(self):
+        """floor(pid * U / P) is injective across pids when U = P."""
+        n = 16
+        result = solve_write_all(SnapshotAlgorithm(), n, n)
+        # All elements written in the first assignment tick.
+        assert result.parallel_time <= 2
+        assert result.completed_work <= 2 * n
+
+
+class TestUnderAdversaries:
+    def test_matches_n_log_n_under_halving(self):
+        """Theorem 3.2: Theta(N log N) against the optimal adversary."""
+        works = []
+        sizes = [16, 32, 64, 128]
+        for n in sizes:
+            result = solve_write_all(
+                SnapshotAlgorithm(), n, n, adversary=HalvingAdversary(),
+                max_ticks=100_000,
+            )
+            assert result.solved
+            works.append(result.completed_work)
+            assert result.completed_work >= (n / 2) * math.log2(n)
+            assert result.completed_work <= 8 * n * math.log2(n)
+
+    def test_random_failures(self):
+        result = solve_write_all(
+            SnapshotAlgorithm(), 64, 64,
+            adversary=RandomAdversary(0.2, 0.4, seed=3),
+            max_ticks=100_000,
+        )
+        assert result.solved

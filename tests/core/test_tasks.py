@@ -1,0 +1,36 @@
+"""Unit tests for the generalized task sets."""
+
+import pytest
+
+from repro.core.tasks import CycleFactoryTasks, TrivialTasks
+from repro.pram.cycles import Cycle, Write
+
+
+class TestTrivialTasks:
+    def test_zero_cycles(self):
+        tasks = TrivialTasks()
+        assert tasks.cycles_per_task == 0
+        assert tasks.task_cycles(3, 0) == []
+
+
+class TestCycleFactoryTasks:
+    def test_produces_declared_cycles(self):
+        tasks = CycleFactoryTasks(
+            2,
+            lambda element, pid: [
+                Cycle(label=f"a{element}"),
+                Cycle(writes=(Write(element, pid),)),
+            ],
+        )
+        cycles = tasks.task_cycles(5, 1)
+        assert len(cycles) == 2
+        assert cycles[0].label == "a5"
+
+    def test_count_mismatch_rejected(self):
+        tasks = CycleFactoryTasks(2, lambda element, pid: [Cycle()])
+        with pytest.raises(ValueError, match="produced 1"):
+            tasks.task_cycles(0, 0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CycleFactoryTasks(-1, lambda element, pid: [])

@@ -1,0 +1,98 @@
+"""Unit tests for the heap-coded binary tree arithmetic."""
+
+import pytest
+
+from repro.core.trees import HeapTree
+
+
+class TestGeometry:
+    def test_size_and_height(self):
+        tree = HeapTree(base=10, leaves=8)
+        assert tree.size == 15
+        assert tree.height == 3
+        assert tree.root == 1
+
+    def test_single_leaf(self):
+        tree = HeapTree(base=0, leaves=1)
+        assert tree.size == 1
+        assert tree.height == 0
+        assert tree.is_leaf(1)
+        assert tree.leaf_node(0) == 1
+
+    def test_rejects_non_power_leaves(self):
+        with pytest.raises(ValueError):
+            HeapTree(base=0, leaves=6)
+
+
+class TestAddressing:
+    def test_address_offsets(self):
+        tree = HeapTree(base=100, leaves=4)
+        assert tree.address(1) == 100
+        assert tree.address(7) == 106
+
+    def test_address_bounds(self):
+        tree = HeapTree(base=0, leaves=4)
+        with pytest.raises(ValueError):
+            tree.address(0)
+        with pytest.raises(ValueError):
+            tree.address(8)
+
+
+class TestNavigation:
+    def test_children_and_parent(self):
+        tree = HeapTree(base=0, leaves=8)
+        assert tree.left(3) == 6
+        assert tree.right(3) == 7
+        assert tree.parent(6) == 3
+        assert tree.parent(7) == 3
+
+    def test_parent_of_root(self):
+        tree = HeapTree(base=0, leaves=4)
+        assert tree.parent(1) == 0  # exits the tree
+
+    def test_leaf_mapping_roundtrip(self):
+        tree = HeapTree(base=0, leaves=8)
+        for element in range(8):
+            node = tree.leaf_node(element)
+            assert tree.is_leaf(node)
+            assert tree.element_of(node) == element
+
+    def test_leaf_bounds(self):
+        tree = HeapTree(base=0, leaves=4)
+        with pytest.raises(ValueError):
+            tree.leaf_node(4)
+        with pytest.raises(ValueError):
+            tree.element_of(2)  # interior node
+
+    def test_interior_nodes_are_not_leaves(self):
+        tree = HeapTree(base=0, leaves=8)
+        for node in range(1, 8):
+            assert not tree.is_leaf(node)
+        for node in range(8, 16):
+            assert tree.is_leaf(node)
+
+
+class TestDepthAndCounts:
+    def test_depth(self):
+        tree = HeapTree(base=0, leaves=8)
+        assert tree.depth(1) == 0
+        assert tree.depth(2) == 1
+        assert tree.depth(3) == 1
+        assert tree.depth(8) == 3
+        assert tree.depth(15) == 3
+
+    def test_leaves_under(self):
+        tree = HeapTree(base=0, leaves=8)
+        assert tree.leaves_under(1) == 8
+        assert tree.leaves_under(2) == 4
+        assert tree.leaves_under(4) == 2
+        assert tree.leaves_under(8) == 1
+
+    def test_children_partition_leaves(self):
+        tree = HeapTree(base=0, leaves=16)
+        for node in range(1, 16):
+            assert (
+                tree.leaves_under(node)
+                == tree.leaves_under(tree.left(node))
+                + tree.leaves_under(tree.right(node))
+            )

@@ -1,0 +1,59 @@
+"""Tests for the trivial (non-fault-tolerant) baseline."""
+
+from repro.core import TrivialAssignment, solve_write_all
+from repro.faults import NoFailures, SinglePidKiller
+
+
+class TestFailureFree:
+    def test_optimal_work(self):
+        result = solve_write_all(TrivialAssignment(), 64, 64,
+                                 adversary=NoFailures())
+        assert result.solved
+        assert result.completed_work == 64
+        assert result.parallel_time == 1
+
+    def test_p_less_than_n(self):
+        result = solve_write_all(TrivialAssignment(), 64, 8)
+        assert result.solved
+        assert result.completed_work == 64
+        assert result.parallel_time == 8
+
+    def test_p_greater_than_n(self):
+        result = solve_write_all(TrivialAssignment(), 8, 32)
+        assert result.solved
+
+
+class TestNotFaultTolerant:
+    def test_one_crash_loses_elements(self):
+        """The motivating failure: kill one processor and (absent the
+        model's forced restart) its share of the array stays unwritten."""
+        result = solve_write_all(
+            TrivialAssignment(), 64, 8,
+            adversary=SinglePidKiller(3, at_tick=2),
+            max_ticks=1_000,
+            enforce_progress=False,
+        )
+        assert not result.solved
+        # Exactly pid 3's remaining elements are missing.
+        missing = [
+            index for index in range(64)
+            if result.memory.peek(index) == 0
+        ]
+        assert missing
+        assert all(index % 8 == 3 for index in missing)
+
+    def test_forced_restart_lets_trivial_limp_to_completion(self):
+        """With the model's progress condition enforced, the machine must
+        revive the lone victim once everyone else halts — trivial then
+        redoes its whole share from scratch."""
+        clean = solve_write_all(TrivialAssignment(), 64, 8)
+        result = solve_write_all(
+            TrivialAssignment(), 64, 8,
+            adversary=SinglePidKiller(3, at_tick=2),
+            max_ticks=1_000,
+        )
+        assert result.solved
+        assert result.parallel_time > clean.parallel_time
+
+    def test_flagged_as_such(self):
+        assert not TrivialAssignment.fault_tolerant

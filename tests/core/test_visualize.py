@@ -1,0 +1,59 @@
+"""Tests for the ASCII state renderers."""
+
+from repro.core import AlgorithmV, AlgorithmX
+from repro.core.visualize import render_progress_counts, render_x_state
+from repro.pram.machine import Machine
+from repro.pram.memory import MemoryReader, SharedMemory
+
+
+def run_to_halt(algorithm, n, p, max_ticks=10_000):
+    layout = algorithm.build_layout(n, p)
+    memory = SharedMemory(layout.size)
+    machine = Machine(p, memory, context={"layout": layout})
+    machine.load_program(algorithm.program(layout))
+    machine.run(max_ticks=max_ticks)
+    return MemoryReader(memory), layout
+
+
+class TestRenderXState:
+    def test_initial_state(self):
+        algorithm = AlgorithmX()
+        layout = algorithm.build_layout(8, 4)
+        reader = MemoryReader(SharedMemory(layout.size))
+        text = render_x_state(reader, layout)
+        assert "x: 00000000" in text
+        assert "0@start" in text
+
+    def test_finished_state(self):
+        reader, layout = run_to_halt(AlgorithmX(), 8, 8)
+        text = render_x_state(reader, layout)
+        assert "x: 11111111" in text
+        assert "@exit" in text
+        # Every tree level rendered as done marks.
+        lines = text.splitlines()
+        assert lines[0].strip() == "#"            # root
+        assert set(lines[3].strip()) == {"#", " "}  # leaf row (spaced)
+        assert lines[3].count("#") == 8
+
+    def test_levels_match_tree_height(self):
+        reader, layout = run_to_halt(AlgorithmX(), 16, 4)
+        text = render_x_state(reader, layout)
+        # 5 tree levels (leaves=16) + x row + w row.
+        assert len(text.splitlines()) == 5 + 2
+
+
+class TestRenderProgressCounts:
+    def test_finished_counts(self):
+        reader, layout = run_to_halt(AlgorithmV(), 16, 4)
+        text = render_progress_counts(reader, layout)
+        leaves = layout.leaves
+        assert f"{leaves}/{leaves}" in text  # full root
+        assert "done=1" in text
+
+    def test_initial_counts(self):
+        algorithm = AlgorithmV()
+        layout = algorithm.build_layout(16, 4)
+        reader = MemoryReader(SharedMemory(layout.size))
+        text = render_progress_counts(reader, layout)
+        assert f"0/{layout.leaves}" in text
+        assert "done=0" in text

@@ -1,0 +1,83 @@
+"""Every paper adversary is legal: it never needs the machine's veto.
+
+The machine can be run in *strict* progress mode, where a decision that
+interrupts every pending cycle raises instead of being patched.  The
+paper's adversaries are designed to satisfy condition 2.(i) themselves
+(spare-one rules, read-only waiter cover); these tests run them strictly
+and assert zero vetoes.
+"""
+
+import pytest
+
+from repro.core import (
+    AccAlgorithm,
+    AlgorithmV,
+    AlgorithmX,
+    SnapshotAlgorithm,
+)
+from repro.core.base import done_predicate
+from repro.core.problem import verify_solution
+from repro.faults import (
+    AccStalker,
+    HalvingAdversary,
+    IterationStarver,
+    StalkingAdversaryX,
+    ThrashingAdversary,
+)
+from repro.pram.machine import Machine
+from repro.pram.memory import MemoryReader, SharedMemory
+
+
+def strict_run(algorithm, n, p, adversary, max_ticks=200_000):
+    layout = algorithm.build_layout(n, p)
+    memory = SharedMemory(layout.size)
+    algorithm.initialize_memory(memory, layout)
+    machine = Machine(
+        p, memory, adversary=adversary,
+        allow_snapshot=algorithm.requires_snapshot,
+        enforce_progress=False, strict_progress=True,
+        context={"layout": layout, "algorithm": algorithm.name},
+    )
+    machine.load_program(algorithm.program(layout))
+    ledger = machine.run(
+        until=done_predicate(layout), max_ticks=max_ticks,
+        raise_on_limit=False,
+    )
+    solved = verify_solution(MemoryReader(memory), layout.x_base, n)
+    return ledger, solved
+
+
+class TestStrictLegality:
+    def test_thrashing_is_legal(self):
+        ledger, solved = strict_run(
+            AlgorithmX(), 32, 32, ThrashingAdversary()
+        )
+        assert solved
+        assert ledger.progress_vetoes == 0
+
+    def test_halving_is_legal(self):
+        ledger, solved = strict_run(
+            SnapshotAlgorithm(), 32, 32, HalvingAdversary()
+        )
+        assert solved
+        assert ledger.progress_vetoes == 0
+
+    def test_stalker_is_legal(self):
+        ledger, solved = strict_run(
+            AlgorithmX(), 32, 32, StalkingAdversaryX(), max_ticks=2_000_000
+        )
+        assert solved
+        assert ledger.progress_vetoes == 0
+
+    def test_starver_is_legal_against_v(self):
+        ledger, solved = strict_run(
+            AlgorithmV(), 16, 16, IterationStarver(), max_ticks=3_000
+        )
+        assert not solved  # starved, but without ever breaking the model
+        assert ledger.progress_vetoes == 0
+
+    def test_acc_stalker_is_legal(self):
+        ledger, solved = strict_run(
+            AccAlgorithm(seed=2), 16, 16, AccStalker(), max_ticks=3_000
+        )
+        assert ledger.progress_vetoes == 0

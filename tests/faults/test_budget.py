@@ -1,0 +1,67 @@
+"""Tests for the budget and no-restart adversary wrappers."""
+
+import pytest
+
+from repro.core import AlgorithmV, AlgorithmX, solve_write_all
+from repro.faults import (
+    FailureBudgetAdversary,
+    NoRestartAdversary,
+    RandomAdversary,
+    ThrashingAdversary,
+)
+
+
+class TestFailureBudget:
+    def test_pattern_respects_budget(self):
+        for budget in [0, 5, 40]:
+            adversary = FailureBudgetAdversary(
+                RandomAdversary(0.3, 0.5, seed=2), budget
+            )
+            result = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+            assert result.solved
+            assert result.pattern_size <= budget
+
+    def test_spent_tracks_pattern(self):
+        adversary = FailureBudgetAdversary(RandomAdversary(0.3, 0.5, seed=2), 10)
+        result = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        assert adversary.spent == result.pattern_size
+
+    def test_reset_restores_budget(self):
+        adversary = FailureBudgetAdversary(RandomAdversary(0.5, 0.5, seed=1), 6)
+        solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        # solve_write_all resets before running, so a second run can spend
+        # the budget again.
+        result = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        assert result.pattern_size <= 6
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            FailureBudgetAdversary(RandomAdversary(0.1), -1)
+
+    def test_unbudgeted_thrashing_is_tamed(self):
+        """Thrashing produces a huge |F|; the budget caps it exactly."""
+        adversary = FailureBudgetAdversary(ThrashingAdversary(), 50)
+        result = solve_write_all(AlgorithmX(), 64, 64, adversary=adversary)
+        assert result.solved
+        assert result.pattern_size <= 50
+
+
+class TestNoRestart:
+    def test_suppresses_restarts(self):
+        adversary = NoRestartAdversary(RandomAdversary(0.1, 0.9, seed=4))
+        result = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        assert result.solved
+        assert result.ledger.pattern.restart_count == 0
+
+    def test_never_fails_the_last_processor(self):
+        adversary = NoRestartAdversary(ThrashingAdversary())
+        result = solve_write_all(AlgorithmX(), 16, 16, adversary=adversary)
+        assert result.solved
+        # P-1 failures at most: the survivor finishes sequentially.
+        assert result.ledger.pattern.failure_count <= 15
+
+    def test_fail_stop_v_terminates(self):
+        """The [KS 89] model: V must terminate without restarts."""
+        adversary = NoRestartAdversary(RandomAdversary(0.05, seed=9))
+        result = solve_write_all(AlgorithmV(), 64, 64, adversary=adversary)
+        assert result.solved

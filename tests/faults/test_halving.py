@@ -1,0 +1,72 @@
+"""Tests for Theorem 3.1's pigeonhole-halving adversary."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AlgorithmX,
+    SnapshotAlgorithm,
+    solve_write_all,
+)
+from repro.faults import HalvingAdversary
+from repro.pram.machine import Machine
+from repro.pram.memory import SharedMemory
+
+
+class TestHalving:
+    def test_forces_n_log_n_on_snapshot(self):
+        """Against the Theorem 3.2 algorithm the bound is tight."""
+        for n in [16, 32, 64]:
+            result = solve_write_all(
+                SnapshotAlgorithm(), n, n, adversary=HalvingAdversary(),
+                max_ticks=100_000,
+            )
+            assert result.solved
+            log_n = math.log2(n)
+            # Lower bound: at least (N/2) * log N completed cycles.
+            assert result.completed_work >= (n / 2) * log_n
+            # And the snapshot algorithm stays within O(N log N).
+            assert result.completed_work <= 8 * n * log_n
+
+    def test_forces_super_linear_on_x(self):
+        n = 64
+        result = solve_write_all(
+            AlgorithmX(), n, n, adversary=HalvingAdversary(),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        assert result.completed_work >= (n / 2) * math.log2(n)
+
+    def test_revives_everyone(self):
+        result = solve_write_all(
+            SnapshotAlgorithm(), 16, 16, adversary=HalvingAdversary(),
+            max_ticks=10_000,
+        )
+        pattern = result.ledger.pattern
+        assert pattern.restart_count > 0
+        # Failures and restarts roughly balance (everyone gets revived).
+        assert pattern.restart_count >= pattern.failure_count - 16
+
+    def test_requires_layout(self):
+        adversary = HalvingAdversary()
+        machine = Machine(1, SharedMemory(1), adversary=adversary)
+        machine.load_program(lambda pid: iter(()))
+        # No layout in context: the first tick with pending work raises.
+        from repro.pram.cycles import Cycle
+
+        def program(pid):
+            yield Cycle()
+
+        machine = Machine(1, SharedMemory(1), adversary=adversary)
+        machine.load_program(program)
+        with pytest.raises(ValueError, match="layout"):
+            machine.step()
+
+    def test_stands_down_at_endgame(self):
+        """With <= 1 unvisited element the adversary lets it finish."""
+        result = solve_write_all(
+            SnapshotAlgorithm(), 2, 2, adversary=HalvingAdversary(),
+            max_ticks=1000,
+        )
+        assert result.solved

@@ -1,0 +1,94 @@
+"""Tests for the stochastic adversaries."""
+
+import pytest
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import BurstAdversary, RandomAdversary
+
+
+class TestRandomAdversary:
+    def test_reproducible_given_seed(self):
+        results = [
+            solve_write_all(
+                AlgorithmX(), 32, 32,
+                adversary=RandomAdversary(0.1, 0.3, seed=5),
+            )
+            for _ in range(2)
+        ]
+        assert results[0].completed_work == results[1].completed_work
+        assert results[0].pattern_size == results[1].pattern_size
+
+    def test_reset_restores_stream(self):
+        adversary = RandomAdversary(0.1, 0.3, seed=5)
+        first = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        second = solve_write_all(AlgorithmX(), 32, 32, adversary=adversary)
+        # solve_write_all resets the adversary, so runs are identical.
+        assert first.completed_work == second.completed_work
+
+    def test_different_seeds_differ(self):
+        a = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=RandomAdversary(0.2, 0.3, seed=1)
+        )
+        b = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=RandomAdversary(0.2, 0.3, seed=2)
+        )
+        assert (a.completed_work, a.pattern_size) != (
+            b.completed_work, b.pattern_size
+        )
+
+    def test_zero_probability_is_failure_free(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, adversary=RandomAdversary(0.0, 0.0, seed=1)
+        )
+        assert result.pattern_size == 0
+
+    def test_crash_only_mode(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32,
+            adversary=RandomAdversary(0.05, restart_probability=0.0, seed=3),
+        )
+        assert result.solved
+        assert result.ledger.pattern.restart_count == 0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomAdversary(1.5)
+        with pytest.raises(ValueError):
+            RandomAdversary(0.1, restart_probability=-0.2)
+
+    def test_solves_under_heavy_churn(self):
+        result = solve_write_all(
+            AlgorithmX(), 64, 64,
+            adversary=RandomAdversary(0.3, 0.5, seed=11),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        assert result.pattern_size > 0
+
+
+class TestBurstAdversary:
+    def test_periodic_failures_and_recovery(self):
+        result = solve_write_all(
+            AlgorithmX(), 64, 64,
+            adversary=BurstAdversary(period=2, fraction=0.5, downtime=1),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        assert result.ledger.pattern.failure_count > 0
+        assert result.ledger.pattern.restart_count > 0
+
+    def test_full_fraction_spares_progress(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32,
+            adversary=BurstAdversary(period=2, fraction=1.0, downtime=1),
+            max_ticks=100_000,
+        )
+        assert result.solved
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstAdversary(period=0)
+        with pytest.raises(ValueError):
+            BurstAdversary(period=2, fraction=2.0)
+        with pytest.raises(ValueError):
+            BurstAdversary(period=2, downtime=0)

@@ -1,0 +1,64 @@
+"""Tests for NoFailures, SinglePidKiller and ScheduledAdversary."""
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import NoFailures, ScheduledAdversary, SinglePidKiller
+
+
+class TestNoFailures:
+    def test_empty_pattern(self):
+        result = solve_write_all(AlgorithmX(), 16, 16, adversary=NoFailures())
+        assert result.solved
+        assert result.pattern_size == 0
+
+    def test_marked_offline(self):
+        assert NoFailures.online is False
+
+
+class TestSinglePidKiller:
+    def test_kills_exactly_one(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, adversary=SinglePidKiller(3, at_tick=2)
+        )
+        assert result.solved
+        assert result.ledger.pattern.failure_count == 1
+        assert result.ledger.pattern.events_for(3)[0].time == 2
+
+    def test_algorithm_survives_losing_pid_zero(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, adversary=SinglePidKiller(0, at_tick=1)
+        )
+        assert result.solved
+
+    def test_no_op_when_pid_not_pending(self):
+        # PID 5 halts before tick 50 on a tiny instance; killer misses.
+        result = solve_write_all(
+            AlgorithmX(), 4, 4, adversary=SinglePidKiller(7, at_tick=10**6)
+        )
+        assert result.solved
+        assert result.pattern_size == 0
+
+
+class TestScheduledAdversary:
+    def test_replays_schedule(self):
+        schedule = {2: ([0, 1], []), 4: ([], [0, 1])}
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, adversary=ScheduledAdversary(schedule)
+        )
+        assert result.solved
+        pattern = result.ledger.pattern
+        assert pattern.failure_count == 2
+        assert pattern.restart_count == 2
+        assert {event.time for event in pattern if event.is_failure()} == {2}
+        assert {event.time for event in pattern if event.is_restart()} == {4}
+
+    def test_skips_vacuous_events(self):
+        # Failing a halted pid and restarting a running pid are dropped.
+        schedule = {1: ([99], [0])}
+        result = solve_write_all(
+            AlgorithmX(), 8, 8, adversary=ScheduledAdversary(schedule)
+        )
+        assert result.solved
+        assert result.pattern_size == 0
+
+    def test_marked_offline(self):
+        assert ScheduledAdversary.online is False

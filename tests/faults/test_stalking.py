@@ -1,0 +1,113 @@
+"""Tests for the stalking adversaries (Theorem 4.8 and Section 5)."""
+
+import math
+
+from repro.core import AccAlgorithm, AlgorithmX, solve_write_all
+from repro.faults import AccStalker, NoRestartAdversary, StalkingAdversaryX
+from repro.metrics.fitting import fitted_exponent
+
+
+class TestStalkingX:
+    def test_always_terminates(self):
+        for n in [8, 16, 32]:
+            result = solve_write_all(
+                AlgorithmX(), n, n, adversary=StalkingAdversaryX(),
+                max_ticks=1_000_000,
+            )
+            assert result.solved
+
+    def test_forces_super_linear_work(self):
+        n = 64
+        result = solve_write_all(
+            AlgorithmX(), n, n, adversary=StalkingAdversaryX(),
+            max_ticks=1_000_000,
+        )
+        assert result.completed_work >= n ** math.log2(3) / 2
+
+    def test_work_stays_sub_quadratic(self):
+        """Lemma 4.6: no pattern can push X past ~N^{log 3 + delta}."""
+        sizes = [16, 32, 64, 128]
+        works = []
+        for n in sizes:
+            result = solve_write_all(
+                AlgorithmX(), n, n, adversary=StalkingAdversaryX(),
+                max_ticks=5_000_000,
+            )
+            assert result.solved
+            works.append(result.completed_work)
+        exponent = fitted_exponent(sizes, works)
+        assert math.log2(3) - 0.15 <= exponent <= 2.0
+
+    def test_spares_processor_zero(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=StalkingAdversaryX(),
+            max_ticks=1_000_000,
+        )
+        assert all(
+            event.pid != 0
+            for event in result.ledger.pattern
+            if event.is_failure()
+        )
+
+
+class TestAccStalker:
+    def test_restart_game_starves_the_target(self):
+        """Section 5: the on-line stalker keeps the chosen leaf unwritten
+        (quasi-polynomial expected work in the paper; with staggered
+        restarts the synchronous instantiation starves outright)."""
+        result = solve_write_all(
+            AccAlgorithm(seed=1), 16, 16, adversary=AccStalker(),
+            max_ticks=5_000,
+        )
+        assert not result.solved
+        target_address = result.layout.x_base + 15
+        assert result.memory.peek(target_address) == 0
+
+    def test_everything_but_the_target_finishes(self):
+        result = solve_write_all(
+            AccAlgorithm(seed=4), 16, 16, adversary=AccStalker(),
+            max_ticks=5_000,
+        )
+        x_base = result.layout.x_base
+        others = [result.memory.peek(x_base + i) for i in range(15)]
+        assert all(value == 1 for value in others)
+
+    def test_random_failures_leave_acc_efficient(self):
+        """The Section 5 contrast: ACC is only vulnerable to *adaptive*
+        stalking; a comparable-rate random failure process barely slows
+        it down."""
+        from repro.faults import RandomAdversary
+
+        result = solve_write_all(
+            AccAlgorithm(seed=1), 16, 16,
+            adversary=RandomAdversary(0.1, 0.3, seed=1),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        assert result.parallel_time < 2_000
+
+    def test_fail_stop_variant_terminates_with_blowup(self):
+        """Without restarts the stalker kills touchers until a survivor
+        finishes sequentially: solved, but far slower than failure-free."""
+        free = solve_write_all(AccAlgorithm(seed=2), 16, 16)
+        adversary = NoRestartAdversary(AccStalker())
+        result = solve_write_all(
+            AccAlgorithm(seed=2), 16, 16, adversary=adversary,
+            max_ticks=500_000,
+        )
+        assert result.solved
+        assert result.ledger.pattern.restart_count == 0
+        assert result.parallel_time > free.parallel_time
+
+    def test_custom_target_is_starved(self):
+        result = solve_write_all(
+            AccAlgorithm(seed=3), 16, 16, adversary=AccStalker(target=0),
+            max_ticks=5_000,
+        )
+        assert result.memory.peek(result.layout.x_base + 0) == 0
+
+    def test_stagger_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AccStalker(stagger=0)

@@ -1,0 +1,112 @@
+"""Tests for the iteration starver and the fairness window.
+
+These pin down the model subtlety the reproduction surfaced: the
+progress condition alone does not force *useful* progress when an
+algorithm has repeatable read-only cycles.  Algorithm V (whose waiters
+poll read-only) is starved forever; algorithm X (every cycle writes) is
+immune; the optional machine fairness window restores termination for
+any algorithm.
+"""
+
+import pytest
+
+from repro.core import AlgorithmV, AlgorithmVX, AlgorithmX, solve_write_all
+from repro.faults import IterationStarver
+
+
+class TestStarvesV:
+    def test_v_never_completes(self):
+        result = solve_write_all(
+            AlgorithmV(), 64, 64, adversary=IterationStarver(),
+            max_ticks=5_000,
+        )
+        assert not result.solved
+        # No element was ever written — the starver blocks every write.
+        assert all(result.memory.peek(i) == 0 for i in range(64))
+
+    def test_v_work_grows_without_progress(self):
+        """Section 4.1: 'its completed work is not bounded by a function
+        of N and P' — S scales with the tick budget, not with N."""
+        short = solve_write_all(
+            AlgorithmV(), 16, 16, adversary=IterationStarver(),
+            max_ticks=1_000,
+        )
+        long = solve_write_all(
+            AlgorithmV(), 16, 16, adversary=IterationStarver(),
+            max_ticks=4_000,
+        )
+        assert not short.solved and not long.solved
+        assert long.completed_work >= 3 * short.completed_work
+
+    def test_progress_condition_respected(self):
+        """The starver is a legal adversary: some cycle completes at
+        every tick (the waiters' read-only polls)."""
+        result = solve_write_all(
+            AlgorithmV(), 16, 16, adversary=IterationStarver(),
+            max_ticks=2_000,
+        )
+        assert all(c >= 1 for c in result.ledger.completed_per_tick)
+        assert result.ledger.progress_vetoes == 0
+
+
+class TestXIsImmune:
+    def test_x_terminates_under_the_starver(self):
+        """Every cycle of X writes, so any completed cycle is genuine
+        progress — the starver cannot find a free completion (Lemma
+        4.4's 'any pattern' termination)."""
+        result = solve_write_all(
+            AlgorithmX(), 64, 64, adversary=IterationStarver(),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_vx_terminates_under_the_starver(self):
+        result = solve_write_all(
+            AlgorithmVX(), 64, 64, adversary=IterationStarver(),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+
+class TestFairnessWindow:
+    def test_fairness_does_not_save_v(self):
+        """Per-cycle fairness is not enough for V: every forced-through
+        cycle is followed by a failure that resets the processor to the
+        waiter loop, so iteration-scale progress never accumulates.  V's
+        non-termination is structural (Section 4.1) — only algorithm
+        design (X's write-every-cycle loop) repairs it, which is the
+        whole reason Theorem 4.9 interleaves the two."""
+        result = solve_write_all(
+            AlgorithmV(), 16, 16, adversary=IterationStarver(),
+            max_ticks=20_000, fairness_window=4,
+        )
+        assert not result.solved
+        # The window never even fires: each interrupted processor
+        # restarts into the waiter loop, whose read-only polls complete
+        # and reset its interrupt counter.
+        assert result.ledger.fairness_vetoes == 0
+
+    def test_fairness_speeds_up_vx(self):
+        plain = solve_write_all(
+            AlgorithmVX(), 32, 32, adversary=IterationStarver(),
+            max_ticks=500_000,
+        )
+        fair = solve_write_all(
+            AlgorithmVX(), 32, 32, adversary=IterationStarver(),
+            max_ticks=500_000, fairness_window=4,
+        )
+        assert plain.solved and fair.solved
+        assert fair.parallel_time <= plain.parallel_time
+
+    def test_window_validation(self):
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        with pytest.raises(ValueError):
+            Machine(1, SharedMemory(1), fairness_window=0)
+
+    def test_no_vetoes_without_interrupts(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16, fairness_window=2,
+        )
+        assert result.ledger.fairness_vetoes == 0

@@ -1,0 +1,80 @@
+"""Tests for cell guards and the adaptive load adversary."""
+
+import pytest
+
+from repro.core import AlgorithmV, AlgorithmX, solve_write_all
+from repro.faults import AdaptiveLoadAdversary, CellGuardAdversary
+
+
+class TestCellGuard:
+    def test_guarding_an_x_cell_delays_but_x_finishes(self):
+        """X's every cycle writes, so the guard must eventually concede
+        (spare-one rule) — X terminates, paying extra work."""
+        free = solve_write_all(AlgorithmX(), 32, 32)
+        guarded = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=CellGuardAdversary([5]),
+            max_ticks=500_000,
+        )
+        assert guarded.solved
+        assert guarded.parallel_time >= free.parallel_time
+
+    def test_guarding_the_v_step_counter_starves_v(self):
+        """V cannot advance without writing its step cell; guarding it
+        blocks every iteration while waiter polls keep the model happy."""
+        algorithm = AlgorithmV()
+        layout = algorithm.build_layout(32, 8)
+        result = solve_write_all(
+            algorithm, 32, 8,
+            adversary=CellGuardAdversary([layout.step_addr]),
+            max_ticks=10_000,
+        )
+        assert not result.solved
+
+    def test_no_restart_mode(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16,
+            adversary=CellGuardAdversary([0], restart=False),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        assert result.ledger.pattern.restart_count == 0
+
+    def test_requires_cells(self):
+        with pytest.raises(ValueError):
+            CellGuardAdversary([])
+
+
+class TestAdaptiveLoad:
+    def test_x_survives_productivity_hunting(self):
+        result = solve_write_all(
+            AlgorithmX(), 64, 64,
+            adversary=AdaptiveLoadAdversary(count=16, period=2),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        assert result.ledger.pattern.failure_count > 0
+
+    def test_hunting_increases_work(self):
+        free = solve_write_all(AlgorithmX(), 64, 64)
+        hunted = solve_write_all(
+            AlgorithmX(), 64, 64,
+            adversary=AdaptiveLoadAdversary(count=32, period=1),
+            max_ticks=500_000,
+        )
+        assert hunted.solved
+        assert hunted.completed_work > free.completed_work
+
+    def test_never_kills_everyone(self):
+        result = solve_write_all(
+            AlgorithmX(), 16, 16,
+            adversary=AdaptiveLoadAdversary(count=100, period=1),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        assert all(c >= 1 for c in result.ledger.completed_per_tick)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveLoadAdversary(count=0)
+        with pytest.raises(ValueError):
+            AdaptiveLoadAdversary(count=1, period=0)

@@ -1,0 +1,46 @@
+"""Tests for Example 2.2's thrashing adversary."""
+
+from repro.core import AlgorithmX, SnapshotAlgorithm, solve_write_all
+from repro.faults import ThrashingAdversary
+
+
+class TestThrashing:
+    def test_one_completed_cycle_per_tick(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=ThrashingAdversary(),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        assert all(
+            count == 1 for count in result.ledger.completed_per_tick
+        )
+
+    def test_separates_s_from_s_prime(self):
+        """The point of Example 2.2: S' blows up, S does not."""
+        n = 64
+        result = solve_write_all(
+            AlgorithmX(), n, n, adversary=ThrashingAdversary(),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        # S' is charged for every interrupted read/compute/write attempt:
+        # quadratic-flavored (>> N), while completed work stays near-linear.
+        assert result.charged_work > 10 * result.completed_work
+        assert result.charged_work > n * n
+        assert result.completed_work < n * n // 4
+
+    def test_huge_failure_pattern(self):
+        result = solve_write_all(
+            AlgorithmX(), 32, 32, adversary=ThrashingAdversary(),
+            max_ticks=100_000,
+        )
+        # Thrashing fails and restarts nearly everyone every tick.
+        assert result.pattern_size > result.parallel_time * 10
+
+    def test_progress_despite_thrash(self):
+        """Sequential progress: roughly one write per tick still finishes."""
+        result = solve_write_all(
+            SnapshotAlgorithm(), 16, 16, adversary=ThrashingAdversary(),
+            max_ticks=10_000,
+        )
+        assert result.solved

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_adversary, main
+
+
+class TestSolve:
+    def test_default_run(self, capsys):
+        code = main(["solve", "--n", "32", "--adversary", "random",
+                     "--fail", "0.1", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "X(N=32, P=32)" in out
+        assert "goal reached" in out
+
+    def test_algorithm_selection(self, capsys):
+        code = main(["solve", "--n", "16", "--algorithm", "V",
+                     "--adversary", "none"])
+        assert code == 0
+        assert "V(N=16" in capsys.readouterr().out
+
+    def test_explicit_p(self, capsys):
+        main(["solve", "--n", "32", "--p", "4", "--adversary", "none"])
+        assert "P=4" in capsys.readouterr().out
+
+    def test_failure_exit_code(self):
+        # Starver vs V: cannot finish within a small budget.
+        code = main(["solve", "--n", "16", "--algorithm", "V",
+                     "--adversary", "starver", "--max-ticks", "2000"])
+        assert code == 1
+
+
+class TestSweep:
+    def test_sweep_table_and_exponent(self, capsys):
+        code = main(["sweep", "--sizes", "16,32", "--seeds", "2",
+                     "--adversary", "random", "--fail", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: X/random" in out
+        assert "fitted work exponent" in out
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        code = main(["sweep", "--sizes", "16", "--seeds", "1",
+                     "--adversary", "none", "--csv", str(path)])
+        assert code == 0
+        assert path.exists()
+        assert "n,p,seed" in path.read_text().splitlines()[0]
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("program", [
+        "prefix-sum", "max-find", "odd-even-sort", "list-ranking",
+    ])
+    def test_programs_run(self, program, capsys):
+        code = main(["simulate", "--program", program, "--width", "8",
+                     "--p", "4", "--adversary", "random", "--fail", "0.05"])
+        assert code == 0
+        assert "solved" in capsys.readouterr().out
+
+    def test_matvec(self, capsys):
+        code = main(["simulate", "--program", "matvec", "--width", "4",
+                     "--p", "2", "--adversary", "none"])
+        assert code == 0
+
+    def test_persistent_executor(self, capsys):
+        code = main(["simulate", "--program", "prefix-sum", "--width", "8",
+                     "--p", "4", "--persistent",
+                     "--adversary", "random", "--fail", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "persistent" in out
+        assert "generations=6" in out  # 2 per step, 3 steps at width 8
+
+
+class TestTrace:
+    def test_timeline_output(self, capsys):
+        code = main(["trace", "--n", "16", "--p", "4",
+                     "--adversary", "random", "--fail", "0.2", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pid" in out
+        assert "tick" in out
+
+
+class TestShowdown:
+    def test_matrix(self, capsys):
+        code = main(["showdown", "--n", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thrashing" in out
+        assert "VX" in out
+
+
+class TestAdversaryRegistry:
+    def test_all_names_build(self):
+        from repro.cli import ADVERSARIES
+
+        for name in ADVERSARIES:
+            assert build_adversary(name, 0.1, 0.3, 0) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_adversary("nope", 0.1, 0.3, 0)

@@ -1,0 +1,118 @@
+"""Integration: every algorithm against every failure environment."""
+
+import pytest
+
+from repro.core import solve_write_all
+from repro.faults import (
+    BurstAdversary,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ScheduledAdversary,
+    ThrashingAdversary,
+)
+from tests.conftest import fault_tolerant_algorithms, restart_safe_algorithms
+
+
+@pytest.mark.parametrize(
+    "algorithm", fault_tolerant_algorithms(), ids=lambda a: a.name
+)
+class TestEveryTolerantAlgorithm:
+    def test_failure_free(self, algorithm):
+        result = solve_write_all(algorithm, 32, 32, adversary=NoFailures())
+        assert result.solved
+        assert result.pattern_size == 0
+
+    def test_crash_only(self, algorithm):
+        adversary = NoRestartAdversary(RandomAdversary(0.05, seed=1))
+        result = solve_write_all(
+            algorithm, 32, 32, adversary=adversary, max_ticks=300_000
+        )
+        assert result.solved
+
+    def test_random_restarts(self, algorithm):
+        result = solve_write_all(
+            algorithm, 32, 32,
+            adversary=RandomAdversary(0.08, 0.4, seed=2),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_burst_failures(self, algorithm):
+        result = solve_write_all(
+            algorithm, 32, 32,
+            adversary=BurstAdversary(period=3, fraction=0.5, downtime=1),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_mass_extinction_and_partial_revival(self, algorithm):
+        schedule = {6: (list(range(32)), []), 9: ([], [4, 17])}
+        result = solve_write_all(
+            algorithm, 32, 32, adversary=ScheduledAdversary(schedule),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+    def test_fewer_processors(self, algorithm):
+        result = solve_write_all(
+            algorithm, 32, 5,
+            adversary=RandomAdversary(0.03, 0.3, seed=3),
+            max_ticks=500_000,
+        )
+        assert result.solved
+
+
+@pytest.mark.parametrize(
+    "algorithm", restart_safe_algorithms(), ids=lambda a: a.name
+)
+class TestRestartSafeAlgorithms:
+    def test_thrashing(self, algorithm):
+        result = solve_write_all(
+            algorithm, 32, 32, adversary=ThrashingAdversary(),
+            max_ticks=300_000,
+        )
+        assert result.solved
+
+    def test_s_prime_separation_under_thrashing(self, algorithm):
+        result = solve_write_all(
+            algorithm, 32, 32, adversary=ThrashingAdversary(),
+            max_ticks=300_000,
+        )
+        assert result.charged_work > result.completed_work
+
+
+class TestWorkOrdering:
+    def test_failure_free_ranking(self):
+        """Failure-free: trivial <= snapshot <= X <= V+X and V <= W."""
+        from repro.core import (
+            AlgorithmV,
+            AlgorithmVX,
+            AlgorithmW,
+            AlgorithmX,
+            SnapshotAlgorithm,
+            TrivialAssignment,
+        )
+
+        n = 64
+        works = {
+            algorithm.name: solve_write_all(algorithm, n, n).completed_work
+            for algorithm in [
+                TrivialAssignment(), SnapshotAlgorithm(), AlgorithmX(),
+                AlgorithmVX(), AlgorithmV(), AlgorithmW(),
+            ]
+        }
+        assert works["trivial"] <= works["snapshot"] <= works["X"]
+        assert works["X"] <= works["V+X"]
+        assert works["V"] <= works["W"]
+
+    def test_all_solve_identically(self):
+        """Same final array regardless of algorithm."""
+        for algorithm in fault_tolerant_algorithms():
+            result = solve_write_all(
+                algorithm, 16, 16,
+                adversary=RandomAdversary(0.1, 0.3, seed=4),
+                max_ticks=300_000,
+            )
+            x_base = result.layout.x_base
+            assert [result.memory.peek(x_base + i) for i in range(16)] == [1] * 16

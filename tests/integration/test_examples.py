@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs end to end (small params)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "64")
+        assert "solved by algorithm X" in out
+        assert "sigma" in out
+
+    def test_adversary_showdown(self):
+        out = run_example("adversary_showdown.py", "32")
+        assert "DNF" in out          # V starved by the iteration starver
+        assert "stalker" in out
+
+    def test_robust_prefix_sum(self):
+        out = run_example("robust_prefix_sum.py", "16", "4", "0.1")
+        assert "CORRECT" in out
+
+    def test_acc_stalking(self):
+        # N=32: the restart stalker starves the target (at tiny N a lucky
+        # simultaneous touch can slip through).
+        out = run_example("acc_stalking.py", "32")
+        assert "STARVED" in out
+
+    def test_robust_bfs(self):
+        out = run_example("robust_bfs.py", "16", "4", "0.05")
+        assert "CORRECT" in out
+
+    @pytest.mark.slow
+    def test_work_landscape(self):
+        out = run_example("work_landscape.py", "32", timeout=600)
+        assert "growth exponents" in out

@@ -1,0 +1,123 @@
+"""Integration: targeted failure-injection scenarios.
+
+Each scenario is a deterministic schedule that stresses one recovery
+mechanism (checkpointed restarts, waiters, kickstarts, the interleave)
+and asserts both completion and the specific mechanism's footprint.
+"""
+
+import pytest
+
+from repro.core import (
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    solve_write_all,
+)
+from repro.faults import ScheduledAdversary, UnionAdversary, RandomAdversary
+from repro.faults.base import Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+
+
+class RepeatedKiller(Adversary):
+    """Fails one pid every `period` ticks and revives it next tick."""
+
+    def __init__(self, pid, period):
+        self.pid = pid
+        self.period = period
+
+    def decide(self, view):
+        failures = {}
+        restarts = frozenset()
+        if view.time % self.period == 0 and self.pid in view.pending:
+            failures = {self.pid: BEFORE_WRITES}
+        if self.pid in view.failed_pids:
+            restarts = frozenset({self.pid})
+        return Decision(failures=failures, restarts=restarts)
+
+
+class TestCheckpointRecovery:
+    def test_x_repeated_same_victim(self):
+        result = solve_write_all(
+            AlgorithmX(), 64, 4, adversary=RepeatedKiller(2, period=7),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        assert result.ledger.pattern.failure_count > 3
+
+    def test_x_work_linear_in_failures(self):
+        """Each failure/restart costs O(log N): Theorem 4.3's M-term logic
+        applies to X's waste too."""
+        free = solve_write_all(AlgorithmX(), 64, 4)
+        hit = solve_write_all(
+            AlgorithmX(), 64, 4, adversary=RepeatedKiller(2, period=7),
+            max_ticks=100_000,
+        )
+        failures = hit.ledger.pattern.failure_count
+        assert hit.completed_work <= free.completed_work + failures * 40 + 64
+
+
+class TestWaiterMechanism:
+    @pytest.mark.parametrize("algorithm_factory", [AlgorithmV, AlgorithmW])
+    def test_victims_rejoin_and_share_work(self, algorithm_factory):
+        # Fail half the crew at tick 4, revive at tick 6: they wait for
+        # the boundary and then contribute again.
+        schedule = {4: (list(range(8, 16)), []), 6: ([], list(range(8, 16)))}
+        result = solve_write_all(
+            algorithm_factory(), 128, 16,
+            adversary=ScheduledAdversary(schedule),
+            max_ticks=100_000,
+        )
+        assert result.solved
+        revived_work = sum(
+            result.ledger.completed_by_pid.get(pid, 0) for pid in range(8, 16)
+        )
+        assert revived_work > 0
+
+
+class TestKickstartMechanism:
+    @pytest.mark.parametrize("algorithm_factory", [AlgorithmV, AlgorithmW])
+    def test_total_extinction_recovers(self, algorithm_factory):
+        schedule = {
+            5: (list(range(8)), []),
+            8: ([], [0]),
+            9: ([], [3]),
+        }
+        result = solve_write_all(
+            algorithm_factory(), 64, 8,
+            adversary=ScheduledAdversary(schedule),
+            max_ticks=100_000,
+        )
+        assert result.solved
+
+    def test_repeated_extinctions(self):
+        schedule = {}
+        for wave in range(3):
+            t = 5 + wave * 40
+            schedule[t] = (list(range(8)), [])
+            schedule[t + 3] = ([], list(range(8)))
+        result = solve_write_all(
+            AlgorithmV(), 64, 8, adversary=ScheduledAdversary(schedule),
+            max_ticks=100_000,
+        )
+        assert result.solved
+
+
+class TestCombinedStress:
+    def test_union_of_background_noise_and_targeted_killer(self):
+        adversary = UnionAdversary([
+            RandomAdversary(0.02, 0.3, seed=6),
+            RepeatedKiller(0, period=5),
+        ])
+        result = solve_write_all(
+            AlgorithmVX(), 64, 16, adversary=adversary, max_ticks=500_000
+        )
+        assert result.solved
+
+    def test_every_processor_killed_once(self):
+        schedule = {2 + pid: ([pid], [pid]) for pid in range(16)}
+        result = solve_write_all(
+            AlgorithmVX(), 32, 16, adversary=ScheduledAdversary(schedule),
+            max_ticks=100_000,
+        )
+        assert result.solved

@@ -1,0 +1,63 @@
+"""Integration: the Write-All algorithms under every CRCW policy.
+
+The paper's algorithms are COMMON CRCW programs: concurrent writers
+always agree.  That makes them automatically correct under ARBITRARY,
+PRIORITY, STRONG and COLLISION resolution (any choice among equal
+values is the same value), and the runs must be bit-identical across
+those policies.  This is also Theorem 4.1's premise for executing
+COMMON-model programs on stronger machines.
+"""
+
+import pytest
+
+from repro.core import solve_write_all
+from repro.faults import RandomAdversary
+from repro.pram.policies import (
+    ArbitraryCrcw,
+    CollisionCrcw,
+    CommonCrcw,
+    PriorityCrcw,
+    RotatingArbitraryCrcw,
+    StrongCrcw,
+)
+from tests.conftest import fault_tolerant_algorithms
+
+POLICIES = [
+    CommonCrcw, ArbitraryCrcw, PriorityCrcw, StrongCrcw, CollisionCrcw,
+    RotatingArbitraryCrcw,
+]
+
+
+@pytest.mark.parametrize(
+    "algorithm", fault_tolerant_algorithms(), ids=lambda a: a.name
+)
+@pytest.mark.parametrize("policy_factory", POLICIES,
+                         ids=lambda p: p.__name__)
+def test_solves_under_every_policy(algorithm, policy_factory):
+    result = solve_write_all(
+        algorithm, 16, 16,
+        adversary=RandomAdversary(0.1, 0.3, seed=6),
+        policy=policy_factory(),
+        max_ticks=500_000,
+    )
+    assert result.solved
+
+
+def test_runs_identical_across_policies():
+    """Agreeing writers ⇒ resolution choice is unobservable."""
+    from repro.core import AlgorithmX
+
+    measures = set()
+    for policy_factory in POLICIES:
+        result = solve_write_all(
+            AlgorithmX(), 32, 32,
+            adversary=RandomAdversary(0.15, 0.4, seed=8),
+            policy=policy_factory(),
+            max_ticks=500_000,
+        )
+        assert result.solved
+        measures.add(
+            (result.completed_work, result.charged_work,
+             result.pattern_size, result.parallel_time)
+        )
+    assert len(measures) == 1

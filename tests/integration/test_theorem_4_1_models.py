@@ -1,0 +1,136 @@
+"""Theorem 4.1's model rows, executable.
+
+* EREW/CREW/COMMON source programs run on a COMMON fail-stop host and
+  reproduce the unique synchronous semantics exactly, for any failure
+  pattern (the property suite proves the general case; here we pin the
+  named rows).
+* ARBITRARY source programs — concurrent writers that disagree — run on
+  an ARBITRARY host; any single writer's value is a legal outcome, and
+  which one wins may depend on the failure pattern.
+* PRIORITY source programs are not directly simulable (Remark 4): the
+  commit phase has no way to impose lowest-PID-wins across tasks
+  executed at different ticks.  `classify_program` surfaces the
+  ARBITRARY-ness so callers can reject what they cannot faithfully run.
+"""
+
+import pytest
+
+from repro.core import AlgorithmX
+from repro.faults import NoFailures, RandomAdversary
+from repro.pram.policies import ArbitraryCrcw, CommonCrcw
+from repro.simulation import FunctionStep, RobustSimulator, SimProgram
+from repro.simulation.classify import classify_program
+
+
+def erew_program():
+    step = FunctionStep(
+        reads=lambda i: (i,),
+        writes=lambda i: (4 + i,),
+        compute=lambda i, values: (values[0] * 10,),
+        label="erew",
+    )
+    return SimProgram(width=4, memory_size=8, steps=[step], name="erew")
+
+
+def common_program():
+    step = FunctionStep(
+        reads=lambda i: (0,),
+        writes=lambda i: (5,),
+        compute=lambda i, values: (values[0] + 1,),  # everyone agrees
+        label="common",
+    )
+    return SimProgram(width=4, memory_size=8, steps=[step], name="common")
+
+
+def arbitrary_program():
+    step = FunctionStep(
+        reads=lambda i: (),
+        writes=lambda i: (5,),
+        compute=lambda i, values: (100 + i,),  # disagreeing writers
+        label="arbitrary",
+    )
+    return SimProgram(width=4, memory_size=8, steps=[step], name="arb")
+
+
+class TestModelRows:
+    def test_erew_row(self):
+        program = erew_program()
+        assert classify_program(program, [1, 2, 3, 4]) == "EREW"
+        result = RobustSimulator(
+            p=4, algorithm=AlgorithmX(),
+            adversary=RandomAdversary(0.15, 0.4, seed=1),
+            policy=CommonCrcw(),
+        ).execute(program, [1, 2, 3, 4])
+        assert result.solved
+        assert result.memory[4:] == [10, 20, 30, 40]
+
+    def test_common_row(self):
+        program = common_program()
+        assert classify_program(program, [7]) == "COMMON"
+        result = RobustSimulator(
+            p=4, algorithm=AlgorithmX(),
+            adversary=RandomAdversary(0.15, 0.4, seed=2),
+            policy=CommonCrcw(),
+        ).execute(program, [7])
+        assert result.solved
+        assert result.memory[5] == 8
+
+    def test_arbitrary_row_yields_a_legal_writer(self):
+        program = arbitrary_program()
+        assert classify_program(program, []) == "ARBITRARY"
+        outcomes = set()
+        for seed in range(6):
+            result = RobustSimulator(
+                p=4, algorithm=AlgorithmX(),
+                adversary=RandomAdversary(0.2, 0.4, seed=seed),
+                policy=ArbitraryCrcw(),
+            ).execute(program, [])
+            assert result.solved
+            assert result.memory[5] in {100, 101, 102, 103}
+            outcomes.add(result.memory[5])
+        # The winner is pattern-dependent — that's ARBITRARY semantics.
+        assert outcomes  # (usually more than one, but any subset is legal)
+
+    def test_common_source_on_common_host_never_conflicts(self):
+        """A COMMON program must not trip the host's COMMON checker even
+        under heavy failure interleavings."""
+        program = common_program()
+        for seed in range(5):
+            result = RobustSimulator(
+                p=6, algorithm=AlgorithmX(),
+                adversary=RandomAdversary(0.25, 0.4, seed=seed),
+                policy=CommonCrcw(),
+            ).execute(program, [7])
+            assert result.solved
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_matrix_soak(self):
+        """A broad algorithm x adversary x seed soak at N=64."""
+        from repro.core import (
+            AlgorithmV,
+            AlgorithmVX,
+            AlgorithmW,
+            solve_write_all,
+        )
+        from repro.faults import BurstAdversary, NoRestartAdversary
+
+        algorithms = [AlgorithmW, AlgorithmV, AlgorithmX, AlgorithmVX]
+        adversaries = [
+            lambda s: RandomAdversary(0.1, 0.3, seed=s),
+            lambda s: NoRestartAdversary(RandomAdversary(0.05, seed=s)),
+            lambda s: BurstAdversary(period=3, fraction=0.6, downtime=1),
+            lambda s: NoFailures(),
+        ]
+        for algorithm_factory in algorithms:
+            for adversary_factory in adversaries:
+                for seed in range(3):
+                    result = solve_write_all(
+                        algorithm_factory(), 64, 64,
+                        adversary=adversary_factory(seed),
+                        max_ticks=2_000_000,
+                    )
+                    assert result.solved, (
+                        algorithm_factory, adversary_factory, seed
+                    )

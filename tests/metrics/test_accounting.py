@@ -1,0 +1,39 @@
+"""Tests for worst-case aggregation."""
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import RandomAdversary
+from repro.metrics.accounting import aggregate_worst_case
+
+
+class TestAggregateWorstCase:
+    def test_takes_maxima(self):
+        results = [
+            solve_write_all(
+                AlgorithmX(), 32, 32,
+                adversary=RandomAdversary(0.1, 0.3, seed=seed),
+                max_ticks=200_000,
+            )
+            for seed in range(4)
+        ]
+        worst = aggregate_worst_case(results)
+        assert worst.runs == 4
+        assert worst.all_solved
+        assert worst.max_completed_work == max(
+            result.completed_work for result in results
+        )
+        assert worst.max_pattern_size == max(
+            result.pattern_size for result in results
+        )
+        assert worst.max_overhead_ratio == max(
+            result.overhead_ratio for result in results
+        )
+
+    def test_empty_is_identity(self):
+        worst = aggregate_worst_case([])
+        assert worst.runs == 0
+        assert worst.all_solved
+
+    def test_unsolved_flagged(self):
+        unsolved = solve_write_all(AlgorithmX(), 64, 1, max_ticks=3)
+        worst = aggregate_worst_case([unsolved])
+        assert not worst.all_solved

@@ -1,0 +1,76 @@
+"""Tests for the closed-form bound predictors."""
+
+import math
+
+import pytest
+
+from repro.metrics.bounds import (
+    log2ceil,
+    sigma_bound_thm41,
+    work_lower_thm31,
+    work_lower_thm48,
+    work_upper_lemma42,
+    work_upper_thm32,
+    work_upper_thm43,
+    work_upper_thm47,
+    work_upper_thm49,
+)
+
+
+class TestLogHelper:
+    def test_values(self):
+        assert log2ceil(1) == 1.0
+        assert log2ceil(2) == 1.0
+        assert log2ceil(1024) == 10.0
+
+
+class TestPredictors:
+    def test_thm31_matches_thm32(self):
+        for n in [4, 64, 4096]:
+            assert work_lower_thm31(n) == work_upper_thm32(n)
+
+    def test_lemma42_components(self):
+        n = 1024
+        assert work_upper_lemma42(n, 1) == pytest.approx(n + 100)
+        assert work_upper_lemma42(n, n) == pytest.approx(n + n * 100)
+
+    def test_thm43_adds_failure_term(self):
+        n, p = 256, 256
+        base = work_upper_lemma42(n, p)
+        assert work_upper_thm43(n, p, 0) == base
+        assert work_upper_thm43(n, p, 100) == base + 100 * 8
+
+    def test_thm47_exponent(self):
+        n = 256
+        # With P = N the bound is ~N^{1 + log2(1.5) + delta}.
+        expected_exponent = 1 + math.log2(1.5) + 0.015
+        assert work_upper_thm47(n, n) == pytest.approx(
+            n ** expected_exponent, rel=1e-9
+        )
+
+    def test_thm48_is_n_to_log3(self):
+        assert work_lower_thm48(64) == pytest.approx(64 ** math.log2(3))
+
+    def test_thm48_below_thm47_at_p_equals_n(self):
+        """The lower bound must not exceed the upper bound."""
+        for n in [16, 256, 4096]:
+            assert work_lower_thm48(n) <= work_upper_thm47(n, n)
+
+    def test_thm49_takes_the_min(self):
+        # With parallel slack (P << N) and few failures the V-term wins.
+        n, p = 4096, 64
+        few = work_upper_thm49(n, p, m=0)
+        assert few == work_upper_thm43(n, p, 0)
+        assert few < work_upper_thm47(n, p)
+        # A flood of failures: the X-term caps it.
+        many = work_upper_thm49(n, p, m=10**9)
+        assert many == work_upper_thm47(n, p)
+
+    def test_thm49_x_term_wins_at_p_equals_n(self):
+        """At P = N the sub-quadratic X bound already undercuts
+        P log^2 N — the V branch matters in the slack regime."""
+        for n in [64, 1024]:
+            assert work_upper_thm49(n, n, m=0) == work_upper_thm47(n, n)
+
+    def test_sigma_bound(self):
+        assert sigma_bound_thm41(1024) == 100.0

@@ -1,0 +1,60 @@
+"""Tests for exponent fitting and ratio analysis."""
+
+import math
+
+import pytest
+
+from repro.metrics.fitting import (
+    doubling_exponents,
+    fitted_exponent,
+    is_flat,
+    ratio_series,
+)
+
+
+class TestFittedExponent:
+    def test_recovers_exact_power_law(self):
+        sizes = [16, 32, 64, 128, 256]
+        for exponent in [1.0, 1.585, 2.0]:
+            works = [size ** exponent for size in sizes]
+            assert fitted_exponent(sizes, works) == pytest.approx(exponent)
+
+    def test_constant_factor_invariant(self):
+        sizes = [16, 64, 256]
+        works = [7 * size ** 1.3 for size in sizes]
+        assert fitted_exponent(sizes, works) == pytest.approx(1.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fitted_exponent([1], [1])
+        with pytest.raises(ValueError):
+            fitted_exponent([1, 2], [1])
+        with pytest.raises(ValueError):
+            fitted_exponent([4, 4], [1, 2])
+
+
+class TestRatioSeries:
+    def test_flat_for_matching_shape(self):
+        sizes = [16, 32, 64]
+        works = [3 * size * math.log2(size) for size in sizes]
+        predictions = [size * math.log2(size) for size in sizes]
+        ratios = ratio_series(works, predictions)
+        assert all(ratio == pytest.approx(3.0) for ratio in ratios)
+        assert is_flat(ratios)
+
+    def test_not_flat_for_wrong_shape(self):
+        sizes = [16, 64, 256, 1024]
+        works = [size ** 2 for size in sizes]
+        predictions = [size for size in sizes]
+        assert not is_flat(ratio_series(works, predictions))
+
+    def test_alignment_checked(self):
+        with pytest.raises(ValueError):
+            ratio_series([1, 2], [1])
+
+
+class TestDoublingExponents:
+    def test_per_step_values(self):
+        sizes = [16, 32, 64]
+        works = [256, 1024, 4096]  # exact square law
+        assert doubling_exponents(sizes, works) == pytest.approx([2.0, 2.0])

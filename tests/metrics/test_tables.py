@@ -1,0 +1,31 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.metrics.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            ["N", "S"], [[16, 100], [1024, 12345]], title="work"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "work"
+        assert "N" in lines[1] and "S" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "12345" in lines[-1]
+
+    def test_float_formatting(self):
+        text = render_table(["r"], [[3.14159], [0.001234], [12345.6]])
+        assert "3.142" in text
+        assert "0.00123" in text
+        assert "1.23e+04" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,69 @@
+"""Unit tests for the update-cycle protocol types."""
+
+import pytest
+
+from repro.pram.cycles import (
+    SNAPSHOT,
+    Cycle,
+    Write,
+    noop_cycle,
+    read_cycle,
+    snapshot_cycle,
+    write_cycle,
+)
+from repro.pram.errors import ProgramError
+
+
+class TestCycleBasics:
+    def test_static_writes(self):
+        cycle = Cycle(writes=(Write(1, 5),))
+        assert cycle.materialize_writes(()) == (Write(1, 5),)
+
+    def test_computed_writes(self):
+        cycle = Cycle(reads=(0, 1), writes=lambda v: (Write(2, v[0] + v[1]),))
+        assert cycle.materialize_writes((3, 4)) == (Write(2, 7),)
+
+    def test_non_write_output_rejected(self):
+        cycle = Cycle(writes=lambda v: ((1, 2),))
+        with pytest.raises(ProgramError, match="non-Write"):
+            cycle.materialize_writes(())
+
+    def test_read_specs_static(self):
+        assert Cycle(reads=(3, 4)).read_specs() == (3, 4)
+
+    def test_read_specs_dependent(self):
+        spec = lambda so_far: so_far[0] + 1
+        cycle = Cycle(reads=(0, spec))
+        assert cycle.read_specs() == (0, spec)
+
+    def test_bad_reads_rejected(self):
+        with pytest.raises(ProgramError):
+            Cycle(reads=[1, 2]).read_specs()  # list, not tuple
+
+
+class TestSnapshot:
+    def test_marker(self):
+        cycle = snapshot_cycle(lambda values: ())
+        assert cycle.is_snapshot
+        assert cycle.reads == SNAPSHOT
+        assert cycle.read_specs() == ()
+
+    def test_regular_cycle_is_not_snapshot(self):
+        assert not Cycle(reads=(0,)).is_snapshot
+
+
+class TestHelpers:
+    def test_read_cycle(self):
+        cycle = read_cycle(1, 2, label="poll")
+        assert cycle.reads == (1, 2)
+        assert cycle.label == "poll"
+        assert cycle.materialize_writes((0, 0)) == ()
+
+    def test_write_cycle(self):
+        cycle = write_cycle(Write(0, 1), Write(1, 2))
+        assert cycle.materialize_writes(()) == (Write(0, 1), Write(1, 2))
+
+    def test_noop_cycle(self):
+        cycle = noop_cycle()
+        assert cycle.reads == ()
+        assert cycle.materialize_writes(()) == ()

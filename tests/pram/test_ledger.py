@@ -1,0 +1,69 @@
+"""Unit tests for the run ledger's paper measures."""
+
+import pytest
+
+from repro.pram.failures import FailureTag
+from repro.pram.ledger import RunLedger
+
+
+class TestWorkMeasures:
+    def test_completed_work_sums_pids(self):
+        ledger = RunLedger()
+        for _ in range(3):
+            ledger.charge_completion(0)
+        ledger.charge_completion(1)
+        assert ledger.completed_work == 4
+
+    def test_charged_work_includes_interrupted(self):
+        ledger = RunLedger()
+        ledger.charge_attempt(0)
+        ledger.charge_attempt(0)
+        ledger.charge_completion(0)
+        assert ledger.charged_work == 2
+        assert ledger.completed_work == 1
+
+    def test_s_prime_dominates_s(self):
+        ledger = RunLedger()
+        for pid in range(5):
+            ledger.charge_attempt(pid)
+            ledger.charge_completion(pid)
+        ledger.charge_attempt(9)
+        assert ledger.charged_work >= ledger.completed_work
+
+
+class TestOverheadRatio:
+    def test_definition(self):
+        ledger = RunLedger()
+        for _ in range(30):
+            ledger.charge_completion(0)
+        ledger.pattern.record(FailureTag.FAILURE, 0, 1)
+        ledger.pattern.record(FailureTag.RESTART, 0, 2)
+        # sigma = S / (|I| + |F|) = 30 / (8 + 2)
+        assert ledger.overhead_ratio(8) == pytest.approx(3.0)
+
+    def test_requires_positive_denominator(self):
+        ledger = RunLedger()
+        with pytest.raises(ValueError):
+            ledger.overhead_ratio(0)
+
+
+class TestDescribe:
+    def test_mentions_key_measures(self):
+        ledger = RunLedger()
+        ledger.ticks = 7
+        ledger.charge_completion(0)
+        ledger.goal_reached = True
+        text = ledger.describe(4)
+        assert "ticks=7" in text
+        assert "S (completed work)=1" in text
+        assert "goal reached" in text
+
+    def test_status_variants(self):
+        for flag, needle in [
+            ("halted", "halted"),
+            ("stalled", "stalled"),
+            ("tick_limited", "tick limited"),
+        ]:
+            ledger = RunLedger()
+            setattr(ledger, flag, True)
+            assert needle in ledger.describe()

@@ -1,0 +1,177 @@
+"""Edge-case tests for the machine core: stalls, fairness, traffic."""
+
+import pytest
+
+from repro.faults.base import Adversary
+from repro.pram.cycles import Cycle, Write, snapshot_cycle
+from repro.pram.failures import BEFORE_WRITES, Decision
+from repro.pram.machine import Machine
+from repro.pram.memory import SharedMemory
+
+
+def make(p, size, program, **kwargs):
+    machine = Machine(p, SharedMemory(size), **kwargs)
+    machine.load_program(program)
+    return machine
+
+
+class KillOnceSilentForever(Adversary):
+    """Fails everyone at tick 1, then never restarts anyone."""
+
+    def decide(self, view):
+        if view.time == 1:
+            return Decision.fail(view.pending.keys(), BEFORE_WRITES)
+        return Decision.none()
+
+
+class TestStallDetection:
+    def test_unenforced_all_failed_machine_stalls(self):
+        def program(pid):
+            while True:
+                yield Cycle()
+
+        machine = make(
+            2, 1, program,
+            adversary=KillOnceSilentForever(),
+            enforce_progress=False,
+        )
+        ledger = machine.run(max_ticks=100_000, stall_limit=16)
+        assert ledger.stalled
+        assert not ledger.goal_reached
+
+    def test_enforced_machine_never_stalls(self):
+        def program(pid):
+            for _ in range(3):
+                yield Cycle(writes=(Write(0, 1),))
+
+        machine = make(2, 1, program, adversary=KillOnceSilentForever())
+        ledger = machine.run(max_ticks=1000)
+        assert ledger.halted
+        assert not ledger.stalled
+        # Forced restarts appear in the pattern.
+        assert ledger.pattern.restart_count >= 1
+
+
+class TestFairnessWindowMachineLevel:
+    class AlwaysFailPidZero(Adversary):
+        def decide(self, view):
+            if 0 in view.pending:
+                return Decision(failures={0: BEFORE_WRITES},
+                                restarts=frozenset(view.failed_pids))
+            return Decision.restart(view.failed_pids)
+
+    @staticmethod
+    def _program(pid):
+        # pid 0 tries one write; pid 1 spins forever (so the progress
+        # veto never needs to spare pid 0 — only fairness can save it).
+        if pid == 0:
+            yield Cycle(writes=(Write(0, 1),))
+            return
+        while True:
+            yield Cycle(writes=(Write(1, 1),))
+
+    def test_window_forces_cycle_through(self):
+        machine = make(
+            2, 2, self._program, adversary=self.AlwaysFailPidZero(),
+            fairness_window=3,
+        )
+        ledger = machine.run(
+            until=lambda memory: memory.read(0) == 1, max_ticks=100
+        )
+        assert ledger.goal_reached
+        assert ledger.fairness_vetoes >= 1
+
+    def test_without_window_pid_zero_never_finishes(self):
+        machine = make(2, 2, self._program,
+                       adversary=self.AlwaysFailPidZero())
+        ledger = machine.run(
+            until=lambda memory: memory.read(0) == 1,
+            max_ticks=200, raise_on_limit=False,
+        )
+        assert not ledger.goal_reached
+        assert ledger.tick_limited
+
+
+class TestTrafficAccounting:
+    def test_snapshot_counts_one_read(self):
+        def program(pid):
+            yield snapshot_cycle(lambda values: ())
+
+        machine = make(1, 8, program, allow_snapshot=True)
+        machine.run(max_ticks=10)
+        assert machine.ledger.memory_reads == 1
+
+    def test_skipped_dependent_read_uncharged(self):
+        def program(pid):
+            yield Cycle(reads=(0, lambda so_far: None))
+
+        machine = make(1, 4, program)
+        machine.run(max_ticks=10)
+        assert machine.ledger.memory_reads == 1
+
+    def test_interrupted_cycle_reads_still_served(self):
+        """Reads happen before the adversary rules; they are charged to
+        traffic even when the cycle is interrupted (the S/S' distinction
+        is about work units, not memory operations)."""
+
+        class FailAll(Adversary):
+            def decide(self, view):
+                return Decision.fail(view.pending.keys(), BEFORE_WRITES)
+
+        def program(pid):
+            while True:
+                yield Cycle(reads=(0,), writes=(Write(0, 1),))
+
+        machine = make(
+            1, 1, program, adversary=FailAll(), enforce_progress=False
+        )
+        machine.step()
+        assert machine.ledger.memory_reads == 1
+        assert machine.ledger.memory_writes == 0
+
+
+class TestValidation:
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            Machine(0, SharedMemory(1))
+
+    def test_rejects_bad_fairness_window(self):
+        with pytest.raises(ValueError):
+            Machine(1, SharedMemory(1), fairness_window=-1)
+
+    def test_adversary_returning_none_is_tolerated(self):
+        class Lazy(Adversary):
+            def decide(self, view):
+                return None
+
+        def program(pid):
+            yield Cycle()
+
+        machine = make(1, 1, program, adversary=Lazy())
+        ledger = machine.run(max_ticks=10)
+        assert ledger.halted
+
+    def test_adversary_returning_garbage_rejected(self):
+        class Bad(Adversary):
+            def decide(self, view):
+                return "nonsense"
+
+        def program(pid):
+            yield Cycle()
+
+        from repro.pram.errors import AdversaryError
+
+        machine = make(1, 1, program, adversary=Bad())
+        with pytest.raises(AdversaryError):
+            machine.step()
+
+    def test_statuses_mapping(self):
+        def program(pid):
+            yield Cycle()
+
+        machine = make(3, 1, program)
+        from repro.pram.processor import ProcessorStatus
+
+        assert set(machine.statuses().values()) == {ProcessorStatus.RUNNING}
+        machine.run(max_ticks=10)
+        assert set(machine.statuses().values()) == {ProcessorStatus.HALTED}

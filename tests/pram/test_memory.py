@@ -1,0 +1,110 @@
+"""Unit tests for shared memory semantics."""
+
+import pytest
+
+from repro.pram.errors import MemoryError_
+from repro.pram.memory import MemoryReader, SharedMemory
+
+
+class TestConstruction:
+    def test_cleared_to_zero(self):
+        memory = SharedMemory(8)
+        assert memory.snapshot() == [0] * 8
+
+    def test_initial_contents(self):
+        memory = SharedMemory(4, initial=[5, 6])
+        assert memory.snapshot() == [5, 6, 0, 0]
+
+    def test_rejects_oversized_initial(self):
+        with pytest.raises(MemoryError_):
+            SharedMemory(2, initial=[1, 2, 3])
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(MemoryError_):
+            SharedMemory(0)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        memory = SharedMemory(4)
+        memory.write(2, 17)
+        assert memory.read(2) == 17
+
+    def test_bounds_checked(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.read(4)
+        with pytest.raises(MemoryError_):
+            memory.write(-1, 0)
+
+    def test_rejects_non_integer_values(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.write(0, 1.5)
+        with pytest.raises(MemoryError_):
+            memory.write(0, True)
+
+    def test_traffic_counters(self):
+        memory = SharedMemory(4)
+        memory.write(0, 1)
+        memory.write(1, 2)
+        memory.read(0)
+        assert memory.writes_applied == 2
+        assert memory.reads_served == 1
+
+    def test_peek_and_poke_are_uncharged(self):
+        memory = SharedMemory(4)
+        memory.poke(0, 9)
+        assert memory.peek(0) == 9
+        assert memory.reads_served == 0
+        assert memory.writes_applied == 0
+
+
+class TestWordBits:
+    def test_enforced_on_write(self):
+        memory = SharedMemory(4, word_bits=8)
+        memory.write(0, 255)
+        with pytest.raises(MemoryError_):
+            memory.write(0, 256)
+
+    def test_enforced_on_initial(self):
+        with pytest.raises(MemoryError_):
+            SharedMemory(4, initial=[300], word_bits=8)
+
+    def test_unbounded_by_default(self):
+        memory = SharedMemory(1)
+        memory.write(0, 10**30)
+        assert memory.read(0) == 10**30
+
+
+class TestRegion:
+    def test_region_copy(self):
+        memory = SharedMemory(6, initial=[1, 2, 3, 4, 5, 6])
+        assert memory.region(2, 3) == [3, 4, 5]
+
+    def test_region_bounds(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.region(2, 5)
+
+    def test_load(self):
+        memory = SharedMemory(5)
+        memory.load([7, 8], offset=2)
+        assert memory.snapshot() == [0, 0, 7, 8, 0]
+
+
+class TestMemoryReader:
+    def test_read_only_view(self):
+        memory = SharedMemory(4, initial=[9])
+        reader = MemoryReader(memory)
+        assert reader.read(0) == 9
+        assert reader[0] == 9
+        assert len(reader) == 4
+        assert reader.snapshot() == [9, 0, 0, 0]
+        assert not hasattr(reader, "write")
+
+    def test_reader_reads_are_uncharged(self):
+        memory = SharedMemory(4)
+        reader = MemoryReader(memory)
+        reader.read(0)
+        assert memory.reads_served == 0

@@ -1,0 +1,104 @@
+"""Unit tests for the processor lifecycle."""
+
+import pytest
+
+from repro.pram.cycles import Cycle, Write
+from repro.pram.errors import ProgramError
+from repro.pram.processor import Processor, ProcessorStatus
+
+
+def two_cycle_program(pid):
+    """Yields two cycles, recording what it received."""
+    received = yield Cycle(reads=(0,), label="first")
+    yield Cycle(writes=(Write(0, received[0] + 1),), label="second")
+
+
+class TestSpawn:
+    def test_spawn_primes_first_cycle(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        assert processor.is_running
+        assert processor.pending_cycle.label == "first"
+
+    def test_empty_program_halts_immediately(self):
+        def empty(pid):
+            return
+            yield  # pragma: no cover
+
+        processor = Processor(0, empty)
+        processor.spawn()
+        assert processor.is_halted
+
+
+class TestCompleteCycle:
+    def test_values_flow_into_program(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        processor.complete_cycle((41,))
+        writes = processor.pending_cycle.materialize_writes(())
+        assert writes == (Write(0, 42),)
+
+    def test_halts_after_last_cycle(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        processor.complete_cycle((0,))
+        processor.complete_cycle(())
+        assert processor.is_halted
+        assert processor.cycles_completed == 2
+
+    def test_non_cycle_yield_rejected(self):
+        def bad(pid):
+            yield "not a cycle"
+
+        processor = Processor(0, bad)
+        with pytest.raises(ProgramError, match="expected a Cycle"):
+            processor.spawn()
+
+
+class TestFailRestart:
+    def test_fail_discards_private_state(self):
+        processor = Processor(3, two_cycle_program)
+        processor.spawn()
+        processor.complete_cycle((10,))
+        processor.fail()
+        assert processor.is_failed
+        processor.restart()
+        assert processor.is_running
+        # Restart goes back to the *first* cycle: private state was lost.
+        assert processor.pending_cycle.label == "first"
+        assert processor.restart_count == 1
+
+    def test_cannot_fail_failed(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        processor.fail()
+        with pytest.raises(ProgramError):
+            processor.fail()
+
+    def test_cannot_restart_running(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        with pytest.raises(ProgramError):
+            processor.restart()
+
+    def test_pending_cycle_unavailable_when_failed(self):
+        processor = Processor(0, two_cycle_program)
+        processor.spawn()
+        processor.fail()
+        with pytest.raises(ProgramError):
+            _ = processor.pending_cycle
+
+
+class TestPidKnowledge:
+    def test_restart_sees_only_pid(self):
+        observed = []
+
+        def program(pid):
+            observed.append(pid)
+            yield Cycle()
+
+        processor = Processor(9, program)
+        processor.spawn()
+        processor.fail()
+        processor.restart()
+        assert observed == [9, 9]

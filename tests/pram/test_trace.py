@@ -1,0 +1,88 @@
+"""Tests for the tracing subsystem."""
+
+import pytest
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults import RandomAdversary, UnionAdversary
+from repro.pram.trace import Tracer, render_timeline
+
+
+def traced_run(n=16, p=8, fail=0.15, seed=3, watch=()):
+    tracer = Tracer(watch=watch)
+    adversary = UnionAdversary([
+        tracer, RandomAdversary(fail, 0.4, seed=seed)
+    ])
+    result = solve_write_all(
+        AlgorithmX(), n, p, adversary=adversary, max_ticks=500_000
+    )
+    return tracer, result
+
+
+class TestTracer:
+    def test_records_every_tick(self):
+        tracer, result = traced_run()
+        assert tracer.ticks_recorded() == result.parallel_time
+        assert [record.time for record in tracer.records] == list(
+            range(1, result.parallel_time + 1)
+        )
+
+    def test_labels_follow_the_program(self):
+        tracer, _result = traced_run(fail=0.0)
+        labels = [label for _tick, label in tracer.labels_of(0)]
+        assert labels
+        assert set(labels) <= {"x:step", "x:mark"}
+
+    def test_watch_series_is_monotone_for_x_cells(self):
+        tracer, result = traced_run(watch=(0, 1))
+        for address in (0, 1):
+            series = [value for _tick, value in tracer.watched_series(address)]
+            assert series == sorted(series)  # 0 -> 1, never back
+
+    def test_downtime_counts_failed_ticks(self):
+        tracer, result = traced_run(fail=0.3, seed=5)
+        total_downtime = sum(tracer.downtime_of(pid) for pid in range(8))
+        assert total_downtime > 0
+
+    def test_ring_buffer_caps_memory(self):
+        tracer = Tracer(max_ticks=4)
+        adversary = UnionAdversary([tracer, RandomAdversary(0.0, seed=1)])
+        result = solve_write_all(AlgorithmX(), 64, 2, adversary=adversary)
+        assert tracer.ticks_recorded() == 4
+        assert tracer.records[-1].time == result.parallel_time
+
+    def test_reset_clears(self):
+        tracer, _ = traced_run()
+        tracer.reset()
+        assert tracer.ticks_recorded() == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(max_ticks=0)
+
+
+class TestTimeline:
+    def test_render_contains_marks(self):
+        tracer, result = traced_run(fail=0.25, seed=7)
+        text = render_timeline(tracer, result.ledger)
+        assert "pid" in text
+        assert "F" in text  # at least one failure drawn
+        assert "R" in text  # and a restart
+
+    def test_render_empty_trace(self):
+        tracer = Tracer()
+        from repro.pram.ledger import RunLedger
+
+        assert render_timeline(tracer, RunLedger()) == "(empty trace)"
+
+    def test_width_limits_columns(self):
+        tracer, result = traced_run(n=64, p=4, fail=0.0)
+        text = render_timeline(tracer, result.ledger, width=10)
+        first_lane = text.splitlines()[0]
+        bar = first_lane.split("|", 1)[1]
+        assert len(bar) <= 10
+
+    def test_pid_filter(self):
+        tracer, result = traced_run()
+        text = render_timeline(tracer, result.ledger, pids=[0, 3])
+        lanes = [line for line in text.splitlines() if line.startswith("pid")]
+        assert len(lanes) == 2

@@ -1,0 +1,147 @@
+"""Property-based tests of the machine core's structural invariants.
+
+An observer adversary watches every tick and checks model invariants
+that must hold regardless of the algorithm: progress-tree soundness for
+X (a done-mark implies the subtree's work is really done), step-counter
+monotonicity for V, and write-set visibility consistency.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlgorithmV, AlgorithmX, solve_write_all
+from repro.faults import RandomAdversary, UnionAdversary
+from repro.faults.base import Adversary
+from repro.pram.failures import Decision
+
+COMMON_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class XTreeSoundnessObserver(Adversary):
+    """Checks: d[node] = 1 implies every leaf element below is written.
+
+    This is the invariant that makes X correct — a processor moving out
+    of a subtree certifies all its work.
+    """
+
+    def __init__(self):
+        self.violations = []
+
+    def decide(self, view):
+        layout = view.context["layout"]
+        n = layout.n
+        tree = layout.tree
+        for node in range(1, 2 * n):
+            if view.memory.read(tree.address(node)) != 1:
+                continue
+            # Collect the leaf span of this node.
+            low, high = node, node
+            while low < n:
+                low, high = 2 * low, 2 * high + 1
+            for leaf in range(low, high + 1):
+                element = leaf - n
+                if view.memory.read(layout.x_base + element) != 1:
+                    self.violations.append((view.time, node, element))
+        return Decision.none()
+
+
+class VStepMonotonicityObserver(Adversary):
+    """The shared step counter must never decrease."""
+
+    def __init__(self):
+        self.last = -1
+        self.violations = []
+
+    def reset(self):
+        self.last = -1
+
+    def decide(self, view):
+        layout = view.context["layout"]
+        current = view.memory.read(layout.step_addr)
+        if current < self.last:
+            self.violations.append((view.time, self.last, current))
+        self.last = current
+        return Decision.none()
+
+
+@given(
+    n=st.sampled_from([4, 8, 16]),
+    p=st.integers(min_value=1, max_value=20),
+    fail=st.floats(min_value=0.0, max_value=0.3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_x_done_marks_are_sound(n, p, fail, seed):
+    observer = XTreeSoundnessObserver()
+    adversary = UnionAdversary([
+        RandomAdversary(fail, 0.4, seed=seed),
+    ])
+    # Wrap: run the observer alongside the random adversary.
+    combined = UnionAdversary([observer, adversary])
+    result = solve_write_all(
+        AlgorithmX(), n, p, adversary=combined, max_ticks=1_000_000
+    )
+    assert result.solved
+    assert observer.violations == []
+
+
+@given(
+    n=st.sampled_from([4, 8, 16, 32]),
+    p=st.integers(min_value=1, max_value=16),
+    fail=st.floats(min_value=0.0, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_v_step_counter_monotone(n, p, fail, seed):
+    observer = VStepMonotonicityObserver()
+    combined = UnionAdversary([
+        observer, RandomAdversary(fail, 0.4, seed=seed)
+    ])
+    result = solve_write_all(
+        AlgorithmV(), n, p, adversary=combined, max_ticks=1_000_000
+    )
+    assert result.solved
+    assert observer.violations == []
+
+
+class WriteAllMonotonicityObserver(Adversary):
+    """x cells only ever go 0 -> 1, never back."""
+
+    def __init__(self):
+        self.seen = {}
+        self.violations = []
+
+    def reset(self):
+        self.seen = {}
+
+    def decide(self, view):
+        layout = view.context["layout"]
+        for index in range(layout.n):
+            value = view.memory.read(layout.x_base + index)
+            previous = self.seen.get(index, 0)
+            if value < previous:
+                self.violations.append((view.time, index, previous, value))
+            self.seen[index] = value
+        return Decision.none()
+
+
+@given(
+    n=st.sampled_from([4, 8, 16]),
+    p=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_x_array_monotone(n, p, seed):
+    observer = WriteAllMonotonicityObserver()
+    combined = UnionAdversary([
+        observer, RandomAdversary(0.15, 0.4, seed=seed)
+    ])
+    result = solve_write_all(
+        AlgorithmX(), n, p, adversary=combined, max_ticks=1_000_000
+    )
+    assert result.solved
+    assert observer.violations == []

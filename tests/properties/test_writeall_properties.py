@@ -1,0 +1,130 @@
+"""Property-based tests: Write-All invariants under random adversaries.
+
+Hypothesis drives instance shapes, adversary parameters and seeds; the
+properties are the paper's structural invariants (solution correctness,
+S' >= S, accounting consistency, determinism).
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    solve_write_all,
+)
+from repro.faults import RandomAdversary
+
+SIZES = st.sampled_from([1, 2, 4, 8, 16, 32])
+PROCS = st.integers(min_value=1, max_value=40)
+ALGORITHMS = st.sampled_from(["X", "V", "W", "V+X", "snapshot"])
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build(name):
+    return {
+        "X": AlgorithmX,
+        "V": AlgorithmV,
+        "W": AlgorithmW,
+        "V+X": AlgorithmVX,
+        "snapshot": SnapshotAlgorithm,
+    }[name]()
+
+
+@given(
+    name=ALGORITHMS,
+    n=SIZES,
+    p=PROCS,
+    fail=st.floats(min_value=0.0, max_value=0.25),
+    restart=st.floats(min_value=0.05, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(**COMMON_SETTINGS)
+def test_solution_and_accounting_invariants(name, n, p, fail, restart, seed):
+    result = solve_write_all(
+        build(name), n, p,
+        adversary=RandomAdversary(fail, restart, seed=seed),
+        max_ticks=2_000_000,
+    )
+    # 1. Correctness: the array is fully written.
+    assert result.solved
+    x_base = result.layout.x_base
+    assert all(result.memory.peek(x_base + i) == 1 for i in range(n))
+    # 2. S' dominates S; both positive.
+    assert result.charged_work >= result.completed_work > 0
+    # 3. Per-tick completions sum to S.
+    assert sum(result.ledger.completed_per_tick) == result.completed_work
+    # 4. With enforced progress every tick completes a cycle.
+    assert all(c >= 1 for c in result.ledger.completed_per_tick)
+    # 5. Restarts never exceed failures (can only revive the fallen).
+    pattern = result.ledger.pattern
+    assert pattern.restart_count <= pattern.failure_count
+    # 6. S' - S is at most the number of failures (each interrupts at
+    #    most one cycle).
+    assert result.charged_work - result.completed_work <= pattern.failure_count
+
+
+@given(
+    name=ALGORITHMS,
+    n=SIZES,
+    p=PROCS,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_runs_are_deterministic(name, n, p, seed):
+    def run():
+        return solve_write_all(
+            build(name), n, p,
+            adversary=RandomAdversary(0.1, 0.3, seed=seed),
+            max_ticks=2_000_000,
+        )
+
+    first, second = run(), run()
+    assert first.completed_work == second.completed_work
+    assert first.charged_work == second.charged_work
+    assert first.pattern_size == second.pattern_size
+    assert first.parallel_time == second.parallel_time
+
+
+@given(
+    n=SIZES,
+    p=PROCS,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_x_work_stays_sub_quadratic(n, p, seed):
+    """Lemma 4.6/Theorem 4.7: X's completed work is bounded for any
+    pattern; random churn must stay well below the N*P ceiling."""
+    result = solve_write_all(
+        AlgorithmX(), n, p,
+        adversary=RandomAdversary(0.2, 0.4, seed=seed),
+        max_ticks=2_000_000,
+    )
+    assert result.solved
+    ceiling = 8 * n * max(4, p) ** (math.log2(1.5) + 0.1) + 64 * (n + p)
+    assert result.completed_work <= ceiling
+
+
+@given(
+    n=SIZES,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_failure_free_any_algorithm_is_reasonable(n, seed):
+    """Without failures, no fault-tolerant algorithm should exceed
+    O(N log^2 N) work by much (sanity band, not a theorem)."""
+    for name in ["X", "V", "W", "V+X", "snapshot"]:
+        result = solve_write_all(build(name), n, n)
+        assert result.solved
+        log_n = max(1, math.log2(max(2, n)))
+        assert result.completed_work <= 40 * n * log_n ** 2 + 200

@@ -1,0 +1,52 @@
+"""Edge cases for the program classifier."""
+
+from repro.simulation import FunctionStep, SimProgram
+from repro.simulation.classify import classify_program
+
+
+class TestClassifierEdges:
+    def test_dependent_read_addresses_followed(self):
+        # Processor 0 reads cell 0, then the cell it points to; both
+        # processors end up reading cell 1 -> concurrent read -> CREW.
+        step = FunctionStep(
+            reads=lambda i: (0, lambda values: values[0]) if i == 0 else (1,),
+            writes=lambda i: (2 + i,),
+            compute=lambda i, values: (values[-1],),
+        )
+        program = SimProgram(width=2, memory_size=4, steps=[step], name="dep")
+        assert classify_program(program, [1, 42]) == "CREW"
+
+    def test_dependent_read_none_is_skipped(self):
+        step = FunctionStep(
+            reads=lambda i: (0, lambda values: None),
+            writes=lambda i: (1 + i,),
+            compute=lambda i, values: (values[1],),  # the skipped slot: 0
+        )
+        program = SimProgram(width=1, memory_size=2, steps=[step], name="skip")
+        assert classify_program(program, [5]) == "EREW"
+
+    def test_inactive_processors_ignored(self):
+        step = FunctionStep(
+            reads=lambda i: (0,) if i == 0 else (),
+            writes=lambda i: (1,) if i == 0 else (),
+            compute=lambda i, values: (values[0],) if i == 0 else (),
+        )
+        program = SimProgram(width=3, memory_size=2, steps=[step], name="one")
+        assert classify_program(program, [9]) == "EREW"
+
+    def test_classifier_applies_steps_sequentially(self):
+        # Step 1 writes 5 into cell 0; step 2 copies cell 0 to cell 1.
+        write5 = FunctionStep(
+            reads=lambda i: (),
+            writes=lambda i: (0,) if i == 0 else (),
+            compute=lambda i, values: (5,) if i == 0 else (),
+        )
+        copy = FunctionStep(
+            reads=lambda i: (0,) if i == 0 else (),
+            writes=lambda i: (1,) if i == 0 else (),
+            compute=lambda i, values: (values[0],) if i == 0 else (),
+        )
+        program = SimProgram(width=1, memory_size=2, steps=[write5, copy],
+                             name="seq")
+        # Classification succeeds (the copy reads the *written* value).
+        assert classify_program(program, [0]) == "EREW"

@@ -1,0 +1,118 @@
+"""Tests for the BFS and polynomial-evaluation PRAM programs."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import AlgorithmX
+from repro.faults import NoFailures, RandomAdversary
+from repro.simulation import RobustSimulator
+from repro.simulation.programs import (
+    bfs_input,
+    bfs_program,
+    polynomial_input,
+    polynomial_program,
+)
+from repro.simulation.programs.bfs import reference_bfs
+from repro.simulation.programs.polynomial import reference_polynomial
+
+
+def simulator(p=8, failing=False, seed=0):
+    adversary = (
+        RandomAdversary(0.08, 0.3, seed=seed) if failing else NoFailures()
+    )
+    return RobustSimulator(p=p, algorithm=AlgorithmX(), adversary=adversary)
+
+
+def ring_adjacency(m):
+    return [[(v - 1) % m, (v + 1) % m] for v in range(m)]
+
+
+class TestBfs:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_ring_distances(self, failing):
+        m = 12
+        adjacency = ring_adjacency(m)
+        program = bfs_program(adjacency, rounds=m)
+        result = simulator(failing=failing).execute(program, bfs_input(m, [0]))
+        assert result.solved
+        expected = [min(v, m - v) for v in range(m)]
+        assert result.memory == expected
+
+    def test_matches_networkx_on_random_cubic_graph(self):
+        graph = nx.random_regular_graph(3, 16, seed=4)
+        m = graph.number_of_nodes()
+        adjacency = [sorted(graph.neighbors(v)) for v in range(m)]
+        program = bfs_program(adjacency)
+        result = simulator().execute(program, bfs_input(m, [0]))
+        lengths = nx.single_source_shortest_path_length(graph, 0)
+        expected = [lengths.get(v, m) for v in range(m)]
+        assert result.memory == expected
+
+    def test_reference_oracle_agrees(self):
+        adjacency = ring_adjacency(8)
+        program = bfs_program(adjacency)
+        result = simulator().execute(program, bfs_input(8, [2]))
+        assert result.memory == reference_bfs(adjacency, [2])
+
+    def test_multi_source(self):
+        m = 10
+        adjacency = ring_adjacency(m)
+        result = simulator().execute(
+            bfs_program(adjacency), bfs_input(m, [0, 5])
+        )
+        expected = [min(min(v, m - v), min(abs(v - 5), m - abs(v - 5)))
+                    for v in range(m)]
+        assert result.memory == expected
+
+    def test_disconnected_vertices_stay_infinite(self):
+        adjacency = [[1], [0], []]  # vertex 2 isolated
+        result = simulator(p=2).execute(
+            bfs_program(adjacency), bfs_input(3, [0])
+        )
+        assert result.memory == [0, 1, 3]
+
+    def test_degree_cap_enforced(self):
+        with pytest.raises(ValueError, match="degree"):
+            bfs_program([[1, 2, 3, 4], [0], [0], [0], [0]])
+
+    def test_neighbor_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bfs_program([[7]])
+
+
+class TestPolynomial:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_evaluates_correctly(self, failing):
+        rng = random.Random(6)
+        m = 8
+        coefficients = [rng.randint(-4, 4) for _ in range(m)]
+        x = rng.randint(-3, 3)
+        program = polynomial_program(m)
+        result = simulator(failing=failing, seed=2).execute(
+            program, polynomial_input(coefficients, x)
+        )
+        assert result.solved
+        assert result.memory[2 * m] == reference_polynomial(coefficients, x)
+
+    def test_constant_polynomial(self):
+        result = simulator(p=1).execute(
+            polynomial_program(1), polynomial_input([5], 100)
+        )
+        assert result.memory[2] == 5
+
+    def test_powers_are_complete(self):
+        m = 16
+        coefficients = [1] * m
+        x = 2
+        result = simulator().execute(
+            polynomial_program(m), polynomial_input(coefficients, x)
+        )
+        # pow region holds 1, 2, 4, ..., 2^15 exactly.
+        assert result.memory[m : 2 * m] == [2 ** i for i in range(m)]
+        assert result.memory[2 * m] == 2 ** m - 1  # geometric sum
+
+    def test_rejects_non_power_size(self):
+        with pytest.raises(ValueError):
+            polynomial_program(6)

@@ -1,0 +1,164 @@
+"""Tests for the generational (no-reset) persistent executor."""
+
+import random
+
+import pytest
+
+from repro.core.generational import GenerationalX
+from repro.core.tasks import CycleFactoryTasks, TrivialTasks
+from repro.faults import (
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ScheduledAdversary,
+)
+from repro.simulation import PersistentSimulator, RobustSimulator
+from repro.simulation.programs import (
+    max_find_program,
+    odd_even_sort_program,
+    prefix_sum_program,
+)
+from repro.simulation.step import SimProgram, SimStep
+
+
+class TestGenerationalXUnit:
+    def test_layout_flags(self):
+        algorithm = GenerationalX([TrivialTasks(), TrivialTasks()])
+        layout = algorithm.build_layout(8, 4)
+        assert layout.generations == 2
+        assert layout.flag_address(0) == layout.flags_base
+        assert layout.flag_address(2) == layout.flags_base + 2
+        with pytest.raises(ValueError):
+            layout.flag_address(3)
+
+    def test_position_mult_exceeds_exit_marker(self):
+        layout = GenerationalX([TrivialTasks()]).build_layout(8, 4)
+        assert layout.position_mult > 2 * layout.n
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            GenerationalX([])
+
+    def test_three_trivial_generations(self):
+        """Three plain Write-All rounds over the same structures: every
+        x cell ends at generation 3."""
+        from repro.core.generational import done_flags_predicate
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        algorithm = GenerationalX([TrivialTasks()] * 3)
+        layout = algorithm.build_layout(16, 8)
+        memory = SharedMemory(layout.size)
+        algorithm.initialize_memory(memory, layout)
+        machine = Machine(8, memory, context={"layout": layout})
+        machine.load_program(algorithm.program(layout))
+        ledger = machine.run(
+            until=done_flags_predicate(layout), max_ticks=100_000
+        )
+        assert ledger.goal_reached
+        assert all(memory.peek(layout.x_base + i) == 3 for i in range(16))
+
+    def test_generations_under_churn(self):
+        from repro.core.generational import done_flags_predicate
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        algorithm = GenerationalX([TrivialTasks()] * 4)
+        layout = algorithm.build_layout(16, 16)
+        memory = SharedMemory(layout.size)
+        algorithm.initialize_memory(memory, layout)
+        adversary = RandomAdversary(0.15, 0.35, seed=4)
+        machine = Machine(16, memory, adversary=adversary,
+                          context={"layout": layout})
+        machine.load_program(algorithm.program(layout))
+        ledger = machine.run(
+            until=done_flags_predicate(layout), max_ticks=1_000_000
+        )
+        assert ledger.goal_reached
+        assert all(memory.peek(layout.x_base + i) == 4 for i in range(16))
+
+
+class TestPersistentSimulator:
+    def test_matches_reset_based_executor(self):
+        rng = random.Random(1)
+        m = 16
+        data = [rng.randint(0, 9) for _ in range(m)]
+        program = prefix_sum_program(m)
+        reset_based = RobustSimulator(p=8, adversary=NoFailures()).execute(
+            program, data
+        )
+        persistent = PersistentSimulator(p=8, adversary=NoFailures()).execute(
+            program, data
+        )
+        assert persistent.solved
+        assert persistent.memory == reset_based.memory
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_programs_under_churn(self, seed):
+        rng = random.Random(seed)
+        m = 12
+        data = [rng.randint(0, 50) for _ in range(m)]
+        simulator = PersistentSimulator(
+            p=6, adversary=RandomAdversary(0.1, 0.3, seed=seed)
+        )
+        result = simulator.execute(odd_even_sort_program(m), data)
+        assert result.solved
+        assert result.memory[:m] == sorted(data)
+
+    def test_failures_span_phase_boundaries(self):
+        """A processor crashed mid-program stays down for the remaining
+        phases (no harness resurrection) and the rest still finish."""
+        m = 16
+        data = list(range(m))
+        adversary = NoRestartAdversary(RandomAdversary(0.03, seed=9))
+        result = PersistentSimulator(p=8, adversary=adversary).execute(
+            prefix_sum_program(m), data
+        )
+        assert result.solved
+        assert result.ledger.pattern.restart_count == 0
+        assert result.ledger.pattern.failure_count > 0
+        assert result.memory == [sum(data[: i + 1]) for i in range(m)]
+
+    def test_mass_extinction_mid_program(self):
+        m = 16
+        data = [1] * m
+        schedule = {40: (list(range(8)), []), 44: ([], [2, 5])}
+        result = PersistentSimulator(
+            p=8, adversary=ScheduledAdversary(schedule)
+        ).execute(prefix_sum_program(m), data)
+        assert result.solved
+        assert result.memory == [i + 1 for i in range(m)]
+
+    def test_phase_clock_is_monotone_and_complete(self):
+        m = 16
+        result = PersistentSimulator(p=8).execute(
+            max_find_program(m), list(range(m))
+        )
+        assert result.solved
+        assert sorted(result.phase_ticks) == list(
+            range(1, result.generations + 1)
+        )
+        ticks = [result.phase_ticks[g] for g in sorted(result.phase_ticks)]
+        assert ticks == sorted(ticks)
+
+    def test_single_ledger_accounts_everything(self):
+        m = 8
+        result = PersistentSimulator(p=4).execute(
+            prefix_sum_program(m), [1] * m
+        )
+        assert result.total_work == result.ledger.completed_work
+        assert result.total_work > 0
+
+    def test_empty_program(self):
+        program = SimProgram(width=4, memory_size=4, steps=[SimStep()],
+                             name="noop")
+        result = PersistentSimulator(p=2).execute(program, [5, 6, 7, 8])
+        assert result.solved
+        assert result.memory == [5, 6, 7, 8]
+        assert result.generations == 0
+
+    def test_rejects_oversized_memory(self):
+        with pytest.raises(ValueError, match="exceed"):
+            PersistentSimulator(p=2).execute(
+                prefix_sum_program(4), [0] * 5
+            )

@@ -1,0 +1,156 @@
+"""Tests for the PRAM program library (correctness on a faulty machine)."""
+
+import random
+
+import pytest
+
+from repro.core import AlgorithmVX, AlgorithmX
+from repro.faults import NoFailures, RandomAdversary
+from repro.simulation import RobustSimulator
+from repro.simulation.programs import (
+    list_ranking_program,
+    matvec_program,
+    max_find_program,
+    odd_even_sort_program,
+    prefix_sum_program,
+)
+from repro.simulation.programs.list_ranking import list_ranking_input
+
+
+def simulator(p=8, failing=False, seed=0):
+    adversary = (
+        RandomAdversary(0.08, 0.3, seed=seed) if failing else NoFailures()
+    )
+    return RobustSimulator(p=p, algorithm=AlgorithmX(), adversary=adversary)
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_matches_python_scan(self, failing):
+        rng = random.Random(1)
+        m = 16
+        data = [rng.randint(-5, 9) for _ in range(m)]
+        result = simulator(failing=failing).execute(
+            prefix_sum_program(m), data
+        )
+        assert result.solved
+        expected = [sum(data[: i + 1]) for i in range(m)]
+        assert result.memory[:m] == expected
+
+    def test_size_one(self):
+        result = simulator().execute(prefix_sum_program(1), [7])
+        assert result.memory == [7]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            prefix_sum_program(0)
+
+
+class TestMaxFind:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_finds_max(self, failing):
+        rng = random.Random(2)
+        m = 16
+        data = [rng.randint(0, 1000) for _ in range(m)]
+        result = simulator(failing=failing, seed=1).execute(
+            max_find_program(m), data
+        )
+        assert result.solved
+        assert result.memory[m] == max(data)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            max_find_program(12)
+
+
+class TestListRanking:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_chain(self, failing):
+        m = 16
+        successor = list(range(1, m)) + [m - 1]
+        initial, _ = list_ranking_input(successor)
+        result = simulator(failing=failing, seed=2).execute(
+            list_ranking_program(m), initial
+        )
+        assert result.solved
+        assert result.memory[m:] == [m - 1 - i for i in range(m)]
+
+    def test_shuffled_list(self):
+        rng = random.Random(3)
+        m = 8
+        order = list(range(m))
+        rng.shuffle(order)
+        successor = [0] * m
+        for position in range(m - 1):
+            successor[order[position]] = order[position + 1]
+        successor[order[-1]] = order[-1]
+        initial, _ = list_ranking_input(successor)
+        result = simulator().execute(list_ranking_program(m), initial)
+        ranks = result.memory[m:]
+        for position, node in enumerate(order):
+            assert ranks[node] == m - 1 - position
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="tail"):
+            list_ranking_input([1, 2, 0])  # a cycle, no tail
+
+
+class TestSorting:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_sorts(self, failing):
+        rng = random.Random(4)
+        m = 12
+        data = [rng.randint(0, 50) for _ in range(m)]
+        result = simulator(failing=failing, seed=3).execute(
+            odd_even_sort_program(m), data
+        )
+        assert result.solved
+        assert result.memory[:m] == sorted(data)
+
+    def test_already_sorted(self):
+        result = simulator().execute(odd_even_sort_program(6), [1, 2, 3, 4, 5, 6])
+        assert result.memory[:6] == [1, 2, 3, 4, 5, 6]
+
+    def test_trivial_sizes(self):
+        program = odd_even_sort_program(1)
+        assert len(program) == 0
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("failing", [False, True])
+    def test_matches_numpy_free_product(self, failing):
+        rng = random.Random(5)
+        m = 4
+        matrix = [rng.randint(-4, 4) for _ in range(m * m)]
+        vector = [rng.randint(-4, 4) for _ in range(m)]
+        result = simulator(p=4, failing=failing, seed=4).execute(
+            matvec_program(m), matrix + vector + [0] * m
+        )
+        assert result.solved
+        expected = [
+            sum(matrix[i * m + k] * vector[k] for k in range(m))
+            for i in range(m)
+        ]
+        assert result.memory[m * m + m:] == expected
+
+    def test_identity_matrix(self):
+        m = 4
+        matrix = [1 if i == j else 0 for i in range(m) for j in range(m)]
+        vector = [3, 1, 4, 1]
+        result = simulator(p=2).execute(
+            matvec_program(m), matrix + vector + [0] * m
+        )
+        assert result.memory[m * m + m:] == vector
+
+
+class TestCrossAlgorithm:
+    def test_vx_executes_programs_too(self):
+        m = 8
+        data = list(range(m))
+        sim = RobustSimulator(
+            p=8, algorithm=AlgorithmVX(),
+            adversary=RandomAdversary(0.05, 0.3, seed=9),
+        )
+        result = sim.execute(prefix_sum_program(m), data)
+        assert result.solved
+        assert result.memory[:m] == [sum(data[: i + 1]) for i in range(m)]

@@ -1,0 +1,129 @@
+"""Unit tests for bit/power-of-two helpers."""
+
+import pytest
+
+from repro.util.bits import (
+    bit_length_of_power,
+    bit_of,
+    ceil_div,
+    ceil_log2,
+    is_power_of_two,
+    msb_first_bit,
+    next_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in [3, 5, 6, 7, 9, 12, 100, 1023]:
+            assert not is_power_of_two(value)
+
+    def test_zero_and_negative(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+
+class TestNextPowerOfTwo:
+    def test_exact_powers_stay(self):
+        for exponent in range(12):
+            assert next_power_of_two(1 << exponent) == 1 << exponent
+
+    def test_rounds_up(self):
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(1000) == 1024
+
+    def test_one(self):
+        assert next_power_of_two(1) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+        with pytest.raises(ValueError):
+            next_power_of_two(-3)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestBitLengthOfPower:
+    def test_values(self):
+        for exponent in range(16):
+            assert bit_length_of_power(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_length_of_power(6)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestBitOf:
+    def test_extracts_bits(self):
+        value = 0b1011
+        assert bit_of(value, 0) == 1
+        assert bit_of(value, 1) == 1
+        assert bit_of(value, 2) == 0
+        assert bit_of(value, 3) == 1
+        assert bit_of(value, 10) == 0
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            bit_of(3, -1)
+
+
+class TestMsbFirstBit:
+    def test_paper_convention(self):
+        # PID = 0b101 in a 3-bit view: bit 0 (MSB) = 1, bit 1 = 0, bit 2 = 1.
+        assert msb_first_bit(0b101, 0, 3) == 1
+        assert msb_first_bit(0b101, 1, 3) == 0
+        assert msb_first_bit(0b101, 2, 3) == 1
+
+    def test_width_padding(self):
+        # PID = 1 in a 4-bit view is 0001.
+        assert msb_first_bit(1, 0, 4) == 0
+        assert msb_first_bit(1, 3, 4) == 1
+
+    def test_distinct_pids_diverge_at_some_depth(self):
+        width = 5
+        for a in range(2**width):
+            for b in range(a + 1, 2**width):
+                assert any(
+                    msb_first_bit(a, i, width) != msb_first_bit(b, i, width)
+                    for i in range(width)
+                )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            msb_first_bit(1, 3, 3)
+        with pytest.raises(ValueError):
+            msb_first_bit(1, 0, 0)

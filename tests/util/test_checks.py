@@ -1,0 +1,47 @@
+"""Unit tests for the validation helpers."""
+
+import pytest
+
+from repro.util.checks import require, require_index, require_positive
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestRequirePositive:
+    def test_returns_value(self):
+        assert require_positive(3, "n") == 3
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError, match="n"):
+            require_positive(0, "n")
+        with pytest.raises(ValueError):
+            require_positive(-1, "n")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(ValueError):
+            require_positive(True, "n")
+        with pytest.raises(ValueError):
+            require_positive(1.5, "n")
+
+
+class TestRequireIndex:
+    def test_in_range(self):
+        assert require_index(0, 4, "i") == 0
+        assert require_index(3, 4, "i") == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            require_index(4, 4, "i")
+        with pytest.raises(IndexError):
+            require_index(-1, 4, "i")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ValueError):
+            require_index("0", 4, "i")
