@@ -15,19 +15,22 @@ vetoes — quantifying what the implicit assumption is worth.
 from _support import emit, once
 
 from repro.core import AlgorithmVX, solve_write_all
-from repro.faults import IterationStarver
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 64
-WINDOWS = [None, 16, 4, 1]
+# Shared with the driver's scenario registry: one spec per window.
+SCENARIO = get_scenario("A3_fairness")
+N = SCENARIO.specs[0].sizes[0]
+WINDOWS = [spec.fairness_window for spec in SCENARIO.specs]
 
 
 def run_sweep():
     rows = []
     ticks = {}
-    for window in WINDOWS:
+    for spec, window in zip(SCENARIO.specs, WINDOWS):
         result = solve_write_all(
-            AlgorithmVX(), N, N, adversary=IterationStarver(),
+            AlgorithmVX(), N, N,
+            adversary=spec.adversary_for(spec.seeds[0]),
             max_ticks=2_000_000, fairness_window=window,
         )
         assert result.solved

@@ -19,8 +19,14 @@ import random
 from _support import emit, once
 
 from repro.core import AlgorithmX
+from repro.experiments.bench import EXCLUDED
 from repro.faults import RandomAdversary
 from repro.metrics.tables import render_table
+
+# Bespoke benchmark: not an engine-runnable sweep grid.  The driver's
+# registry records why (and this assert keeps the record honest).
+SCENARIO = None
+assert "bench_ablation_persistent.py" in EXCLUDED
 from repro.simulation import PersistentSimulator, RobustSimulator
 from repro.simulation.programs import (
     max_find_program,

@@ -12,21 +12,24 @@ import math
 
 from _support import emit, once
 
-from repro.core import AlgorithmV, solve_write_all
-from repro.faults import NoRestartAdversary, RandomAdversary
+from repro.core import solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 256
-CHUNKS = [1, 8, 16, 64, 256]  # 8 = next_power_of_two(log2 256) = default
+# Shared with the driver's scenario registry: one spec per chunk
+# factor (8 = next_power_of_two(log2 256) = the default).
+SCENARIO = get_scenario("A2_v_chunk")
+N = SCENARIO.specs[0].sizes[0]
+CHUNKS = [spec.algorithm.keywords["chunk"] for spec in SCENARIO.specs]
 
 
 def run_sweep():
     rows = []
     works = {}
-    for chunk in CHUNKS:
-        adversary = NoRestartAdversary(RandomAdversary(0.02, seed=5))
+    for spec, chunk in zip(SCENARIO.specs, CHUNKS):
         result = solve_write_all(
-            AlgorithmV(chunk=chunk), N, N // 4, adversary=adversary,
+            spec.algorithm(), N, spec.processors_for(N),
+            adversary=spec.adversary_for(spec.seeds[0]),
             max_ticks=4_000_000,
         )
         assert result.solved, chunk

@@ -15,23 +15,26 @@ pay more; the random coin is balanced on average but uncoordinated.
 
 from _support import emit, once
 
-from repro.core import AlgorithmX, solve_write_all
-from repro.faults import BurstAdversary
+from repro.core import solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 256
-ROUTINGS = ["pid", "random", "left", "right"]
+# Shared with the driver's scenario registry: one spec per routing
+# rule, the algorithm pre-bound via functools.partial.
+SCENARIO = get_scenario("A1_x_routing")
+N = SCENARIO.specs[0].sizes[0]
+ROUTINGS = [spec.name.split("-", 1)[1] for spec in SCENARIO.specs]
 
 
 def run_sweep():
     rows = []
     works = {}
-    for routing in ROUTINGS:
+    for spec, routing in zip(SCENARIO.specs, ROUTINGS):
         # Mass-restart churn forces repeated convergent descents, the
         # regime where the routing rule matters.
-        adversary = BurstAdversary(period=2, fraction=0.9, downtime=1)
         result = solve_write_all(
-            AlgorithmX(routing=routing), N, N, adversary=adversary,
+            spec.algorithm(), N, N,
+            adversary=spec.adversary_for(spec.seeds[0]),
             max_ticks=4_000_000,
         )
         assert result.solved, routing

@@ -16,28 +16,34 @@ import math
 from _support import emit, once
 
 from repro.core import AlgorithmVX, solve_write_all
-from repro.faults import FailureBudgetAdversary, ThrashingAdversary
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 128
+# Shared with the driver's scenario registry: one spec per budget
+# regime (the sigma bound per regime stays local to this script).
+SCENARIO = get_scenario("E10_corollaries_sigma")
+N = SCENARIO.specs[0].sizes[0]
 
 
 def regimes(n):
     log_n = math.log2(n)
+    bounds = [log_n ** 2, log_n, 1.0]
+    labels = ["|F| <= P", "|F| ~ N log N", "|F| ~ N^1.6"]
     return [
-        ("|F| <= P", int(n), log_n ** 2),
-        ("|F| ~ N log N", int(4 * n * log_n), log_n),
-        ("|F| ~ N^1.6", int(n ** 1.6) * 4, 1.0),
+        (label, spec.adversary.budget, bound)
+        for label, spec, bound in zip(labels, SCENARIO.specs, bounds)
     ]
 
 
 def run_sweep():
     rows = []
     sigmas = []
-    for label, budget, sigma_bound in regimes(N):
-        adversary = FailureBudgetAdversary(ThrashingAdversary(), budget)
+    for (label, budget, sigma_bound), spec in zip(regimes(N),
+                                                  SCENARIO.specs):
         result = solve_write_all(
-            AlgorithmVX(), N, N, adversary=adversary, max_ticks=4_000_000
+            AlgorithmVX(), N, N,
+            adversary=spec.adversary_for(spec.seeds[0]),
+            max_ticks=4_000_000,
         )
         assert result.solved
         sigma = result.overhead_ratio

@@ -10,11 +10,15 @@ grows ~quadratically, S stays near-linear.
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.faults import ThrashingAdversary
 from repro.metrics.fitting import fitted_exponent
 from repro.metrics.tables import render_table
 
-SIZES = [32, 64, 128, 256]
+# Grid constants come from the driver's scenario registry so the
+# pytest benchmark and `repro bench` measure the same sweep.
+SCENARIO = get_scenario("E1_thrashing")
+SIZES = list(SCENARIO.specs[0].sizes)
 
 
 def run_sweep():

@@ -6,21 +6,23 @@ P = N / log^2 N (the bound collapses to O(N), the optimality window).
 The ratio to the predicted bound must flatten in both regimes.
 """
 
-import math
-
 from _support import emit, once
 
 from repro.core import AlgorithmV, solve_write_all
-from repro.faults import NoRestartAdversary, RandomAdversary
+from repro.experiments.bench import get_scenario
 from repro.metrics.bounds import work_upper_lemma42
 from repro.metrics.fitting import is_flat
 from repro.metrics.tables import render_table
 
-SIZES = [64, 128, 256, 512]
+# Shared with the driver's scenario registry: the dense (P = N) and
+# slack (P = N / log^2 N) sweeps, each with its crash-only factory.
+SCENARIO = get_scenario("E4_lemma42_v_failstop")
+DENSE_SPEC, SLACK_SPEC = SCENARIO.specs
+SIZES = list(DENSE_SPEC.sizes)
 
 
 def crash_only(seed):
-    return NoRestartAdversary(RandomAdversary(0.02, seed=seed))
+    return DENSE_SPEC.adversary(seed)
 
 
 def run_sweep():
@@ -30,7 +32,7 @@ def run_sweep():
         dense = solve_write_all(
             AlgorithmV(), n, n, adversary=crash_only(1), max_ticks=2_000_000
         )
-        slack_p = max(1, n // int(math.log2(n)) ** 2)
+        slack_p = SLACK_SPEC.processors_for(n)
         slack = solve_write_all(
             AlgorithmV(), n, slack_p, adversary=crash_only(2),
             max_ticks=2_000_000,

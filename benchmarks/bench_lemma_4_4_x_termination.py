@@ -9,24 +9,19 @@ survivor).
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
-from repro.faults import (
-    BurstAdversary,
-    NoFailures,
-    RandomAdversary,
-    ThrashingAdversary,
-)
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 128
+# Shared with the driver's scenario registry: one spec per environment
+# (the spec name carries the label, the factory carries the seed).
+SCENARIO = get_scenario("E6_lemma44_x_termination")
+N = SCENARIO.specs[0].sizes[0]
 
 
 def environments():
     return [
-        ("no failures", NoFailures()),
-        ("random 10%", RandomAdversary(0.1, 0.3, seed=1)),
-        ("random 30%", RandomAdversary(0.3, 0.5, seed=2)),
-        ("bursts", BurstAdversary(period=2, fraction=0.7, downtime=1)),
-        ("thrashing", ThrashingAdversary()),
+        (spec.name.split("/", 1)[1], spec.adversary_for(spec.seeds[0]))
+        for spec in SCENARIO.specs
     ]
 
 
@@ -62,5 +57,5 @@ def test_x_terminates_everywhere(benchmark):
     # Time band: the failure-free run is ~log N-ish; the lone processor
     # is Theta(N) (with a log-factor of tree walking).
     ticks = {row[0]: row[1] for row in rows}
-    assert ticks["no failures"] <= 16
+    assert ticks["no-failures"] <= 16
     assert N / 2 <= ticks["P=1 (sequential DFS)"] <= 12 * N

@@ -11,11 +11,22 @@ check the scaling, plus the exact-duplication corollary failure-free.
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
-from repro.faults import BurstAdversary, NoFailures
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-N = 64
-MULTIPLES = [1, 2, 4, 8]
+# Shared with the driver's scenario registry: burst + failure-free
+# specs per oversubscription multiple.
+SCENARIO = get_scenario("E14_lemma45_oversubscription")
+N = SCENARIO.specs[0].sizes[0]
+MULTIPLES = sorted({spec.processors_for(N) // N for spec in SCENARIO.specs})
+_BURST = {
+    spec.processors_for(N) // N: spec
+    for spec in SCENARIO.specs if "burst" in spec.name
+}
+_FREE = {
+    spec.processors_for(N) // N: spec
+    for spec in SCENARIO.specs if "free" in spec.name
+}
 
 
 def run_sweep():
@@ -25,10 +36,11 @@ def run_sweep():
         p = multiple * N
         adversarial = solve_write_all(
             AlgorithmX(), N, p,
-            adversary=BurstAdversary(period=2, fraction=0.8, downtime=1),
+            adversary=_BURST[multiple].adversary_for(0),
             max_ticks=2_000_000,
         )
-        free = solve_write_all(AlgorithmX(), N, p, adversary=NoFailures())
+        free = solve_write_all(AlgorithmX(), N, p,
+                               adversary=_FREE[multiple].adversary_for(0))
         assert adversarial.solved and free.solved
         works[multiple] = adversarial.completed_work
         rows.append([

@@ -8,8 +8,14 @@ are the only benchmarks here where wall-clock time is the point.
 from _support import emit
 
 from repro.core import AlgorithmVX, AlgorithmX, solve_write_all
+from repro.experiments.bench import EXCLUDED
 from repro.faults import NoFailures, RandomAdversary
 from repro.metrics.tables import render_table
+
+# Bespoke benchmark: not an engine-runnable sweep grid.  The driver's
+# registry records why (and this assert keeps the record honest).
+SCENARIO = None
+assert "bench_machine_micro.py" in EXCLUDED
 
 
 def test_x_failure_free_throughput(benchmark):

@@ -19,15 +19,15 @@ import math
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
-from repro.faults import (
-    HalvingAdversary,
-    NoRestartAdversary,
-    StalkingAdversaryX,
-)
+from repro.experiments.bench import get_scenario
 from repro.metrics.fitting import fitted_exponent
 from repro.metrics.tables import render_table
 
-SIZES = [32, 64, 128, 256, 512]
+# Shared with the driver's scenario registry: the no-restart halving
+# and no-restart stalker sweeps.
+SCENARIO = get_scenario("A4_x_failstop_conjecture")
+HALVING_SPEC, STALKER_SPEC = SCENARIO.specs
+SIZES = list(HALVING_SPEC.sizes)
 
 
 def conjecture(n: int) -> float:
@@ -41,12 +41,12 @@ def run_sweep():
     for n in SIZES:
         halved = solve_write_all(
             AlgorithmX(), n, n,
-            adversary=NoRestartAdversary(HalvingAdversary()),
+            adversary=HALVING_SPEC.adversary_for(0),
             max_ticks=20_000_000,
         )
         stalked = solve_write_all(
             AlgorithmX(), n, n,
-            adversary=NoRestartAdversary(StalkingAdversaryX()),
+            adversary=STALKER_SPEC.adversary_for(0),
             max_ticks=20_000_000,
         )
         assert halved.solved and stalked.solved

@@ -21,8 +21,14 @@ Four environments for the ACC reconstruction:
 from _support import emit, once
 
 from repro.core import AccAlgorithm, solve_write_all
+from repro.experiments.bench import EXCLUDED
 from repro.faults import AccStalker, NoRestartAdversary, ScheduledAdversary
 from repro.metrics.tables import render_table
+
+# Bespoke benchmark: not an engine-runnable sweep grid.  The driver's
+# registry records why (and this assert keeps the record honest).
+SCENARIO = None
+assert "bench_section_5_acc_stalking.py" in EXCLUDED
 
 N = 32
 STARVE_TICKS = 30_000

@@ -16,10 +16,13 @@ from repro.core import (
     SnapshotAlgorithm,
     solve_write_all,
 )
+from repro.experiments.bench import get_scenario
 from repro.faults import HalvingAdversary
 from repro.metrics.tables import render_table
 
-SIZES = [16, 32, 64, 128, 256]
+# Shared with the driver's scenario registry (one spec per algorithm).
+SCENARIO = get_scenario("E2_thm31_lower_bound")
+SIZES = list(SCENARIO.specs[0].sizes)
 
 
 def run_sweep():

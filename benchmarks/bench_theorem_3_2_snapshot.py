@@ -11,11 +11,14 @@ import math
 from _support import emit, once
 
 from repro.core import SnapshotAlgorithm, solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.faults import HalvingAdversary, NoFailures
 from repro.metrics.fitting import is_flat
 from repro.metrics.tables import render_table
 
-SIZES = [16, 32, 64, 128, 256, 512]
+# Shared with the driver's scenario registry (halving + failure-free).
+SCENARIO = get_scenario("E3_thm32_snapshot")
+SIZES = list(SCENARIO.specs[0].sizes)
 
 
 def run_sweep():

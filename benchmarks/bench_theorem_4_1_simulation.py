@@ -19,8 +19,14 @@ import random
 from _support import emit, once
 
 from repro.core import AlgorithmVX
+from repro.experiments.bench import EXCLUDED
 from repro.faults import FailureBudgetAdversary, RandomAdversary
 from repro.metrics.tables import render_table
+
+# Bespoke benchmark: not an engine-runnable sweep grid.  The driver's
+# registry records why (and this assert keeps the record honest).
+SCENARIO = None
+assert "bench_theorem_4_1_simulation.py" in EXCLUDED
 from repro.simulation import RobustSimulator
 from repro.simulation.programs import (
     max_find_program,

@@ -9,22 +9,23 @@ marginal work per pattern event stays O(log N).
 from _support import emit, once
 
 from repro.core import AlgorithmV, solve_write_all
-from repro.faults import FailureBudgetAdversary, RandomAdversary
+from repro.experiments.bench import get_scenario
 from repro.metrics.bounds import work_upper_thm43
 from repro.metrics.tables import render_table
 
-N = 256
-BUDGETS = [0, 64, 256, 1024, 4096]
+# Shared with the driver's scenario registry: one spec per budget.
+SCENARIO = get_scenario("E5_thm43_v_restarts")
+N = SCENARIO.specs[0].sizes[0]
+BUDGETS = [spec.adversary.budget for spec in SCENARIO.specs]
+SEED = SCENARIO.specs[0].seeds[0]
 
 
 def run_sweep():
     rows, ratios = [], []
-    for budget in BUDGETS:
-        adversary = FailureBudgetAdversary(
-            RandomAdversary(0.25, 0.4, seed=3), budget
-        )
+    for spec, budget in zip(SCENARIO.specs, BUDGETS):
         result = solve_write_all(
-            AlgorithmV(), N, N, adversary=adversary, max_ticks=4_000_000
+            AlgorithmV(), N, N, adversary=spec.adversary(SEED),
+            max_ticks=4_000_000,
         )
         assert result.solved
         m = result.pattern_size

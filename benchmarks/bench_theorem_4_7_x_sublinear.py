@@ -11,11 +11,14 @@ import math
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.faults import StalkingAdversaryX
 from repro.metrics.tables import render_table
 
-N = 256
-PROCESSORS = [1, 4, 16, 64, 256]
+# Shared with the driver's scenario registry: one spec per P.
+SCENARIO = get_scenario("E8_thm47_x_sublinear")
+N = SCENARIO.specs[0].sizes[0]
+PROCESSORS = [spec.processors_for(N) for spec in SCENARIO.specs]
 EXPONENT = math.log2(1.5)
 
 

@@ -12,11 +12,14 @@ import math
 from _support import emit, once
 
 from repro.core import AlgorithmX, solve_write_all
+from repro.experiments.bench import get_scenario
 from repro.faults import StalkingAdversaryX
 from repro.metrics.fitting import doubling_exponents, fitted_exponent
 from repro.metrics.tables import render_table
 
-SIZES = [16, 32, 64, 128, 256]
+# Shared with the driver's scenario registry.
+SCENARIO = get_scenario("E7_thm48_x_stalking")
+SIZES = list(SCENARIO.specs[0].sizes)
 
 
 def run_sweep():

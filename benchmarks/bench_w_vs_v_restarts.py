@@ -16,25 +16,34 @@ and W pays its enumeration phase even failure-free.
 from _support import emit, once
 
 from repro.core import AlgorithmV, AlgorithmW, solve_write_all
-from repro.faults import NoFailures, RandomAdversary
+from repro.experiments.bench import get_scenario
 from repro.metrics.tables import render_table
 
-SIZES = [64, 128, 256]
+# Shared with the driver's scenario registry: free + churn specs for
+# both algorithms, identical churn (same factory, same seed).
+SCENARIO = get_scenario("A6_w_vs_v")
+_SPECS = {spec.name: spec for spec in SCENARIO.specs}
+SIZES = list(SCENARIO.specs[0].sizes)
+
+
+def _adversary(name):
+    spec = _SPECS[name]
+    return spec.adversary_for(spec.seeds[0])
 
 
 def run_sweep():
     rows = []
     for n in SIZES:
-        free_w = solve_write_all(AlgorithmW(), n, n, adversary=NoFailures())
-        free_v = solve_write_all(AlgorithmV(), n, n, adversary=NoFailures())
+        free_w = solve_write_all(AlgorithmW(), n, n,
+                                 adversary=_adversary("W/free"))
+        free_v = solve_write_all(AlgorithmV(), n, n,
+                                 adversary=_adversary("V/free"))
         churn_w = solve_write_all(
-            AlgorithmW(), n, n,
-            adversary=RandomAdversary(0.08, 0.3, seed=12),
+            AlgorithmW(), n, n, adversary=_adversary("W/churn"),
             max_ticks=4_000_000,
         )
         churn_v = solve_write_all(
-            AlgorithmV(), n, n,
-            adversary=RandomAdversary(0.08, 0.3, seed=12),
+            AlgorithmV(), n, n, adversary=_adversary("V/churn"),
             max_ticks=4_000_000,
         )
         assert all(r.solved for r in [free_w, free_v, churn_w, churn_v])

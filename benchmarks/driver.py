@@ -1,0 +1,35 @@
+"""Unified benchmark driver.
+
+Runs the registered benchmark scenarios (see
+``repro.experiments.bench``) through the parallel sweep engine and
+writes a machine-readable ``BENCH_<tag>.json`` report plus the usual
+text tables.  This is a thin wrapper over ``python -m repro bench`` so
+the two entry points cannot diverge::
+
+    PYTHONPATH=src python benchmarks/driver.py --workers 4 --tag nightly
+    python benchmarks/driver.py --list
+    python benchmarks/driver.py --scenarios E1_thrashing,E2_thm31_lower_bound
+
+The report schema is documented in ``repro.metrics.report`` and
+``docs/EXPERIMENT_ENGINE.md``.  A second run with the same cache
+directory is served entirely from cache (100% hit rate), which is what
+makes regenerating the full suite cheap after a partial change.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["bench"] + list(sys.argv[1:] if argv is None
+                                       else argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,11 @@ Commands:
 
 * ``solve``     — run one Write-All instance and print the accounting;
 * ``sweep``     — sweep N (and seeds), print the aggregate table and the
-  fitted growth exponent, optionally export CSV;
+  fitted growth exponent, optionally export CSV; ``--workers`` fans the
+  grid out over processes with caching/resume (``--cache-dir``,
+  ``--resume``) and per-point ``--timeout``/``--retries``;
+* ``bench``     — run registered benchmark scenarios through the
+  parallel engine and write a machine-readable ``BENCH_<tag>.json``;
 * ``simulate``  — robustly execute a library PRAM program and verify it;
 * ``trace``     — run a small instance and print the per-processor
   failure/restart timeline;
@@ -31,16 +35,17 @@ from repro.core import (
     TrivialAssignment,
     solve_write_all,
 )
-from repro.experiments import SweepSpec, run_sweep
+from repro.experiments import SweepSpec, run_sweep, run_sweep_parallel
+from repro.experiments.factories import (
+    NAMED_ADVERSARIES,
+    NamedAdversary,
+    build_named_adversary,
+)
 from repro.faults import (
-    AccStalker,
-    BurstAdversary,
     HalvingAdversary,
-    IterationStarver,
     NoFailures,
     NoRestartAdversary,
     RandomAdversary,
-    StalkingAdversaryX,
     ThrashingAdversary,
 )
 from repro.metrics.tables import render_table
@@ -64,8 +69,7 @@ ALGORITHMS = {
     "ACC": AccAlgorithm,
 }
 
-ADVERSARIES = ["none", "random", "crash", "thrashing", "halving",
-               "stalker", "starver", "acc-stalker", "burst"]
+ADVERSARIES = list(NAMED_ADVERSARIES)
 
 PROGRAMS = {
     "prefix-sum": prefix_sum_program,
@@ -77,25 +81,10 @@ PROGRAMS = {
 
 
 def build_adversary(name: str, fail: float, restart_prob: float, seed: int):
-    if name == "none":
-        return NoFailures()
-    if name == "random":
-        return RandomAdversary(fail, restart_prob, seed=seed)
-    if name == "crash":
-        return NoRestartAdversary(RandomAdversary(fail, seed=seed))
-    if name == "thrashing":
-        return ThrashingAdversary()
-    if name == "halving":
-        return HalvingAdversary()
-    if name == "stalker":
-        return StalkingAdversaryX()
-    if name == "starver":
-        return IterationStarver()
-    if name == "acc-stalker":
-        return AccStalker()
-    if name == "burst":
-        return BurstAdversary(period=3, fraction=0.5, downtime=1)
-    raise SystemExit(f"unknown adversary {name!r}; known: {ADVERSARIES}")
+    try:
+        return build_named_adversary(name, fail, restart_prob, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +96,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="per-tick restart probability (stochastic)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-ticks", type=int, default=None)
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    """Parallel-engine flags shared by ``sweep`` and ``bench``."""
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                             "(default: .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from cached points (sweep: also "
+                             "switches to the engine)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="recompute every point, overwriting cache "
+                             "entries")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point wall-clock timeout in seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per timed-out/crashed point")
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -127,21 +137,115 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         algorithm=ALGORITHMS[args.algorithm],
         sizes=sizes,
         processors=(lambda n: n) if args.p is None else args.p,
-        adversary=lambda seed: build_adversary(
-            args.adversary, args.fail, args.restart_prob, seed
-        ),
+        adversary=NamedAdversary(args.adversary, args.fail,
+                                 args.restart_prob),
         seeds=range(args.seeds),
         max_ticks=args.max_ticks,
     )
-    result = run_sweep(spec)
+    use_engine = (
+        args.workers is not None or args.resume
+        or args.timeout is not None or args.cache_dir is not None
+    )
+    if use_engine:
+        result = run_sweep_parallel(
+            spec,
+            workers=args.workers,
+            cache_dir=(
+                None if args.no_cache
+                else (args.cache_dir or ".repro-cache")
+            ),
+            resume=not args.no_resume,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    else:
+        result = run_sweep(spec)
     print(result.table())
-    if len(sizes) >= 2:
+    if len(sizes) >= 2 and result.points:
         print(f"\nfitted work exponent (worst case): "
               f"{result.fitted_exponent():.3f}")
+    if use_engine:
+        stats = result.stats
+        print(
+            f"\nengine: {stats.total} points, {stats.executed} executed, "
+            f"{stats.cache_hits} cache hits "
+            f"({100.0 * stats.hit_rate:.1f}% hit rate), "
+            f"{stats.failed} failed, {stats.retries} retries, "
+            f"{stats.wall_s:.2f}s wall"
+        )
+        for failure in result.failures:
+            print(
+                f"  FAILED (N={failure.n}, P={failure.p}, "
+                f"seed={failure.seed}): {failure.kind} "
+                f"after {failure.attempts} attempts"
+            )
     if args.csv:
         result.export_csv(args.csv)
         print(f"wrote {args.csv}")
-    return 0 if result.all_solved() else 1
+    solved = result.all_solved() and not getattr(result, "failures", [])
+    return 0 if solved else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.experiments.bench import (
+        EXCLUDED,
+        SCENARIOS,
+        default_scenario_tags,
+        run_benchmarks,
+        scenario_tags,
+    )
+    from repro.metrics.report import dump_report
+
+    if args.list:
+        for tag in scenario_tags():
+            scenario = SCENARIOS[tag]
+            heavy = "  [heavy]" if scenario.heavy else ""
+            print(f"{tag:30s} {scenario.title}{heavy}")
+        print("\nbespoke (not engine-runnable):")
+        for source, reason in sorted(EXCLUDED.items()):
+            print(f"  {source}: {reason}")
+        return 0
+
+    if args.scenarios is None:
+        tags = default_scenario_tags()
+    elif args.scenarios == "all":
+        tags = scenario_tags()
+    else:
+        tags = [token.strip() for token in args.scenarios.split(",")
+                if token.strip()]
+    unknown = [tag for tag in tags if tag not in SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s): {', '.join(unknown)} "
+            f"(see `repro bench --list`)"
+        )
+    report, by_scenario = run_benchmarks(
+        tags,
+        tag=args.tag,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else (args.cache_dir
+                                              or ".repro-cache"),
+        resume=not args.no_resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=lambda line: print(f"[bench] {line}"),
+    )
+    for tag in tags:
+        for result in by_scenario[tag]:
+            print(result.table())
+            print()
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, f"BENCH_{args.tag}.json")
+    dump_report(report, path)
+    totals = report["totals"]
+    print(
+        f"wrote {path}: {len(tags)} scenarios, {totals['points']} points, "
+        f"{totals['executed']} executed, {totals['cache_hits']} cached, "
+        f"{totals['failed']} failed, {totals['wall_s']:.2f}s"
+    )
+    return 0 if totals["failed"] == 0 else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -251,8 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fixed P (default: P = N)")
     sweep.add_argument("--seeds", type=int, default=3)
     sweep.add_argument("--csv", default=None)
+    _add_engine(sweep)
     _add_common(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run benchmark scenarios, write BENCH_<tag>.json",
+    )
+    bench.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario tags; 'all' for "
+                            "every registered scenario (default: the "
+                            "non-heavy set)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    bench.add_argument("--tag", default="local",
+                       help="report tag: writes BENCH_<tag>.json")
+    bench.add_argument("--out", default="benchmarks/results",
+                       help="output directory for the JSON report")
+    _add_engine(bench)
+    bench.set_defaults(func=cmd_bench)
 
     simulate = commands.add_parser(
         "simulate", help="robustly execute a PRAM program"

@@ -24,7 +24,13 @@ from repro.core.problem import (
     unvisited_count,
     verify_solution,
 )
-from repro.core.runner import WriteAllResult, default_tick_budget, solve_write_all
+from repro.core.runner import (
+    RunMeasures,
+    WriteAllResult,
+    default_tick_budget,
+    measure_write_all,
+    solve_write_all,
+)
 from repro.core.snapshot import SnapshotAlgorithm, SnapshotLayout
 from repro.core.tasks import CycleFactoryTasks, TaskSet, TrivialTasks
 from repro.core.trees import HeapTree
@@ -42,6 +48,7 @@ __all__ = [
     "GenXLayout",
     "GenerationalX",
     "HeapTree",
+    "RunMeasures",
     "SnapshotAlgorithm",
     "SnapshotLayout",
     "TaskSet",
@@ -57,6 +64,7 @@ __all__ = [
     "XLayout",
     "default_tick_budget",
     "done_predicate",
+    "measure_write_all",
     "padded_size",
     "solve_write_all",
     "unvisited_count",

@@ -113,6 +113,61 @@ def solve_write_all(
     )
 
 
+@dataclass(frozen=True)
+class RunMeasures:
+    """The paper's measures of one run, detached from the machine.
+
+    :class:`WriteAllResult` drags the whole ledger and shared memory
+    along, which is what interactive callers want but is needlessly
+    heavy (and irrelevant) to ship between processes.  This is the
+    picklable value that sweep workers return.
+    """
+
+    algorithm: str
+    n: int
+    p: int
+    solved: bool
+    completed_work: int
+    charged_work: int
+    pattern_size: int
+    overhead_ratio: float
+    parallel_time: int
+
+
+def measure_write_all(
+    algorithm_factory,
+    n: int,
+    p: int,
+    adversary: Optional[object] = None,
+    max_ticks: Optional[int] = None,
+    fairness_window: Optional[int] = None,
+) -> RunMeasures:
+    """Picklable sweep entry point: run one instance, return measures.
+
+    ``algorithm_factory`` is a zero-argument callable (the algorithm
+    class, or a ``functools.partial`` of it) so that a fresh instance is
+    built *inside* the worker process — algorithms hold incidental state
+    and must never be shared across runs.
+    """
+    result = solve_write_all(
+        algorithm_factory(), n, p,
+        adversary=adversary,
+        max_ticks=max_ticks,
+        fairness_window=fairness_window,
+    )
+    return RunMeasures(
+        algorithm=result.algorithm,
+        n=n,
+        p=p,
+        solved=result.solved,
+        completed_work=result.completed_work,
+        charged_work=result.charged_work,
+        pattern_size=result.pattern_size,
+        overhead_ratio=result.overhead_ratio,
+        parallel_time=result.parallel_time,
+    )
+
+
 def default_tick_budget(n: int, p: int) -> int:
     """A generous default tick limit.
 

@@ -23,9 +23,55 @@ Example::
     result = run_sweep(spec)
     print(result.table())
     print(result.fitted_exponent())
+
+Large sweeps go through the parallel engine instead — same results,
+fanned out over worker processes with on-disk caching and resume::
+
+    from repro.experiments import run_sweep_parallel
+    from repro.experiments.factories import RandomChurn
+
+    spec = SweepSpec(..., adversary=RandomChurn(0.1, 0.3))
+    result = run_sweep_parallel(spec, workers=4, cache_dir=".sweep-cache")
+    print(result.stats.hit_rate)
+
+See :mod:`repro.experiments.parallel` (the engine),
+:mod:`repro.experiments.cache` (content-hashed result store),
+:mod:`repro.experiments.factories` (picklable adversary factories) and
+:mod:`repro.experiments.bench` (the benchmark scenario registry).
 """
 
 from repro.experiments.spec import SweepSpec
-from repro.experiments.runner import RunPoint, SweepResult, run_sweep
+from repro.experiments.runner import (
+    RunPoint,
+    SweepResult,
+    run_one_point,
+    run_sweep,
+)
+from repro.experiments.cache import ResultCache, fingerprint, point_key
+from repro.experiments.parallel import (
+    ParallelSweepResult,
+    PointFailure,
+    PointMeta,
+    PointSpec,
+    SweepStats,
+    expand_spec,
+    run_sweep_parallel,
+)
 
-__all__ = ["RunPoint", "SweepResult", "SweepSpec", "run_sweep"]
+__all__ = [
+    "ParallelSweepResult",
+    "PointFailure",
+    "PointMeta",
+    "PointSpec",
+    "ResultCache",
+    "RunPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
+    "expand_spec",
+    "fingerprint",
+    "point_key",
+    "run_one_point",
+    "run_sweep",
+    "run_sweep_parallel",
+]

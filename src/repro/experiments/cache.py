@@ -1,0 +1,208 @@
+"""On-disk result cache for experiment sweeps.
+
+Every sweep point is keyed by a content hash of its *spec* — sweep
+name, algorithm, (N, P, seed), adversary factory, tick budget, fairness
+window — and its :class:`~repro.experiments.runner.RunPoint` is stored
+as one small JSON file under that key.  The cache therefore doubles as
+the sweep's checkpoint: re-running an interrupted sweep skips every key
+already on disk and executes only the missing points.
+
+Layout (one directory per sweep, sanitized)::
+
+    <root>/
+      <sweep-name>/
+        checkpoint.json          # progress manifest (informational)
+        <sha256-of-point-spec>.json
+
+Entries are written atomically (temp file + ``os.replace``) so a kill
+mid-write never leaves a half entry under the final name; a corrupted
+or truncated entry is detected on read, discarded, and recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import re
+import tempfile
+import time
+from typing import Any, Dict, Optional
+
+from repro.experiments.runner import RunPoint
+
+#: Bump when the entry format or the fingerprint scheme changes:
+#: old entries then miss instead of deserializing garbage.
+CACHE_VERSION = 1
+
+
+def fingerprint(obj: Any) -> str:
+    """A stable, process-independent description of a spec component.
+
+    Used to build cache keys, so it must not involve ``id()``/``repr``
+    of bare instances (memory addresses) and must recurse through the
+    factory combinators.  Precedence:
+
+    * ``None`` and scalars — literal;
+    * an object with a ``fingerprint()`` method — delegated;
+    * ``functools.partial`` — the wrapped callable plus bound args;
+    * a dataclass *instance* — qualified name plus every field;
+    * a class or function — its qualified name;
+    * anything else — qualified class name plus sorted ``__dict__``.
+    """
+    if obj is None:
+        return "none"
+    if isinstance(obj, (bool, int, float, str)):
+        return repr(obj)
+    if isinstance(obj, (tuple, list)):
+        inner = ",".join(fingerprint(item) for item in obj)
+        return f"[{inner}]"
+    if hasattr(obj, "fingerprint") and callable(obj.fingerprint):
+        return str(obj.fingerprint())
+    if isinstance(obj, functools.partial):
+        keywords = ",".join(
+            f"{key}={fingerprint(value)}"
+            for key, value in sorted(obj.keywords.items())
+        )
+        args = ",".join(fingerprint(value) for value in obj.args)
+        return f"partial({fingerprint(obj.func)};{args};{keywords})"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{field.name}={fingerprint(getattr(obj, field.name))}"
+            for field in dataclasses.fields(obj)
+        )
+        return f"{_qualname(type(obj))}({fields})"
+    if isinstance(obj, type) or callable(obj):
+        return _qualname(obj)
+    state = ",".join(
+        f"{key}={fingerprint(value)}"
+        for key, value in sorted(vars(obj).items())
+    )
+    return f"{_qualname(type(obj))}({state})"
+
+
+def _qualname(obj: Any) -> str:
+    module = getattr(obj, "__module__", type(obj).__module__)
+    name = getattr(obj, "__qualname__", type(obj).__qualname__)
+    return f"{module}.{name}"
+
+
+def point_key(
+    sweep: str,
+    algorithm: Any,
+    n: int,
+    p: int,
+    seed: int,
+    adversary: Any,
+    max_ticks: Optional[int],
+    fairness_window: Optional[int],
+) -> str:
+    """The content hash identifying one sweep point's spec."""
+    material = "|".join([
+        f"v{CACHE_VERSION}",
+        sweep,
+        fingerprint(algorithm),
+        str(n), str(p), str(seed),
+        fingerprint(adversary),
+        str(max_ticks), str(fairness_window),
+    ])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _sanitize(name: str) -> str:
+    cleaned = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("._") or "sweep"
+    return cleaned[:80]
+
+
+class ResultCache:
+    """Content-addressed store of completed :class:`RunPoint` s."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def _sweep_dir(self, sweep: str) -> pathlib.Path:
+        return self.root / _sanitize(sweep)
+
+    def _entry_path(self, sweep: str, key: str) -> pathlib.Path:
+        return self._sweep_dir(sweep) / f"{key}.json"
+
+    def load(self, sweep: str, key: str) -> Optional[RunPoint]:
+        """The cached point for ``key``, or ``None``.
+
+        A missing entry and a corrupted one are the same thing to the
+        caller — the point just recomputes.  Corrupted files are
+        deleted so they cannot shadow a later good write.
+        """
+        path = self._entry_path(sweep, key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        try:
+            if payload["version"] != CACHE_VERSION or payload["key"] != key:
+                raise ValueError("stale or mismatched entry")
+            return RunPoint.from_dict(payload["point"])
+        except (KeyError, TypeError, ValueError):
+            self._discard(path)
+            return None
+
+    def store(self, sweep: str, key: str, point: RunPoint,
+              elapsed: float) -> None:
+        directory = self._sweep_dir(sweep)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "point": point.to_dict(),
+            "elapsed_s": elapsed,
+        }
+        _atomic_write_json(self._entry_path(sweep, key), payload)
+
+    def write_checkpoint(self, sweep: str, done: int, total: int) -> None:
+        """Progress manifest — informational; the entries are the truth."""
+        directory = self._sweep_dir(sweep)
+        directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(directory / "checkpoint.json", {
+            "version": CACHE_VERSION,
+            "sweep": sweep,
+            "done": done,
+            "total": total,
+            "updated_unix": time.time(),
+        })
+
+    def read_checkpoint(self, sweep: str) -> Optional[Dict[str, Any]]:
+        path = self._sweep_dir(sweep) / "checkpoint.json"
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _atomic_write_json(path: pathlib.Path, payload: Dict[str, Any]) -> None:
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

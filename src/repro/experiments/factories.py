@@ -1,0 +1,200 @@
+"""Picklable, fingerprintable adversary factories for sweeps.
+
+A :class:`~repro.experiments.spec.SweepSpec` carries an *adversary
+factory* — a callable mapping the sweep seed to a fresh adversary.
+Plain lambdas work for in-process sweeps, but the parallel engine ships
+each point to a worker process, and the result cache keys points by a
+content hash of their spec; both need factories that
+
+* pickle (so they cross the process boundary), and
+* describe themselves stably (so the hash survives restarts).
+
+Every factory here is a frozen dataclass: picklable by construction,
+and fingerprinted field-by-field via
+:func:`repro.experiments.cache.fingerprint`.  Compose them freely —
+``Budgeted(Thrashing(), 256)``, ``NoRestart(Stalker())`` — the
+fingerprint recurses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.faults import (
+    AccStalker,
+    BurstAdversary,
+    FailureBudgetAdversary,
+    HalvingAdversary,
+    IterationStarver,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    StalkingAdversaryX,
+    ThrashingAdversary,
+)
+
+#: Factory protocol: seed -> adversary (or None for failure-free).
+AdversaryFactory = Callable[[int], Optional[object]]
+
+
+@dataclass(frozen=True)
+class FailureFree:
+    """No failures at all, regardless of seed."""
+
+    def __call__(self, seed: int):
+        return NoFailures()
+
+
+@dataclass(frozen=True)
+class RandomChurn:
+    """I.i.d. failures and restarts, seeded per sweep point."""
+
+    fail: float = 0.1
+    restart_prob: float = 0.3
+
+    def __call__(self, seed: int):
+        return RandomAdversary(self.fail, self.restart_prob, seed=seed)
+
+
+@dataclass(frozen=True)
+class CrashOnly:
+    """The [KS 89] fail-stop model: random crashes, no restarts."""
+
+    fail: float = 0.05
+
+    def __call__(self, seed: int):
+        return NoRestartAdversary(RandomAdversary(self.fail, seed=seed))
+
+
+@dataclass(frozen=True)
+class Thrashing:
+    """Example 2.2's quadratic-S' strategy."""
+
+    def __call__(self, seed: int):
+        return ThrashingAdversary()
+
+
+@dataclass(frozen=True)
+class Halving:
+    """Theorem 3.1's Omega(N log N) pigeonhole strategy."""
+
+    def __call__(self, seed: int):
+        return HalvingAdversary()
+
+
+@dataclass(frozen=True)
+class Stalker:
+    """Theorem 4.8's post-order stalker against algorithm X."""
+
+    def __call__(self, seed: int):
+        return StalkingAdversaryX()
+
+
+@dataclass(frozen=True)
+class Starver:
+    """Section 4.1's iteration starver (non-termination of pure V)."""
+
+    def __call__(self, seed: int):
+        return IterationStarver()
+
+
+@dataclass(frozen=True)
+class AccStalking:
+    """Section 5's stalker against the randomized ACC algorithm."""
+
+    fail_stop: bool = False
+
+    def __call__(self, seed: int):
+        return AccStalker(fail_stop=self.fail_stop)
+
+
+@dataclass(frozen=True)
+class Burst:
+    """Periodic mass failures."""
+
+    period: int = 3
+    fraction: float = 0.5
+    downtime: int = 1
+
+    def __call__(self, seed: int):
+        return BurstAdversary(
+            period=self.period, fraction=self.fraction,
+            downtime=self.downtime,
+        )
+
+
+@dataclass(frozen=True)
+class Budgeted:
+    """Cap an inner factory's pattern size at ``budget`` (|F| <= M)."""
+
+    inner: AdversaryFactory
+    budget: int
+
+    def __call__(self, seed: int):
+        return FailureBudgetAdversary(self.inner(seed), self.budget)
+
+
+@dataclass(frozen=True)
+class NoRestart:
+    """Strip restarts from an inner factory's adversary."""
+
+    inner: AdversaryFactory
+
+    def __call__(self, seed: int):
+        return NoRestartAdversary(self.inner(seed))
+
+
+@dataclass(frozen=True)
+class NamedAdversary:
+    """The CLI's adversary vocabulary as a picklable factory.
+
+    Mirrors ``python -m repro``'s ``--adversary/--fail/--restart-prob``
+    flags so CLI sweeps can run through the parallel engine.
+    """
+
+    name: str
+    fail: float = 0.1
+    restart_prob: float = 0.3
+
+    def __call__(self, seed: int):
+        return build_named_adversary(
+            self.name, self.fail, self.restart_prob, seed
+        )
+
+
+#: Names accepted by :class:`NamedAdversary` / the CLI.
+NAMED_ADVERSARIES = [
+    "none", "random", "crash", "thrashing", "halving",
+    "stalker", "starver", "acc-stalker", "burst",
+]
+
+
+def build_named_adversary(name: str, fail: float, restart_prob: float,
+                          seed: int):
+    """Build one adversary from the CLI vocabulary.
+
+    Raises ``ValueError`` for unknown names (the CLI wraps this into a
+    ``SystemExit``).
+    """
+    if name == "none":
+        return NoFailures()
+    if name == "random":
+        return RandomAdversary(fail, restart_prob, seed=seed)
+    if name == "crash":
+        return NoRestartAdversary(RandomAdversary(fail, seed=seed))
+    if name == "thrashing":
+        return ThrashingAdversary()
+    if name == "halving":
+        return HalvingAdversary()
+    if name == "stalker":
+        return StalkingAdversaryX()
+    if name == "starver":
+        return IterationStarver()
+    if name == "acc-stalker":
+        return AccStalker()
+    if name == "burst":
+        return BurstAdversary(period=3, fraction=0.5, downtime=1)
+    raise ValueError(
+        f"unknown adversary {name!r}; known: {NAMED_ADVERSARIES}"
+    )

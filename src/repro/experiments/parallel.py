@@ -1,0 +1,343 @@
+"""The parallel sweep engine.
+
+Fans a :class:`~repro.experiments.spec.SweepSpec` grid out over a
+``concurrent.futures.ProcessPoolExecutor``, with
+
+* **determinism** — each point seeds its own adversary exactly as the
+  serial runner does, and results are reassembled in sweep order, so
+  the output is bit-identical to :func:`repro.experiments.run_sweep`
+  for any worker count;
+* **caching / checkpointing** — completed points are written to a
+  :class:`~repro.experiments.cache.ResultCache` as they finish; a
+  re-run (or a resumed interrupted run) executes only the missing
+  points;
+* **timeout + retry** — a per-point wall-clock timeout (SIGALRM-based,
+  enforced inside the worker) turns a pathological point into a
+  recorded :class:`PointFailure` after ``retries`` extra attempts,
+  instead of hanging the sweep.
+
+``workers <= 1`` executes inline (no subprocesses, no pickling
+requirement), which is both the fast path for small sweeps and the
+hook tests use to count executions.  ``workers > 1`` requires the
+spec's ``algorithm`` and ``adversary`` to be picklable — use the
+factories in :mod:`repro.experiments.factories`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.runner import measure_write_all
+from repro.experiments.cache import ResultCache, point_key
+from repro.experiments.runner import RunPoint, SweepResult
+from repro.experiments.spec import SweepSpec
+
+#: Outcome statuses a worker can report.
+_OK, _TIMEOUT, _ERROR = "ok", "timeout", "error"
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One picklable (N, P, seed) cell of a sweep grid."""
+
+    sweep: str
+    index: int  # position in sweep order; results reassemble by it
+    algorithm: Callable
+    n: int
+    p: int
+    seed: int
+    adversary: Optional[Callable]
+    max_ticks: Optional[int]
+    fairness_window: Optional[int]
+
+    def cache_key(self) -> str:
+        return point_key(
+            self.sweep, self.algorithm, self.n, self.p, self.seed,
+            self.adversary, self.max_ticks, self.fairness_window,
+        )
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A point that exhausted its attempts (timeout or crash)."""
+
+    index: int
+    n: int
+    p: int
+    seed: int
+    kind: str  # "timeout" | "error"
+    attempts: int
+    message: str
+
+
+@dataclass(frozen=True)
+class PointMeta:
+    """Provenance of one successful point, aligned with ``points``."""
+
+    index: int
+    elapsed_s: float
+    cached: bool
+    attempts: int
+
+
+@dataclass
+class SweepStats:
+    """Execution accounting for one engine run."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+
+@dataclass
+class ParallelSweepResult(SweepResult):
+    """A :class:`SweepResult` plus the engine's accounting.
+
+    ``points`` contains only the successful points (in sweep order);
+    ``failures`` records the rest.  ``meta`` is aligned with ``points``.
+    """
+
+    stats: SweepStats = field(default_factory=SweepStats)
+    failures: List[PointFailure] = field(default_factory=list)
+    meta: List[PointMeta] = field(default_factory=list)
+
+
+def expand_spec(spec: SweepSpec) -> List[PointSpec]:
+    """Flatten a sweep grid into indexed, picklable point specs."""
+    return [
+        PointSpec(
+            sweep=spec.name, index=index, algorithm=spec.algorithm,
+            n=n, p=p, seed=seed, adversary=spec.adversary,
+            max_ticks=spec.max_ticks,
+            fairness_window=spec.fairness_window,
+        )
+        for index, (n, p, seed) in enumerate(spec.points())
+    ]
+
+
+class PointTimeout(Exception):
+    """Raised inside a worker when a point exceeds its wall budget."""
+
+
+class _alarm:
+    """SIGALRM-based wall-clock guard around one point execution.
+
+    Python-level timeouts cannot preempt a stuck C call, but every hot
+    loop in this simulator is pure Python, where a pending SIGALRM is
+    delivered between bytecodes.  On platforms (or threads) without
+    SIGALRM the guard degrades to no enforcement.
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self.armed = False
+
+    def __enter__(self):
+        if self.seconds is None or not hasattr(signal, "SIGALRM"):
+            return self
+        try:
+            self._previous = signal.signal(signal.SIGALRM, self._fire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        except ValueError:  # not the main thread
+            pass
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+        return False
+
+    @staticmethod
+    def _fire(signum, frame):
+        raise PointTimeout()
+
+
+def execute_point(
+    point: PointSpec, timeout: Optional[float] = None
+) -> Tuple[str, object, float]:
+    """Run one point; never raises for timeout/algorithm errors.
+
+    Returns ``(status, payload, elapsed_s)`` where payload is the
+    :class:`RunPoint` on success and a diagnostic string otherwise.
+    This is the top-level function worker processes execute.
+    """
+    started = time.perf_counter()
+    try:
+        with _alarm(timeout):
+            measures = measure_write_all(
+                point.algorithm, point.n, point.p,
+                adversary=(
+                    None if point.adversary is None
+                    else point.adversary(point.seed)
+                ),
+                max_ticks=point.max_ticks,
+                fairness_window=point.fairness_window,
+            )
+    except PointTimeout:
+        return _TIMEOUT, f"exceeded {timeout:.3f}s", \
+            time.perf_counter() - started
+    except Exception:
+        return _ERROR, traceback.format_exc(limit=8), \
+            time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    return _OK, RunPoint.from_measures(measures, seed=point.seed), elapsed
+
+
+def _check_picklable(point: PointSpec) -> None:
+    try:
+        pickle.dumps((point.algorithm, point.adversary))
+    except Exception as exc:
+        raise TypeError(
+            "parallel sweeps need picklable algorithm/adversary specs "
+            "(module-level classes, functools.partial, or the factories "
+            "in repro.experiments.factories — not lambdas); "
+            f"got: {exc}"
+        ) from None
+
+
+def run_sweep_parallel(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> ParallelSweepResult:
+    """Execute ``spec`` through the parallel engine.
+
+    Args:
+        workers: process count; ``None`` or ``<= 1`` executes inline.
+        cache / cache_dir: enable the on-disk result cache (pass either
+            a :class:`ResultCache` or a directory path).
+        resume: with a cache, load already-completed points instead of
+            recomputing them.  ``False`` recomputes (and overwrites)
+            every point while still checkpointing progress.
+        timeout: per-point wall-clock budget in seconds.
+        retries: extra attempts a timed-out/crashed point gets before
+            it is recorded as a :class:`PointFailure`.
+    """
+    started = time.perf_counter()
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    points = expand_spec(spec)
+    stats = SweepStats(total=len(points))
+    results: Dict[int, RunPoint] = {}
+    metas: Dict[int, PointMeta] = {}
+    failures: List[PointFailure] = []
+
+    pending: List[PointSpec] = []
+    for point in points:
+        cached = (
+            cache.load(point.sweep, point.cache_key())
+            if cache is not None and resume else None
+        )
+        if cached is not None:
+            stats.cache_hits += 1
+            results[point.index] = cached
+            metas[point.index] = PointMeta(
+                index=point.index, elapsed_s=0.0, cached=True, attempts=0,
+            )
+        else:
+            pending.append(point)
+
+    def record(point: PointSpec, status: str, payload, elapsed: float,
+               attempt: int) -> bool:
+        """Account one attempt; returns True when the point is settled."""
+        if status == _OK:
+            stats.executed += 1
+            results[point.index] = payload
+            metas[point.index] = PointMeta(
+                index=point.index, elapsed_s=elapsed, cached=False,
+                attempts=attempt,
+            )
+            if cache is not None:
+                cache.store(point.sweep, point.cache_key(), payload, elapsed)
+                cache.write_checkpoint(
+                    spec.name, done=len(results), total=len(points)
+                )
+            return True
+        if status == _TIMEOUT:
+            stats.timeouts += 1
+        if attempt <= retries:
+            stats.retries += 1
+            return False
+        stats.failed += 1
+        failures.append(PointFailure(
+            index=point.index, n=point.n, p=point.p, seed=point.seed,
+            kind=status, attempts=attempt, message=str(payload),
+        ))
+        return True
+
+    if pending and (workers is None or workers <= 1):
+        for point in pending:
+            attempt = 1
+            while True:
+                status, payload, elapsed = execute_point(point, timeout)
+                if record(point, status, payload, elapsed, attempt):
+                    break
+                attempt += 1
+    elif pending:
+        _check_picklable(pending[0])
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending))
+        ) as pool:
+            attempts: Dict[int, int] = {point.index: 1 for point in pending}
+            futures = {
+                pool.submit(execute_point, point, timeout): point
+                for point in pending
+            }
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    point = futures.pop(future)
+                    try:
+                        status, payload, elapsed = future.result()
+                    except concurrent.futures.process.BrokenProcessPool:
+                        raise
+                    except Exception as exc:  # worker died mid-task
+                        status, payload, elapsed = _ERROR, str(exc), 0.0
+                    settled = record(
+                        point, status, payload, elapsed,
+                        attempts[point.index],
+                    )
+                    if not settled:
+                        attempts[point.index] += 1
+                        futures[
+                            pool.submit(execute_point, point, timeout)
+                        ] = point
+
+    ordered = [
+        results[point.index] for point in points if point.index in results
+    ]
+    meta = [
+        metas[point.index] for point in points if point.index in metas
+    ]
+    failures.sort(key=lambda failure: failure.index)
+    stats.wall_s = time.perf_counter() - started
+    if cache is not None:
+        cache.write_checkpoint(
+            spec.name, done=len(results), total=len(points)
+        )
+    return ParallelSweepResult(
+        spec=spec, points=ordered, stats=stats, failures=failures, meta=meta,
+    )

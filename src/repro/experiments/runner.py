@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.runner import solve_write_all
+from repro.core.runner import RunMeasures, measure_write_all
 from repro.experiments.spec import SweepSpec
 from repro.metrics.fitting import fitted_exponent
 from repro.metrics.tables import render_table
@@ -26,19 +26,88 @@ class RunPoint:
     overhead_ratio: float
     parallel_time: int
 
+    #: CSV column -> attribute, in column order.  ``csv_header``,
+    #: ``csv_row`` and ``from_csv_row`` all derive from this single
+    #: mapping so the three cannot drift apart.
+    _CSV_FIELDS = (
+        ("n", "n"), ("p", "p"), ("seed", "seed"), ("solved", "solved"),
+        ("S", "completed_work"), ("S_prime", "charged_work"),
+        ("F", "pattern_size"), ("sigma", "overhead_ratio"),
+        ("ticks", "parallel_time"),
+    )
+
     @staticmethod
     def csv_header() -> List[str]:
-        return [
-            "n", "p", "seed", "solved", "S", "S_prime", "F",
-            "sigma", "ticks",
-        ]
+        return [column for column, _attr in RunPoint._CSV_FIELDS]
 
     def csv_row(self) -> List[object]:
-        return [
-            self.n, self.p, self.seed, int(self.solved),
-            self.completed_work, self.charged_work, self.pattern_size,
-            f"{self.overhead_ratio:.6f}", self.parallel_time,
-        ]
+        row: List[object] = []
+        for _column, attr in self._CSV_FIELDS:
+            value = getattr(self, attr)
+            if attr == "solved":
+                value = int(value)
+            elif attr == "overhead_ratio":
+                value = repr(value)  # full precision: round-trips exactly
+            row.append(value)
+        return row
+
+    @classmethod
+    def from_csv_row(cls, header: Sequence[str], row: Sequence[str]) -> "RunPoint":
+        """Parse one exported CSV row back into a ``RunPoint``.
+
+        ``header`` must match :meth:`csv_header` — a mismatch means the
+        file was produced by a different schema and is rejected.
+        """
+        if list(header) != cls.csv_header():
+            raise ValueError(
+                f"CSV header {list(header)!r} does not match "
+                f"{cls.csv_header()!r}"
+            )
+        values = dict(zip(header, row))
+        kwargs: Dict[str, object] = {}
+        for column, attr in cls._CSV_FIELDS:
+            raw = values[column]
+            if attr == "solved":
+                kwargs[attr] = bool(int(raw))
+            elif attr == "overhead_ratio":
+                kwargs[attr] = float(raw)
+            else:
+                kwargs[attr] = int(raw)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n": self.n, "p": self.p, "seed": self.seed,
+            "solved": self.solved,
+            "completed_work": self.completed_work,
+            "charged_work": self.charged_work,
+            "pattern_size": self.pattern_size,
+            "overhead_ratio": self.overhead_ratio,
+            "parallel_time": self.parallel_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunPoint":
+        return cls(
+            n=int(data["n"]), p=int(data["p"]), seed=int(data["seed"]),
+            solved=bool(data["solved"]),
+            completed_work=int(data["completed_work"]),
+            charged_work=int(data["charged_work"]),
+            pattern_size=int(data["pattern_size"]),
+            overhead_ratio=float(data["overhead_ratio"]),
+            parallel_time=int(data["parallel_time"]),
+        )
+
+    @classmethod
+    def from_measures(cls, measures: RunMeasures, seed: int) -> "RunPoint":
+        return cls(
+            n=measures.n, p=measures.p, seed=seed, solved=measures.solved,
+            completed_work=measures.completed_work,
+            charged_work=measures.charged_work,
+            pattern_size=measures.pattern_size,
+            overhead_ratio=measures.overhead_ratio,
+            parallel_time=measures.parallel_time,
+        )
 
 
 @dataclass
@@ -106,26 +175,25 @@ class SweepResult:
                 writer.writerow(point.csv_row())
 
 
+def run_one_point(spec: SweepSpec, n: int, p: int, seed: int) -> RunPoint:
+    """Execute a single sweep point.
+
+    Both the serial loop below and the parallel engine's workers call
+    this, so a point's result is by construction independent of which
+    path executed it.
+    """
+    measures = measure_write_all(
+        spec.algorithm, n, p,
+        adversary=spec.adversary_for(seed),
+        max_ticks=spec.max_ticks,
+        fairness_window=spec.fairness_window,
+    )
+    return RunPoint.from_measures(measures, seed=seed)
+
+
 def run_sweep(spec: SweepSpec) -> SweepResult:
     """Execute every (N, seed) run of the sweep."""
-    points: List[RunPoint] = []
-    for n in spec.sizes:
-        p = spec.processors_for(n)
-        for seed in spec.seeds:
-            result = solve_write_all(
-                spec.algorithm(), n, p,
-                adversary=spec.adversary_for(seed),
-                max_ticks=spec.max_ticks,
-                fairness_window=spec.fairness_window,
-            )
-            points.append(
-                RunPoint(
-                    n=n, p=p, seed=seed, solved=result.solved,
-                    completed_work=result.completed_work,
-                    charged_work=result.charged_work,
-                    pattern_size=result.pattern_size,
-                    overhead_ratio=result.overhead_ratio,
-                    parallel_time=result.parallel_time,
-                )
-            )
+    points = [
+        run_one_point(spec, n, p, seed) for n, p, seed in spec.points()
+    ]
     return SweepResult(spec=spec, points=points)

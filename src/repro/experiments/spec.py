@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.base import WriteAllAlgorithm
 
@@ -51,3 +51,16 @@ class SweepSpec:
         if self.adversary is None:
             return None
         return self.adversary(seed)
+
+    def points(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every ``(n, p, seed)`` of the grid, in sweep order.
+
+        This is the single definition of sweep order: the serial runner
+        and the parallel engine both iterate it, which is what makes
+        their outputs comparable point-by-point.
+        """
+        seeds = list(self.seeds)
+        for n in self.sizes:
+            p = self.processors_for(n)
+            for seed in seeds:
+                yield n, p, seed

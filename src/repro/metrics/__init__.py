@@ -7,7 +7,9 @@
 * :mod:`repro.metrics.tables` — ASCII tables for benchmark/example
   output;
 * :mod:`repro.metrics.accounting` — aggregation across runs (Definition
-  2.3 takes maxima over inputs and failure patterns).
+  2.3 takes maxima over inputs and failure patterns);
+* :mod:`repro.metrics.report` — the machine-readable ``repro-bench/1``
+  benchmark report schema (``BENCH_<tag>.json``).
 """
 
 from repro.metrics.accounting import WorstCase, aggregate_worst_case
@@ -23,12 +25,22 @@ from repro.metrics.bounds import (
     work_upper_thm49,
 )
 from repro.metrics.fitting import fitted_exponent, ratio_series
+from repro.metrics.report import (
+    bench_report,
+    dump_report,
+    load_report,
+    validate_bench_report,
+)
 from repro.metrics.tables import render_table
 
 __all__ = [
     "WorstCase",
     "aggregate_worst_case",
+    "bench_report",
+    "dump_report",
     "fitted_exponent",
+    "load_report",
+    "validate_bench_report",
     "log2ceil",
     "ratio_series",
     "render_table",

@@ -1,0 +1,189 @@
+"""Machine-readable benchmark reports (the ``BENCH_<tag>.json`` schema).
+
+The text tables under ``benchmarks/results/`` are for humans; perf
+trajectory tracking needs a stable, parseable artifact.  This module
+assembles (and validates) that artifact from engine results.  It is
+deliberately duck-typed — it reads ``points`` / ``stats`` / ``meta`` /
+``failures`` attributes off whatever sweep result it is handed — so the
+metrics layer does not import the experiments layer.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "tag": "<run tag>",
+      "created_unix": <float>,
+      "workers": <int>,
+      "scenarios": [
+        {
+          "tag": "E1_thrashing",
+          "title": "...",
+          "source": "bench_example_2_2_thrashing.py",
+          "wall_s": <float>,
+          "cache": {"hits": n, "executed": n, "hit_rate": x, "failed": n},
+          "sweeps": [
+            {
+              "name": "X/thrashing",
+              "points": [
+                {"n":..,"p":..,"seed":..,"solved":..,"S":..,"S_prime":..,
+                 "F":..,"sigma":..,"ticks":..,"wall_s":..,"cached":..}
+              ],
+              "failures": [
+                {"n":..,"p":..,"seed":..,"kind":..,"attempts":..}
+              ]
+            }
+          ]
+        }
+      ],
+      "totals": {"points": n, "executed": n, "cache_hits": n,
+                 "failed": n, "wall_s": x}
+    }
+
+S, S' and |F| are the paper's measures (completed work, charged work,
+pattern size); ``sigma = S / (N + |F|)``; ``ticks`` is parallel time in
+machine ticks; ``wall_s`` is host wall-clock, 0.0 for cached points.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro-bench/1"
+
+
+def point_record(point, elapsed_s: float = 0.0,
+                 cached: bool = False) -> Dict[str, Any]:
+    """One RunPoint as a JSON-ready record."""
+    return {
+        "n": point.n, "p": point.p, "seed": point.seed,
+        "solved": point.solved,
+        "S": point.completed_work,
+        "S_prime": point.charged_work,
+        "F": point.pattern_size,
+        "sigma": point.overhead_ratio,
+        "ticks": point.parallel_time,
+        "wall_s": round(elapsed_s, 6),
+        "cached": cached,
+    }
+
+
+def sweep_section(result) -> Dict[str, Any]:
+    """One engine result (``ParallelSweepResult``) as a JSON section."""
+    meta = list(getattr(result, "meta", []))
+    records = []
+    for position, point in enumerate(result.points):
+        if position < len(meta):
+            records.append(point_record(
+                point,
+                elapsed_s=meta[position].elapsed_s,
+                cached=meta[position].cached,
+            ))
+        else:
+            records.append(point_record(point))
+    failures = [
+        {
+            "n": failure.n, "p": failure.p, "seed": failure.seed,
+            "kind": failure.kind, "attempts": failure.attempts,
+        }
+        for failure in getattr(result, "failures", [])
+    ]
+    return {
+        "name": result.spec.name,
+        "points": records,
+        "failures": failures,
+    }
+
+
+def scenario_section(tag: str, title: str, source: str,
+                     results: List[Any], wall_s: float) -> Dict[str, Any]:
+    hits = sum(getattr(r.stats, "cache_hits", 0) for r in results)
+    executed = sum(getattr(r.stats, "executed", 0) for r in results)
+    failed = sum(getattr(r.stats, "failed", 0) for r in results)
+    total = hits + executed + failed
+    return {
+        "tag": tag,
+        "title": title,
+        "source": source,
+        "wall_s": round(wall_s, 6),
+        "cache": {
+            "hits": hits,
+            "executed": executed,
+            "failed": failed,
+            "hit_rate": round(hits / total, 6) if total else 0.0,
+        },
+        "sweeps": [sweep_section(result) for result in results],
+    }
+
+
+def bench_report(tag: str, scenarios: List[Dict[str, Any]],
+                 workers: int) -> Dict[str, Any]:
+    """Assemble the top-level report from scenario sections."""
+    totals = {
+        "points": sum(
+            len(sweep["points"])
+            for scenario in scenarios for sweep in scenario["sweeps"]
+        ),
+        "executed": sum(s["cache"]["executed"] for s in scenarios),
+        "cache_hits": sum(s["cache"]["hits"] for s in scenarios),
+        "failed": sum(s["cache"]["failed"] for s in scenarios),
+        "wall_s": round(sum(s["wall_s"] for s in scenarios), 6),
+    }
+    return {
+        "schema": SCHEMA,
+        "tag": tag,
+        "created_unix": time.time(),
+        "workers": workers,
+        "scenarios": scenarios,
+        "totals": totals,
+    }
+
+
+_POINT_KEYS = {
+    "n", "p", "seed", "solved", "S", "S_prime", "F", "sigma", "ticks",
+    "wall_s", "cached",
+}
+
+
+def validate_bench_report(report: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``report`` matches ``repro-bench/1``.
+
+    Used by tests and by consumers that ingest foreign report files.
+    """
+    if not isinstance(report, dict) or report.get("schema") != SCHEMA:
+        raise ValueError(f"not a {SCHEMA} report")
+    for key in ("tag", "created_unix", "workers", "scenarios", "totals"):
+        if key not in report:
+            raise ValueError(f"missing top-level key {key!r}")
+    if not isinstance(report["scenarios"], list):
+        raise ValueError("scenarios must be a list")
+    for scenario in report["scenarios"]:
+        for key in ("tag", "title", "source", "wall_s", "cache", "sweeps"):
+            if key not in scenario:
+                raise ValueError(
+                    f"scenario {scenario.get('tag', '?')!r} missing {key!r}"
+                )
+        for sweep in scenario["sweeps"]:
+            if "name" not in sweep or "points" not in sweep:
+                raise ValueError("sweep sections need name and points")
+            for record in sweep["points"]:
+                missing = _POINT_KEYS - set(record)
+                if missing:
+                    raise ValueError(
+                        f"point record missing keys {sorted(missing)}"
+                    )
+
+
+def dump_report(report: Dict[str, Any], path: str) -> None:
+    validate_bench_report(report)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        report = json.load(handle)
+    validate_bench_report(report)
+    return report

@@ -1,0 +1,84 @@
+"""The benchmark registry and the ``repro-bench/1`` report schema."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    EXCLUDED,
+    default_scenario_tags,
+    get_scenario,
+    run_benchmarks,
+    scenario_tags,
+)
+from repro.experiments.parallel import expand_spec
+from repro.metrics import dump_report, load_report, validate_bench_report
+
+
+def test_registry_covers_the_bench_scripts():
+    tags = scenario_tags()
+    assert len(tags) >= 5  # acceptance floor
+    sources = {get_scenario(tag).source for tag in tags}
+    assert sources.isdisjoint(EXCLUDED)  # a script is wired xor excluded
+    # Default set excludes the heavy (multi-minute) scenarios.
+    assert set(default_scenario_tags()) <= set(tags)
+    assert all(not get_scenario(t).heavy for t in default_scenario_tags())
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        get_scenario("E99_no_such_thing")
+
+
+def test_every_registered_spec_is_engine_runnable():
+    """Each scenario's specs must expand and pickle for the engine."""
+    import pickle
+
+    for tag in scenario_tags():
+        scenario = get_scenario(tag)
+        assert scenario.total_points() > 0, tag
+        for spec in scenario.specs:
+            for point in expand_spec(spec):
+                pickle.dumps((point.algorithm, point.adversary))
+
+
+@pytest.mark.slow
+def test_run_benchmarks_emits_valid_report(tmp_path):
+    report, results = run_benchmarks(
+        tags=["E1_thrashing"], tag="unit", workers=1,
+        cache_dir=str(tmp_path / "cache"), progress=None,
+    )
+    validate_bench_report(report)  # raises on schema drift
+    assert report["totals"]["points"] > 0
+    assert report["totals"]["failed"] == 0
+    [scenario] = report["scenarios"]
+    assert scenario["tag"] == "E1_thrashing"
+    for sweep in scenario["sweeps"]:
+        for record in sweep["points"]:
+            assert record["wall_s"] >= 0.0
+            assert record["sigma"] == pytest.approx(
+                record["S"] / (record["n"] + record["F"])
+            )
+
+    path = tmp_path / "BENCH_unit.json"
+    dump_report(report, str(path))
+    assert load_report(str(path)) == json.loads(path.read_text())
+
+    # Warm re-run through the same cache: 100% hit rate.
+    warm, _ = run_benchmarks(
+        tags=["E1_thrashing"], tag="unit", workers=1,
+        cache_dir=str(tmp_path / "cache"), progress=None,
+    )
+    assert warm["totals"]["executed"] == 0
+    assert warm["totals"]["cache_hits"] == warm["totals"]["points"]
+    assert warm["scenarios"][0]["cache"]["hit_rate"] == 1.0
+
+
+def test_validate_rejects_malformed_reports():
+    with pytest.raises(ValueError):
+        validate_bench_report({"schema": "something/2"})
+    with pytest.raises(ValueError):
+        validate_bench_report({
+            "schema": "repro-bench/1", "tag": "x", "created_unix": 0.0,
+            "workers": 1, "scenarios": [{"tag": "s"}], "totals": {},
+        })

@@ -1,0 +1,144 @@
+"""Result cache behavior: cold, warm, and corrupted entries.
+
+Execution counting monkeypatches ``execute_point`` in the engine
+module, which the inline (workers<=1) path calls by name — that is why
+these tests run inline.
+"""
+
+import functools
+import json
+
+from repro.core import AlgorithmV, AlgorithmX
+from repro.experiments import (
+    ResultCache,
+    SweepSpec,
+    fingerprint,
+    point_key,
+    run_sweep_parallel,
+)
+from repro.experiments import parallel as parallel_module
+from repro.experiments.factories import Budgeted, RandomChurn, Thrashing
+
+
+def counting_execute(monkeypatch):
+    """Route the engine through a call-counting execute_point."""
+    calls = []
+    real = parallel_module.execute_point
+
+    def spy(point, timeout=None):
+        calls.append(point.index)
+        return real(point, timeout)
+
+    monkeypatch.setattr(parallel_module, "execute_point", spy)
+    return calls
+
+
+def cache_spec():
+    return SweepSpec(
+        name="cache-behavior",
+        algorithm=AlgorithmX,
+        sizes=(8, 16),
+        processors=4,
+        adversary=RandomChurn(0.2, 0.5),
+        seeds=(0, 1),
+        max_ticks=200_000,
+    )
+
+
+def entry_files(cache_dir):
+    return sorted(
+        path for path in cache_dir.rglob("*.json")
+        if path.name != "checkpoint.json"
+    )
+
+
+def test_cold_run_populates_cache(tmp_path, monkeypatch):
+    calls = counting_execute(monkeypatch)
+    result = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    assert len(calls) == result.stats.total == 4
+    assert result.stats.executed == 4
+    assert result.stats.cache_hits == 0
+    assert len(entry_files(tmp_path)) == 4
+
+
+def test_warm_run_is_all_hits_with_zero_executions(tmp_path, monkeypatch):
+    cold = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    calls = counting_execute(monkeypatch)
+    warm = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    assert calls == []  # nothing executed at all
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == warm.stats.total == 4
+    assert warm.stats.hit_rate == 1.0
+    assert warm.points == cold.points  # cached results are bit-identical
+
+
+def test_corrupted_entry_is_detected_and_recomputed(tmp_path, monkeypatch):
+    cold = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    victim = entry_files(tmp_path)[0]
+    victim.write_text("{ not json at all")
+
+    calls = counting_execute(monkeypatch)
+    warm = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    assert len(calls) == 1  # only the corrupted point recomputed
+    assert warm.stats.executed == 1
+    assert warm.stats.cache_hits == 3
+    assert warm.points == cold.points
+    # The rewritten entry is valid again.
+    assert json.loads(victim.read_text())["version"] == 1
+
+
+def test_truncated_entry_is_detected_and_recomputed(tmp_path, monkeypatch):
+    cold = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    victim = entry_files(tmp_path)[0]
+    # Simulate a kill mid-write on a non-atomic filesystem: half a file.
+    victim.write_text(victim.read_text()[: len(victim.read_text()) // 2])
+
+    warm = run_sweep_parallel(cache_spec(), workers=1, cache_dir=tmp_path)
+    assert warm.stats.executed == 1
+    assert warm.stats.cache_hits == 3
+    assert warm.points == cold.points
+
+
+def test_load_discards_mismatched_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    victim = entry_files(tmp_path)[0]
+    payload = json.loads(victim.read_text())
+    key = victim.name[: -len(".json")]
+    payload["key"] = "0" * 64  # entry claims to be some other point
+    victim.write_text(json.dumps(payload))
+    assert cache.load("cache-behavior", key) is None
+    assert not victim.exists()  # discarded, cannot shadow a good write
+
+
+def test_point_key_is_stable_and_spec_sensitive():
+    base = dict(
+        sweep="s", algorithm=AlgorithmX, n=8, p=4, seed=0,
+        adversary=RandomChurn(0.2, 0.5), max_ticks=None,
+        fairness_window=None,
+    )
+    key = point_key(**base)
+    assert key == point_key(**base)  # deterministic across calls
+    assert key != point_key(**{**base, "seed": 1})
+    assert key != point_key(**{**base, "n": 16})
+    assert key != point_key(**{**base, "algorithm": AlgorithmV})
+    assert key != point_key(**{**base, "adversary": RandomChurn(0.3, 0.5)})
+    assert key != point_key(**{**base, "max_ticks": 10})
+
+
+def test_fingerprint_recurses_through_combinators():
+    # Frozen-dataclass factories fingerprint field-by-field...
+    assert fingerprint(RandomChurn(0.2, 0.5)) == fingerprint(
+        RandomChurn(0.2, 0.5)
+    )
+    assert fingerprint(Budgeted(Thrashing(), 256)) != fingerprint(
+        Budgeted(Thrashing(), 512)
+    )
+    # ...and functools.partial by wrapped callable plus bound arguments.
+    with_chunk = functools.partial(AlgorithmV, chunk=4)
+    assert fingerprint(with_chunk) == fingerprint(
+        functools.partial(AlgorithmV, chunk=4)
+    )
+    assert fingerprint(with_chunk) != fingerprint(
+        functools.partial(AlgorithmV, chunk=8)
+    )

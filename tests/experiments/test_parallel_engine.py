@@ -1,0 +1,92 @@
+"""Serial vs parallel differential: the engine must be bit-identical.
+
+The engine promises that worker count is unobservable in the output —
+``run_sweep_parallel(spec, workers=k).points == run_sweep(spec).points``
+for every k.  That hinges on (a) ``spec.points()`` being the single
+definition of sweep order, (b) each point seeding a fresh adversary,
+and (c) reassembly by point index.
+"""
+
+import pytest
+
+from repro.core import AlgorithmV, AlgorithmX
+from repro.experiments import SweepSpec, run_sweep, run_sweep_parallel
+from repro.experiments.factories import CrashOnly, FailureFree, RandomChurn
+
+
+def churn_spec():
+    return SweepSpec(
+        name="differential-churn",
+        algorithm=AlgorithmX,
+        sizes=(8, 16, 32),
+        processors=lambda n: max(2, n // 4),
+        adversary=RandomChurn(0.15, 0.4),
+        seeds=(0, 1),
+        max_ticks=200_000,
+    )
+
+
+def test_inline_engine_matches_serial_runner():
+    spec = churn_spec()
+    serial = run_sweep(spec)
+    inline = run_sweep_parallel(spec, workers=1)
+    assert inline.points == serial.points
+    assert inline.stats.executed == len(serial.points)
+    assert inline.stats.cache_hits == 0
+    assert not inline.failures
+
+
+@pytest.mark.slow
+def test_parallel_engine_bit_identical_to_serial():
+    spec = churn_spec()
+    serial = run_sweep(spec)
+    parallel = run_sweep_parallel(spec, workers=3)
+    assert parallel.points == serial.points
+    assert parallel.stats.total == len(serial.points)
+    assert parallel.stats.executed == len(serial.points)
+    assert not parallel.failures
+
+
+@pytest.mark.slow
+def test_worker_count_is_unobservable():
+    spec = SweepSpec(
+        name="differential-crash",
+        algorithm=AlgorithmV,
+        sizes=(8, 16),
+        processors=8,
+        adversary=CrashOnly(0.1),
+        seeds=(3, 4, 5),
+        max_ticks=200_000,
+    )
+    by_workers = [
+        run_sweep_parallel(spec, workers=k).points for k in (1, 2, 4)
+    ]
+    assert by_workers[0] == by_workers[1] == by_workers[2]
+
+
+@pytest.mark.slow
+def test_lambda_adversary_rejected_with_clear_error():
+    spec = SweepSpec(
+        name="unpicklable",
+        algorithm=AlgorithmX,
+        sizes=(8,),
+        adversary=lambda seed: None,
+    )
+    with pytest.raises(TypeError, match="picklable"):
+        run_sweep_parallel(spec, workers=2)
+    # Inline execution has no pickling requirement: same spec runs fine.
+    assert run_sweep_parallel(spec, workers=1).points
+
+
+def test_meta_aligns_with_points():
+    result = run_sweep_parallel(
+        SweepSpec(
+            name="meta-align", algorithm=AlgorithmX, sizes=(8, 16),
+            adversary=FailureFree(), seeds=(0, 1),
+        ),
+        workers=1,
+    )
+    assert len(result.meta) == len(result.points)
+    assert [meta.index for meta in result.meta] == list(range(len(result.points)))
+    assert all(not meta.cached for meta in result.meta)
+    assert all(meta.attempts == 1 for meta in result.meta)
