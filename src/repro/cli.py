@@ -9,6 +9,9 @@ Commands:
   ``--resume``) and per-point ``--timeout``/``--retries``;
 * ``bench``     — run registered benchmark scenarios through the
   parallel engine and write a machine-readable ``BENCH_<tag>.json``;
+* ``perf``      — micro-benchmark the simulator core: fast path vs the
+  reference baseline, min-of-k timing, per-phase breakdown, optional
+  cProfile capture and ``BENCH_<tag>.json`` export;
 * ``simulate``  — robustly execute a library PRAM program and verify it;
 * ``trace``     — run a small instance and print the per-processor
   failure/restart timeline;
@@ -248,6 +251,67 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if totals["failed"] == 0 else 1
 
 
+def _parse_size(token: str) -> tuple:
+    try:
+        n_text, p_text = token.lower().split("x", 1)
+        n, p = int(n_text), int(p_text)
+    except ValueError:
+        raise SystemExit(
+            f"bad --size {token!r}: expected NxP, e.g. 4096x64"
+        ) from None
+    if n < 1 or p < 1:
+        raise SystemExit(f"bad --size {token!r}: N and P must be positive")
+    return n, p
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    import os
+    import time as time_module
+
+    from repro.metrics.report import dump_report
+    from repro.perf.micro import (
+        DEFAULT_ALGORITHM,
+        DEFAULT_SIZE,
+        describe_comparison,
+        perf_report,
+        run_perf,
+    )
+    from repro.perf.profile_hook import maybe_profile
+
+    algorithms = args.algorithm or [DEFAULT_ALGORITHM]
+    sizes = [_parse_size(token) for token in (args.size or [])]
+    if not sizes:
+        sizes = [DEFAULT_SIZE]
+    configurations = [
+        (algorithm, n, p) for algorithm in algorithms for n, p in sizes
+    ]
+    started = time_module.perf_counter()
+    with maybe_profile(args.profile):
+        comparisons = run_perf(
+            configurations,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            include_baseline=not args.no_baseline,
+        )
+    wall_s = time_module.perf_counter() - started
+    for comparison in comparisons:
+        print(describe_comparison(comparison))
+    speedups = [c.speedup for c in comparisons if c.speedup is not None]
+    if speedups:
+        worst = min(speedups)
+        print(
+            f"\n{len(speedups)} configuration(s); worst speedup "
+            f"{worst:.2f}x, best "
+            f"{max(speedups):.2f}x (fast path vs reference baseline)"
+        )
+    if args.tag is not None:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"BENCH_{args.tag}.json")
+        dump_report(perf_report(comparisons, args.tag, wall_s), path)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     width = args.width
@@ -375,6 +439,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output directory for the JSON report")
     _add_engine(bench)
     bench.set_defaults(func=cmd_bench)
+
+    perf = commands.add_parser(
+        "perf",
+        help="micro-benchmark the simulator core (fast vs baseline)",
+    )
+    perf.add_argument("--algorithm", action="append", default=None,
+                      choices=sorted(
+                          ("trivial", "W", "V", "X", "VX", "snapshot")
+                      ),
+                      help="algorithm to time; repeatable (default: X)")
+    perf.add_argument("--size", action="append", default=None,
+                      metavar="NxP",
+                      help="instance size, e.g. 4096x64; repeatable "
+                           "(default: 4096x64)")
+    perf.add_argument("--repeats", type=int, default=5,
+                      help="measured repeats per leg (min is reported)")
+    perf.add_argument("--warmup", type=int, default=1,
+                      help="unmeasured warmup runs per leg")
+    perf.add_argument("--no-baseline", action="store_true",
+                      help="skip the reference-core baseline leg")
+    perf.add_argument("--profile", default=None, metavar="PATH",
+                      help="capture a cProfile of the whole run to PATH")
+    perf.add_argument("--tag", default=None,
+                      help="also write BENCH_<tag>.json")
+    perf.add_argument("--out", default="benchmarks/results",
+                      help="output directory for the JSON report")
+    perf.set_defaults(func=cmd_perf)
 
     simulate = commands.add_parser(
         "simulate", help="robustly execute a PRAM program"

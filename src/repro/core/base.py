@@ -70,12 +70,33 @@ class WriteAllAlgorithm:
         return all(memory.read(x_base + index) != 0 for index in range(layout.n))
 
 
-def done_predicate(layout: BaseLayout) -> Callable[[MemoryReader], bool]:
-    """An ``until`` predicate for the machine: all of x is written."""
+def done_predicate(
+    layout: BaseLayout, incremental: bool = True
+) -> Callable[[MemoryReader], bool]:
+    """An ``until`` predicate for the machine: all of x is written.
+
+    With ``incremental=True`` (the default) the predicate registers a
+    zero-region tracker over ``x`` with the memory layer on its first
+    call; every write path maintains the tracker, so the per-tick
+    termination check is O(1) instead of an O(N) rescan.  Memory views
+    without trackers — and ``incremental=False``, which the perf harness
+    uses as the pre-optimization baseline — fall back to the scan.
+    """
+    x_base = layout.x_base
+    n = layout.n
+    state = {"tracker": None}
 
     def all_written(memory: MemoryReader) -> bool:
-        x_base = layout.x_base
-        for index in range(layout.n):
+        tracker = state["tracker"]
+        if tracker is not None:
+            return tracker.zeros == 0
+        if incremental:
+            track = getattr(memory, "track_zeros", None)
+            if track is not None:
+                tracker = track(x_base, n)
+                state["tracker"] = tracker
+                return tracker.zeros == 0
+        for index in range(n):
             if memory.read(x_base + index) == 0:
                 return False
         return True

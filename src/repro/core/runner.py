@@ -68,6 +68,9 @@ def solve_write_all(
     enforce_progress: bool = True,
     fairness_window: Optional[int] = None,
     raise_on_limit: bool = False,
+    fast_path: bool = True,
+    phase_counters: Optional[object] = None,
+    incremental_until: bool = True,
 ) -> WriteAllResult:
     """Run ``algorithm`` on an (n, p) instance under ``adversary``.
 
@@ -76,6 +79,11 @@ def solve_write_all(
     the Write-All array and auxiliary structures.  The run ends when all
     of ``x`` is written, when every processor halts, or at ``max_ticks``
     (recorded in the ledger; ``raise_on_limit=True`` raises instead).
+
+    ``fast_path=False`` selects the machine's reference tick
+    implementation (the executable specification — slower, used by the
+    differential suite and perf comparisons); ``phase_counters`` is an
+    optional per-phase timing accumulator for the perf harness.
     """
     WriteAllInstance(n, p)  # validates the instance shape
     layout = algorithm.build_layout(n, p)
@@ -92,12 +100,14 @@ def solve_write_all(
         enforce_progress=enforce_progress,
         fairness_window=fairness_window,
         context={"layout": layout, "algorithm": algorithm.name},
+        fast_path=fast_path,
+        phase_counters=phase_counters,
     )
     machine.load_program(algorithm.program(layout, tasks))
     if max_ticks is None:
         max_ticks = default_tick_budget(n, p)
     ledger = machine.run(
-        until=done_predicate(layout),
+        until=done_predicate(layout, incremental=incremental_until),
         max_ticks=max_ticks,
         raise_on_limit=raise_on_limit,
     )

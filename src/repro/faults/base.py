@@ -25,6 +25,12 @@ class Adversary:
     #: Whether the adversary adapts to the run (True) or committed to a
     #: schedule beforehand (False).  Purely informational.
     online = True
+    #: A passive adversary *never* fails or restarts anything —
+    #: ``decide`` is ``Decision.none()`` unconditionally.  The machine's
+    #: fast path skips building the per-tick adversary view entirely for
+    #: passive adversaries, so only declare it when decide() truly never
+    #: acts (and never inspects the view for side effects).
+    passive = False
 
     def decide(self, view: TickView) -> Decision:
         return Decision.none()

@@ -11,6 +11,8 @@ class NoFailures(Adversary):
     """The failure-free PRAM (the classical model)."""
 
     online = False
+    # Never acts, so the machine may take its no-adversary fast path.
+    passive = True
 
     def decide(self, view: TickView) -> Decision:
         return Decision.none()

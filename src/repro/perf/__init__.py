@@ -1,0 +1,24 @@
+"""Profiling and micro-benchmark harness for the simulator core.
+
+The paper's measures (S, S', sigma) are model-level and host-independent;
+this package measures the *simulator itself* — wall-clock tick throughput
+of the machine's hot loop — so core optimizations can be quantified and
+guarded against regressions:
+
+* :mod:`repro.perf.timing` — warmup/repeat/min-of-k wall-clock timing;
+* :mod:`repro.perf.phases` — per-phase tick counters (collect /
+  adversary / resolve / settle) filled in by the machine's fast path;
+* :mod:`repro.perf.micro` — the ``python -m repro perf`` comparison of
+  the optimized fast path against the pre-optimization baseline
+  (reference tick implementation + O(N) termination rescan), emitting a
+  ``repro-bench/1`` report;
+* :mod:`repro.perf.profile_hook` — opt-in cProfile capture;
+* :mod:`repro.perf.regression` — tolerance-band comparison of two
+  ``BENCH_*.json`` reports (the engine behind
+  ``benchmarks/check_regression.py``).
+"""
+
+from repro.perf.phases import PhaseCounters
+from repro.perf.timing import TimingResult, time_callable
+
+__all__ = ["PhaseCounters", "TimingResult", "time_callable"]

@@ -1,0 +1,262 @@
+"""The ``python -m repro perf`` micro-benchmark: fast path vs baseline.
+
+Times fault-free Write-All runs through two cores:
+
+* **fast** — the machine's optimized tick loop (``fast_path=True``) with
+  the incremental O(1) termination predicate;
+* **baseline** — the reference tick implementation
+  (``fast_path=False``) with the O(N) termination rescan, i.e. the
+  pre-optimization core kept in-tree as the executable specification.
+
+Both legs are timed with warmup + min-of-k repeats
+(:mod:`repro.perf.timing`); the fast leg also collects per-phase tick
+counters.  The paper-model outputs of the two legs (S, S', |F|, ticks,
+solved) are asserted identical — a timing harness must never compare two
+computations that diverged.
+
+Results can be exported as a ``repro-bench/1`` report (scenario tag
+``PERF_micro``) so ``benchmarks/check_regression.py`` can diff perf runs
+over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import (
+    AlgorithmV,
+    AlgorithmVX,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    TrivialAssignment,
+    solve_write_all,
+)
+from repro.core.runner import WriteAllResult
+from repro.metrics.report import bench_report
+from repro.perf.phases import PhaseCounters
+from repro.perf.timing import TimingResult, time_callable
+
+#: Algorithms runnable by the perf command (all fault-free here).
+PERF_ALGORITHMS = {
+    "trivial": TrivialAssignment,
+    "W": AlgorithmW,
+    "V": AlgorithmV,
+    "X": AlgorithmX,
+    "VX": AlgorithmVX,
+    "snapshot": SnapshotAlgorithm,
+}
+
+#: The headline configuration: fault-free Write-All at N=4096, P=64.
+DEFAULT_SIZE = (4096, 64)
+DEFAULT_ALGORITHM = "X"
+
+
+@dataclass(frozen=True)
+class PerfLeg:
+    """One timed core (fast or baseline) at one configuration."""
+
+    mode: str  # "fast" | "baseline"
+    timing: TimingResult
+    result: WriteAllResult
+    phases: Optional[PhaseCounters]
+
+    @property
+    def best_s(self) -> float:
+        return self.timing.best_s
+
+    @property
+    def ticks_per_s(self) -> float:
+        best = self.timing.best_s
+        return self.result.ledger.ticks / best if best > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class PerfComparison:
+    """Fast vs baseline at one (algorithm, n, p) configuration."""
+
+    algorithm: str
+    n: int
+    p: int
+    fast: PerfLeg
+    baseline: Optional[PerfLeg]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Baseline-over-fast wall-clock ratio (higher is better)."""
+        if self.baseline is None or self.fast.best_s <= 0:
+            return None
+        return self.baseline.best_s / self.fast.best_s
+
+
+def _check_legs_agree(fast: WriteAllResult, baseline: WriteAllResult) -> None:
+    pairs = [
+        ("solved", fast.solved, baseline.solved),
+        ("S", fast.completed_work, baseline.completed_work),
+        ("S'", fast.charged_work, baseline.charged_work),
+        ("|F|", fast.pattern_size, baseline.pattern_size),
+        ("ticks", fast.ledger.ticks, baseline.ledger.ticks),
+    ]
+    mismatched = [
+        f"{name}: fast={a!r} baseline={b!r}" for name, a, b in pairs if a != b
+    ]
+    if mismatched:
+        raise RuntimeError(
+            "fast and baseline cores diverged on "
+            f"{fast.algorithm}(N={fast.n}, P={fast.p}) — refusing to "
+            "report timings of different computations: "
+            + "; ".join(mismatched)
+        )
+
+
+def run_comparison(
+    algorithm: str,
+    n: int,
+    p: int,
+    repeats: int = 5,
+    warmup: int = 1,
+    include_baseline: bool = True,
+) -> PerfComparison:
+    """Time one configuration through both cores."""
+    try:
+        algorithm_cls = PERF_ALGORITHMS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(PERF_ALGORITHMS))
+        raise ValueError(
+            f"unknown perf algorithm {algorithm!r}; known: {known}"
+        ) from None
+
+    state: Dict[str, WriteAllResult] = {}
+
+    def run_fast() -> None:
+        state["fast"] = solve_write_all(algorithm_cls(), n, p, fast_path=True)
+
+    fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
+    # The per-phase breakdown comes from one separate instrumented run so
+    # the timed repeats above stay free of perf_counter overhead.
+    phases = PhaseCounters()
+    solve_write_all(algorithm_cls(), n, p, fast_path=True,
+                    phase_counters=phases)
+    fast_leg = PerfLeg(
+        mode="fast", timing=fast_timing, result=state["fast"], phases=phases
+    )
+
+    baseline_leg: Optional[PerfLeg] = None
+    if include_baseline:
+
+        def run_baseline() -> None:
+            state["baseline"] = solve_write_all(
+                algorithm_cls(), n, p,
+                fast_path=False, incremental_until=False,
+            )
+
+        baseline_timing = time_callable(
+            run_baseline, repeats=repeats, warmup=warmup
+        )
+        _check_legs_agree(state["fast"], state["baseline"])
+        baseline_leg = PerfLeg(
+            mode="baseline", timing=baseline_timing,
+            result=state["baseline"], phases=None,
+        )
+
+    return PerfComparison(
+        algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg
+    )
+
+
+def run_perf(
+    configurations: List[Tuple[str, int, int]],
+    repeats: int = 5,
+    warmup: int = 1,
+    include_baseline: bool = True,
+) -> List[PerfComparison]:
+    """Time every ``(algorithm, n, p)`` configuration."""
+    return [
+        run_comparison(
+            algorithm, n, p,
+            repeats=repeats, warmup=warmup,
+            include_baseline=include_baseline,
+        )
+        for algorithm, n, p in configurations
+    ]
+
+
+# --------------------------------------------------------------------- #
+# repro-bench/1 export
+# --------------------------------------------------------------------- #
+
+
+def _leg_point(leg: PerfLeg, n: int, p: int) -> Dict[str, object]:
+    result = leg.result
+    return {
+        "n": n, "p": p, "seed": 0,
+        "solved": result.solved,
+        "S": result.completed_work,
+        "S_prime": result.charged_work,
+        "F": result.pattern_size,
+        "sigma": result.overhead_ratio,
+        "ticks": result.ledger.ticks,
+        "wall_s": round(leg.best_s, 6),
+        "cached": False,
+    }
+
+
+def perf_report(
+    comparisons: List[PerfComparison],
+    tag: str,
+    wall_s: float,
+) -> Dict[str, object]:
+    """Assemble a ``repro-bench/1`` report (scenario ``PERF_micro``).
+
+    Each configuration contributes a ``<algo>/fast`` sweep (and a
+    ``<algo>/baseline`` sweep when the baseline leg ran); ``wall_s`` per
+    point is the min-of-k best time, which is what the regression
+    comparator bands.
+    """
+    sweeps: List[Dict[str, object]] = []
+    for comparison in comparisons:
+        legs = [comparison.fast]
+        if comparison.baseline is not None:
+            legs.append(comparison.baseline)
+        for leg in legs:
+            sweeps.append({
+                "name": f"{comparison.algorithm}/{leg.mode}",
+                "points": [_leg_point(leg, comparison.n, comparison.p)],
+                "failures": [],
+            })
+    executed = sum(len(sweep["points"]) for sweep in sweeps)
+    scenario = {
+        "tag": "PERF_micro",
+        "title": "simulator core micro-benchmark (fast vs baseline)",
+        "source": "repro/perf/micro.py",
+        "wall_s": round(wall_s, 6),
+        "cache": {
+            "hits": 0, "executed": executed, "failed": 0, "hit_rate": 0.0,
+        },
+        "sweeps": sweeps,
+    }
+    return bench_report(tag, [scenario], workers=1)
+
+
+def describe_comparison(comparison: PerfComparison) -> str:
+    """Multi-line human-readable summary of one configuration."""
+    fast = comparison.fast
+    header = (
+        f"{comparison.algorithm}(N={comparison.n}, P={comparison.p}): "
+        f"fast {fast.best_s * 1e3:.1f} ms "
+        f"({fast.ticks_per_s:,.0f} ticks/s, "
+        f"{fast.result.ledger.ticks} ticks, spread "
+        f"{100.0 * fast.timing.spread:.0f}%)"
+    )
+    lines = [header]
+    if comparison.baseline is not None:
+        baseline = comparison.baseline
+        lines.append(
+            f"  baseline {baseline.best_s * 1e3:.1f} ms "
+            f"({baseline.ticks_per_s:,.0f} ticks/s)  "
+            f"speedup {comparison.speedup:.2f}x"
+        )
+    if fast.phases is not None and fast.phases.ticks:
+        lines.append(f"  {fast.phases.describe()}")
+    return "\n".join(lines)

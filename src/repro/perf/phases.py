@@ -1,0 +1,69 @@
+"""Per-phase wall-clock counters for the machine's tick loop.
+
+A :class:`PhaseCounters` instance handed to ``Machine(phase_counters=…)``
+accumulates, across every fast-path tick, the wall-clock seconds spent in
+the four tick phases:
+
+* **collect** — reads + compute (write-set materialization);
+* **adversary** — view construction, the decide() call, and the
+  failure-validation / fairness / progress rulings (zero for passive
+  ticks, which never build a view);
+* **resolve** — CRCW write resolution and the memory commit;
+* **settle** — work charging, processor advancement, and restarts.
+
+Only the fast path is instrumented: the reference tick implementation is
+the executable specification and stays free of timing hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PhaseCounters:
+    """Accumulated per-phase seconds plus the tick count they cover."""
+
+    collect_s: float = 0.0
+    adversary_s: float = 0.0
+    resolve_s: float = 0.0
+    settle_s: float = 0.0
+    ticks: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.collect_s + self.adversary_s + self.resolve_s + self.settle_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "collect_s": round(self.collect_s, 6),
+            "adversary_s": round(self.adversary_s, 6),
+            "resolve_s": round(self.resolve_s, 6),
+            "settle_s": round(self.settle_s, 6),
+            "total_s": round(self.total_s, 6),
+            "ticks": self.ticks,
+        }
+
+    def merge(self, other: "PhaseCounters") -> None:
+        """Fold another run's counters into this one."""
+        self.collect_s += other.collect_s
+        self.adversary_s += other.adversary_s
+        self.resolve_s += other.resolve_s
+        self.settle_s += other.settle_s
+        self.ticks += other.ticks
+
+    def describe(self) -> str:
+        """One-line human-readable phase breakdown."""
+        total = self.total_s
+        if total <= 0.0:
+            return f"ticks={self.ticks} (no phase time recorded)"
+        parts = []
+        for name, seconds in (
+            ("collect", self.collect_s),
+            ("adversary", self.adversary_s),
+            ("resolve", self.resolve_s),
+            ("settle", self.settle_s),
+        ):
+            parts.append(f"{name} {100.0 * seconds / total:.1f}%")
+        return f"ticks={self.ticks} phases: " + ", ".join(parts)

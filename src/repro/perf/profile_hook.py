@@ -1,0 +1,32 @@
+"""Opt-in cProfile capture for benchmark entry points."""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+@contextmanager
+def maybe_profile(path: Optional[str], top: int = 30) -> Iterator[None]:
+    """Profile the enclosed block when ``path`` is set.
+
+    Writes the binary profile (loadable with :mod:`pstats` or snakeviz)
+    to ``path`` and prints the top ``top`` functions by cumulative time.
+    With ``path=None`` the block runs unprofiled at full speed.
+    """
+    if path is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        print(f"[profile] wrote {path}; top {top} by cumulative time:")
+        stats.print_stats(top)

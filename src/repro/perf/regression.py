@@ -1,0 +1,167 @@
+"""Tolerance-band comparison of two ``BENCH_*.json`` reports.
+
+The model-level outputs of a benchmark point — ``solved``, ``S``,
+``S'``, ``|F|``, ``ticks`` — are deterministic, so any difference
+between a baseline and a candidate report is a semantics change and is
+always an **error**.  Wall-clock per point is noisy and host-dependent,
+so it is only flagged (as a perf regression) when the candidate exceeds
+the baseline by more than a relative tolerance band, and only for points
+slow enough to measure at all.
+
+This is the engine behind ``benchmarks/check_regression.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Deterministic model-level fields that must match exactly.
+MODEL_FIELDS = ("solved", "S", "S_prime", "F", "ticks")
+
+#: Points faster than this (seconds) in the baseline are never banded —
+#: their wall-clock is dominated by timer noise.
+DEFAULT_MIN_WALL_S = 0.01
+
+#: Default relative tolerance: candidate may be up to 2x the baseline
+#: before a perf regression is flagged (generous on purpose: CI hosts
+#: differ; tighten locally with --wall-tolerance).
+DEFAULT_WALL_TOLERANCE = 1.0
+
+PointKey = Tuple[str, str, int, int, int]
+
+
+def _index_points(report: Dict[str, Any]) -> Dict[PointKey, Dict[str, Any]]:
+    points: Dict[PointKey, Dict[str, Any]] = {}
+    for scenario in report.get("scenarios", []):
+        for sweep in scenario.get("sweeps", []):
+            for record in sweep.get("points", []):
+                key = (
+                    scenario["tag"], sweep["name"],
+                    record["n"], record["p"], record["seed"],
+                )
+                points[key] = record
+    return points
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome worth reporting."""
+
+    severity: str  # "error" | "warn" | "info"
+    kind: str  # "model-mismatch" | "missing-point" | "wall-regression" | ...
+    key: PointKey
+    detail: str
+
+    def render(self) -> str:
+        scenario, sweep, n, p, seed = self.key
+        where = f"{scenario}:{sweep} (N={n}, P={p}, seed={seed})"
+        return f"[{self.severity}] {self.kind} at {where}: {self.detail}"
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing a candidate report against a baseline."""
+
+    baseline_tag: str
+    candidate_tag: str
+    compared: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def render(self) -> str:
+        lines = [
+            f"compared {self.compared} points: baseline tag "
+            f"{self.baseline_tag!r} vs candidate tag {self.candidate_tag!r}"
+        ]
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        if self.ok:
+            lines.append("  OK: no regressions")
+        else:
+            lines.append(
+                f"  {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s)"
+            )
+        return "\n".join(lines)
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> RegressionReport:
+    """Diff ``candidate`` against ``baseline`` point by point.
+
+    * a baseline point absent from the candidate → **error** (coverage
+      lost);
+    * any :data:`MODEL_FIELDS` difference → **error** (the simulation
+      itself changed);
+    * candidate wall_s above ``baseline * (1 + wall_tolerance)`` on a
+      measurable, uncached point → **warn** (perf regression);
+    * candidate-only points → **info** (new coverage).
+    """
+    if wall_tolerance < 0:
+        raise ValueError(
+            f"wall_tolerance must be >= 0, got {wall_tolerance}"
+        )
+    report = RegressionReport(
+        baseline_tag=str(baseline.get("tag", "?")),
+        candidate_tag=str(candidate.get("tag", "?")),
+    )
+    baseline_points = _index_points(baseline)
+    candidate_points = _index_points(candidate)
+
+    for key, base_record in sorted(baseline_points.items()):
+        cand_record = candidate_points.get(key)
+        if cand_record is None:
+            report.findings.append(Finding(
+                severity="error", kind="missing-point", key=key,
+                detail="present in baseline, absent from candidate",
+            ))
+            continue
+        report.compared += 1
+        for fld in MODEL_FIELDS:
+            if base_record.get(fld) != cand_record.get(fld):
+                report.findings.append(Finding(
+                    severity="error", kind="model-mismatch", key=key,
+                    detail=(
+                        f"{fld}: baseline={base_record.get(fld)!r} "
+                        f"candidate={cand_record.get(fld)!r}"
+                    ),
+                ))
+        base_wall = float(base_record.get("wall_s", 0.0))
+        cand_wall = float(cand_record.get("wall_s", 0.0))
+        measurable = (
+            base_wall >= min_wall_s
+            and not base_record.get("cached", False)
+            and not cand_record.get("cached", False)
+        )
+        if measurable and cand_wall > base_wall * (1.0 + wall_tolerance):
+            report.findings.append(Finding(
+                severity="warn", kind="wall-regression", key=key,
+                detail=(
+                    f"wall_s {base_wall:.4f} -> {cand_wall:.4f} "
+                    f"({cand_wall / base_wall:.2f}x, tolerance "
+                    f"{1.0 + wall_tolerance:.2f}x)"
+                ),
+            ))
+
+    for key in sorted(set(candidate_points) - set(baseline_points)):
+        report.findings.append(Finding(
+            severity="info", kind="new-point", key=key,
+            detail="absent from baseline (new coverage)",
+        ))
+    return report

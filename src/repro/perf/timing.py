@@ -1,0 +1,63 @@
+"""Warmup / repeat / min-of-k wall-clock timing.
+
+Single-shot timings of a Python hot loop are dominated by allocator and
+scheduler noise.  The standard remedy (as in krun-style harnesses and
+``timeit``): run unmeasured warmup iterations first, then take the
+*minimum* over k measured repeats — the minimum estimates the noise-free
+cost, since external interference only ever adds time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock samples of one benchmarked callable."""
+
+    samples_s: List[float]
+    warmup: int
+
+    @property
+    def best_s(self) -> float:
+        """Minimum over the measured repeats (the headline number)."""
+        return min(self.samples_s)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.samples_s) / len(self.samples_s)
+
+    @property
+    def spread(self) -> float:
+        """(max - min) / min — a dimensionless noise indicator."""
+        best = self.best_s
+        if best <= 0.0:
+            return 0.0
+        return (max(self.samples_s) - best) / best
+
+
+def time_callable(
+    func: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> TimingResult:
+    """Time ``func()`` with warmup iterations and min-of-k repeats.
+
+    ``func`` must be self-contained (rebuild its own state per call) so
+    every invocation measures the same work.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        func()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = perf_counter()
+        func()
+        samples.append(perf_counter() - start)
+    return TimingResult(samples_s=samples, warmup=warmup)

@@ -17,10 +17,76 @@ the benchmark harness across runs.
 
 from __future__ import annotations
 
+from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.pram.failures import FailurePattern
+
+
+class PidCounter(MappingABC):
+    """An array-backed per-PID counter with the sparse-dict interface.
+
+    The machine's hot loop charges one attempt (and usually one
+    completion) per running processor per tick; a plain ``dict`` pays a
+    hash + probe per charge.  This counter stores counts in a flat list
+    indexed by PID — an O(1) list add per charge — while presenting the
+    same *observable* mapping as the sparse dicts it replaces: PIDs with
+    a zero count are absent (``pid in counter`` is False, iteration
+    skips them, ``len`` counts only non-zero entries), and
+    ``collections.abc.Mapping`` supplies dict-compatible equality, so
+    ledgers from array-backed and dict-backed runs compare equal.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, size: int = 0) -> None:
+        self._counts: List[int] = [0] * size
+
+    # -- fast-path hooks ------------------------------------------------ #
+
+    def increment(self, pid: int, amount: int = 1) -> None:
+        counts = self._counts
+        if pid >= len(counts):
+            counts.extend([0] * (pid + 1 - len(counts)))
+        counts[pid] += amount
+
+    def backing_list(self) -> List[int]:
+        """The raw count array (machine fast-path use only).
+
+        Callers may add to existing slots but must never shrink the
+        list; PIDs beyond its length go through :meth:`increment`.
+        """
+        return self._counts
+
+    def total(self) -> int:
+        return sum(self._counts)
+
+    # -- Mapping interface ---------------------------------------------- #
+
+    def __getitem__(self, pid: int) -> int:
+        counts = self._counts
+        if isinstance(pid, int) and 0 <= pid < len(counts) and counts[pid]:
+            return counts[pid]
+        raise KeyError(pid)
+
+    def __iter__(self) -> Iterator[int]:
+        return (pid for pid, count in enumerate(self._counts) if count)
+
+    def __len__(self) -> int:
+        return sum(1 for count in self._counts if count)
+
+    def get(self, pid: int, default=None):
+        counts = self._counts
+        if isinstance(pid, int) and 0 <= pid < len(counts) and counts[pid]:
+            return counts[pid]
+        return default
+
+    def copy(self) -> Dict[int, int]:
+        return {pid: count for pid, count in enumerate(self._counts) if count}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PidCounter({self.copy()!r})"
 
 
 @dataclass
@@ -29,11 +95,13 @@ class RunLedger:
 
     #: Number of clock ticks executed.
     ticks: int = 0
-    #: Completed update cycles, per PID.
-    completed_by_pid: Dict[int, int] = field(default_factory=dict)
+    #: Completed update cycles, per PID.  A plain dict by default; the
+    #: machine swaps in an array-backed :class:`PidCounter` (same
+    #: observable mapping) via :meth:`use_array_counters`.
+    completed_by_pid: Mapping[int, int] = field(default_factory=dict)
     #: Update cycles charged under the S' measure, per PID (completed plus
     #: adversary-interrupted attempts).
-    attempted_by_pid: Dict[int, int] = field(default_factory=dict)
+    attempted_by_pid: Mapping[int, int] = field(default_factory=dict)
     #: The realized failure pattern F.
     pattern: FailurePattern = field(default_factory=FailurePattern)
     #: Times the machine vetoed the adversary to preserve the progress
@@ -60,12 +128,18 @@ class RunLedger:
     @property
     def completed_work(self) -> int:
         """``S`` — completed update cycles across all processors."""
-        return sum(self.completed_by_pid.values())
+        counter = self.completed_by_pid
+        if type(counter) is PidCounter:
+            return counter.total()
+        return sum(counter.values())
 
     @property
     def charged_work(self) -> int:
         """``S'`` — completed plus interrupted update cycles."""
-        return sum(self.attempted_by_pid.values())
+        counter = self.attempted_by_pid
+        if type(counter) is PidCounter:
+            return counter.total()
+        return sum(counter.values())
 
     @property
     def pattern_size(self) -> int:
@@ -90,11 +164,33 @@ class RunLedger:
     # recording hooks (called by the machine)
     # ------------------------------------------------------------------ #
 
+    def use_array_counters(self, num_processors: int) -> None:
+        """Switch the per-PID counters to array backing (machine setup).
+
+        Only legal before any work is charged; a no-op if already
+        array-backed.
+        """
+        if type(self.attempted_by_pid) is not PidCounter:
+            if self.attempted_by_pid or self.completed_by_pid:
+                raise ValueError(
+                    "cannot switch counter backing after work was charged"
+                )
+            self.attempted_by_pid = PidCounter(num_processors)
+            self.completed_by_pid = PidCounter(num_processors)
+
     def charge_attempt(self, pid: int) -> None:
-        self.attempted_by_pid[pid] = self.attempted_by_pid.get(pid, 0) + 1
+        counter = self.attempted_by_pid
+        if type(counter) is PidCounter:
+            counter.increment(pid)
+        else:
+            counter[pid] = counter.get(pid, 0) + 1
 
     def charge_completion(self, pid: int) -> None:
-        self.completed_by_pid[pid] = self.completed_by_pid.get(pid, 0) + 1
+        counter = self.completed_by_pid
+        if type(counter) is PidCounter:
+            counter.increment(pid)
+        else:
+            counter[pid] = counter.get(pid, 0) + 1
 
     def describe(self, input_size: Optional[int] = None) -> str:
         """One-paragraph human-readable summary."""

@@ -24,12 +24,38 @@ running processor:
 This is a *model-level* simulator: "work" is the paper's completed-work
 measure, not wall-clock time, so the results are exact in the paper's own
 cost model regardless of host parallelism.
+
+Two tick implementations share these semantics:
+
+* the **reference path** (``fast_path=False``) is the original
+  straight-line implementation — it rebuilds every per-tick structure
+  from scratch and validates every memory access, and serves as the
+  executable specification;
+* the **fast path** (``fast_path=True``, the default) commits the same
+  reads→compute→writes with near-zero per-tick allocation: the running
+  list and status table are cached and invalidated only on status
+  transitions (a shared status-epoch cell bumped by the processors),
+  cell reads go straight to the backing array after an explicit
+  bounds/type check (invalid accesses fall back to the validated reader
+  so errors are identical), per-PID work counters are array-backed, the
+  CRCW resolve call is skipped when every address has a single writer
+  and the policy declares singleton resolution the identity, and — when
+  no (active) adversary is attached — the adversary view and pending
+  dataclasses are never built at all.  A one-time program-validation
+  gate runs each distinct cycle label through the fully validated
+  reference collection once before trusting its shape.
+
+The differential suite (``tests/pram/test_fast_path_differential.py``)
+holds the two paths ledger- and trace-identical across the algorithm ×
+adversary matrix.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from time import perf_counter
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.pram.cycles import Cycle, Write
 from repro.pram.errors import (
@@ -44,7 +70,7 @@ from repro.pram.failures import (
     Decision,
     FailureTag,
 )
-from repro.pram.ledger import RunLedger
+from repro.pram.ledger import PidCounter, RunLedger
 from repro.pram.memory import MemoryReader, SharedMemory
 from repro.pram.policies import CommonCrcw, WritePolicy
 from repro.pram.processor import Processor, ProcessorStatus, ProgramFactory
@@ -52,6 +78,22 @@ from repro.pram.view import PendingCycleView, TickView
 
 #: Termination predicate: receives a read-only memory view.
 UntilPredicate = Callable[[MemoryReader], bool]
+
+
+def _is_passive(adversary: object) -> bool:
+    """Whether ``adversary`` is declared passive (never acts).
+
+    ``passive = True`` is only trusted when it is declared by the same
+    class that defines the instance's ``decide`` — a subclass that
+    overrides ``decide()`` while inheriting the flag (e.g. a spy wrapped
+    around NoFailures) must still be consulted every tick.
+    """
+    if not getattr(adversary, "passive", False):
+        return False
+    for klass in type(adversary).__mro__:
+        if "decide" in vars(klass):
+            return bool(vars(klass).get("passive", False))
+    return False
 
 
 class Machine:
@@ -70,6 +112,8 @@ class Machine:
         strict_progress: bool = False,
         fairness_window: Optional[int] = None,
         context: Optional[Dict[str, object]] = None,
+        fast_path: bool = True,
+        phase_counters: Optional[object] = None,
     ) -> None:
         if num_processors <= 0:
             raise ValueError(
@@ -100,8 +144,42 @@ class Machine:
         self._consecutive_interrupts: Dict[int, int] = {}
         self.context: Dict[str, object] = dict(context or {})
         self.ledger = RunLedger()
+        self.ledger.use_array_counters(num_processors)
         self._processors: List[Processor] = []
         self._reader = MemoryReader(memory)
+        #: Selects the optimized tick implementation (see module docs).
+        self.fast_path = fast_path
+        #: Optional per-phase wall-clock accumulator (duck-typed, see
+        #: repro.perf.phases.PhaseCounters).  Instrumented on the fast
+        #: path only so the reference path stays byte-for-byte the
+        #: executable specification.
+        self.phase_counters = phase_counters
+        # -- fast-path state ------------------------------------------- #
+        # Shared status-epoch cell: every processor status transition
+        # bumps it, invalidating the cached running list/status table.
+        self._status_epoch: List[int] = [0]
+        self._cache_epoch = -1
+        self._running_cache: List[Processor] = []
+        self._failed_count = 0
+        self._statuses_view: Mapping[int, ProcessorStatus] = MappingProxyType({})
+        # Raw cell array (validated accesses fall back to memory.read /
+        # memory.write); raw value storage is only safe without a word
+        # width to enforce.
+        self._cells = memory.raw_cells()
+        self._raw_write_ok = memory.word_bits is None
+        # One-time program-validation gate: cycle labels whose shape ran
+        # through the fully validated reference collection once.
+        self._validated_labels: set = set()
+        # Memoized passivity of the currently-attached adversary (the
+        # sentinel object never compares `is` to a real adversary).
+        self._passivity_for: object = object()
+        self._passivity = False
+        # Reusable per-tick scratch (the point is zero steady-state
+        # allocation; cleared, never reallocated).
+        self._collect_scratch: List[tuple] = []
+        self._pairs_scratch: List[tuple] = []
+        self._resolved_scratch: List[Tuple[int, int]] = []
+        self._single_scratch: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------ #
     # setup
@@ -113,6 +191,7 @@ class Machine:
             Processor(pid, program_factory) for pid in range(self.num_processors)
         ]
         for processor in self._processors:
+            processor.bind_epoch_cell(self._status_epoch)
             processor.spawn()
 
     @property
@@ -140,7 +219,15 @@ class Machine:
         """
         if not self._processors:
             raise ProgramError("no program loaded; call load_program() first")
+        if self.fast_path:
+            return self._step_fast()
+        return self._step_reference()
 
+    # ================================================================== #
+    # reference tick (executable specification; fast_path=False)
+    # ================================================================== #
+
+    def _step_reference(self) -> bool:
         running = [proc for proc in self._processors if proc.is_running]
         failed = [proc for proc in self._processors if proc.is_failed]
         if not running and not failed:
@@ -363,16 +450,370 @@ class Machine:
         # executing an update cycle.  If the adversary left every processor
         # failed, forcibly restart the lowest PID.
         if self.enforce_progress and not pending and not decision.restarts:
-            failed = [proc for proc in self._processors if proc.is_failed]
-            if failed:
-                revived = min(failed, key=lambda proc: proc.pid)
-                self.ledger.pattern.record(FailureTag.RESTART, revived.pid, tick)
-                revived.restart()
-                self.ledger.progress_vetoes += 1
+            self._force_restart_lowest_failed(tick)
+
+    def _force_restart_lowest_failed(self, tick: int) -> None:
+        failed = [proc for proc in self._processors if proc.is_failed]
+        if failed:
+            revived = min(failed, key=lambda proc: proc.pid)
+            self.ledger.pattern.record(FailureTag.RESTART, revived.pid, tick)
+            revived.restart()
+            self.ledger.progress_vetoes += 1
 
     def _sync_traffic(self) -> None:
         self.ledger.memory_reads = self.memory.reads_served
         self.ledger.memory_writes = self.memory.writes_applied
+
+    # ================================================================== #
+    # fast tick (allocation-lean; semantics identical to the reference)
+    # ================================================================== #
+
+    def _refresh_status_caches(self) -> None:
+        epoch = self._status_epoch[0]
+        if epoch == self._cache_epoch:
+            return
+        running: List[Processor] = []
+        statuses: Dict[int, ProcessorStatus] = {}
+        failed = 0
+        for proc in self._processors:
+            status = proc.status
+            statuses[proc.pid] = status
+            if status is ProcessorStatus.RUNNING:
+                running.append(proc)
+            elif status is ProcessorStatus.FAILED:
+                failed += 1
+        self._running_cache = running
+        self._failed_count = failed
+        self._statuses_view = MappingProxyType(statuses)
+        self._cache_epoch = epoch
+
+    def _step_fast(self) -> bool:
+        self._refresh_status_caches()
+        running = self._running_cache
+        if not running and not self._failed_count:
+            return False
+        self.ledger.ticks += 1
+        tick = self.ledger.ticks
+        adversary = self.adversary
+        if adversary is not self._passivity_for:
+            # self.adversary is public and may be swapped between runs.
+            self._passivity_for = adversary
+            self._passivity = adversary is None or _is_passive(adversary)
+        if self._passivity:
+            self._tick_fast_passive(tick, running)
+        else:
+            self._tick_fast_adversary(tick, running)
+        self._sync_traffic()
+        return True
+
+    def _collect_fast(self, running: List[Processor]) -> List[tuple]:
+        """Collect every running processor's (cycle, reads, writes).
+
+        Returns reusable ``(processor, cycle, values, writes)`` tuples;
+        reads go straight to the cell array after a type/bounds check,
+        with invalid accesses routed through the validated reader so
+        error behavior matches the reference path exactly.
+        """
+        memory = self.memory
+        cells = self._cells
+        size = len(cells)
+        max_reads = self.max_reads
+        max_writes = self.max_writes
+        validated = self._validated_labels
+        policy = self.policy
+        readers_by_address: Optional[Dict[int, List[int]]] = (
+            None if policy.allows_concurrent_reads else defaultdict(list)
+        )
+        collected = self._collect_scratch
+        collected.clear()
+        reads_charged = 0
+        for processor in running:
+            cycle = processor._pending
+            if cycle is None:
+                processor.pending_cycle  # raises the standard ProgramError
+            label = cycle.label
+            if label not in validated:
+                collected.append(
+                    self._collect_one_validated(processor, cycle, readers_by_address)
+                )
+                validated.add(label)
+                continue
+            reads = cycle.reads
+            if type(reads) is tuple:
+                if len(reads) > max_reads:
+                    raise ProgramError(
+                        f"pid {processor.pid}: cycle reads {len(reads)} "
+                        f"cells, limit is {self.max_reads} "
+                        f"(label={cycle.label!r})"
+                    )
+                value_list: List[int] = []
+                for spec in reads:
+                    if spec.__class__ is int:
+                        address = spec
+                    elif spec is None:
+                        value_list.append(0)
+                        continue
+                    else:
+                        # The validation gate pinned this label's shape:
+                        # non-int, non-None specs are callables.
+                        address = spec(tuple(value_list))
+                        if address is None:
+                            value_list.append(0)
+                            continue
+                    if address.__class__ is int and 0 <= address < size:
+                        value_list.append(cells[address])
+                        reads_charged += 1
+                    else:
+                        # Exotic-but-valid addresses succeed (and charge
+                        # themselves); invalid ones raise MemoryError_.
+                        value_list.append(memory.read(address))
+                    if readers_by_address is not None:
+                        readers_by_address[address].append(processor.pid)
+                values: Tuple[int, ...] = tuple(value_list)
+            elif cycle.is_snapshot:
+                if not self.allow_snapshot:
+                    raise ProgramError(
+                        f"pid {processor.pid}: snapshot read on a machine "
+                        f"without allow_snapshot (label={cycle.label!r})"
+                    )
+                values = tuple(memory.snapshot())
+                reads_charged += 1  # unit cost by assumption
+            else:
+                cycle.read_specs()  # raises the standard ProgramError
+                raise AssertionError("unreachable")  # pragma: no cover
+            writes_spec = cycle.writes
+            writes = writes_spec(values) if callable(writes_spec) else writes_spec
+            if len(writes) > max_writes:
+                raise ProgramError(
+                    f"pid {processor.pid}: cycle writes {len(writes)} cells, "
+                    f"limit is {self.max_writes} (label={cycle.label!r})"
+                )
+            collected.append((processor, cycle, values, writes))
+        if readers_by_address is not None:
+            for address, reader_pids in readers_by_address.items():
+                policy.check_reads(address, reader_pids)
+        memory.charge_reads(reads_charged)
+        return collected
+
+    def _collect_one_validated(
+        self,
+        processor: Processor,
+        cycle: Cycle,
+        readers_by_address: Optional[Dict[int, List[int]]],
+    ) -> tuple:
+        """Reference-semantics collection of one cycle.
+
+        The one-time program-validation gate: the first occurrence of
+        each cycle label takes this fully validated route (type checks
+        on every read spec and produced write); later occurrences are
+        trusted to keep the same shape and take the raw route.
+        """
+        if cycle.is_snapshot:
+            if not self.allow_snapshot:
+                raise ProgramError(
+                    f"pid {processor.pid}: snapshot read on a machine "
+                    f"without allow_snapshot (label={cycle.label!r})"
+                )
+            values: Tuple[int, ...] = tuple(self.memory.snapshot())
+            self.memory.reads_served += 1  # unit cost by assumption
+        else:
+            specs = cycle.read_specs()
+            if len(specs) > self.max_reads:
+                raise ProgramError(
+                    f"pid {processor.pid}: cycle reads {len(specs)} "
+                    f"cells, limit is {self.max_reads} "
+                    f"(label={cycle.label!r})"
+                )
+            value_list: List[int] = []
+            for spec in specs:
+                address = spec(tuple(value_list)) if callable(spec) else spec
+                if address is None:
+                    value_list.append(0)
+                    continue
+                value_list.append(self.memory.read(address))
+                if readers_by_address is not None:
+                    readers_by_address[address].append(processor.pid)
+            values = tuple(value_list)
+        writes = cycle.materialize_writes(values)
+        if len(writes) > self.max_writes:
+            raise ProgramError(
+                f"pid {processor.pid}: cycle writes {len(writes)} cells, "
+                f"limit is {self.max_writes} (label={cycle.label!r})"
+            )
+        return (processor, cycle, values, writes)
+
+    def _resolve_and_apply_fast(self, pairs: List[tuple]) -> None:
+        """Resolve per-address writers and apply the results.
+
+        ``pairs`` holds ``(pid, surviving_writes)`` in ascending PID
+        order.  Equivalent to the reference ``_apply_writes``, but when
+        every address has exactly one writer (the overwhelmingly common
+        case) the grouping dict, the sort, and the policy resolve call
+        are all skipped and the writes land through one batched commit.
+        """
+        single = self._single_scratch
+        single.clear()
+        groups: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        for pid, writes in pairs:
+            for write in writes:
+                address = write.address
+                if groups is not None:
+                    group = groups.get(address)
+                    if group is not None:
+                        group.append((pid, write.value))
+                        continue
+                prev = single.get(address)
+                if prev is None:
+                    single[address] = (pid, write.value)
+                else:
+                    if groups is None:
+                        groups = {}
+                    groups[address] = [prev, (pid, write.value)]
+                    del single[address]
+        policy = self.policy
+        memory = self.memory
+        if (
+            groups is None
+            and policy.singleton_resolve_is_identity
+            and self._raw_write_ok
+        ):
+            size = len(self._cells)
+            resolved = self._resolved_scratch
+            resolved.clear()
+            clean = True
+            try:
+                for address, pid_value in single.items():
+                    if type(address) is int and 0 <= address < size:
+                        resolved.append((address, pid_value[1]))
+                    else:
+                        clean = False
+                        break
+            except TypeError:  # pragma: no cover - defensive
+                clean = False
+            if clean:
+                memory.commit_resolved(resolved)
+                return
+        # General path: a multi-writer address, a stateful policy, a
+        # word-width-enforcing memory, or an invalid address.  Reproduce
+        # the reference semantics exactly (same resolve calls, same
+        # ascending-address application order, same errors and partial
+        # state on error).
+        writers_by_address: Dict[int, List[Tuple[int, int]]] = {
+            address: [pid_value] for address, pid_value in single.items()
+        }
+        if groups:
+            writers_by_address.update(groups)
+        resolve = policy.resolve
+        write = memory.write
+        for address in sorted(writers_by_address):
+            write(address, resolve(address, writers_by_address[address]))
+
+    def _tick_fast_passive(self, tick: int, running: List[Processor]) -> None:
+        """One tick with no (active) adversary: nothing can fail.
+
+        Skips the adversary view, the pending dataclasses, and every
+        failure-handling phase; every collected cycle completes.
+        """
+        phases = self.phase_counters
+        mark = perf_counter() if phases is not None else 0.0
+        collected = self._collect_fast(running)
+        if phases is not None:
+            now = perf_counter()
+            phases.collect_s += now - mark
+            mark = now
+        ledger = self.ledger
+        if not collected:
+            # Every processor is failed or halted: an empty tick, then
+            # the all-failed progress policy (reference order).
+            ledger.completed_per_tick.append(0)
+            if self.enforce_progress:
+                self._force_restart_lowest_failed(tick)
+            if phases is not None:
+                phases.settle_s += perf_counter() - mark
+                phases.ticks += 1
+            return
+        pairs = self._pairs_scratch
+        pairs.clear()
+        for entry in collected:
+            pairs.append((entry[0].pid, entry[3]))
+        self._resolve_and_apply_fast(pairs)
+        if phases is not None:
+            now = perf_counter()
+            phases.resolve_s += now - mark
+            mark = now
+        attempts = ledger.attempted_by_pid.backing_list()
+        completions = ledger.completed_by_pid.backing_list()
+        for entry in collected:
+            processor = entry[0]
+            pid = processor.pid
+            attempts[pid] += 1
+            completions[pid] += 1
+            processor.complete_cycle(entry[2])
+        ledger.completed_per_tick.append(len(collected))
+        if phases is not None:
+            phases.settle_s += perf_counter() - mark
+            phases.ticks += 1
+
+    def _tick_fast_adversary(self, tick: int, running: List[Processor]) -> None:
+        """One tick with an active adversary.
+
+        Builds the full adversary view (from cached statuses and the
+        fast collection) and then runs the reference failure-handling
+        phases, so adversary-visible state and the realized pattern are
+        identical to the reference path.
+        """
+        phases = self.phase_counters
+        mark = perf_counter() if phases is not None else 0.0
+        collected = self._collect_fast(running)
+        pending: Dict[int, PendingCycleView] = {}
+        for processor, cycle, values, writes in collected:
+            pid = processor.pid
+            pending[pid] = PendingCycleView(
+                pid,
+                cycle,
+                values,
+                writes if type(writes) is tuple else tuple(writes),
+            )
+        if phases is not None:
+            now = perf_counter()
+            phases.collect_s += now - mark
+            mark = now
+        view = TickView(
+            time=tick,
+            memory=self._reader,
+            statuses=self._statuses_view,
+            pending=pending,
+            ledger=self.ledger,
+            context=self.context,
+        )
+        decision = self._consult_adversary(view)
+        failures = self._validated_failures(decision, pending)
+        failures = self._apply_fairness(failures)
+        failures = self._apply_progress_policy(failures, pending)
+        if phases is not None:
+            now = perf_counter()
+            phases.adversary_s += now - mark
+            mark = now
+        pairs = self._pairs_scratch
+        pairs.clear()
+        for pid, entry in pending.items():
+            if pid in failures:
+                surviving = entry.writes[: failures[pid]]
+                if surviving:
+                    pairs.append((pid, surviving))
+            else:
+                pairs.append((pid, entry.writes))
+        self._resolve_and_apply_fast(pairs)
+        if phases is not None:
+            now = perf_counter()
+            phases.resolve_s += now - mark
+            mark = now
+        completed_this_tick = self._settle_processors(pending, failures, tick)
+        self.ledger.completed_per_tick.append(completed_this_tick)
+        self._apply_restarts(decision, failures, pending, tick)
+        if phases is not None:
+            phases.settle_s += perf_counter() - mark
+            phases.ticks += 1
 
     # ------------------------------------------------------------------ #
     # whole runs
@@ -387,38 +828,47 @@ class Machine:
     ) -> RunLedger:
         """Tick until ``until`` holds, all processors halt, or limits hit.
 
+        ``until`` is evaluated exactly once before the first tick and
+        once after every tick (Write-All's predicate is O(1) thanks to
+        the memory layer's zero-region tracker, but arbitrary predicates
+        may be expensive — they are never called twice per tick, not
+        even at the ``max_ticks`` boundary).
+
         ``stall_limit`` bounds consecutive ticks in which no update cycle
         was even attempted (all processors failed, adversary silent) —
         only reachable with ``enforce_progress=False``.
         """
+        ledger = self.ledger
+        reader = self._reader
+        if until is not None and until(reader):
+            ledger.goal_reached = True
+            self._sync_traffic()
+            return ledger
         stalled_ticks = 0
         while True:
-            if until is not None and until(self._reader):
-                self.ledger.goal_reached = True
-                break
             live = self.step()
             if not live:
-                self.ledger.halted = True
+                ledger.halted = True
                 break
-            if self.ledger.completed_per_tick and self.ledger.completed_per_tick[-1] == 0 and not any(
+            if ledger.completed_per_tick and ledger.completed_per_tick[-1] == 0 and not any(
                 proc.is_running for proc in self._processors
             ):
                 stalled_ticks += 1
                 if stalled_ticks >= stall_limit:
-                    self.ledger.stalled = True
+                    ledger.stalled = True
                     break
             else:
                 stalled_ticks = 0
-            if self.ledger.ticks >= max_ticks:
-                if until is not None and until(self._reader):
-                    self.ledger.goal_reached = True
-                    break
-                self.ledger.tick_limited = True
+            if until is not None and until(reader):
+                ledger.goal_reached = True
+                break
+            if ledger.ticks >= max_ticks:
+                ledger.tick_limited = True
                 if raise_on_limit:
                     raise TickLimitError(
                         f"run exceeded max_ticks={max_ticks} "
-                        f"(S={self.ledger.completed_work})"
+                        f"(S={ledger.completed_work})"
                     )
                 break
         self._sync_traffic()
-        return self.ledger
+        return ledger

@@ -10,13 +10,51 @@ Model assumptions from Section 2.1/2.3 of the paper:
 The class also keeps running read/write counters; they feed the ledger's
 traffic statistics (useful for sanity-checking the ≤4-read / ≤2-write
 update-cycle discipline at the aggregate level).
+
+Two facilities exist purely for the simulator's hot path:
+
+* :class:`ZeroRegionTracker` — a remaining-zeros counter over a cell
+  region, maintained incrementally by every write so termination
+  predicates (e.g. Write-All's "all of x is non-zero") are O(1) per tick
+  instead of an O(N) rescan;
+* :meth:`SharedMemory.raw_cells` / :meth:`SharedMemory.commit_resolved` /
+  :meth:`SharedMemory.charge_reads` — raw access for the machine's
+  validated fast path, which keeps the traffic counters and trackers
+  coherent itself.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.pram.errors import MemoryError_
+
+
+class ZeroRegionTracker:
+    """Incrementally maintained count of zero-valued cells in a region.
+
+    Registered via :meth:`SharedMemory.track_zeros`; every write path of
+    the memory (and the machine's raw fast path) keeps ``zeros`` exact,
+    so ``tracker.zeros == 0`` is an O(1) "every cell in the region is
+    non-zero" test.
+    """
+
+    __slots__ = ("start", "stop", "zeros")
+
+    def __init__(self, start: int, stop: int, zeros: int) -> None:
+        self.start = start
+        self.stop = stop
+        self.zeros = zeros
+
+    @property
+    def all_nonzero(self) -> bool:
+        return self.zeros == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ZeroRegionTracker([{self.start}, {self.stop}), "
+            f"zeros={self.zeros})"
+        )
 
 
 class SharedMemory:
@@ -32,6 +70,7 @@ class SharedMemory:
             raise MemoryError_(f"shared memory size must be positive, got {size}")
         self._cells: List[int] = [0] * size
         self._word_bits = word_bits
+        self._trackers: List[ZeroRegionTracker] = []
         self.reads_served = 0
         self.writes_applied = 0
         if initial is not None:
@@ -74,6 +113,10 @@ class SharedMemory:
                 f"{self._word_bits}-bit word"
             )
 
+    # ------------------------------------------------------------------ #
+    # cell access
+    # ------------------------------------------------------------------ #
+
     def read(self, address: int) -> int:
         """Read one cell (counted toward the traffic statistics)."""
         self._validate_address(address)
@@ -85,18 +128,29 @@ class SharedMemory:
         self._validate_address(address)
         return self._cells[address]
 
+    def _set_cell(self, address: int, value: int) -> None:
+        """Store a validated value, keeping zero-region trackers exact."""
+        cells = self._cells
+        old = cells[address]
+        cells[address] = value
+        if self._trackers and (old == 0) != (value == 0):
+            delta = 1 if value == 0 else -1
+            for tracker in self._trackers:
+                if tracker.start <= address < tracker.stop:
+                    tracker.zeros += delta
+
     def write(self, address: int, value: int) -> None:
         """Atomically write one word (counted toward traffic statistics)."""
         self._validate_address(address)
         self._validate_value(address, value)
         self.writes_applied += 1
-        self._cells[address] = value
+        self._set_cell(address, value)
 
     def poke(self, address: int, value: int) -> None:
         """Write without charging traffic (for harness initialization)."""
         self._validate_address(address)
         self._validate_value(address, value)
-        self._cells[address] = value
+        self._set_cell(address, value)
 
     def snapshot(self) -> List[int]:
         """A copy of the entire contents (harness/adversary use; uncharged)."""
@@ -108,16 +162,96 @@ class SharedMemory:
             self.poke(offset + delta, value)
 
     def region(self, start: int, length: int) -> List[int]:
-        """A copy of ``length`` cells starting at ``start`` (uncharged)."""
+        """A copy of ``length`` cells starting at ``start`` (uncharged).
+
+        An empty region is legal anywhere in ``[0, size]`` — including
+        ``start == size``, the one-past-the-end position a zero-length
+        slice at the end of memory naturally has.
+        """
         if length < 0:
             raise MemoryError_(f"region length must be non-negative, got {length}")
+        if length == 0:
+            if (
+                isinstance(start, int)
+                and not isinstance(start, bool)
+                and 0 <= start <= len(self._cells)
+            ):
+                return []
+            self._validate_address(start)  # raises the standard error
         self._validate_address(start)
-        if length and start + length > len(self._cells):
+        if start + length > len(self._cells):
             raise MemoryError_(
                 f"region [{start}, {start + length}) exceeds memory size "
                 f"{len(self._cells)}"
             )
         return self._cells[start : start + length]
+
+    # ------------------------------------------------------------------ #
+    # fast-path hooks (simulator internals)
+    # ------------------------------------------------------------------ #
+
+    def raw_cells(self) -> List[int]:
+        """The underlying cell list, for the machine's validated fast path.
+
+        Callers reading from it must charge traffic via
+        :meth:`charge_reads`; callers writing through it must instead go
+        through :meth:`commit_resolved` so counters and zero-region
+        trackers stay exact.
+        """
+        return self._cells
+
+    def charge_reads(self, count: int) -> None:
+        """Charge ``count`` reads performed through :meth:`raw_cells`."""
+        self.reads_served += count
+
+    def commit_resolved(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Apply pre-validated resolved writes (one per address).
+
+        Fast-path equivalent of calling :meth:`write` per pair: charges
+        one write per pair and keeps zero-region trackers exact.
+        Addresses must already be in range.
+        """
+        self.writes_applied += len(pairs)
+        cells = self._cells
+        trackers = self._trackers
+        if trackers:
+            for address, value in pairs:
+                old = cells[address]
+                cells[address] = value
+                if (old == 0) != (value == 0):
+                    delta = 1 if value == 0 else -1
+                    for tracker in trackers:
+                        if tracker.start <= address < tracker.stop:
+                            tracker.zeros += delta
+        else:
+            for address, value in pairs:
+                cells[address] = value
+
+    def track_zeros(self, start: int, length: int) -> ZeroRegionTracker:
+        """Register (or fetch) a zero-count tracker over a cell region.
+
+        The initial count is taken by one scan; afterwards every write
+        path maintains it incrementally.  Idempotent per (start, length).
+        """
+        if length < 0:
+            raise MemoryError_(
+                f"tracked region length must be non-negative, got {length}"
+            )
+        if length:
+            self._validate_address(start)
+            if start + length > len(self._cells):
+                raise MemoryError_(
+                    f"tracked region [{start}, {start + length}) exceeds "
+                    f"memory size {len(self._cells)}"
+                )
+        stop = start + length
+        for tracker in self._trackers:
+            if tracker.start == start and tracker.stop == stop:
+                return tracker
+        zeros = sum(1 for value in self._cells[start:stop] if value == 0)
+        tracker = ZeroRegionTracker(start, stop, zeros)
+        self._trackers.append(tracker)
+        return tracker
 
 
 class MemoryReader:
@@ -148,3 +282,11 @@ class MemoryReader:
 
     def snapshot(self) -> List[int]:
         return self._memory.snapshot()
+
+    def track_zeros(self, start: int, length: int) -> ZeroRegionTracker:
+        """Register a zero-region tracker (termination-predicate use).
+
+        Mutates only the memory's *accounting* structures, never model
+        state, so it is safe to expose on the read-only facade.
+        """
+        return self._memory.track_zeros(start, length)

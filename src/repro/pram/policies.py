@@ -27,6 +27,13 @@ class WritePolicy:
     allows_concurrent_reads = True
     #: Whether two processors may write the same cell in one tick.
     allows_concurrent_writes = True
+    #: Whether ``resolve(address, [(pid, value)])`` with a single writer
+    #: is guaranteed to return ``value`` without raising and without
+    #: mutating policy state.  When True the machine's fast path skips
+    #: the resolve call entirely for addresses with exactly one writer
+    #: (the overwhelmingly common case); stateful policies whose choice
+    #: depends on *how many times* resolve ran must set this False.
+    singleton_resolve_is_identity = True
 
     def resolve(self, address: int, writers: Sequence[PidValue]) -> int:
         """Return the value stored at ``address`` given ``writers``.
@@ -85,6 +92,9 @@ class RotatingArbitraryCrcw(WritePolicy):
     """
 
     name = "ARBITRARY(rotating)"
+    # resolve() advances the rotation counter even for single-writer
+    # addresses, so skipping those calls would change later choices.
+    singleton_resolve_is_identity = False
 
     def __init__(self) -> None:
         self._counter = 0

@@ -43,6 +43,20 @@ class Processor:
         self.cycles_completed = 0
         self.cycles_attempted = 0
         self.restart_count = 0
+        # Shared status-epoch cell (a one-element list), installed by the
+        # owning machine.  Every status transition bumps it, which is how
+        # the machine knows its cached running-list/statuses snapshots
+        # are stale — including transitions driven directly by tests.
+        self._epoch_cell: Optional[list] = None
+
+    def bind_epoch_cell(self, cell: list) -> None:
+        """Install the owner's status-epoch cell (see Machine)."""
+        self._epoch_cell = cell
+
+    def _bump_epoch(self) -> None:
+        cell = self._epoch_cell
+        if cell is not None:
+            cell[0] += 1
 
     # ------------------------------------------------------------------ #
     # lifecycle transitions
@@ -58,11 +72,13 @@ class Processor:
             self.status = ProcessorStatus.HALTED
             self._generator = None
             self._pending = None
+            self._bump_epoch()
             return
         self._check_cycle(first_cycle)
         self._generator = generator
         self._pending = first_cycle
         self.status = ProcessorStatus.RUNNING
+        self._bump_epoch()
 
     def fail(self) -> None:
         """Stop the processor; private memory (generator state) is lost."""
@@ -75,6 +91,7 @@ class Processor:
         self._generator = None
         self._pending = None
         self.status = ProcessorStatus.FAILED
+        self._bump_epoch()
 
     def restart(self) -> None:
         """Revive a failed processor at its initial state (PID-only)."""
@@ -112,6 +129,7 @@ class Processor:
             self._generator = None
             self._pending = None
             self.status = ProcessorStatus.HALTED
+            self._bump_epoch()
             return
         self._check_cycle(next_cycle)
         self._pending = next_cycle

@@ -12,12 +12,18 @@ everything about the algorithm and is unknown to the algorithm"
   pigeonhole-halving and stalking adversaries of the paper require);
 * harness-provided context (e.g. the algorithm's memory layout) so
   adversaries can locate the Write-All array, progress tree, etc.
+
+Views are rebuilt every tick on the machine's hot path, so they are
+deliberately allocation-lean: :class:`PendingCycleView` is a NamedTuple
+(one tuple allocation, no per-field ``__setattr__``), and ``statuses``
+may be a read-only proxy over the machine's cached status table rather
+than a fresh dict — adversaries must treat every view field as frozen.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Mapping, NamedTuple, Tuple
 
 from repro.pram.cycles import Cycle, Write
 from repro.pram.ledger import RunLedger
@@ -25,8 +31,7 @@ from repro.pram.memory import MemoryReader
 from repro.pram.processor import ProcessorStatus
 
 
-@dataclass(frozen=True)
-class PendingCycleView:
+class PendingCycleView(NamedTuple):
     """What one running processor is about to do this tick."""
 
     pid: int

@@ -103,3 +103,36 @@ class TestAdversaryRegistry:
     def test_unknown_name(self):
         with pytest.raises(SystemExit):
             build_adversary("nope", 0.1, 0.3, 0)
+
+
+class TestPerf:
+    def test_perf_runs_and_reports_speedup(self, capsys):
+        code = main(["perf", "--size", "64x8", "--repeats", "1",
+                     "--warmup", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "X(N=64, P=8)" in out
+        assert "speedup" in out
+
+    def test_perf_no_baseline(self, capsys):
+        code = main(["perf", "--size", "64x8", "--repeats", "1",
+                     "--warmup", "0", "--no-baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" not in out
+
+    def test_perf_writes_tagged_report(self, tmp_path, capsys):
+        code = main(["perf", "--size", "64x8", "--repeats", "1",
+                     "--warmup", "0", "--tag", "unit",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        from repro.metrics.report import load_report
+
+        report = load_report(str(tmp_path / "BENCH_unit.json"))
+        assert report["tag"] == "unit"
+
+    def test_perf_rejects_malformed_size(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--size", "64by8"])
+        with pytest.raises(SystemExit):
+            main(["perf", "--size", "x8"])

@@ -1,0 +1,255 @@
+"""Unit tests for the :mod:`repro.perf` subsystem."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.metrics.report import validate_bench_report
+from repro.perf.micro import (
+    PERF_ALGORITHMS,
+    describe_comparison,
+    perf_report,
+    run_comparison,
+)
+from repro.perf.phases import PhaseCounters
+from repro.perf.regression import (
+    DEFAULT_MIN_WALL_S,
+    DEFAULT_WALL_TOLERANCE,
+    compare_reports,
+)
+from repro.perf.timing import TimingResult, time_callable
+
+
+class TestTimeCallable:
+    def test_runs_warmup_plus_repeats(self):
+        calls = {"count": 0}
+
+        def func():
+            calls["count"] += 1
+
+        timing = time_callable(func, repeats=3, warmup=2)
+        assert calls["count"] == 5
+        assert len(timing.samples_s) == 3
+        assert timing.warmup == 2
+
+    def test_zero_warmup_is_legal(self):
+        timing = time_callable(lambda: None, repeats=1, warmup=0)
+        assert len(timing.samples_s) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_result_statistics(self):
+        timing = TimingResult(samples_s=[0.2, 0.1, 0.4], warmup=1)
+        assert timing.best_s == pytest.approx(0.1)
+        assert timing.mean_s == pytest.approx(0.7 / 3)
+        assert timing.spread == pytest.approx(3.0)
+
+
+class TestPhaseCounters:
+    def test_total_and_merge(self):
+        first = PhaseCounters(collect_s=1.0, resolve_s=0.5, ticks=10)
+        second = PhaseCounters(adversary_s=0.25, settle_s=0.25, ticks=5)
+        first.merge(second)
+        assert first.total_s == pytest.approx(2.0)
+        assert first.ticks == 15
+
+    def test_as_dict_round_trips_through_json(self):
+        counters = PhaseCounters(collect_s=0.123456789, ticks=3)
+        payload = json.loads(json.dumps(counters.as_dict()))
+        assert payload["collect_s"] == pytest.approx(0.123457)
+        assert payload["ticks"] == 3
+
+    def test_describe_with_and_without_time(self):
+        assert "no phase time" in PhaseCounters(ticks=2).describe()
+        counters = PhaseCounters(collect_s=3.0, settle_s=1.0, ticks=7)
+        line = counters.describe()
+        assert "collect 75.0%" in line
+        assert "settle 25.0%" in line
+        assert "ticks=7" in line
+
+
+def _tiny_report(tag="base", wall_s=0.05, ticks=100, cached=False,
+                 extra_point=None):
+    points = [{
+        "n": 64, "p": 8, "seed": 0, "solved": True,
+        "S": 500, "S_prime": 510, "F": 0, "sigma": 6.9,
+        "ticks": ticks, "wall_s": wall_s, "cached": cached,
+    }]
+    if extra_point is not None:
+        points.append(extra_point)
+    return {
+        "schema": "repro-bench/1",
+        "tag": tag,
+        "created_unix": 0.0,
+        "workers": 1,
+        "scenarios": [{
+            "tag": "PERF_micro",
+            "title": "unit fixture",
+            "source": "tests/perf/test_perf.py",
+            "wall_s": wall_s,
+            "cache": {"hits": 0, "executed": len(points), "failed": 0,
+                      "hit_rate": 0.0},
+            "sweeps": [{"name": "X/fast", "points": points,
+                        "failures": []}],
+        }],
+        "totals": {"points": len(points), "executed": len(points),
+                   "cache_hits": 0, "failed": 0, "wall_s": wall_s},
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_are_ok(self):
+        report = compare_reports(_tiny_report(), _tiny_report(tag="cand"))
+        assert report.ok
+        assert report.compared == 1
+        assert "OK: no regressions" in report.render()
+
+    def test_model_mismatch_is_error(self):
+        report = compare_reports(
+            _tiny_report(), _tiny_report(tag="cand", ticks=101)
+        )
+        assert not report.ok
+        [finding] = report.errors
+        assert finding.kind == "model-mismatch"
+        assert "ticks" in finding.detail
+
+    def test_wall_regression_is_warning_inside_band_is_ok(self):
+        baseline = _tiny_report(wall_s=0.05)
+        within = compare_reports(baseline, _tiny_report(wall_s=0.09))
+        assert within.ok  # 1.8x < default 2x band
+        above = compare_reports(baseline, _tiny_report(wall_s=0.15))
+        assert not above.ok
+        [finding] = above.warnings
+        assert finding.kind == "wall-regression"
+
+    def test_fast_baseline_points_are_never_banded(self):
+        baseline = _tiny_report(wall_s=DEFAULT_MIN_WALL_S / 2)
+        report = compare_reports(baseline, _tiny_report(wall_s=10.0))
+        assert report.ok
+
+    def test_cached_points_are_never_banded(self):
+        baseline = _tiny_report(wall_s=0.05)
+        report = compare_reports(
+            baseline, _tiny_report(wall_s=10.0, cached=True)
+        )
+        assert report.ok
+
+    def test_missing_point_is_error_new_point_is_info(self):
+        extra = {
+            "n": 128, "p": 16, "seed": 0, "solved": True,
+            "S": 900, "S_prime": 910, "F": 0, "sigma": 6.3,
+            "ticks": 150, "wall_s": 0.1, "cached": False,
+        }
+        bigger = _tiny_report(extra_point=extra)
+        shrunk = compare_reports(bigger, _tiny_report(tag="cand"))
+        assert not shrunk.ok
+        [finding] = shrunk.errors
+        assert finding.kind == "missing-point"
+        grown = compare_reports(_tiny_report(), bigger)
+        assert grown.ok
+        kinds = [f.kind for f in grown.findings]
+        assert kinds == ["new-point"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(_tiny_report(), _tiny_report(),
+                            wall_tolerance=-0.5)
+
+    def test_default_tolerance_is_two_x(self):
+        assert DEFAULT_WALL_TOLERANCE == 1.0
+
+
+class TestCheckRegressionCli:
+    @staticmethod
+    def _write(tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    @staticmethod
+    def _cli(argv):
+        import importlib.util
+        import pathlib
+        script = (pathlib.Path(__file__).resolve().parents[2]
+                  / "benchmarks" / "check_regression.py")
+        spec = importlib.util.spec_from_file_location(
+            "check_regression", script
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(argv)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _tiny_report())
+        cand = self._write(tmp_path, "cand.json", _tiny_report(tag="cand"))
+        assert self._cli([base, cand]) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_model_mismatch(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _tiny_report())
+        cand = self._write(
+            tmp_path, "cand.json", _tiny_report(tag="cand", ticks=999)
+        )
+        assert self._cli([base, cand]) == 1
+        assert "model-mismatch" in capsys.readouterr().out
+
+    def test_informational_always_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _tiny_report())
+        cand = self._write(
+            tmp_path, "cand.json", _tiny_report(tag="cand", ticks=999)
+        )
+        assert self._cli([base, cand, "--informational"]) == 0
+        assert "model-mismatch" in capsys.readouterr().out
+
+
+class TestRunComparison:
+    def test_small_comparison_agrees_and_reports(self):
+        comparison = run_comparison("W", 64, 8, repeats=1, warmup=0)
+        assert comparison.fast.result.solved
+        assert comparison.baseline is not None
+        assert comparison.speedup is not None and comparison.speedup > 0
+        assert comparison.fast.phases.ticks == \
+            comparison.fast.result.ledger.ticks
+        text = describe_comparison(comparison)
+        assert "W(N=64, P=8)" in text
+        assert "speedup" in text
+
+    def test_no_baseline_leg(self):
+        comparison = run_comparison("trivial", 64, 8, repeats=1, warmup=0,
+                                    include_baseline=False)
+        assert comparison.baseline is None
+        assert comparison.speedup is None
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown perf algorithm"):
+            run_comparison("nope", 64, 8)
+
+    def test_all_perf_algorithms_registered(self):
+        assert set(PERF_ALGORITHMS) == {
+            "trivial", "W", "V", "X", "VX", "snapshot"
+        }
+
+
+class TestPerfReport:
+    def test_report_validates_against_bench_schema(self):
+        comparison = run_comparison("X", 64, 8, repeats=1, warmup=0)
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        validate_bench_report(report)
+        [scenario] = report["scenarios"]
+        assert scenario["tag"] == "PERF_micro"
+        names = [sweep["name"] for sweep in scenario["sweeps"]]
+        assert names == ["X/fast", "X/baseline"]
+
+    def test_report_feeds_the_regression_comparator(self):
+        comparison = run_comparison("X", 64, 8, repeats=1, warmup=0)
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        diff = compare_reports(report, copy.deepcopy(report))
+        assert diff.ok
+        assert diff.compared == 2

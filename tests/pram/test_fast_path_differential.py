@@ -1,0 +1,274 @@
+"""Differential harness: the fast tick path vs the reference semantics.
+
+The machine ships two tick implementations (see ``repro.pram.machine``):
+the reference path is the executable specification, the fast path is the
+allocation-lean optimization.  These tests run the same (algorithm,
+adversary, policy) configuration through both and assert the *entire*
+observable outcome is identical: ticks, per-PID completed/charged work,
+the realized failure pattern, per-tick completions, memory traffic,
+veto counters, termination flags, final memory contents — and, through
+a composed :class:`~repro.pram.trace.Tracer`, the per-tick execution
+trace itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    AlgorithmV,
+    AlgorithmW,
+    AlgorithmX,
+    SnapshotAlgorithm,
+    solve_write_all,
+)
+from repro.faults import (
+    HalvingAdversary,
+    NoFailures,
+    NoRestartAdversary,
+    RandomAdversary,
+    ThrashingAdversary,
+    UnionAdversary,
+)
+from repro.faults.base import ScheduledAdversary
+from repro.pram.policies import RotatingArbitraryCrcw
+from repro.pram.trace import Tracer
+
+ALGORITHMS = {
+    "W": AlgorithmW,
+    "V": AlgorithmV,
+    "X": AlgorithmX,
+    "snapshot": SnapshotAlgorithm,
+}
+
+ADVERSARIES = {
+    "none": lambda: None,
+    "nofailures": NoFailures,
+    "random": lambda: RandomAdversary(0.15, 0.3, seed=7),
+    "crash": lambda: NoRestartAdversary(RandomAdversary(0.08, seed=3)),
+    "thrashing": ThrashingAdversary,
+    "halving": HalvingAdversary,
+}
+
+
+def run_both(algorithm_key, adversary_factory, n=64, p=16, **kwargs):
+    """Run one configuration through the fast and reference cores."""
+    outcomes = []
+    for fast in (True, False):
+        outcomes.append(solve_write_all(
+            ALGORITHMS[algorithm_key](), n, p,
+            adversary=adversary_factory(),
+            fast_path=fast,
+            **kwargs,
+        ))
+    return outcomes
+
+
+def assert_identical(fast, reference):
+    fast_ledger, ref_ledger = fast.ledger, reference.ledger
+    assert fast_ledger.ticks == ref_ledger.ticks
+    assert dict(fast_ledger.completed_by_pid) == dict(ref_ledger.completed_by_pid)
+    assert dict(fast_ledger.attempted_by_pid) == dict(ref_ledger.attempted_by_pid)
+    assert list(fast_ledger.pattern) == list(ref_ledger.pattern)
+    assert fast_ledger.completed_per_tick == ref_ledger.completed_per_tick
+    assert fast_ledger.memory_reads == ref_ledger.memory_reads
+    assert fast_ledger.memory_writes == ref_ledger.memory_writes
+    assert fast_ledger.progress_vetoes == ref_ledger.progress_vetoes
+    assert fast_ledger.fairness_vetoes == ref_ledger.fairness_vetoes
+    flags = ("halted", "goal_reached", "stalled", "tick_limited")
+    assert {f: getattr(fast_ledger, f) for f in flags} == \
+        {f: getattr(ref_ledger, f) for f in flags}
+    assert fast.solved == reference.solved
+    assert fast.memory.snapshot() == reference.memory.snapshot()
+
+
+class TestAlgorithmAdversaryMatrix:
+    @pytest.mark.parametrize("algorithm_key", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("adversary_key", sorted(ADVERSARIES))
+    def test_ledger_identical(self, algorithm_key, adversary_key):
+        fast, reference = run_both(
+            algorithm_key, ADVERSARIES[adversary_key],
+            max_ticks=5_000,
+        )
+        assert_identical(fast, reference)
+
+    @pytest.mark.parametrize("algorithm_key", ["W", "X"])
+    def test_with_fairness_window(self, algorithm_key):
+        fast, reference = run_both(
+            algorithm_key, ThrashingAdversary,
+            fairness_window=3, max_ticks=5_000,
+        )
+        assert_identical(fast, reference)
+
+    def test_v_under_thrashing_hits_tick_limit_identically(self):
+        # V need not terminate under restarts; both cores must agree on
+        # the truncated run too.
+        fast, reference = run_both("V", ThrashingAdversary, max_ticks=200)
+        assert_identical(fast, reference)
+
+    def test_rotating_arbitrary_policy(self):
+        # RotatingArbitraryCrcw declares singleton_resolve_is_identity
+        # False, forcing the fast path through the general resolve route
+        # every tick; the rotation counters must stay in lock step.
+        fast, reference = run_both(
+            "X", lambda: RandomAdversary(0.1, 0.4, seed=11),
+            policy=RotatingArbitraryCrcw(), max_ticks=5_000,
+        )
+        assert_identical(fast, reference)
+
+    def test_heavy_crash_exercises_progress_vetoes(self):
+        # A raw high crash rate with no restarts (NoRestartAdversary
+        # would spare the last runner itself) forces the *machine* to
+        # veto the adversary to preserve the progress condition.
+        fast, reference = run_both(
+            "X", lambda: RandomAdversary(0.7, 0.0, seed=5),
+            n=32, p=8, max_ticks=5_000,
+        )
+        assert fast.ledger.progress_vetoes > 0
+        assert_identical(fast, reference)
+
+    def test_all_failed_forced_restart_in_passive_path(self):
+        # With a passive adversary the only way every processor can be
+        # down is harness intervention; the passive fast tick must then
+        # reproduce the reference order exactly: an empty tick (zero
+        # completions) plus a forced restart of the lowest failed PID,
+        # recorded in the pattern and counted as a progress veto.
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        ledgers = []
+        for fast in (True, False):
+            algorithm = AlgorithmX()
+            layout = algorithm.build_layout(16, 4)
+            memory = SharedMemory(layout.size)
+            machine = Machine(num_processors=4, memory=memory,
+                              fast_path=fast, context={"layout": layout})
+            machine.load_program(algorithm.program(layout, None))
+            machine.step()
+            for processor in machine.processors:
+                processor.fail()
+            machine.step()  # empty tick: forced restart of PID 0
+            machine.step()  # only PID 0 runs
+            ledger = machine.ledger
+            assert ledger.completed_per_tick[-2] == 0
+            assert ledger.completed_per_tick[-1] == 1
+            assert ledger.progress_vetoes == 1
+            ledgers.append(ledger)
+        fast_ledger, ref_ledger = ledgers
+        assert list(fast_ledger.pattern) == list(ref_ledger.pattern)
+        assert dict(fast_ledger.completed_by_pid) == \
+            dict(ref_ledger.completed_by_pid)
+
+
+class TestRandomSchedules:
+    """Seeded-random offline schedules (the property-test satellite)."""
+
+    @staticmethod
+    def random_schedule(seed, p, horizon=80):
+        rng = random.Random(seed)
+        schedule = {}
+        for tick in range(1, horizon):
+            if rng.random() < 0.35:
+                fails = rng.sample(range(p), rng.randint(1, max(1, p // 2)))
+                restarts = rng.sample(range(p), rng.randint(0, p // 2))
+                schedule[tick] = (fails, restarts)
+        return schedule
+
+    @pytest.mark.parametrize("algorithm_key", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scheduled_runs_identical(self, algorithm_key, seed):
+        schedule = self.random_schedule(seed * 101 + 17, p=8)
+        fast, reference = run_both(
+            algorithm_key,
+            lambda: ScheduledAdversary(schedule),
+            n=32, p=8, max_ticks=5_000,
+        )
+        assert_identical(fast, reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_online_adversary_identical(self, seed):
+        fast, reference = run_both(
+            "X",
+            lambda: RandomAdversary(0.2, 0.35, seed=seed),
+            n=64, p=16, max_ticks=5_000,
+        )
+        assert_identical(fast, reference)
+
+
+class TestTraceIdentity:
+    def test_tick_by_tick_trace_identical(self):
+        # The Tracer records, per tick, the status partition, the
+        # pending-cycle labels, and watched cell values — through the
+        # same TickView the machine hands real adversaries.  Composing
+        # it over a random adversary checks the fast path presents the
+        # identical per-tick world, not just identical totals.
+        traces = []
+        for fast in (True, False):
+            tracer = Tracer(watch=(0, 1, 2, 3))
+            adversary = UnionAdversary([
+                tracer, RandomAdversary(0.15, 0.3, seed=13),
+            ])
+            solve_write_all(
+                AlgorithmX(), 64, 16, adversary=adversary,
+                fast_path=fast, max_ticks=5_000,
+            )
+            traces.append(tracer.records)
+        fast_trace, reference_trace = traces
+        assert len(fast_trace) == len(reference_trace)
+        for fast_tick, reference_tick in zip(fast_trace, reference_trace):
+            assert fast_tick == reference_tick
+
+
+class TestPassivityDetection:
+    def test_subclass_overriding_decide_is_consulted(self):
+        # `passive = True` must not be trusted through inheritance: a
+        # subclass that overrides decide() (here, to actually kill a
+        # processor) has to be consulted every tick.
+        from repro.pram.failures import BEFORE_WRITES, Decision
+
+        class Killer(NoFailures):
+            def decide(self, view):
+                if view.time == 2 and 0 in view.pending:
+                    return Decision.fail([0], BEFORE_WRITES)
+                return Decision.none()
+
+        result = solve_write_all(
+            AlgorithmX(), 16, 4, adversary=Killer(), fast_path=True,
+        )
+        assert result.ledger.pattern_size == 1
+
+    def test_passive_declared_with_decide_is_honored(self):
+        class Quiet(NoFailures):
+            passive = True
+
+            def decide(self, view):  # pragma: no cover - must be skipped
+                raise AssertionError("passive adversary was consulted")
+
+        result = solve_write_all(
+            AlgorithmX(), 16, 4, adversary=Quiet(), fast_path=True,
+        )
+        assert result.solved
+
+    def test_direct_processor_failure_invalidates_status_cache(self):
+        # Tests (and harnesses) may fail processors behind the
+        # machine's back; the status-epoch cell must invalidate the
+        # fast path's cached running list.
+        from repro.core.base import done_predicate
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        algorithm = AlgorithmX()
+        layout = algorithm.build_layout(16, 4)
+        memory = SharedMemory(layout.size)
+        machine = Machine(num_processors=4, memory=memory,
+                          context={"layout": layout})
+        machine.load_program(algorithm.program(layout, None))
+        machine.step()
+        machine.processors[2].fail()
+        machine.step()
+        assert machine.ledger.completed_per_tick[-1] == 3
+        machine.processors[2].restart()
+        ledger = machine.run(until=done_predicate(layout), max_ticks=2_000)
+        assert ledger.goal_reached

@@ -409,3 +409,60 @@ class TestRun:
         machine = Machine(1, SharedMemory(1))
         with pytest.raises(ProgramError, match="load_program"):
             machine.step()
+
+
+class TestUntilEvaluation:
+    """run() evaluates `until` exactly once per machine state."""
+
+    @staticmethod
+    def _counting(predicate):
+        calls = {"count": 0}
+
+        def counted(memory):
+            calls["count"] += 1
+            return predicate(memory)
+
+        return counted, calls
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_once_per_state_when_goal_reached(self, fast_path):
+        def program(pid):
+            for index in range(100):
+                yield Cycle(writes=(Write(0, index),))
+
+        machine = make_machine(1, 1, program, fast_path=fast_path)
+        until, calls = self._counting(lambda memory: memory.read(0) >= 3)
+        ledger = machine.run(until=until, max_ticks=1000)
+        assert ledger.goal_reached
+        # One pre-run evaluation plus one per executed tick.
+        assert calls["count"] == ledger.ticks + 1
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_once_per_state_at_tick_limit(self, fast_path):
+        def forever(pid):
+            while True:
+                yield Cycle()
+
+        machine = make_machine(1, 1, forever, fast_path=fast_path)
+        until, calls = self._counting(lambda memory: False)
+        ledger = machine.run(until=until, max_ticks=5, raise_on_limit=False)
+        assert ledger.tick_limited
+        assert ledger.ticks == 5
+        # The limit check must not re-evaluate the predicate: 1 pre-run
+        # + 5 post-tick evaluations, not 6 + a duplicate at the boundary.
+        assert calls["count"] == 6
+
+    @pytest.mark.parametrize("fast_path", [True, False])
+    def test_goal_wins_over_tick_limit_at_boundary(self, fast_path):
+        def program(pid):
+            for index in range(10):
+                yield Cycle(writes=(Write(0, index + 1),))
+
+        machine = make_machine(1, 1, program, fast_path=fast_path)
+        # The goal becomes true exactly on the tick that exhausts the
+        # budget; the run must report success, not a limit violation.
+        ledger = machine.run(until=lambda memory: memory.read(0) >= 3,
+                             max_ticks=3, raise_on_limit=True)
+        assert ledger.goal_reached
+        assert not ledger.tick_limited
+        assert ledger.ticks == 3

@@ -108,3 +108,81 @@ class TestMemoryReader:
         reader = MemoryReader(memory)
         reader.read(0)
         assert memory.reads_served == 0
+
+
+class TestRegionBoundary:
+    """Zero-length regions are legal anywhere in [0, size]."""
+
+    def test_empty_region_at_end_of_memory(self):
+        memory = SharedMemory(4)
+        assert memory.region(4, 0) == []
+
+    def test_empty_region_inside_memory(self):
+        memory = SharedMemory(4)
+        assert memory.region(0, 0) == []
+        assert memory.region(2, 0) == []
+
+    def test_empty_region_past_end_still_raises(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.region(5, 0)
+        with pytest.raises(MemoryError_):
+            memory.region(-1, 0)
+
+    def test_negative_length_raises(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.region(0, -1)
+
+    def test_full_region_at_boundary(self):
+        memory = SharedMemory(4, initial=[1, 2, 3, 4])
+        assert memory.region(3, 1) == [4]
+        with pytest.raises(MemoryError_):
+            memory.region(4, 1)
+
+    def test_reader_empty_region_at_end(self):
+        memory = SharedMemory(4)
+        assert MemoryReader(memory).region(4, 0) == []
+
+
+class TestZeroRegionTracker:
+    def test_tracker_counts_and_updates(self):
+        memory = SharedMemory(6, initial=[1, 0, 0, 2, 0, 0])
+        tracker = memory.track_zeros(0, 4)
+        assert tracker.zeros == 2
+        memory.write(1, 5)
+        assert tracker.zeros == 1
+        memory.poke(2, 7)
+        assert tracker.zeros == 0
+        assert tracker.all_nonzero
+        memory.write(3, 0)  # value leaves the region's non-zero set
+        assert tracker.zeros == 1
+        memory.write(5, 9)  # outside the tracked region: no effect
+        assert tracker.zeros == 1
+
+    def test_tracker_is_idempotent_per_region(self):
+        memory = SharedMemory(4)
+        first = memory.track_zeros(0, 4)
+        second = memory.track_zeros(0, 4)
+        assert first is second
+        assert memory.track_zeros(0, 2) is not first
+
+    def test_tracker_via_commit_resolved(self):
+        memory = SharedMemory(4)
+        tracker = memory.track_zeros(0, 4)
+        memory.commit_resolved([(0, 1), (2, 3)])
+        assert tracker.zeros == 2
+        assert memory.writes_applied == 2
+        assert memory.snapshot() == [1, 0, 3, 0]
+
+    def test_tracker_bounds_validated(self):
+        memory = SharedMemory(4)
+        with pytest.raises(MemoryError_):
+            memory.track_zeros(0, 5)
+        with pytest.raises(MemoryError_):
+            memory.track_zeros(-1, 2)
+
+    def test_reader_exposes_track_zeros(self):
+        memory = SharedMemory(4, initial=[1])
+        tracker = MemoryReader(memory).track_zeros(0, 4)
+        assert tracker.zeros == 3
