@@ -1,0 +1,61 @@
+"""A7 — event-horizon batching under sparse offline schedules.
+
+The machine's fast-forward loop asks the adversary for an event horizon
+(`quiet_until`) and batches every provably-quiet tick through a fused
+inner loop.  A sparse `ScheduledAdversary` — a handful of fail/restart
+pairs hundreds of ticks apart — is the regime that batching targets.
+This benchmark runs the same sweep with fast-forward on and off and
+asserts the paper-model outputs (S, S', |F|, ticks) are identical:
+batching is a wall-clock optimization, never a semantics change.
+"""
+
+from _support import emit, once
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.experiments.bench import get_scenario
+from repro.metrics.tables import render_table
+
+# Grid constants come from the driver's scenario registry so the
+# pytest benchmark and `repro bench` measure the same sweep.
+SCENARIO = get_scenario("A7_horizon_sparse")
+FF_SPEC = SCENARIO.specs[0]
+SIZES = list(FF_SPEC.sizes)
+SEEDS = list(FF_SPEC.seeds)
+
+
+def run_sweep():
+    rows = []
+    for n in SIZES:
+        p = FF_SPEC.processors_for(n)
+        for seed in SEEDS:
+            outcomes = {}
+            for fast_forward in (True, False):
+                result = solve_write_all(
+                    AlgorithmX(), n, p,
+                    adversary=FF_SPEC.adversary(seed),
+                    max_ticks=FF_SPEC.max_ticks,
+                    fast_forward=fast_forward,
+                )
+                assert result.solved
+                outcomes[fast_forward] = (
+                    result.completed_work, result.charged_work,
+                    result.pattern_size, result.ledger.ticks,
+                )
+            assert outcomes[True] == outcomes[False], (
+                f"fast-forward changed the model at N={n}, seed={seed}: "
+                f"{outcomes[True]} != {outcomes[False]}"
+            )
+            s, s_prime, pattern, ticks = outcomes[True]
+            rows.append([n, p, seed, ticks, s, s_prime, pattern])
+    return rows
+
+
+def test_fast_forward_is_model_invisible(benchmark):
+    rows = once(benchmark, run_sweep)
+    table = render_table(
+        ["N", "P", "seed", "ticks", "S", "S'", "|F|"],
+        rows,
+        title="A7  Sparse offline schedules — ff on/off agree on every point",
+    )
+    emit("A7_horizon_sparse", table)
+    assert len(rows) == len(SIZES) * len(SEEDS)

@@ -9,16 +9,20 @@ Commands:
   ``--resume``) and per-point ``--timeout``/``--retries``;
 * ``bench``     — run registered benchmark scenarios through the
   parallel engine and write a machine-readable ``BENCH_<tag>.json``;
-* ``perf``      — micro-benchmark the simulator core: fast path vs the
-  reference baseline, min-of-k timing, per-phase breakdown, optional
-  cProfile capture and ``BENCH_<tag>.json`` export;
+* ``perf``      — micro-benchmark the simulator core: fast path (with
+  and without event-horizon batching) vs the reference baseline under
+  selectable fault scenarios (``--adversary``), min-of-k timing,
+  per-phase breakdown, optional cProfile capture and
+  ``BENCH_<tag>.json`` export;
 * ``simulate``  — robustly execute a library PRAM program and verify it;
 * ``trace``     — run a small instance and print the per-processor
   failure/restart timeline;
 * ``showdown``  — the algorithms × adversaries matrix.
 
 Adversaries are selected by name; stochastic ones take ``--fail``,
-``--restart-prob`` and ``--seed``.
+``--restart-prob`` and ``--seed``.  ``--no-fast-forward`` disables the
+machine's event-horizon tick batching (``solve``, ``sweep``, ``trace``,
+``perf``).
 """
 
 from __future__ import annotations
@@ -92,13 +96,17 @@ def build_adversary(name: str, fail: float, restart_prob: float, seed: int):
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--algorithm", default="X", choices=sorted(ALGORITHMS))
-    parser.add_argument("--adversary", default="random", choices=ADVERSARIES)
+    parser.add_argument("--adversary", default="random",
+                        choices=sorted(ADVERSARIES))
     parser.add_argument("--fail", type=float, default=0.1,
                         help="per-tick failure probability (stochastic)")
     parser.add_argument("--restart-prob", type=float, default=0.3,
                         help="per-tick restart probability (stochastic)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-ticks", type=int, default=None)
+    parser.add_argument("--no-fast-forward", action="store_true",
+                        help="disable event-horizon tick batching (run "
+                             "every tick through the per-tick loop)")
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -128,6 +136,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     result = solve_write_all(
         ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
         max_ticks=args.max_ticks,
+        fast_forward=not args.no_fast_forward,
     )
     print(result.summary())
     return 0 if result.solved else 1
@@ -144,6 +153,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                                  args.restart_prob),
         seeds=range(args.seeds),
         max_ticks=args.max_ticks,
+        fast_forward=not args.no_fast_forward,
     )
     use_engine = (
         args.workers is not None or args.resume
@@ -270,6 +280,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
 
     from repro.metrics.report import dump_report
     from repro.perf.micro import (
+        DEFAULT_ADVERSARY,
         DEFAULT_ALGORITHM,
         DEFAULT_SIZE,
         describe_comparison,
@@ -282,6 +293,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     sizes = [_parse_size(token) for token in (args.size or [])]
     if not sizes:
         sizes = [DEFAULT_SIZE]
+    adversaries = args.adversary or [DEFAULT_ADVERSARY]
     configurations = [
         (algorithm, n, p) for algorithm in algorithms for n, p in sizes
     ]
@@ -292,6 +304,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             warmup=args.warmup,
             include_baseline=not args.no_baseline,
+            adversaries=adversaries,
+            fast_forward=not args.no_fast_forward,
         )
     wall_s = time_module.perf_counter() - started
     for comparison in comparisons:
@@ -303,6 +317,14 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"\n{len(speedups)} configuration(s); worst speedup "
             f"{worst:.2f}x, best "
             f"{max(speedups):.2f}x (fast path vs reference baseline)"
+        )
+    ff_speedups = [
+        c.ff_speedup for c in comparisons if c.ff_speedup is not None
+    ]
+    if ff_speedups:
+        print(
+            f"fast-forward batching alone: worst {min(ff_speedups):.2f}x, "
+            f"best {max(ff_speedups):.2f}x (vs per-tick fast path)"
         )
     if args.tag is not None:
         os.makedirs(args.out, exist_ok=True)
@@ -369,6 +391,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     result = solve_write_all(
         ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
         max_ticks=args.max_ticks,
+        fast_forward=not args.no_fast_forward,
     )
     print(result.summary())
     print()
@@ -453,6 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="NxP",
                       help="instance size, e.g. 4096x64; repeatable "
                            "(default: 4096x64)")
+    perf.add_argument("--adversary", action="append", default=None,
+                      choices=sorted(
+                          ("none", "sched-sparse", "budget-sparse")
+                      ),
+                      help="fault scenario to time under; repeatable "
+                           "(default: none = fault-free)")
+    perf.add_argument("--no-fast-forward", action="store_true",
+                      help="time the fast leg without event-horizon "
+                           "batching (skips the separate no-ff leg)")
     perf.add_argument("--repeats", type=int, default=5,
                       help="measured repeats per leg (min is reported)")
     perf.add_argument("--warmup", type=int, default=1,

@@ -69,6 +69,7 @@ def solve_write_all(
     fairness_window: Optional[int] = None,
     raise_on_limit: bool = False,
     fast_path: bool = True,
+    fast_forward: bool = True,
     phase_counters: Optional[object] = None,
     incremental_until: bool = True,
 ) -> WriteAllResult:
@@ -82,7 +83,9 @@ def solve_write_all(
 
     ``fast_path=False`` selects the machine's reference tick
     implementation (the executable specification — slower, used by the
-    differential suite and perf comparisons); ``phase_counters`` is an
+    differential suite and perf comparisons); ``fast_forward=False``
+    keeps the fast path but disables event-horizon tick batching (the
+    ``--no-fast-forward`` escape hatch); ``phase_counters`` is an
     optional per-phase timing accumulator for the perf harness.
     """
     WriteAllInstance(n, p)  # validates the instance shape
@@ -101,6 +104,7 @@ def solve_write_all(
         fairness_window=fairness_window,
         context={"layout": layout, "algorithm": algorithm.name},
         fast_path=fast_path,
+        fast_forward=fast_forward,
         phase_counters=phase_counters,
     )
     machine.load_program(algorithm.program(layout, tasks))
@@ -151,6 +155,7 @@ def measure_write_all(
     adversary: Optional[object] = None,
     max_ticks: Optional[int] = None,
     fairness_window: Optional[int] = None,
+    fast_forward: bool = True,
 ) -> RunMeasures:
     """Picklable sweep entry point: run one instance, return measures.
 
@@ -164,6 +169,7 @@ def measure_write_all(
         adversary=adversary,
         max_ticks=max_ticks,
         fairness_window=fairness_window,
+        fast_forward=fast_forward,
     )
     return RunMeasures(
         algorithm=result.algorithm,

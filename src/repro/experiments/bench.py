@@ -38,6 +38,7 @@ from repro.experiments.factories import (
     Halving,
     NoRestart,
     RandomChurn,
+    SparseSchedule,
     Stalker,
     Starver,
     Thrashing,
@@ -346,6 +347,27 @@ def _build_scenarios() -> Dict[str, BenchScenario]:
             SweepSpec(name="W/churn", algorithm=AlgorithmW,
                       sizes=(64, 128, 256), adversary=RandomChurn(0.08, 0.3),
                       seeds=(12,), max_ticks=4_000_000),
+        ),
+    ))
+
+    scenarios.append(BenchScenario(
+        tag="A7_horizon_sparse",
+        title="Event-horizon batching — sparse offline faults, model "
+              "invariant with fast-forward on/off",
+        source="bench_event_horizon_sparse.py",
+        specs=(
+            SweepSpec(
+                name="X/sched-sparse/ff", algorithm=AlgorithmX,
+                sizes=(256, 1024, 4096), processors=64,
+                adversary=SparseSchedule(), seeds=(0, 1),
+                max_ticks=2_000_000,
+            ),
+            SweepSpec(
+                name="X/sched-sparse/noff", algorithm=AlgorithmX,
+                sizes=(256, 1024, 4096), processors=64,
+                adversary=SparseSchedule(), seeds=(0, 1),
+                max_ticks=2_000_000, fast_forward=False,
+            ),
         ),
     ))
 

@@ -99,6 +99,7 @@ def point_key(
     adversary: Any,
     max_ticks: Optional[int],
     fairness_window: Optional[int],
+    fast_forward: bool = True,
 ) -> str:
     """The content hash identifying one sweep point's spec."""
     material = "|".join([
@@ -109,6 +110,12 @@ def point_key(
         fingerprint(adversary),
         str(max_ticks), str(fairness_window),
     ])
+    if not fast_forward:
+        # Fast-forward is model-invisible (both paths produce identical
+        # results), but keying the escape hatch keeps any future
+        # divergence investigable.  Appended only when non-default so
+        # every pre-existing cache entry keeps its key.
+        material += "|no-fast-forward"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 

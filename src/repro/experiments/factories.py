@@ -30,6 +30,7 @@ from repro.faults import (
     NoFailures,
     NoRestartAdversary,
     RandomAdversary,
+    ScheduledAdversary,
     StalkingAdversaryX,
     ThrashingAdversary,
 )
@@ -125,6 +126,34 @@ class Burst:
 
 
 @dataclass(frozen=True)
+class SparseSchedule:
+    """Deterministic fail/restart pairs spread ``gap`` ticks apart.
+
+    The regime the machine's event-horizon fast-forward targets: an
+    offline schedule whose bisected horizon leaves ~``gap``-tick
+    provably-quiet windows between events.  The seed shifts the phase
+    so sweep seeds realize distinct (but equally sparse) patterns;
+    victims rotate over the first ``victims`` PIDs (events naming a
+    PID that is not in the required state are vacuous by the offline
+    pattern semantics, so any machine size is legal).
+    """
+
+    events: int = 8
+    gap: int = 400
+    start: int = 50
+    downtime: int = 7
+    victims: int = 4
+
+    def __call__(self, seed: int):
+        schedule = {}
+        for k in range(self.events):
+            base = self.start + self.gap * k + seed
+            schedule[base] = ([k % self.victims], [])
+            schedule[base + self.downtime] = ([], [k % self.victims])
+        return ScheduledAdversary(schedule)
+
+
+@dataclass(frozen=True)
 class Budgeted:
     """Cap an inner factory's pattern size at ``budget`` (|F| <= M)."""
 
@@ -166,7 +195,7 @@ class NamedAdversary:
 #: Names accepted by :class:`NamedAdversary` / the CLI.
 NAMED_ADVERSARIES = [
     "none", "random", "crash", "thrashing", "halving",
-    "stalker", "starver", "acc-stalker", "burst",
+    "stalker", "starver", "acc-stalker", "burst", "sched-sparse",
 ]
 
 
@@ -195,6 +224,8 @@ def build_named_adversary(name: str, fail: float, restart_prob: float,
         return AccStalker()
     if name == "burst":
         return BurstAdversary(period=3, fraction=0.5, downtime=1)
+    if name == "sched-sparse":
+        return SparseSchedule()(seed)
     raise ValueError(
         f"unknown adversary {name!r}; known: {NAMED_ADVERSARIES}"
     )

@@ -55,11 +55,13 @@ class PointSpec:
     adversary: Optional[Callable]
     max_ticks: Optional[int]
     fairness_window: Optional[int]
+    fast_forward: bool = True
 
     def cache_key(self) -> str:
         return point_key(
             self.sweep, self.algorithm, self.n, self.p, self.seed,
             self.adversary, self.max_ticks, self.fairness_window,
+            fast_forward=self.fast_forward,
         )
 
 
@@ -124,6 +126,7 @@ def expand_spec(spec: SweepSpec) -> List[PointSpec]:
             n=n, p=p, seed=seed, adversary=spec.adversary,
             max_ticks=spec.max_ticks,
             fairness_window=spec.fairness_window,
+            fast_forward=spec.fast_forward,
         )
         for index, (n, p, seed) in enumerate(spec.points())
     ]
@@ -151,7 +154,14 @@ class _alarm:
             return self
         try:
             self._previous = signal.signal(signal.SIGALRM, self._fire)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            # setitimer returns the timer it displaced; an enclosing
+            # _alarm (or any other SIGALRM user) may have one running,
+            # and unconditionally zeroing it on exit would silently
+            # disarm the outer guard.
+            self._old_delay, self._old_interval = signal.setitimer(
+                signal.ITIMER_REAL, self.seconds
+            )
+            self._entered_at = time.monotonic()
             self.armed = True
         except ValueError:  # not the main thread
             pass
@@ -160,7 +170,15 @@ class _alarm:
     def __exit__(self, *exc_info):
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
+            # Restore the handler before re-arming the outer timer so a
+            # late firing cannot land on this guard's handler.
             signal.signal(signal.SIGALRM, self._previous)
+            if self._old_delay > 0.0:
+                elapsed = time.monotonic() - self._entered_at
+                remaining = max(self._old_delay - elapsed, 1e-6)
+                signal.setitimer(
+                    signal.ITIMER_REAL, remaining, self._old_interval
+                )
         return False
 
     @staticmethod
@@ -188,6 +206,7 @@ def execute_point(
                 ),
                 max_ticks=point.max_ticks,
                 fairness_window=point.fairness_window,
+                fast_forward=point.fast_forward,
             )
     except PointTimeout:
         return _TIMEOUT, f"exceeded {timeout:.3f}s", \

@@ -187,6 +187,7 @@ def run_one_point(spec: SweepSpec, n: int, p: int, seed: int) -> RunPoint:
         adversary=spec.adversary_for(seed),
         max_ticks=spec.max_ticks,
         fairness_window=spec.fairness_window,
+        fast_forward=spec.fast_forward,
     )
     return RunPoint.from_measures(measures, seed=seed)
 

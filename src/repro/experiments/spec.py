@@ -31,6 +31,8 @@ class SweepSpec:
             failure patterns).
         max_ticks: per-run tick budget (``None``: the runner default).
         fairness_window: optional machine fairness guarantee.
+        fast_forward: event-horizon tick batching (the machine default;
+            ``False`` is the ``--no-fast-forward`` escape hatch).
     """
 
     name: str
@@ -41,6 +43,7 @@ class SweepSpec:
     seeds: Iterable[int] = (0,)
     max_ticks: Optional[int] = None
     fairness_window: Optional[int] = None
+    fast_forward: bool = True
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

@@ -17,7 +17,12 @@ The adversaries here realize every failure strategy the paper uses:
   :class:`PhaseSwitchAdversary` / :class:`UnionAdversary` composition.
 """
 
-from repro.faults.base import Adversary, ScheduledAdversary
+from repro.faults.base import (
+    QUIET_FOREVER,
+    Adversary,
+    ScheduledAdversary,
+    quiet_horizon,
+)
 from repro.faults.budget import FailureBudgetAdversary, NoRestartAdversary
 from repro.faults.compose import PhaseSwitchAdversary, UnionAdversary
 from repro.faults.halving import HalvingAdversary
@@ -41,6 +46,7 @@ __all__ = [
     "NoFailures",
     "NoRestartAdversary",
     "PhaseSwitchAdversary",
+    "QUIET_FOREVER",
     "RandomAdversary",
     "RecordingAdversary",
     "ScheduledAdversary",
@@ -48,4 +54,5 @@ __all__ = [
     "StalkingAdversaryX",
     "ThrashingAdversary",
     "UnionAdversary",
+    "quiet_horizon",
 ]

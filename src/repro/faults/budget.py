@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from repro.faults.base import Adversary
+from repro.faults.base import QUIET_FOREVER, Adversary, quiet_horizon
 from repro.pram.failures import Decision
 from repro.pram.view import TickView
 
@@ -39,6 +39,16 @@ class FailureBudgetAdversary(Adversary):
     @property
     def spent(self) -> int:
         return self._spent
+
+    def quiet_until(self, tick: int) -> int:
+        # An exhausted budget silences every later tick — the sparse-|F|
+        # regime where the fast-forward loop pays off most.  Before
+        # exhaustion the inner adversary's own promise applies: decide()
+        # is a pure filter, so skipping a tick the inner adversary
+        # promised quiet skips nothing of ours either.
+        if self._spent >= self.budget:
+            return QUIET_FOREVER
+        return quiet_horizon(self.inner, tick)
 
     def decide(self, view: TickView) -> Decision:
         remaining = self.budget - self._spent
@@ -77,6 +87,11 @@ class NoRestartAdversary(Adversary):
 
     def reset(self) -> None:
         self.inner.reset()
+
+    def quiet_until(self, tick: int) -> int:
+        # A stateless restriction of the inner adversary: quiet ticks of
+        # the inner adversary are quiet ticks of ours.
+        return quiet_horizon(self.inner, tick)
 
     def decide(self, view: TickView) -> Decision:
         decision = self.inner.decide(view)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.faults.base import Adversary
+from repro.faults.base import Adversary, quiet_horizon
 from repro.pram.failures import Decision
 from repro.pram.view import TickView
 
@@ -25,6 +25,12 @@ class UnionAdversary(Adversary):
     def reset(self) -> None:
         for member in self.members:
             member.reset()
+
+    def quiet_until(self, tick: int) -> int:
+        # The union acts whenever any member might: the earliest member
+        # horizon wins.  A composed Tracer returns tick + 1 here, which
+        # correctly pins the whole union to tick-exact consults.
+        return min(quiet_horizon(member, tick) for member in self.members)
 
     def decide(self, view: TickView) -> Decision:
         merged = Decision.none()
@@ -52,6 +58,13 @@ class PhaseSwitchAdversary(Adversary):
         self.first = first
         self.second = second
         self.switch_tick = switch_tick
+
+    def quiet_until(self, tick: int) -> int:
+        if tick + 1 < self.switch_tick:
+            # First regime: its promise holds only up to the switch, at
+            # which the second adversary must get its first consult.
+            return min(quiet_horizon(self.first, tick), self.switch_tick)
+        return quiet_horizon(self.second, tick)
 
     def reset(self) -> None:
         self.first.reset()

@@ -35,6 +35,9 @@ from repro.pram.view import TickView
 class HalvingAdversary(Adversary):
     """Fails the processors aimed at the least-covered unvisited half."""
 
+    # Potentially acts every tick while its kill set is non-empty;
+    # the inherited per-tick horizon (quiet_until = tick + 1) is the
+    # provably-earliest next event.
     def decide(self, view: TickView) -> Decision:
         layout = view.context.get("layout")
         if layout is None:

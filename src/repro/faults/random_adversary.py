@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.base import Adversary
+from repro.faults.base import QUIET_FOREVER, Adversary
 from repro.pram.failures import BEFORE_WRITES, Decision
 from repro.pram.view import TickView
 from repro.util.rng import RandomLike, make_rng
@@ -51,6 +51,15 @@ class RandomAdversary(Adversary):
     def reset(self) -> None:
         self._rng = make_rng(self._seed)
 
+    def quiet_until(self, tick: int) -> int:
+        # decide() consumes RNG draws every tick, so skipping a consult
+        # would shift the stream and change every later decision — no
+        # quiescence may be promised unless the adversary is degenerate
+        # (both probabilities zero: no draw can ever matter).
+        if self.fail_probability == 0.0 and self.restart_probability == 0.0:
+            return QUIET_FOREVER
+        return tick + 1
+
     def decide(self, view: TickView) -> Decision:
         failures = {}
         for pid, pending in view.pending.items():
@@ -90,6 +99,17 @@ class BurstAdversary(Adversary):
         self.period = period
         self.fraction = fraction
         self.downtime = downtime
+
+    def quiet_until(self, tick: int) -> int:
+        # Stateless and purely clock-driven: the next possible event is
+        # the next tick congruent to the failure phase (0) or the
+        # restart phase (downtime) modulo the period.
+        period = self.period
+        horizon = QUIET_FOREVER
+        for phase in (0, self.downtime % period):
+            delta = (phase - tick) % period or period
+            horizon = min(horizon, tick + delta)
+        return horizon
 
     def decide(self, view: TickView) -> Decision:
         failures = {}

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.faults.base import Adversary, ScheduledAdversary
+from repro.faults.base import Adversary, ScheduledAdversary, quiet_horizon
 from repro.pram.failures import Decision
 from repro.pram.view import TickView
 
@@ -33,6 +33,12 @@ class RecordingAdversary(Adversary):
     def reset(self) -> None:
         self.inner.reset()
         self._log = {}
+
+    def quiet_until(self, tick: int) -> int:
+        # Only non-empty decisions are logged, so a tick the inner
+        # adversary promises quiet would log nothing anyway — the
+        # recorded schedule is identical with or without the skip.
+        return quiet_horizon(self.inner, tick)
 
     def decide(self, view: TickView) -> Decision:
         decision = self.inner.decide(view)

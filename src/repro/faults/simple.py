@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.faults.base import Adversary
+from repro.faults.base import QUIET_FOREVER, Adversary
 from repro.pram.failures import BEFORE_WRITES, Decision
 from repro.pram.view import TickView
 
@@ -17,6 +17,11 @@ class NoFailures(Adversary):
     def decide(self, view: TickView) -> Decision:
         return Decision.none()
 
+    def quiet_until(self, tick: int) -> int:
+        # Redundant with `passive` (the machine already skips passive
+        # adversaries wholesale) but keeps the protocol uniform.
+        return QUIET_FOREVER
+
 
 class SinglePidKiller(Adversary):
     """Permanently fails one processor at a given tick.
@@ -29,6 +34,9 @@ class SinglePidKiller(Adversary):
     def __init__(self, pid: int, at_tick: int = 1) -> None:
         self.pid = pid
         self.at_tick = at_tick
+
+    def quiet_until(self, tick: int) -> int:
+        return self.at_tick if tick < self.at_tick else QUIET_FOREVER
 
     def decide(self, view: TickView) -> Decision:
         if view.time == self.at_tick and self.pid in view.pending:

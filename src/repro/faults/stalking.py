@@ -54,6 +54,9 @@ class StalkingAdversaryX(Adversary):
     are heap indices ``>= n``).
     """
 
+    # Fully adaptive (tracks the leader's position every tick), so the
+    # inherited per-tick event horizon (quiet_until = tick + 1) stands.
+
     def decide(self, view: TickView) -> Decision:
         layout = _layout_from(view, "n", "x_base", "w_base")
         n = layout.n
@@ -103,6 +106,9 @@ class AccStalker(Adversary):
     for the fail-stop variant, where the stalker kills touchers until a
     single processor remains.
     """
+
+    # Adaptive per tick (watches every pending write set), so the
+    # inherited per-tick event horizon (quiet_until = tick + 1) stands.
 
     def __init__(
         self,

@@ -31,6 +31,8 @@ from repro.pram.view import TickView
 class IterationStarver(Adversary):
     """Fails every write attempt; restarts victims immediately."""
 
+    # Reacts to per-tick cycle labels, so it may act on any tick —
+    # the inherited per-tick horizon (quiet_until = tick + 1) stands.
     def decide(self, view: TickView) -> Decision:
         writers = sorted(
             pid for pid, pending in view.pending.items() if pending.writes

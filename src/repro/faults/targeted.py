@@ -26,6 +26,9 @@ from repro.pram.view import TickView
 class CellGuardAdversary(Adversary):
     """Fails any processor whose pending cycle writes a guarded cell."""
 
+    # Reacts to the write sets of every tick, so the inherited per-tick
+    # event horizon (quiet_until = tick + 1) is already exact.
+
     def __init__(self, cells: Iterable[int], restart: bool = True) -> None:
         self.cells: FrozenSet[int] = frozenset(cells)
         if not self.cells:
@@ -60,6 +63,14 @@ class AdaptiveLoadAdversary(Adversary):
         self.count = count
         self.period = period
         self.restart = restart
+
+    def quiet_until(self, tick: int) -> int:
+        if self.restart:
+            # Restarts may be due on any tick a processor is down.
+            return tick + 1
+        # Without restarts the only events are the period-aligned kills.
+        delta = (-tick) % self.period or self.period
+        return tick + delta
 
     def decide(self, view: TickView) -> Decision:
         failures = {}

@@ -30,6 +30,9 @@ class ThrashingAdversary(Adversary):
     condition allows.
     """
 
+    # Acts (fails/restarts) on every single tick, so the inherited
+    # per-tick event horizon (quiet_until = tick + 1) is already the
+    # provably-earliest next event — no override needed.
     def decide(self, view: TickView) -> Decision:
         pending_pids = sorted(view.pending)
         failures = {}

@@ -1,16 +1,25 @@
 """The ``python -m repro perf`` micro-benchmark: fast path vs baseline.
 
-Times fault-free Write-All runs through two cores:
+Times Write-All runs through three cores at one configuration:
 
 * **fast** — the machine's optimized tick loop (``fast_path=True``) with
-  the incremental O(1) termination predicate;
+  the incremental O(1) termination predicate and event-horizon
+  fast-forward (quiescent windows batched through the fused tick loop);
+* **noff** — the same optimized loop with fast-forward disabled
+  (``fast_forward=False``), i.e. PR 2's per-tick fast path.  The
+  fast/noff ratio isolates what horizon batching alone buys;
 * **baseline** — the reference tick implementation
   (``fast_path=False``) with the O(N) termination rescan, i.e. the
   pre-optimization core kept in-tree as the executable specification.
 
-Both legs are timed with warmup + min-of-k repeats
+Fault injection is selected from :data:`PERF_ADVERSARIES` — sparse
+deterministic scenarios where the event-horizon protocol has long
+quiescent windows to exploit.  Every leg builds a fresh adversary from
+the same factory, so the legs replay the identical failure pattern.
+
+All legs are timed with warmup + min-of-k repeats
 (:mod:`repro.perf.timing`); the fast leg also collects per-phase tick
-counters.  The paper-model outputs of the two legs (S, S', |F|, ticks,
+counters.  The paper-model outputs of the legs (S, S', |F|, ticks,
 solved) are asserted identical — a timing harness must never compare two
 computations that diverged.
 
@@ -22,7 +31,7 @@ over time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import (
     AlgorithmV,
@@ -34,11 +43,16 @@ from repro.core import (
     solve_write_all,
 )
 from repro.core.runner import WriteAllResult
+from repro.faults import (
+    FailureBudgetAdversary,
+    RandomAdversary,
+    ScheduledAdversary,
+)
 from repro.metrics.report import bench_report
 from repro.perf.phases import PhaseCounters
 from repro.perf.timing import TimingResult, time_callable
 
-#: Algorithms runnable by the perf command (all fault-free here).
+#: Algorithms runnable by the perf command.
 PERF_ALGORITHMS = {
     "trivial": TrivialAssignment,
     "W": AlgorithmW,
@@ -48,16 +62,54 @@ PERF_ALGORITHMS = {
     "snapshot": SnapshotAlgorithm,
 }
 
+
+def _sched_sparse(p: int) -> ScheduledAdversary:
+    """Eight fail/restart event pairs spread 400 ticks apart.
+
+    The schedule is provably quiet between events, so the machine's
+    horizon windows are ~400 ticks wide — the regime the fast-forward
+    loop targets.  Victims rotate across PIDs so restarts are never
+    vacuous on small machines.
+    """
+    events: Dict[int, Tuple[List[int], List[int]]] = {}
+    for k in range(8):
+        events[50 + 400 * k] = ([k % p], [])
+        events[57 + 400 * k] = ([], [k % p])
+    return ScheduledAdversary(events)
+
+
+def _budget_sparse(p: int) -> FailureBudgetAdversary:
+    """A stochastic adversary that falls silent after 16 events.
+
+    Exercises the budget-exhaustion horizon (``QUIET_FOREVER`` once
+    spent): the run starts turbulent and ends in one long quiescent
+    window.
+    """
+    return FailureBudgetAdversary(
+        RandomAdversary(0.02, 0.5, seed=0), budget=16
+    )
+
+
+#: Fault scenarios for the perf command: name -> factory(p) -> adversary
+#: (``None`` = fault-free).  Every leg of a comparison calls the factory
+#: afresh, so stateful adversaries replay identically.
+PERF_ADVERSARIES: Dict[str, Optional[Callable[[int], object]]] = {
+    "none": None,
+    "sched-sparse": _sched_sparse,
+    "budget-sparse": _budget_sparse,
+}
+
 #: The headline configuration: fault-free Write-All at N=4096, P=64.
 DEFAULT_SIZE = (4096, 64)
 DEFAULT_ALGORITHM = "X"
+DEFAULT_ADVERSARY = "none"
 
 
 @dataclass(frozen=True)
 class PerfLeg:
-    """One timed core (fast or baseline) at one configuration."""
+    """One timed core (fast / noff / baseline) at one configuration."""
 
-    mode: str  # "fast" | "baseline"
+    mode: str  # "fast" | "noff" | "baseline"
     timing: TimingResult
     result: WriteAllResult
     phases: Optional[PhaseCounters]
@@ -74,13 +126,15 @@ class PerfLeg:
 
 @dataclass(frozen=True)
 class PerfComparison:
-    """Fast vs baseline at one (algorithm, n, p) configuration."""
+    """Fast vs noff vs baseline at one (algorithm, n, p, adversary)."""
 
     algorithm: str
     n: int
     p: int
     fast: PerfLeg
     baseline: Optional[PerfLeg]
+    noff: Optional[PerfLeg] = None
+    adversary: str = DEFAULT_ADVERSARY
 
     @property
     def speedup(self) -> Optional[float]:
@@ -89,23 +143,35 @@ class PerfComparison:
             return None
         return self.baseline.best_s / self.fast.best_s
 
+    @property
+    def ff_speedup(self) -> Optional[float]:
+        """No-fast-forward over fast ratio: the horizon batching win."""
+        if self.noff is None or self.fast.best_s <= 0:
+            return None
+        return self.noff.best_s / self.fast.best_s
 
-def _check_legs_agree(fast: WriteAllResult, baseline: WriteAllResult) -> None:
-    pairs = [
-        ("solved", fast.solved, baseline.solved),
-        ("S", fast.completed_work, baseline.completed_work),
-        ("S'", fast.charged_work, baseline.charged_work),
-        ("|F|", fast.pattern_size, baseline.pattern_size),
-        ("ticks", fast.ledger.ticks, baseline.ledger.ticks),
-    ]
+
+def _check_legs_agree(legs: Sequence[PerfLeg]) -> None:
+    """All present legs must have produced the same paper-model run."""
+    reference = legs[0].result
+    fields = (
+        ("solved", lambda r: r.solved),
+        ("S", lambda r: r.completed_work),
+        ("S'", lambda r: r.charged_work),
+        ("|F|", lambda r: r.pattern_size),
+        ("ticks", lambda r: r.ledger.ticks),
+    )
     mismatched = [
-        f"{name}: fast={a!r} baseline={b!r}" for name, a, b in pairs if a != b
+        f"{name}: {legs[0].mode}={get(reference)!r} {leg.mode}={get(leg.result)!r}"
+        for leg in legs[1:]
+        for name, get in fields
+        if get(leg.result) != get(reference)
     ]
     if mismatched:
         raise RuntimeError(
-            "fast and baseline cores diverged on "
-            f"{fast.algorithm}(N={fast.n}, P={fast.p}) — refusing to "
-            "report timings of different computations: "
+            "perf legs diverged on "
+            f"{reference.algorithm}(N={reference.n}, P={reference.p}) — "
+            "refusing to report timings of different computations: "
             + "; ".join(mismatched)
         )
 
@@ -117,8 +183,19 @@ def run_comparison(
     repeats: int = 5,
     warmup: int = 1,
     include_baseline: bool = True,
+    adversary: str = DEFAULT_ADVERSARY,
+    fast_forward: bool = True,
 ) -> PerfComparison:
-    """Time one configuration through both cores."""
+    """Time one configuration through the cores.
+
+    With ``fast_forward=True`` (the default) the fast leg uses horizon
+    batching and a **noff** leg (same optimized loop, fast-forward off)
+    is timed alongside it, so the comparison carries both the total
+    (:attr:`PerfComparison.speedup`) and the batching-only
+    (:attr:`PerfComparison.ff_speedup`) ratios.  ``fast_forward=False``
+    is the ``--no-fast-forward`` escape hatch: the fast leg runs tick by
+    tick and the noff leg is skipped (it would duplicate it).
+    """
     try:
         algorithm_cls = PERF_ALGORITHMS[algorithm]
     except KeyError:
@@ -126,42 +203,76 @@ def run_comparison(
         raise ValueError(
             f"unknown perf algorithm {algorithm!r}; known: {known}"
         ) from None
+    try:
+        adversary_factory = PERF_ADVERSARIES[adversary]
+    except KeyError:
+        known = ", ".join(sorted(PERF_ADVERSARIES))
+        raise ValueError(
+            f"unknown perf adversary {adversary!r}; known: {known}"
+        ) from None
+
+    def fresh_adversary():
+        return None if adversary_factory is None else adversary_factory(p)
 
     state: Dict[str, WriteAllResult] = {}
 
     def run_fast() -> None:
-        state["fast"] = solve_write_all(algorithm_cls(), n, p, fast_path=True)
+        state["fast"] = solve_write_all(
+            algorithm_cls(), n, p, adversary=fresh_adversary(),
+            fast_path=True, fast_forward=fast_forward,
+        )
 
     fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
     # The per-phase breakdown comes from one separate instrumented run so
     # the timed repeats above stay free of perf_counter overhead.
     phases = PhaseCounters()
-    solve_write_all(algorithm_cls(), n, p, fast_path=True,
+    solve_write_all(algorithm_cls(), n, p, adversary=fresh_adversary(),
+                    fast_path=True, fast_forward=fast_forward,
                     phase_counters=phases)
     fast_leg = PerfLeg(
         mode="fast", timing=fast_timing, result=state["fast"], phases=phases
     )
+    legs = [fast_leg]
+
+    noff_leg: Optional[PerfLeg] = None
+    if fast_forward:
+
+        def run_noff() -> None:
+            state["noff"] = solve_write_all(
+                algorithm_cls(), n, p, adversary=fresh_adversary(),
+                fast_path=True, fast_forward=False,
+            )
+
+        noff_timing = time_callable(run_noff, repeats=repeats, warmup=warmup)
+        noff_leg = PerfLeg(
+            mode="noff", timing=noff_timing, result=state["noff"],
+            phases=None,
+        )
+        legs.append(noff_leg)
 
     baseline_leg: Optional[PerfLeg] = None
     if include_baseline:
 
         def run_baseline() -> None:
             state["baseline"] = solve_write_all(
-                algorithm_cls(), n, p,
+                algorithm_cls(), n, p, adversary=fresh_adversary(),
                 fast_path=False, incremental_until=False,
+                fast_forward=False,
             )
 
         baseline_timing = time_callable(
             run_baseline, repeats=repeats, warmup=warmup
         )
-        _check_legs_agree(state["fast"], state["baseline"])
         baseline_leg = PerfLeg(
             mode="baseline", timing=baseline_timing,
             result=state["baseline"], phases=None,
         )
+        legs.append(baseline_leg)
 
+    _check_legs_agree(legs)
     return PerfComparison(
-        algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg
+        algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg,
+        noff=noff_leg, adversary=adversary,
     )
 
 
@@ -170,15 +281,20 @@ def run_perf(
     repeats: int = 5,
     warmup: int = 1,
     include_baseline: bool = True,
+    adversaries: Sequence[str] = (DEFAULT_ADVERSARY,),
+    fast_forward: bool = True,
 ) -> List[PerfComparison]:
-    """Time every ``(algorithm, n, p)`` configuration."""
+    """Time every ``(algorithm, n, p)`` x adversary configuration."""
     return [
         run_comparison(
             algorithm, n, p,
             repeats=repeats, warmup=warmup,
             include_baseline=include_baseline,
+            adversary=adversary,
+            fast_forward=fast_forward,
         )
         for algorithm, n, p in configurations
+        for adversary in adversaries
     ]
 
 
@@ -202,6 +318,18 @@ def _leg_point(leg: PerfLeg, n: int, p: int) -> Dict[str, object]:
     }
 
 
+def sweep_name(comparison: PerfComparison, leg: PerfLeg) -> str:
+    """The report sweep naming one leg of one configuration.
+
+    Fault-free comparisons keep the historical ``<algo>/<mode>`` names
+    so existing baselines diff cleanly; adversarial ones are
+    ``<algo>@<adversary>/<mode>``.
+    """
+    if comparison.adversary == DEFAULT_ADVERSARY:
+        return f"{comparison.algorithm}/{leg.mode}"
+    return f"{comparison.algorithm}@{comparison.adversary}/{leg.mode}"
+
+
 def perf_report(
     comparisons: List[PerfComparison],
     tag: str,
@@ -209,19 +337,20 @@ def perf_report(
 ) -> Dict[str, object]:
     """Assemble a ``repro-bench/1`` report (scenario ``PERF_micro``).
 
-    Each configuration contributes a ``<algo>/fast`` sweep (and a
-    ``<algo>/baseline`` sweep when the baseline leg ran); ``wall_s`` per
-    point is the min-of-k best time, which is what the regression
-    comparator bands.
+    Each configuration contributes one sweep per timed leg (see
+    :func:`sweep_name`); ``wall_s`` per point is the min-of-k best time,
+    which is what the regression comparator bands.
     """
     sweeps: List[Dict[str, object]] = []
     for comparison in comparisons:
         legs = [comparison.fast]
+        if comparison.noff is not None:
+            legs.append(comparison.noff)
         if comparison.baseline is not None:
             legs.append(comparison.baseline)
         for leg in legs:
             sweeps.append({
-                "name": f"{comparison.algorithm}/{leg.mode}",
+                "name": sweep_name(comparison, leg),
                 "points": [_leg_point(leg, comparison.n, comparison.p)],
                 "failures": [],
             })
@@ -242,14 +371,26 @@ def perf_report(
 def describe_comparison(comparison: PerfComparison) -> str:
     """Multi-line human-readable summary of one configuration."""
     fast = comparison.fast
+    scenario = (
+        "" if comparison.adversary == DEFAULT_ADVERSARY
+        else f" @{comparison.adversary}"
+    )
     header = (
-        f"{comparison.algorithm}(N={comparison.n}, P={comparison.p}): "
+        f"{comparison.algorithm}(N={comparison.n}, "
+        f"P={comparison.p}){scenario}: "
         f"fast {fast.best_s * 1e3:.1f} ms "
         f"({fast.ticks_per_s:,.0f} ticks/s, "
         f"{fast.result.ledger.ticks} ticks, spread "
         f"{100.0 * fast.timing.spread:.0f}%)"
     )
     lines = [header]
+    if comparison.noff is not None:
+        noff = comparison.noff
+        lines.append(
+            f"  no-ff {noff.best_s * 1e3:.1f} ms "
+            f"({noff.ticks_per_s:,.0f} ticks/s)  "
+            f"ff-speedup {comparison.ff_speedup:.2f}x"
+        )
     if comparison.baseline is not None:
         baseline = comparison.baseline
         lines.append(

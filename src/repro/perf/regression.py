@@ -80,6 +80,16 @@ class RegressionReport:
     def ok(self) -> bool:
         return not self.errors and not self.warnings
 
+    @property
+    def model_ok(self) -> bool:
+        """No model-level errors (wall-clock warnings tolerated).
+
+        This is the CI gate: deterministic paper-model fields must match
+        exactly on any host, while wall-clock bands are advisory across
+        heterogeneous machines.
+        """
+        return not self.errors
+
     def render(self) -> str:
         lines = [
             f"compared {self.compared} points: baseline tag "

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from repro.pram.failures import FailurePattern
 
@@ -50,6 +50,17 @@ class PidCounter(MappingABC):
         if pid >= len(counts):
             counts.extend([0] * (pid + 1 - len(counts)))
         counts[pid] += amount
+
+    def increment_many(self, pids: Iterable[int], amount: int) -> None:
+        """Add ``amount`` to every pid in one pass (window flushes)."""
+        counts = self._counts
+        length = len(counts)
+        for pid in pids:
+            if pid < length:
+                counts[pid] += amount
+            else:
+                self.increment(pid, amount)
+                length = len(counts)
 
     def backing_list(self) -> List[int]:
         """The raw count array (machine fast-path use only).
@@ -191,6 +202,32 @@ class RunLedger:
             counter.increment(pid)
         else:
             counter[pid] = counter.get(pid, 0) + 1
+
+    def charge_quiet_window(self, pids: Sequence[int], ticks: int) -> None:
+        """Flush a fast-forwarded quiescent window in one batch.
+
+        During ``ticks`` consecutive adversary-free ticks every pid in
+        ``pids`` attempted *and* completed exactly one update cycle per
+        tick, so attempts, completions, and the per-tick completion
+        series can all be charged wholesale.  Equivalent to ``ticks``
+        individual :meth:`charge_attempt` + :meth:`charge_completion`
+        rounds plus ``completed_per_tick.append(len(pids))`` each tick.
+        """
+        if ticks <= 0:
+            return
+        attempted = self.attempted_by_pid
+        completed = self.completed_by_pid
+        if type(attempted) is PidCounter:
+            attempted.increment_many(pids, ticks)
+        else:
+            for pid in pids:
+                attempted[pid] = attempted.get(pid, 0) + ticks
+        if type(completed) is PidCounter:
+            completed.increment_many(pids, ticks)
+        else:
+            for pid in pids:
+                completed[pid] = completed.get(pid, 0) + ticks
+        self.completed_per_tick.extend([len(pids)] * ticks)
 
     def describe(self, input_size: Optional[int] = None) -> str:
         """One-paragraph human-readable summary."""

@@ -45,9 +45,21 @@ Two tick implementations share these semantics:
   gate runs each distinct cycle label through the fully validated
   reference collection once before trusting its shape.
 
+On top of the fast path, :meth:`Machine.run` is **event-driven**: before
+each tick it asks the adversary for its *event horizon*
+(``Adversary.quiet_until`` — the earliest future tick at which it might
+act; scheduled/budget/periodic adversaries know theirs exactly).  All
+ticks strictly inside the horizon are executed by a batched inner loop
+(``fast_forward=True``, the default) that skips the adversary view,
+consult, and failure phases entirely and flushes per-PID ledger charges
+once per status generation — while still checking the status epoch and
+the ``until`` goal every tick, so halting, termination, and the ledger
+stay exact.  A composed ``Tracer`` pins the horizon to one tick, keeping
+traces tick-exact.
+
 The differential suite (``tests/pram/test_fast_path_differential.py``)
 holds the two paths ledger- and trace-identical across the algorithm ×
-adversary matrix.
+adversary matrix, including fast-forwarded quiescent windows.
 """
 
 from __future__ import annotations
@@ -79,6 +91,17 @@ from repro.pram.view import PendingCycleView, TickView
 #: Termination predicate: receives a read-only memory view.
 UntilPredicate = Callable[[MemoryReader], bool]
 
+#: Event horizon of a passive/absent adversary: "never acts again".
+#: (Numerically equal to repro.faults.base.QUIET_FOREVER; the pram layer
+#: cannot import the faults layer, which builds on top of it.)
+_NO_HORIZON = 1 << 62
+
+#: Outcomes of one fast-forwarded quiescent window (see
+#: Machine._run_quiet_window).
+_WINDOW_RAN = "ran"
+_WINDOW_GOAL = "goal"
+_WINDOW_IDLE = "idle"
+
 
 def _is_passive(adversary: object) -> bool:
     """Whether ``adversary`` is declared passive (never acts).
@@ -94,6 +117,33 @@ def _is_passive(adversary: object) -> bool:
         if "decide" in vars(klass):
             return bool(vars(klass).get("passive", False))
     return False
+
+
+def _trusted_quiet_hook(adversary: object):
+    """The adversary's ``quiet_until`` hook, or None if it can't be trusted.
+
+    A ``quiet_until`` horizon is a promise about what ``decide`` will do,
+    so — exactly like the ``passive`` flag in :func:`_is_passive` — it is
+    only trusted when defined by the class that defines the instance's
+    effective ``decide`` (or a subclass of it).  A subclass that
+    overrides ``decide()`` while inheriting, say, NoFailures' infinite
+    horizon has broken the promise and falls back to the always-sound
+    per-tick horizon.
+    """
+    hook = getattr(adversary, "quiet_until", None)
+    if hook is None:
+        return None
+    instance_vars = getattr(adversary, "__dict__", {})
+    if "quiet_until" in instance_vars:
+        return hook
+    if "decide" in instance_vars:
+        return None
+    for klass in type(adversary).__mro__:
+        if "quiet_until" in vars(klass):
+            return hook
+        if "decide" in vars(klass):
+            return None
+    return None
 
 
 class Machine:
@@ -113,6 +163,7 @@ class Machine:
         fairness_window: Optional[int] = None,
         context: Optional[Dict[str, object]] = None,
         fast_path: bool = True,
+        fast_forward: bool = True,
         phase_counters: Optional[object] = None,
     ) -> None:
         if num_processors <= 0:
@@ -149,6 +200,12 @@ class Machine:
         self._reader = MemoryReader(memory)
         #: Selects the optimized tick implementation (see module docs).
         self.fast_path = fast_path
+        #: Lets :meth:`run` batch ticks across adversary-promised
+        #: quiescent windows (the event-horizon protocol of
+        #: ``repro.faults.base.Adversary.quiet_until``).  Only effective
+        #: together with ``fast_path``; ``False`` is the escape hatch
+        #: that forces one adversary consult per tick.
+        self.fast_forward = fast_forward
         #: Optional per-phase wall-clock accumulator (duck-typed, see
         #: repro.perf.phases.PhaseCounters).  Instrumented on the fast
         #: path only so the reference path stays byte-for-byte the
@@ -170,16 +227,23 @@ class Machine:
         # One-time program-validation gate: cycle labels whose shape ran
         # through the fully validated reference collection once.
         self._validated_labels: set = set()
-        # Memoized passivity of the currently-attached adversary (the
-        # sentinel object never compares `is` to a real adversary).
+        # Memoized passivity and event-horizon hook of the
+        # currently-attached adversary (the sentinel object never
+        # compares `is` to a real adversary).
         self._passivity_for: object = object()
         self._passivity = False
+        self._quiet_hook: Optional[Callable[[int], int]] = None
         # Reusable per-tick scratch (the point is zero steady-state
         # allocation; cleared, never reallocated).
         self._collect_scratch: List[tuple] = []
         self._pairs_scratch: List[tuple] = []
         self._resolved_scratch: List[Tuple[int, int]] = []
         self._single_scratch: Dict[int, Tuple[int, int]] = {}
+        # Quiet-window scratch (the fused tick of _run_quiet_window).
+        self._window_procs_scratch: List[Processor] = []
+        self._window_values_scratch: List[tuple] = []
+        self._window_writes_scratch: List[object] = []
+        self._window_staged: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # setup
@@ -487,6 +551,38 @@ class Machine:
         self._statuses_view = MappingProxyType(statuses)
         self._cache_epoch = epoch
 
+    def _refresh_adversary_memo(self) -> None:
+        adversary = self.adversary
+        if adversary is not self._passivity_for:
+            # self.adversary is public and may be swapped between runs.
+            self._passivity_for = adversary
+            self._passivity = adversary is None or _is_passive(adversary)
+            self._quiet_hook = (
+                None if adversary is None else _trusted_quiet_hook(adversary)
+            )
+
+    def _event_horizon(self) -> int:
+        """First future tick at which the adversary might act.
+
+        A passive (or absent) adversary never acts; an adversary without
+        the ``quiet_until`` hook is consulted every tick.  Malformed or
+        stale horizons are clamped to the always-sound next tick.
+        """
+        self._refresh_adversary_memo()
+        tick = self.ledger.ticks
+        if self._passivity:
+            return _NO_HORIZON
+        hook = self._quiet_hook
+        if hook is None:
+            return tick + 1
+        horizon = hook(tick)
+        if not isinstance(horizon, int):
+            raise AdversaryError(
+                f"adversary quiet_until({tick}) returned {horizon!r}, "
+                "expected an int tick number"
+            )
+        return horizon if horizon > tick else tick + 1
+
     def _step_fast(self) -> bool:
         self._refresh_status_caches()
         running = self._running_cache
@@ -494,11 +590,7 @@ class Machine:
             return False
         self.ledger.ticks += 1
         tick = self.ledger.ticks
-        adversary = self.adversary
-        if adversary is not self._passivity_for:
-            # self.adversary is public and may be swapped between runs.
-            self._passivity_for = adversary
-            self._passivity = adversary is None or _is_passive(adversary)
+        self._refresh_adversary_memo()
         if self._passivity:
             self._tick_fast_passive(tick, running)
         else:
@@ -815,6 +907,243 @@ class Machine:
             phases.settle_s += perf_counter() - mark
             phases.ticks += 1
 
+    # ================================================================== #
+    # event-horizon fast-forward (run()-level tick batching)
+    # ================================================================== #
+
+    def _flush_quiet_batch(
+        self, running: List[Processor], batch_ticks: int
+    ) -> None:
+        """Charge a batch of fully-quiet ticks to the ledger at once."""
+        if batch_ticks:
+            self.ledger.charge_quiet_window(
+                [processor.pid for processor in running], batch_ticks
+            )
+
+    def _quiet_tick_fused(self, running: List[Processor]) -> None:
+        """One adversary-free tick in a single fused sweep.
+
+        The quiet-window specialization of ``_collect_fast`` +
+        ``_resolve_and_apply_fast`` + the settle loop: one read/stage
+        pass over the running processors, one batched memory commit, one
+        generator-advance pass.  No per-processor tuples or pending
+        views are built and no per-tick ledger charges land (the window
+        flushes those in one batch).  Preconditions, checked by the
+        window: concurrent reads allowed, singleton resolve is the
+        identity, raw writes allowed, no phase counters.  Same-tick
+        write collisions and exotic addresses fall back to the
+        reference-exact resolution for the whole tick.
+        """
+        memory = self.memory
+        cells = self._cells
+        size = len(cells)
+        max_reads = self.max_reads
+        max_writes = self.max_writes
+        validated = self._validated_labels
+        procs = self._window_procs_scratch
+        values_list = self._window_values_scratch
+        writes_list = self._window_writes_scratch
+        staged = self._window_staged
+        procs.clear()
+        values_list.clear()
+        writes_list.clear()
+        staged.clear()
+        clean = True
+        reads_charged = 0
+        for processor in running:
+            cycle = processor._pending
+            if cycle is None:
+                processor.pending_cycle  # raises the standard ProgramError
+            label = cycle.label
+            if label not in validated:
+                entry = self._collect_one_validated(processor, cycle, None)
+                validated.add(label)
+                values = entry[2]
+                writes = entry[3]
+            else:
+                reads = cycle.reads
+                if type(reads) is tuple:
+                    if len(reads) > max_reads:
+                        raise ProgramError(
+                            f"pid {processor.pid}: cycle reads {len(reads)} "
+                            f"cells, limit is {self.max_reads} "
+                            f"(label={cycle.label!r})"
+                        )
+                    value_list: List[int] = []
+                    for spec in reads:
+                        if spec.__class__ is int:
+                            address = spec
+                        elif spec is None:
+                            value_list.append(0)
+                            continue
+                        else:
+                            address = spec(tuple(value_list))
+                            if address is None:
+                                value_list.append(0)
+                                continue
+                        if address.__class__ is int and 0 <= address < size:
+                            value_list.append(cells[address])
+                            reads_charged += 1
+                        else:
+                            value_list.append(memory.read(address))
+                    values = tuple(value_list)
+                elif cycle.is_snapshot:
+                    if not self.allow_snapshot:
+                        raise ProgramError(
+                            f"pid {processor.pid}: snapshot read on a machine "
+                            f"without allow_snapshot (label={cycle.label!r})"
+                        )
+                    values = tuple(memory.snapshot())
+                    reads_charged += 1  # unit cost by assumption
+                else:
+                    cycle.read_specs()  # raises the standard ProgramError
+                    raise AssertionError("unreachable")  # pragma: no cover
+                writes_spec = cycle.writes
+                writes = (
+                    writes_spec(values) if callable(writes_spec) else writes_spec
+                )
+                if len(writes) > max_writes:
+                    raise ProgramError(
+                        f"pid {processor.pid}: cycle writes {len(writes)} "
+                        f"cells, limit is {self.max_writes} "
+                        f"(label={cycle.label!r})"
+                    )
+            procs.append(processor)
+            values_list.append(values)
+            writes_list.append(writes)
+            if clean:
+                for write in writes:
+                    address = write.address
+                    if (
+                        address.__class__ is int
+                        and 0 <= address < size
+                        and address not in staged
+                    ):
+                        staged[address] = write.value
+                    else:
+                        clean = False
+                        break
+        memory.charge_reads(reads_charged)
+        if clean:
+            memory.commit_resolved(staged.items())
+        else:
+            # Collision or exotic address somewhere this tick: redo the
+            # whole tick's writes through the reference-exact resolver
+            # (same policy calls, same order, same errors).
+            pairs = self._pairs_scratch
+            pairs.clear()
+            for processor, writes in zip(procs, writes_list):
+                pairs.append((processor.pid, writes))
+            self._resolve_and_apply_fast(pairs)
+        for processor, values in zip(procs, values_list):
+            # Inlined Processor.complete_cycle (every guard holds here:
+            # the whole window runs, completes, and stays running unless
+            # the program itself returns).
+            processor.cycles_completed += 1
+            try:
+                next_cycle = processor._generator.send(values)
+            except StopIteration:
+                processor._generator = None
+                processor._pending = None
+                processor.status = ProcessorStatus.HALTED
+                processor._bump_epoch()
+                continue
+            if next_cycle.__class__ is not Cycle:
+                processor._check_cycle(next_cycle)
+            processor._pending = next_cycle
+
+    def _run_quiet_window(
+        self, stop_tick: int, until: Optional[UntilPredicate]
+    ) -> str:
+        """Run ticks up to ``stop_tick`` without consulting the adversary.
+
+        Only called inside a window the adversary promised quiet (or
+        with a passive adversary), so every collected cycle completes:
+        the per-tick adversary view, failure phases, and status checks
+        collapse, and per-PID ledger charges batch into one flush per
+        status generation.  The status epoch is still checked every tick
+        (halting is a processor-driven transition), and the ``until``
+        goal is still evaluated exactly once per tick, so termination
+        and the ledger stay bit-identical to the reference path.
+
+        Returns :data:`_WINDOW_GOAL` when ``until`` fired,
+        :data:`_WINDOW_IDLE` when there is nothing to run (no running
+        processors — zero ticks consumed, the caller's ``step()``
+        handles empty ticks and halting), and :data:`_WINDOW_RAN`
+        otherwise (``stop_tick`` reached, or the running set drained
+        mid-window).
+        """
+        self._refresh_status_caches()
+        running = self._running_cache
+        if not running:
+            return _WINDOW_IDLE
+        ledger = self.ledger
+        reader = self._reader
+        epoch_cell = self._status_epoch
+        pairs = self._pairs_scratch
+        interrupts = self._consecutive_interrupts
+        if interrupts:
+            # Every running processor completes a cycle each quiet tick,
+            # which in the reference path zeroes its consecutive-
+            # interrupt count; failed processors keep theirs.
+            for processor in running:
+                interrupts.pop(processor.pid, None)
+        phases = self.phase_counters
+        policy = self.policy
+        fused = (
+            phases is None
+            and self._raw_write_ok
+            and policy.allows_concurrent_reads
+            and policy.singleton_resolve_is_identity
+        )
+        batch_ticks = 0
+        outcome = _WINDOW_RAN
+        while True:
+            if fused:
+                ledger.ticks += 1
+                self._quiet_tick_fused(running)
+                batch_ticks += 1
+            else:
+                mark = perf_counter() if phases is not None else 0.0
+                ledger.ticks += 1
+                collected = self._collect_fast(running)
+                if phases is not None:
+                    now = perf_counter()
+                    phases.collect_s += now - mark
+                    mark = now
+                pairs.clear()
+                for entry in collected:
+                    pairs.append((entry[0].pid, entry[3]))
+                self._resolve_and_apply_fast(pairs)
+                if phases is not None:
+                    now = perf_counter()
+                    phases.resolve_s += now - mark
+                    mark = now
+                for entry in collected:
+                    entry[0].complete_cycle(entry[2])
+                batch_ticks += 1
+                if phases is not None:
+                    phases.settle_s += perf_counter() - mark
+                    phases.ticks += 1
+            if epoch_cell[0] != self._cache_epoch:
+                # A processor halted this tick: flush the batch against
+                # the status generation that actually ran it (halting
+                # pids completed this tick too), then recompute.
+                self._flush_quiet_batch(running, batch_ticks)
+                batch_ticks = 0
+                self._refresh_status_caches()
+                running = self._running_cache
+            if until is not None and until(reader):
+                outcome = _WINDOW_GOAL
+                break
+            if not running:
+                break
+            if ledger.ticks >= stop_tick:
+                break
+        self._flush_quiet_batch(running, batch_ticks)
+        self._sync_traffic()
+        return outcome
+
     # ------------------------------------------------------------------ #
     # whole runs
     # ------------------------------------------------------------------ #
@@ -837,6 +1166,14 @@ class Machine:
         ``stall_limit`` bounds consecutive ticks in which no update cycle
         was even attempted (all processors failed, adversary silent) —
         only reachable with ``enforce_progress=False``.
+
+        With ``fast_path`` and ``fast_forward`` both set (the default),
+        ticks inside an adversary-promised quiescent window (see
+        ``Adversary.quiet_until``) run through a batched inner loop that
+        skips the per-tick adversary machinery entirely; everything
+        observable — the ledger, the realized pattern, traces, memory —
+        is identical to per-tick execution, which is a differential-test
+        surface (``tests/pram/test_fast_path_differential.py``).
         """
         ledger = self.ledger
         reader = self._reader
@@ -844,8 +1181,35 @@ class Machine:
             ledger.goal_reached = True
             self._sync_traffic()
             return ledger
+        fast_forward = (
+            self.fast_path and self.fast_forward and bool(self._processors)
+        )
         stalled_ticks = 0
         while True:
+            if fast_forward:
+                stop_tick = min(self._event_horizon() - 1, max_ticks)
+                if stop_tick > ledger.ticks:
+                    outcome = self._run_quiet_window(stop_tick, until)
+                    if outcome == _WINDOW_GOAL:
+                        ledger.goal_reached = True
+                        break
+                    if outcome == _WINDOW_RAN:
+                        # Every window tick completed cycles, so the
+                        # stall counter resets; `until` was already
+                        # checked once after each tick.
+                        stalled_ticks = 0
+                        if ledger.ticks >= max_ticks:
+                            ledger.tick_limited = True
+                            if raise_on_limit:
+                                raise TickLimitError(
+                                    f"run exceeded max_ticks={max_ticks} "
+                                    f"(S={ledger.completed_work})"
+                                )
+                            break
+                        continue
+                    # _WINDOW_IDLE: nothing is running — fall through to
+                    # step(), which owns empty ticks, forced restarts,
+                    # and halt detection.
             live = self.step()
             if not live:
                 ledger.halted = True

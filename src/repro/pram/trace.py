@@ -83,6 +83,16 @@ class Tracer(Adversary):
     def reset(self) -> None:
         self.records = []
 
+    def quiet_until(self, tick: int) -> int:
+        # A tracer never *acts*, but it must *observe* every tick: its
+        # decide() appends a TickRecord, so skipping consults would drop
+        # records.  Pinning the horizon to the very next tick keeps
+        # traces tick-exact; composed through UnionAdversary this also
+        # pins the whole union (the minimum member horizon wins), so the
+        # machine's fast-forward loop is disabled whenever a trace is
+        # being recorded.
+        return tick + 1
+
     def decide(self, view: TickView) -> Decision:
         record = TickRecord(
             time=view.time,

@@ -90,3 +90,59 @@ def test_meta_aligns_with_points():
     assert [meta.index for meta in result.meta] == list(range(len(result.points)))
     assert all(not meta.cached for meta in result.meta)
     assert all(meta.attempts == 1 for meta in result.meta)
+
+
+class TestAlarmNesting:
+    """The SIGALRM guard must not disarm an enclosing timer on exit."""
+
+    @pytest.fixture(autouse=True)
+    def _require_sigalrm(self):
+        import signal
+
+        if not hasattr(signal, "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        yield
+        # Whatever a test did, leave the process with no timer pending.
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, signal.SIG_DFL)
+
+    def test_inner_exit_restores_outer_timer(self):
+        import signal
+
+        from repro.experiments.parallel import _alarm
+
+        with _alarm(30.0):
+            with _alarm(5.0):
+                pass
+            # The outer timer must still be running (the old behavior
+            # zeroed it, leaving delay == 0.0 => unguarded).
+            delay, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < delay <= 30.0
+            # Elapsed time inside the inner guard is deducted.
+            assert delay <= 30.0 - 5e-7 or delay <= 30.0
+
+    def test_inner_timeout_still_fires(self):
+        from repro.experiments.parallel import PointTimeout, _alarm
+
+        with _alarm(30.0):
+            with pytest.raises(PointTimeout):
+                with _alarm(0.01):
+                    import time as _time
+
+                    deadline = _time.monotonic() + 2.0
+                    while _time.monotonic() < deadline:
+                        pass
+            import signal
+
+            delay, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert delay > 0.0
+
+    def test_exit_without_outer_timer_disarms(self):
+        import signal
+
+        from repro.experiments.parallel import _alarm
+
+        with _alarm(5.0):
+            pass
+        delay, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert delay == 0.0

@@ -9,6 +9,7 @@ import pytest
 
 from repro.metrics.report import validate_bench_report
 from repro.perf.micro import (
+    PERF_ADVERSARIES,
     PERF_ALGORITHMS,
     describe_comparison,
     perf_report,
@@ -208,6 +209,38 @@ class TestCheckRegressionCli:
         assert self._cli([base, cand, "--informational"]) == 0
         assert "model-mismatch" in capsys.readouterr().out
 
+    def test_gate_model_fails_on_model_mismatch(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _tiny_report())
+        cand = self._write(
+            tmp_path, "cand.json", _tiny_report(tag="cand", ticks=999)
+        )
+        assert self._cli([base, cand, "--gate-model"]) == 1
+        assert "model-mismatch" in capsys.readouterr().out
+
+    def test_gate_model_tolerates_wall_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _tiny_report(wall_s=0.05))
+        cand = self._write(
+            tmp_path, "cand.json", _tiny_report(tag="cand", wall_s=0.5)
+        )
+        # Same model fields, 10x slower: the default mode fails, the
+        # model gate only reports the warning.
+        assert self._cli([base, cand]) == 1
+        assert self._cli([base, cand, "--gate-model"]) == 0
+        assert "wall-regression" in capsys.readouterr().out
+
+    def test_gate_model_fails_on_coverage_gap(self, tmp_path, capsys):
+        extra = {
+            "n": 128, "p": 16, "seed": 0, "solved": True,
+            "S": 900, "S_prime": 910, "F": 0, "sigma": 6.3,
+            "ticks": 150, "wall_s": 0.1, "cached": False,
+        }
+        base = self._write(
+            tmp_path, "base.json", _tiny_report(extra_point=extra)
+        )
+        cand = self._write(tmp_path, "cand.json", _tiny_report(tag="cand"))
+        assert self._cli([base, cand, "--gate-model"]) == 1
+        assert "missing-point" in capsys.readouterr().out
+
 
 class TestRunComparison:
     def test_small_comparison_agrees_and_reports(self):
@@ -215,11 +248,14 @@ class TestRunComparison:
         assert comparison.fast.result.solved
         assert comparison.baseline is not None
         assert comparison.speedup is not None and comparison.speedup > 0
+        assert comparison.noff is not None
+        assert comparison.ff_speedup is not None and comparison.ff_speedup > 0
         assert comparison.fast.phases.ticks == \
             comparison.fast.result.ledger.ticks
         text = describe_comparison(comparison)
         assert "W(N=64, P=8)" in text
         assert "speedup" in text
+        assert "no-ff" in text
 
     def test_no_baseline_leg(self):
         comparison = run_comparison("trivial", 64, 8, repeats=1, warmup=0,
@@ -227,13 +263,40 @@ class TestRunComparison:
         assert comparison.baseline is None
         assert comparison.speedup is None
 
+    def test_no_fast_forward_skips_noff_leg(self):
+        comparison = run_comparison("trivial", 64, 8, repeats=1, warmup=0,
+                                    fast_forward=False)
+        assert comparison.noff is None
+        assert comparison.ff_speedup is None
+        assert comparison.baseline is not None
+
+    def test_adversarial_legs_replay_identical_pattern(self):
+        comparison = run_comparison("X", 64, 8, repeats=1, warmup=0,
+                                    adversary="sched-sparse")
+        # _check_legs_agree already asserted model equality across the
+        # fast/noff/baseline legs; the pattern itself must be non-empty
+        # or the scenario is not exercising fault handling at all.
+        assert comparison.fast.result.pattern_size > 0
+        assert comparison.fast.result.solved
+        text = describe_comparison(comparison)
+        assert "@sched-sparse" in text
+
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ValueError, match="unknown perf algorithm"):
             run_comparison("nope", 64, 8)
 
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ValueError, match="unknown perf adversary"):
+            run_comparison("X", 64, 8, adversary="nope")
+
     def test_all_perf_algorithms_registered(self):
         assert set(PERF_ALGORITHMS) == {
             "trivial", "W", "V", "X", "VX", "snapshot"
+        }
+
+    def test_all_perf_adversaries_registered(self):
+        assert set(PERF_ADVERSARIES) == {
+            "none", "sched-sparse", "budget-sparse"
         }
 
 
@@ -245,11 +308,24 @@ class TestPerfReport:
         [scenario] = report["scenarios"]
         assert scenario["tag"] == "PERF_micro"
         names = [sweep["name"] for sweep in scenario["sweeps"]]
-        assert names == ["X/fast", "X/baseline"]
+        assert names == ["X/fast", "X/noff", "X/baseline"]
+
+    def test_adversarial_sweeps_are_namespaced(self):
+        comparison = run_comparison("X", 64, 8, repeats=1, warmup=0,
+                                    adversary="budget-sparse")
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        validate_bench_report(report)
+        [scenario] = report["scenarios"]
+        names = [sweep["name"] for sweep in scenario["sweeps"]]
+        assert names == [
+            "X@budget-sparse/fast",
+            "X@budget-sparse/noff",
+            "X@budget-sparse/baseline",
+        ]
 
     def test_report_feeds_the_regression_comparator(self):
         comparison = run_comparison("X", 64, 8, repeats=1, warmup=0)
         report = perf_report([comparison], tag="unit", wall_s=0.1)
         diff = compare_reports(report, copy.deepcopy(report))
         assert diff.ok
-        assert diff.compared == 2
+        assert diff.compared == 3

@@ -53,17 +53,31 @@ ADVERSARIES = {
 }
 
 
+#: (fast_path, fast_forward) legs every configuration runs through:
+#: the batched event-horizon core, the per-tick fast core, and the
+#: reference core (which never fast-forwards).
+MODES = ((True, True), (True, False), (False, False))
+
+
 def run_both(algorithm_key, adversary_factory, n=64, p=16, **kwargs):
-    """Run one configuration through the fast and reference cores."""
+    """Run one configuration through all cores, reference last."""
     outcomes = []
-    for fast in (True, False):
+    for fast, forward in MODES:
         outcomes.append(solve_write_all(
             ALGORITHMS[algorithm_key](), n, p,
             adversary=adversary_factory(),
             fast_path=fast,
+            fast_forward=forward,
             **kwargs,
         ))
     return outcomes
+
+
+def assert_all_identical(outcomes):
+    """Every outcome must match the last (reference) one exactly."""
+    reference = outcomes[-1]
+    for outcome in outcomes[:-1]:
+        assert_identical(outcome, reference)
 
 
 def assert_identical(fast, reference):
@@ -88,46 +102,46 @@ class TestAlgorithmAdversaryMatrix:
     @pytest.mark.parametrize("algorithm_key", sorted(ALGORITHMS))
     @pytest.mark.parametrize("adversary_key", sorted(ADVERSARIES))
     def test_ledger_identical(self, algorithm_key, adversary_key):
-        fast, reference = run_both(
+        outcomes = run_both(
             algorithm_key, ADVERSARIES[adversary_key],
             max_ticks=5_000,
         )
-        assert_identical(fast, reference)
+        assert_all_identical(outcomes)
 
     @pytest.mark.parametrize("algorithm_key", ["W", "X"])
     def test_with_fairness_window(self, algorithm_key):
-        fast, reference = run_both(
+        outcomes = run_both(
             algorithm_key, ThrashingAdversary,
             fairness_window=3, max_ticks=5_000,
         )
-        assert_identical(fast, reference)
+        assert_all_identical(outcomes)
 
     def test_v_under_thrashing_hits_tick_limit_identically(self):
-        # V need not terminate under restarts; both cores must agree on
+        # V need not terminate under restarts; all cores must agree on
         # the truncated run too.
-        fast, reference = run_both("V", ThrashingAdversary, max_ticks=200)
-        assert_identical(fast, reference)
+        outcomes = run_both("V", ThrashingAdversary, max_ticks=200)
+        assert_all_identical(outcomes)
 
     def test_rotating_arbitrary_policy(self):
         # RotatingArbitraryCrcw declares singleton_resolve_is_identity
         # False, forcing the fast path through the general resolve route
         # every tick; the rotation counters must stay in lock step.
-        fast, reference = run_both(
+        outcomes = run_both(
             "X", lambda: RandomAdversary(0.1, 0.4, seed=11),
             policy=RotatingArbitraryCrcw(), max_ticks=5_000,
         )
-        assert_identical(fast, reference)
+        assert_all_identical(outcomes)
 
     def test_heavy_crash_exercises_progress_vetoes(self):
         # A raw high crash rate with no restarts (NoRestartAdversary
         # would spare the last runner itself) forces the *machine* to
         # veto the adversary to preserve the progress condition.
-        fast, reference = run_both(
+        outcomes = run_both(
             "X", lambda: RandomAdversary(0.7, 0.0, seed=5),
             n=32, p=8, max_ticks=5_000,
         )
-        assert fast.ledger.progress_vetoes > 0
-        assert_identical(fast, reference)
+        assert outcomes[0].ledger.progress_vetoes > 0
+        assert_all_identical(outcomes)
 
     def test_all_failed_forced_restart_in_passive_path(self):
         # With a passive adversary the only way every processor can be
@@ -180,21 +194,21 @@ class TestRandomSchedules:
     @pytest.mark.parametrize("seed", range(6))
     def test_scheduled_runs_identical(self, algorithm_key, seed):
         schedule = self.random_schedule(seed * 101 + 17, p=8)
-        fast, reference = run_both(
+        outcomes = run_both(
             algorithm_key,
             lambda: ScheduledAdversary(schedule),
             n=32, p=8, max_ticks=5_000,
         )
-        assert_identical(fast, reference)
+        assert_all_identical(outcomes)
 
     @pytest.mark.parametrize("seed", range(4))
     def test_random_online_adversary_identical(self, seed):
-        fast, reference = run_both(
+        outcomes = run_both(
             "X",
             lambda: RandomAdversary(0.2, 0.35, seed=seed),
             n=64, p=16, max_ticks=5_000,
         )
-        assert_identical(fast, reference)
+        assert_all_identical(outcomes)
 
 
 class TestTraceIdentity:
@@ -205,20 +219,103 @@ class TestTraceIdentity:
         # it over a random adversary checks the fast path presents the
         # identical per-tick world, not just identical totals.
         traces = []
-        for fast in (True, False):
+        for fast, forward in MODES:
             tracer = Tracer(watch=(0, 1, 2, 3))
             adversary = UnionAdversary([
                 tracer, RandomAdversary(0.15, 0.3, seed=13),
             ])
             solve_write_all(
                 AlgorithmX(), 64, 16, adversary=adversary,
-                fast_path=fast, max_ticks=5_000,
+                fast_path=fast, fast_forward=forward, max_ticks=5_000,
             )
             traces.append(tracer.records)
-        fast_trace, reference_trace = traces
-        assert len(fast_trace) == len(reference_trace)
-        for fast_tick, reference_tick in zip(fast_trace, reference_trace):
-            assert fast_tick == reference_tick
+        reference_trace = traces[-1]
+        for trace in traces[:-1]:
+            assert len(trace) == len(reference_trace)
+            for tick_record, reference_tick in zip(trace, reference_trace):
+                assert tick_record == reference_tick
+
+
+class TestEventHorizonEdges:
+    """Boundary cases of the event-horizon fast-forward windows."""
+
+    def test_scheduled_restart_exactly_on_horizon_tick(self):
+        # After the tick-3 failure the schedule's bisect horizon is
+        # tick 40: the quiet window must stop one tick short so the
+        # restart lands through a real consult, not inside the batch.
+        schedule = {3: ([1], []), 40: ([], [1])}
+        outcomes = run_both(
+            "X", lambda: ScheduledAdversary(schedule),
+            n=32, p=8, max_ticks=5_000,
+        )
+        assert outcomes[0].ledger.pattern_size == 2
+        assert_all_identical(outcomes)
+
+    def test_last_event_precedes_termination(self):
+        # Once the schedule is exhausted quiet_until is QUIET_FOREVER
+        # and the machine fast-forwards straight to termination; the
+        # ledger must still match per-tick execution exactly.
+        schedule = {2: ([0], []), 4: ([], [0])}
+        outcomes = run_both(
+            "X", lambda: ScheduledAdversary(schedule),
+            n=64, p=16, max_ticks=5_000,
+        )
+        assert outcomes[0].solved
+        assert outcomes[0].ledger.pattern_size == 2
+        assert_all_identical(outcomes)
+
+    def test_tick_limit_hit_inside_quiet_window(self):
+        # The window must clip at max_ticks even when the horizon is
+        # infinite (schedule exhausted, victim never restarted).
+        schedule = {5: ([2], [])}
+        outcomes = run_both(
+            "X", lambda: ScheduledAdversary(schedule),
+            n=64, p=4, max_ticks=50,
+        )
+        for outcome in outcomes:
+            assert not outcome.solved
+            assert outcome.ledger.tick_limited
+            assert outcome.ledger.ticks == 50
+        assert_all_identical(outcomes)
+
+    def test_until_goal_breaks_quiet_window(self):
+        # With a passive adversary the whole run is one quiet window;
+        # the until() predicate must still end it at the exact tick the
+        # per-tick loop would.
+        from repro.core.base import done_predicate
+        from repro.pram.machine import Machine
+        from repro.pram.memory import SharedMemory
+
+        ticks = []
+        for fast, forward in MODES:
+            algorithm = AlgorithmX()
+            layout = algorithm.build_layout(32, 8)
+            memory = SharedMemory(layout.size)
+            machine = Machine(num_processors=8, memory=memory,
+                              adversary=NoFailures(),
+                              fast_path=fast, fast_forward=forward,
+                              context={"layout": layout})
+            machine.load_program(algorithm.program(layout, None))
+            ledger = machine.run(until=done_predicate(layout),
+                                 max_ticks=100_000)
+            assert ledger.goal_reached
+            assert not ledger.tick_limited
+            ticks.append(ledger.ticks)
+        assert len(set(ticks)) == 1
+
+    def test_tracer_composition_pins_horizon_to_every_tick(self):
+        # A composed Tracer must see every tick even when the other
+        # union member promises a huge quiet window.
+        schedule = {3: ([1], []), 200: ([], [1])}
+        tracer = Tracer()
+        adversary = UnionAdversary([
+            tracer, ScheduledAdversary(schedule),
+        ])
+        result = solve_write_all(
+            AlgorithmX(), 32, 8, adversary=adversary,
+            fast_path=True, fast_forward=True, max_ticks=5_000,
+        )
+        assert len(tracer.records) == result.ledger.ticks
 
 
 class TestPassivityDetection:
