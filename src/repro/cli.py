@@ -21,8 +21,8 @@ Commands:
 
 Adversaries are selected by name; stochastic ones take ``--fail``,
 ``--restart-prob`` and ``--seed``.  ``--no-fast-forward`` disables the
-machine's event-horizon tick batching (``solve``, ``sweep``, ``trace``,
-``perf``).
+machine's event-horizon tick batching and ``--no-compiled`` disables
+the compiled-kernel lane (``solve``, ``sweep``, ``trace``, ``perf``).
 """
 
 from __future__ import annotations
@@ -107,6 +107,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-fast-forward", action="store_true",
                         help="disable event-horizon tick batching (run "
                              "every tick through the per-tick loop)")
+    parser.add_argument("--no-compiled", action="store_true",
+                        help="disable compiled program kernels (force "
+                             "the generator protocol)")
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -137,6 +140,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
+        compiled=not args.no_compiled,
     )
     print(result.summary())
     return 0 if result.solved else 1
@@ -154,6 +158,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         seeds=range(args.seeds),
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
+        compiled=not args.no_compiled,
     )
     use_engine = (
         args.workers is not None or args.resume
@@ -306,6 +311,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             include_baseline=not args.no_baseline,
             adversaries=adversaries,
             fast_forward=not args.no_fast_forward,
+            compiled=not args.no_compiled,
         )
     wall_s = time_module.perf_counter() - started
     for comparison in comparisons:
@@ -325,6 +331,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(
             f"fast-forward batching alone: worst {min(ff_speedups):.2f}x, "
             f"best {max(ff_speedups):.2f}x (vs per-tick fast path)"
+        )
+    kernel_speedups = [
+        c.kernel_speedup for c in comparisons
+        if c.kernel_speedup is not None
+    ]
+    if kernel_speedups:
+        print(
+            f"compiled kernels alone: worst {min(kernel_speedups):.2f}x, "
+            f"best {max(kernel_speedups):.2f}x (vs generator dispatch)"
         )
     if args.tag is not None:
         os.makedirs(args.out, exist_ok=True)
@@ -392,6 +407,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         ALGORITHMS[args.algorithm](), args.n, args.p, adversary=adversary,
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
+        compiled=not args.no_compiled,
     )
     print(result.summary())
     print()
@@ -485,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-fast-forward", action="store_true",
                       help="time the fast leg without event-horizon "
                            "batching (skips the separate no-ff leg)")
+    perf.add_argument("--no-compiled", action="store_true",
+                      help="time the fast leg without compiled kernels "
+                           "(skips the separate no-kernel leg)")
     perf.add_argument("--repeats", type=int, default=5,
                       help="measured repeats per leg (min is reported)")
     perf.add_argument("--warmup", type=int, default=1,

@@ -37,11 +37,12 @@ fault-tolerance story:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.base import BaseLayout, WriteAllAlgorithm, default_tasks
 from repro.core.tasks import TaskSet
 from repro.core.trees import HeapTree
+from repro.pram.compiled import CompiledProgram
 from repro.pram.cycles import Cycle, Write
 from repro.util.bits import bit_length_of_power, is_power_of_two, msb_first_bit
 from repro.util.rng import derive_seed
@@ -124,14 +125,41 @@ class AlgorithmX(WriteAllAlgorithm):
 
         return factory
 
+    def compiled_program(
+        self, layout: XLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[Callable[[int], "XKernel"]]:
+        tasks = default_tasks(tasks)
+        if tasks.cycles_per_task != 0:
+            return None  # the task/mark sub-loop needs the generator path
+        routing = self.routing
+        spread = self.spread
 
-def _x_program(
+        def factory(pid: int) -> XKernel:
+            return XKernel(pid, layout, routing, spread)
+
+        return factory
+
+
+def _x_initial_leaf(pid: int, layout: XLayout, spread: bool) -> int:
+    """The node a position-0 processor takes as its first leaf."""
+    n = layout.n
+    if spread and layout.p < n:
+        return n + (pid * (n // layout.p)) % n
+    return n + (pid % n)
+
+
+def _x_cycle_body(
     pid: int,
     layout: XLayout,
-    tasks: TaskSet,
-    routing: str = "pid",
-    spread: bool = False,
-) -> Generator[Cycle, tuple, None]:
+    routing: str,
+    spread: bool,
+    trivial: bool,
+) -> Tuple[tuple, Callable[[Tuple[int, ...]], Tuple[Write, ...]]]:
+    """Build the (reads, writes) body of X's single update cycle.
+
+    Shared by the generator program and :class:`XKernel`'s materialized
+    cycles, so both lanes are observationally identical by construction.
+    """
     n = layout.n
     x_base = layout.x_base
     tree = layout.tree
@@ -139,11 +167,7 @@ def _x_program(
     exit_marker = layout.exit_marker
     log_n = bit_length_of_power(n)
     route_pid = pid % n
-    trivial = tasks.cycles_per_task == 0
-    if spread and layout.p < n:
-        initial_leaf = n + (pid * (n // layout.p)) % n
-    else:
-        initial_leaf = n + (pid % n)
+    initial_leaf = _x_initial_leaf(pid, layout, spread)
 
     def in_tree(where: int) -> bool:
         return 1 <= where < exit_marker
@@ -210,6 +234,22 @@ def _x_program(
             bit = derive_seed(pid, where) & 1
         return (Write(w_address, 2 * where + bit),)
 
+    return body_reads, body_writes
+
+
+def _x_program(
+    pid: int,
+    layout: XLayout,
+    tasks: TaskSet,
+    routing: str = "pid",
+    spread: bool = False,
+) -> Generator[Cycle, tuple, None]:
+    n = layout.n
+    x_base = layout.x_base
+    exit_marker = layout.exit_marker
+    trivial = tasks.cycles_per_task == 0
+    body_reads, body_writes = _x_cycle_body(pid, layout, routing, spread, trivial)
+
     while True:
         values = yield Cycle(reads=body_reads, writes=body_writes, label="x:step")
         where, done, third, _fourth = values
@@ -228,3 +268,132 @@ def _x_program(
                 writes=(Write(x_base + element, 1),),
                 label="x:mark",
             )
+
+class XKernel(CompiledProgram):
+    """Compiled form of X's single-cycle loop (trivial task sets only).
+
+    X keeps all of its recovery state in shared memory (the position
+    array ``w``), so the kernel itself is stateless between cycles:
+    ``reset()`` is trivial and a restarted stepper is indistinguishable
+    from a fresh one — exactly the [SS 83] recovery property the
+    algorithm is built on.  ``quiet_step`` re-implements the cycle body
+    over raw cells with no ``Cycle``/``Write`` allocation; the
+    materialized cycle for observed ticks reuses the *same* body
+    closures as the generator program (:func:`_x_cycle_body`), so both
+    lanes agree by construction.
+    """
+
+    __slots__ = (
+        "pid", "layout", "routing", "spread", "n", "x_base", "d1",
+        "w_address", "exit_marker", "log_n", "route_pid", "route_code",
+        "initial_leaf", "_cycle",
+    )
+
+    _ROUTE_CODES = {"pid": 0, "left": 1, "right": 2, "random": 3}
+
+    def __init__(
+        self, pid: int, layout: XLayout, routing: str, spread: bool
+    ) -> None:
+        self.pid = pid
+        self.layout = layout
+        self.routing = routing
+        self.spread = spread
+        n = layout.n
+        self.n = n
+        self.x_base = layout.x_base
+        # tree.address(node) == d_base + node - 1; fold the -1 once.
+        self.d1 = layout.d_base - 1
+        self.w_address = layout.w_base + pid
+        self.exit_marker = layout.exit_marker
+        self.log_n = bit_length_of_power(n)
+        self.route_pid = pid % n
+        self.route_code = self._ROUTE_CODES[routing]
+        self.initial_leaf = _x_initial_leaf(pid, layout, spread)
+        self._cycle: Optional[Cycle] = None
+        self.live = False
+
+    def reset(self) -> bool:
+        # All recovery state lives in shared memory (w[pid]); the
+        # stepper has none of its own.  X never halts at spawn.
+        self.live = True
+        return True
+
+    def current_cycle(self) -> Cycle:
+        cycle = self._cycle
+        if cycle is None:
+            body_reads, body_writes = _x_cycle_body(
+                self.pid, self.layout, self.routing, self.spread, True
+            )
+            cycle = Cycle(reads=body_reads, writes=body_writes, label="x:step")
+            self._cycle = cycle
+        return cycle
+
+    def advance(self, values: Tuple[int, ...]) -> bool:
+        self.live = values[0] != self.exit_marker
+        return self.live
+
+    def quiet_step(self, cells: Sequence[int], out: List[int]) -> int:
+        w_address = self.w_address
+        where = cells[w_address]
+        reads = 1
+        exit_marker = self.exit_marker
+        n = self.n
+        d1 = self.d1
+        done = 0
+        third = 0
+        fourth = 0
+        in_tree = 1 <= where < exit_marker
+        if in_tree:
+            done = cells[d1 + where]
+            reads += 1
+            if done == 0:
+                if where >= n:  # leaf: read its x element
+                    third = cells[self.x_base + (where - n)]
+                    reads += 1
+                else:  # interior: read both children
+                    third = cells[d1 + 2 * where]
+                    fourth = cells[d1 + 2 * where + 1]
+                    reads += 2
+        # Mirror _x_cycle_body's body_writes branch for branch.
+        if where == 0:
+            out.append(w_address)
+            out.append(self.initial_leaf)
+        elif where == exit_marker:
+            out.append(w_address)
+            out.append(exit_marker)
+            self.live = False
+        elif done != 0:
+            parent = where // 2
+            out.append(w_address)
+            out.append(parent if parent >= 1 else exit_marker)
+        elif where >= n:  # at a leaf
+            if third == 0:  # leaf not yet visited
+                out.append(self.x_base + (where - n))
+                out.append(1)
+            else:
+                out.append(d1 + where)  # indicate "done"
+                out.append(1)
+        elif third != 0 and fourth != 0:
+            out.append(d1 + where)  # both children done
+            out.append(1)
+        elif third == 0 and fourth != 0:
+            out.append(w_address)
+            out.append(2 * where)  # go left
+        elif third != 0:
+            out.append(w_address)
+            out.append(2 * where + 1)  # go right
+        else:
+            # both subtrees not done: the routing rule picks a child
+            code = self.route_code
+            if code == 0:  # the paper's MSB-first PID bit at this depth
+                depth = where.bit_length() - 1
+                bit = (self.route_pid >> (self.log_n - 1 - depth)) & 1
+            elif code == 1:
+                bit = 0
+            elif code == 2:
+                bit = 1
+            else:
+                bit = derive_seed(self.pid, where) & 1
+            out.append(w_address)
+            out.append(2 * where + bit)
+        return reads

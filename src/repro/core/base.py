@@ -64,6 +64,23 @@ class WriteAllAlgorithm:
         """Return the per-processor program factory."""
         raise NotImplementedError
 
+    def compiled_program(
+        self, layout: BaseLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[Callable[[int], object]]:
+        """Optional compiled kernel factory for this configuration.
+
+        Returns a ``pid -> CompiledProgram`` factory (see
+        :mod:`repro.pram.compiled`) that is observationally identical
+        to :meth:`program`, or ``None`` when no kernel applies (the
+        default — e.g. non-trivial task sets).  Like the adversary's
+        ``passive``/``quiet_until`` promises, the hook is only honored
+        when it is declared by the class that defines the effective
+        ``program()`` (``repro.pram.compiled.trusted_compiled_program``
+        enforces this), so a subclass overriding ``program()`` cannot
+        accidentally inherit a stale kernel.
+        """
+        return None
+
     def is_done(self, memory: MemoryReader, layout: BaseLayout) -> bool:
         """Whether the Write-All array is fully visited (uncharged check)."""
         x_base = layout.x_base

@@ -34,11 +34,12 @@ stale entries from earlier iterations decode to zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.core.base import BaseLayout
 from repro.core.tasks import TaskSet
 from repro.core.trees import HeapTree
+from repro.pram.compiled import CompiledProgram
 from repro.pram.cycles import Cycle, Write
 from repro.pram.errors import ProgramError
 
@@ -445,3 +446,543 @@ def decode_pair(values: Tuple[int, ...], mult: int, iteration: int) -> int:
     left = values[0] % mult if values[0] // mult == iteration else 0
     right = values[1] % mult if values[1] // mult == iteration else 0
     return left + right
+
+# ===================================================================== #
+# compiled kernel (algorithm W)
+# ===================================================================== #
+
+# Phase codes of the compiled stepper; one per distinct cycle shape of
+# phased_program/_iterations (W configuration: counting tree present).
+_WAIT = 0
+_KICK = 1
+_COUNT_LEAF = 2
+_COUNT_UP = 3
+_ALLOC_ROOT = 4
+_ALLOC = 5
+_BEAT = 6
+_UP_LEAF = 7
+_UP = 8
+_FINAL = 9
+
+
+class PhasedKernel(CompiledProgram):
+    """Compiled form of :func:`phased_program` for algorithm W.
+
+    The generator's control flow (waiter/recovery loop, guarded join,
+    enumerate/allocate/work/update/finalize) becomes an explicit state
+    machine over the phase codes above; the per-cycle closures become
+    straight-line staging over raw cells.  Only the W configuration
+    (counting tree present) with trivial task sets is compiled — the
+    algorithm's ``compiled_program`` hook gates accordingly.
+
+    ``quiet_step`` stages the current cycle's writes from the live
+    state, then delegates the transition to :meth:`advance` so both
+    lanes share one source of truth for the state machine.
+    """
+
+    __slots__ = (
+        "pid", "lam", "step_addr", "done_addr", "x_base",
+        "leaves", "log_l", "chunk", "d1",
+        "c1", "c_height", "p_leaves", "mult", "own_leaf",
+        "phase", "st", "last_seen", "same_polls", "joining", "kick",
+        "iteration_number", "rank", "total", "node", "count_below",
+        "level", "target", "leaf", "offset",
+    )
+
+    def __init__(self, pid: int, layout: IterativeLayout, lam: int) -> None:
+        if not layout.has_counting_tree:
+            raise ValueError("PhasedKernel compiles the W configuration only")
+        self.pid = pid
+        self.lam = lam
+        self.step_addr = layout.step_addr
+        self.done_addr = layout.done_addr
+        self.x_base = layout.x_base
+        tree = layout.progress_tree
+        self.leaves = layout.leaves
+        self.log_l = tree.height
+        self.chunk = layout.chunk
+        # tree.address(node) == base + node - 1; fold the -1 once.
+        self.d1 = layout.d_base - 1
+        counting = layout.counting_tree
+        self.c1 = layout.c_base - 1
+        self.c_height = counting.height
+        self.p_leaves = layout.p_leaves
+        self.mult = 2 * layout.p_leaves + 1
+        self.own_leaf = counting.leaf_node(pid)
+        self.live = False
+        self.reset()
+
+    def reset(self) -> bool:
+        # A (re)started processor knows only its PID: it re-enters the
+        # waiter loop and joins (or kick-starts) an iteration from the
+        # shared step cell.  The remaining state fields are dead until
+        # the phases that set them.
+        self.phase = _WAIT
+        self.st = 0
+        self.last_seen = None
+        self.same_polls = 0
+        self.joining = False
+        self.kick = 0
+        self.iteration_number = 0
+        self.rank = 0
+        self.total = 1
+        self.node = 0
+        self.count_below = 0
+        self.level = 0
+        self.target = None
+        self.leaf = None
+        self.offset = 0
+        self.live = True
+        return True
+
+    # -- the state machine (shared by both lanes) ---------------------- #
+
+    def advance(self, values: tuple) -> bool:
+        phase = self.phase
+        if phase == _BEAT:
+            if values[0] != 0:
+                self.live = False
+                return False
+            self.st += 1
+            offset = self.offset + 1
+            self.offset = offset
+            if offset >= self.chunk:
+                self.phase = _UP_LEAF
+            return True
+        if phase == _ALLOC:
+            if self.target is None:
+                if values[0] != 0:
+                    self.live = False
+                    return False
+                self.st += 1
+            else:
+                if values[2] != 0:
+                    self.live = False
+                    return False
+                self.st += 1
+                left = 2 * self.node
+                under = self.leaves >> (left.bit_length() - 1)
+                left_unvisited = under - values[0]
+                right_unvisited = under - values[1]
+                remaining = left_unvisited + right_unvisited
+                if remaining <= 0:
+                    # Stale parent count: keep descending leftwards so
+                    # the update phase repairs this path (see the
+                    # generator's comment).
+                    self.node, self.target = left, 0
+                else:
+                    slot = min(self.target, remaining - 1)
+                    if slot < left_unvisited:
+                        self.node, self.target = left, slot
+                    else:
+                        self.node, self.target = left + 1, slot - left_unvisited
+            self.level += 1
+            if self.level >= self.log_l:
+                self._finish_alloc()
+            return True
+        if phase == _UP:
+            if self.leaf is None:
+                if values[0] != 0:
+                    self.live = False
+                    return False
+            else:
+                if values[2] != 0:
+                    self.live = False
+                    return False
+                self.node //= 2
+            self.st += 1
+            self.level += 1
+            if self.level >= self.log_l:
+                self.phase = _FINAL
+            return True
+        if phase == _COUNT_UP:
+            if values[2] != 0:
+                self.live = False
+                return False
+            mult = self.mult
+            iteration = self.iteration_number
+            raw = values[0]
+            left = raw % mult if raw // mult == iteration else 0
+            raw = values[1]
+            right = raw % mult if raw // mult == iteration else 0
+            node = self.node
+            if node & 1:  # node is its parent's right child
+                self.rank += left
+            self.count_below = left + right
+            self.node = node // 2
+            self.st += 1
+            self.level += 1
+            if self.level >= self.c_height:
+                total = self.count_below
+                if total < 1:
+                    total = 1
+                self.total = total
+                if self.rank > total - 1:
+                    self.rank = total - 1
+                self.phase = _ALLOC_ROOT
+            return True
+        if phase == _WAIT:
+            step_seen, done = values[0], values[1]
+            if done != 0:
+                self.live = False
+                return False
+            lam = self.lam
+            if step_seen % lam == lam - 2:
+                st = step_seen + 2
+                self.st = st
+                self.joining = True
+                self.iteration_number = st // lam
+                self.phase = _COUNT_LEAF
+                return True
+            if step_seen == self.last_seen:
+                self.same_polls += 1
+            else:
+                self.last_seen = step_seen
+                self.same_polls = 1
+            if self.same_polls >= DEAD_POLLS:
+                kick = (step_seen // lam) * lam + (lam - 2)
+                if kick <= step_seen:
+                    kick += lam
+                self.kick = kick
+                self.phase = _KICK
+            return True
+        if phase == _COUNT_LEAF:
+            if self.joining:
+                if values[-1] not in (self.st - 1, self.st - 2):
+                    # RESYNC: off by a tick — back to the waiter loop.
+                    self.phase = _WAIT
+                    self.last_seen = None
+                    self.same_polls = 0
+                    self.joining = False
+                    return True
+                self.joining = False
+            if values[0] != 0:
+                self.live = False
+                return False
+            self.st += 1
+            self.rank = 0
+            self.node = self.own_leaf
+            self.count_below = 1
+            self.level = 0
+            if self.c_height == 0:
+                self.total = 1
+                self.phase = _ALLOC_ROOT
+            else:
+                self.phase = _COUNT_UP
+            return True
+        if phase == _UP_LEAF:
+            if values[0] != 0:
+                self.live = False
+                return False
+            self.st += 1
+            self.node = self.leaf if self.leaf is not None else 0
+            self.level = 0
+            self.phase = _UP if self.log_l > 0 else _FINAL
+            return True
+        if phase == _ALLOC_ROOT:
+            root_count, done = values[0], values[1]
+            if done != 0:
+                self.live = False
+                return False
+            self.st += 1
+            unvisited = self.leaves - root_count
+            if unvisited > 0:
+                target = (self.rank * unvisited) // self.total
+                if target >= unvisited:
+                    target %= unvisited
+                self.target = target
+            else:
+                self.target = None
+            self.node = 1
+            self.level = 0
+            if self.log_l == 0:
+                self._finish_alloc()
+            else:
+                self.phase = _ALLOC
+            return True
+        if phase == _FINAL:
+            root_count, done = values[0], values[1]
+            if done != 0 or root_count >= self.leaves:
+                self.live = False
+                return False
+            self.st += 1
+            self.iteration_number = self.st // self.lam
+            self.phase = _COUNT_LEAF
+            return True
+        # phase == _KICK: the kick cycle has no reads; resume polling.
+        self.last_seen = None
+        self.same_polls = 0
+        self.phase = _WAIT
+        return True
+
+    def _finish_alloc(self) -> None:
+        self.leaf = self.node if self.target is not None else None
+        self.offset = 0
+        self.phase = _BEAT
+
+    # -- fused quiet lane ---------------------------------------------- #
+
+    def quiet_step(self, cells: Sequence[int], out: List[int]) -> int:
+        phase = self.phase
+        step_addr = self.step_addr
+        done_addr = self.done_addr
+        st = self.st
+        if phase == _BEAT:
+            v0 = cells[done_addr]
+            leaf = self.leaf
+            if leaf is not None:
+                element = (leaf - self.leaves) * self.chunk + self.offset
+                out.append(self.x_base + element)
+                out.append(1)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0,))
+            return 1
+        if phase == _ALLOC:
+            if self.target is None:
+                v0 = cells[done_addr]
+                out.append(step_addr)
+                out.append(st)
+                self.advance((v0,))
+                return 1
+            left_addr = self.d1 + 2 * self.node
+            v0 = cells[left_addr]
+            v1 = cells[left_addr + 1]
+            v2 = cells[done_addr]
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0, v1, v2))
+            return 3
+        if phase == _UP:
+            if self.leaf is None:
+                v0 = cells[done_addr]
+                out.append(step_addr)
+                out.append(st)
+                self.advance((v0,))
+                return 1
+            parent = self.node // 2
+            left_addr = self.d1 + 2 * parent
+            v0 = cells[left_addr]
+            v1 = cells[left_addr + 1]
+            v2 = cells[done_addr]
+            out.append(self.d1 + parent)
+            out.append(v0 + v1)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0, v1, v2))
+            return 3
+        if phase == _COUNT_UP:
+            parent = self.node // 2
+            left_addr = self.c1 + 2 * parent
+            v0 = cells[left_addr]
+            v1 = cells[left_addr + 1]
+            v2 = cells[done_addr]
+            mult = self.mult
+            iteration = self.iteration_number
+            left = v0 % mult if v0 // mult == iteration else 0
+            right = v1 % mult if v1 // mult == iteration else 0
+            out.append(self.c1 + parent)
+            out.append(iteration * mult + left + right)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0, v1, v2))
+            return 3
+        if phase == _WAIT:
+            v0 = cells[step_addr]
+            v1 = cells[done_addr]
+            self.advance((v0, v1))
+            return 2
+        if phase == _COUNT_LEAF:
+            payload_value = self.iteration_number * self.mult + 1
+            if self.joining:
+                v0 = cells[done_addr]
+                v1 = cells[step_addr]
+                if v1 == st - 1 or v1 == st - 2:
+                    out.append(self.c1 + self.own_leaf)
+                    out.append(payload_value)
+                    out.append(step_addr)
+                    out.append(st)
+                self.advance((v0, v1))
+                return 2
+            v0 = cells[done_addr]
+            out.append(self.c1 + self.own_leaf)
+            out.append(payload_value)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0,))
+            return 1
+        if phase == _UP_LEAF:
+            v0 = cells[done_addr]
+            leaf = self.leaf
+            if leaf is not None:
+                out.append(self.d1 + leaf)
+                out.append(1)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0,))
+            return 1
+        if phase == _ALLOC_ROOT:
+            v0 = cells[self.d1 + 1]
+            v1 = cells[done_addr]
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0, v1))
+            return 2
+        if phase == _FINAL:
+            v0 = cells[self.d1 + 1]
+            v1 = cells[done_addr]
+            if v0 >= self.leaves:
+                out.append(done_addr)
+                out.append(1)
+            out.append(step_addr)
+            out.append(st)
+            self.advance((v0, v1))
+            return 2
+        # phase == _KICK
+        out.append(step_addr)
+        out.append(self.kick)
+        self.advance(())
+        return 0
+
+    # -- observable lane ------------------------------------------------ #
+
+    def current_cycle(self) -> Cycle:
+        phase = self.phase
+        step_addr = self.step_addr
+        done_addr = self.done_addr
+        step_write = Write(step_addr, self.st)
+        if phase == _BEAT:
+            leaf = self.leaf
+            if leaf is None:
+                return Cycle(
+                    reads=(done_addr,), writes=(step_write,),
+                    label="vw:beat-idle",
+                )
+            element = (leaf - self.leaves) * self.chunk + self.offset
+            return Cycle(
+                reads=(done_addr,),
+                writes=(Write(self.x_base + element, 1), step_write),
+                label="vw:beat",
+            )
+        if phase == _ALLOC:
+            if self.target is None:
+                return Cycle(
+                    reads=(done_addr,), writes=(step_write,),
+                    label="vw:alloc-idle",
+                )
+            left_addr = self.d1 + 2 * self.node
+            return Cycle(
+                reads=(left_addr, left_addr + 1, done_addr),
+                writes=(step_write,),
+                label="vw:alloc-descend",
+            )
+        if phase == _UP:
+            if self.leaf is None:
+                return Cycle(
+                    reads=(done_addr,), writes=(step_write,),
+                    label="vw:up-idle",
+                )
+            parent = self.node // 2
+            left_addr = self.d1 + 2 * parent
+
+            def up_writes(
+                values: Tuple[int, ...],
+                parent_address: int = self.d1 + parent,
+                step_write: Write = step_write,
+            ) -> Tuple[Write, ...]:
+                return (Write(parent_address, values[0] + values[1]), step_write)
+
+            return Cycle(
+                reads=(left_addr, left_addr + 1, done_addr),
+                writes=up_writes,
+                label="vw:up",
+            )
+        if phase == _COUNT_UP:
+            parent = self.node // 2
+            left_addr = self.c1 + 2 * parent
+
+            def sum_writes(
+                values: Tuple[int, ...],
+                parent_address: int = self.c1 + parent,
+                mult: int = self.mult,
+                iteration: int = self.iteration_number,
+                step_write: Write = step_write,
+            ) -> Tuple[Write, ...]:
+                total_count = decode_pair(values, mult, iteration)
+                return (
+                    Write(parent_address, iteration * mult + total_count),
+                    step_write,
+                )
+
+            return Cycle(
+                reads=(left_addr, left_addr + 1, done_addr),
+                writes=sum_writes,
+                label="w:count-up",
+            )
+        if phase == _WAIT:
+            return Cycle(reads=(step_addr, done_addr), label="vw:wait")
+        if phase == _COUNT_LEAF:
+            payload = (
+                Write(self.c1 + self.own_leaf,
+                      self.iteration_number * self.mult + 1),
+                step_write,
+            )
+            if self.joining:
+                expected = (self.st - 1, self.st - 2)
+
+                def guarded_writes(
+                    values: Tuple[int, ...],
+                    expected: Tuple[int, int] = expected,
+                    payload: Tuple[Write, ...] = payload,
+                ) -> Tuple[Write, ...]:
+                    if values[-1] in expected:
+                        return payload
+                    return ()
+
+                return Cycle(
+                    reads=(done_addr, step_addr),
+                    writes=guarded_writes,
+                    label="w:count-leaf",
+                )
+            return Cycle(
+                reads=(done_addr,), writes=payload, label="w:count-leaf"
+            )
+        if phase == _UP_LEAF:
+            leaf = self.leaf
+            if leaf is None:
+                return Cycle(
+                    reads=(done_addr,), writes=(step_write,),
+                    label="vw:up-idle",
+                )
+            return Cycle(
+                reads=(done_addr,),
+                writes=(Write(self.d1 + leaf, 1), step_write),
+                label="vw:up-leaf",
+            )
+        if phase == _ALLOC_ROOT:
+            return Cycle(
+                reads=(self.d1 + 1, done_addr),
+                writes=(step_write,),
+                label="vw:alloc-root",
+            )
+        if phase == _FINAL:
+
+            def finalize_writes(
+                values: Tuple[int, ...],
+                full: int = self.leaves,
+                done_addr: int = done_addr,
+                step_write: Write = step_write,
+            ) -> Tuple[Write, ...]:
+                if values[0] >= full:
+                    return (Write(done_addr, 1), step_write)
+                return (step_write,)
+
+            return Cycle(
+                reads=(self.d1 + 1, done_addr),
+                writes=finalize_writes,
+                label="vw:finalize",
+            )
+        # phase == _KICK
+        return Cycle(
+            writes=(Write(step_addr, self.kick),), label="vw:kickstart"
+        )

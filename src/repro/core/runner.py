@@ -8,6 +8,7 @@ from typing import Optional
 from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
 from repro.core.problem import WriteAllInstance, verify_solution
 from repro.core.tasks import TaskSet
+from repro.pram.compiled import resolve_kernel
 from repro.pram.ledger import RunLedger
 from repro.pram.machine import Machine
 from repro.pram.memory import MemoryReader, SharedMemory
@@ -72,6 +73,7 @@ def solve_write_all(
     fast_forward: bool = True,
     phase_counters: Optional[object] = None,
     incremental_until: bool = True,
+    compiled: bool = True,
 ) -> WriteAllResult:
     """Run ``algorithm`` on an (n, p) instance under ``adversary``.
 
@@ -87,6 +89,9 @@ def solve_write_all(
     keeps the fast path but disables event-horizon tick batching (the
     ``--no-fast-forward`` escape hatch); ``phase_counters`` is an
     optional per-phase timing accumulator for the perf harness.
+    ``compiled=False`` disables the compiled-kernel lane and forces the
+    generator protocol even for algorithms that ship a trusted
+    :meth:`~repro.core.base.WriteAllAlgorithm.compiled_program`.
     """
     WriteAllInstance(n, p)  # validates the instance shape
     layout = algorithm.build_layout(n, p)
@@ -107,7 +112,10 @@ def solve_write_all(
         fast_forward=fast_forward,
         phase_counters=phase_counters,
     )
-    machine.load_program(algorithm.program(layout, tasks))
+    machine.load_program(
+        algorithm.program(layout, tasks),
+        compiled_program=resolve_kernel(algorithm, layout, tasks, compiled),
+    )
     if max_ticks is None:
         max_ticks = default_tick_budget(n, p)
     ledger = machine.run(
@@ -156,6 +164,7 @@ def measure_write_all(
     max_ticks: Optional[int] = None,
     fairness_window: Optional[int] = None,
     fast_forward: bool = True,
+    compiled: bool = True,
 ) -> RunMeasures:
     """Picklable sweep entry point: run one instance, return measures.
 
@@ -170,6 +179,7 @@ def measure_write_all(
         max_ticks=max_ticks,
         fairness_window=fairness_window,
         fast_forward=fast_forward,
+        compiled=compiled,
     )
     return RunMeasures(
         algorithm=result.algorithm,

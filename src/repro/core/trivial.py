@@ -11,10 +11,11 @@ failure-injection tests demonstrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.base import BaseLayout, WriteAllAlgorithm, default_tasks
 from repro.core.tasks import TaskSet
+from repro.pram.compiled import CompiledProgram
 from repro.pram.cycles import Cycle, Write
 from repro.util.bits import is_power_of_two
 
@@ -57,3 +58,63 @@ class TrivialAssignment(WriteAllAlgorithm):
             return run()
 
         return factory
+
+    def compiled_program(
+        self, layout: TrivialLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[Callable[[int], "TrivialKernel"]]:
+        tasks = default_tasks(tasks)
+        if tasks.cycles_per_task != 0:
+            return None  # task cycles need the generator path
+        n = layout.n
+        p = layout.p
+        x_base = layout.x_base
+
+        def factory(pid: int) -> TrivialKernel:
+            return TrivialKernel(pid, n, p, x_base)
+
+        return factory
+
+
+class TrivialKernel(CompiledProgram):
+    """Compiled form of the trivial assignment's program.
+
+    State is the current element index; the program halts after writing
+    its last element (or immediately at spawn when ``pid >= n``, the
+    compiled analogue of the generator's empty range).
+    """
+
+    __slots__ = ("pid", "n", "p", "x_base", "element")
+
+    def __init__(self, pid: int, n: int, p: int, x_base: int) -> None:
+        self.pid = pid
+        self.n = n
+        self.p = p
+        self.x_base = x_base
+        self.element = pid
+        self.live = False
+
+    def reset(self) -> bool:
+        self.element = self.pid
+        self.live = self.pid < self.n
+        return self.live
+
+    def current_cycle(self) -> Cycle:
+        return Cycle(
+            writes=(Write(self.x_base + self.element, 1),),
+            label="trivial:write",
+        )
+
+    def advance(self, values: Tuple[int, ...]) -> bool:
+        element = self.element + self.p
+        self.element = element
+        self.live = element < self.n
+        return self.live
+
+    def quiet_step(self, cells: Sequence[int], out: List[int]) -> int:
+        element = self.element
+        out.append(self.x_base + element)
+        out.append(1)
+        element += self.p
+        self.element = element
+        self.live = element < self.n
+        return 0

@@ -7,7 +7,7 @@ memory snapshot.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.algorithm_x import XLayout
 from repro.core.iterative import IterativeLayout

@@ -100,6 +100,7 @@ def point_key(
     max_ticks: Optional[int],
     fairness_window: Optional[int],
     fast_forward: bool = True,
+    compiled: bool = True,
 ) -> str:
     """The content hash identifying one sweep point's spec."""
     material = "|".join([
@@ -116,6 +117,9 @@ def point_key(
         # divergence investigable.  Appended only when non-default so
         # every pre-existing cache entry keeps its key.
         material += "|no-fast-forward"
+    if not compiled:
+        # Same reasoning for the compiled-kernel escape hatch.
+        material += "|no-compiled"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 

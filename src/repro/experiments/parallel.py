@@ -56,12 +56,14 @@ class PointSpec:
     max_ticks: Optional[int]
     fairness_window: Optional[int]
     fast_forward: bool = True
+    compiled: bool = True
 
     def cache_key(self) -> str:
         return point_key(
             self.sweep, self.algorithm, self.n, self.p, self.seed,
             self.adversary, self.max_ticks, self.fairness_window,
             fast_forward=self.fast_forward,
+            compiled=self.compiled,
         )
 
 
@@ -127,6 +129,7 @@ def expand_spec(spec: SweepSpec) -> List[PointSpec]:
             max_ticks=spec.max_ticks,
             fairness_window=spec.fairness_window,
             fast_forward=spec.fast_forward,
+            compiled=spec.compiled,
         )
         for index, (n, p, seed) in enumerate(spec.points())
     ]
@@ -207,6 +210,7 @@ def execute_point(
                 max_ticks=point.max_ticks,
                 fairness_window=point.fairness_window,
                 fast_forward=point.fast_forward,
+                compiled=point.compiled,
             )
     except PointTimeout:
         return _TIMEOUT, f"exceeded {timeout:.3f}s", \

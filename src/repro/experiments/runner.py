@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.runner import RunMeasures, measure_write_all
 from repro.experiments.spec import SweepSpec
@@ -188,6 +188,7 @@ def run_one_point(spec: SweepSpec, n: int, p: int, seed: int) -> RunPoint:
         max_ticks=spec.max_ticks,
         fairness_window=spec.fairness_window,
         fast_forward=spec.fast_forward,
+        compiled=spec.compiled,
     )
     return RunPoint.from_measures(measures, seed=seed)
 

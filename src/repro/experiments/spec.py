@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.base import WriteAllAlgorithm
@@ -33,6 +33,9 @@ class SweepSpec:
         fairness_window: optional machine fairness guarantee.
         fast_forward: event-horizon tick batching (the machine default;
             ``False`` is the ``--no-fast-forward`` escape hatch).
+        compiled: compiled-kernel lane for algorithms that ship one
+            (the default; ``False`` is the ``--no-compiled`` escape
+            hatch forcing the generator protocol).
     """
 
     name: str
@@ -44,6 +47,7 @@ class SweepSpec:
     max_ticks: Optional[int] = None
     fairness_window: Optional[int] = None
     fast_forward: bool = True
+    compiled: bool = True
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

@@ -8,7 +8,6 @@ runs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.faults.base import QUIET_FOREVER, Adversary
 from repro.pram.failures import BEFORE_WRITES, Decision

@@ -9,7 +9,7 @@ the maxima by aggregating several runs (different adversaries/seeds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 
 @dataclass

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 
 def fitted_exponent(sizes: Sequence[int], works: Sequence[float]) -> float:

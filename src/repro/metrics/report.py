@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 SCHEMA = "repro-bench/1"
 

@@ -8,6 +8,10 @@ Times Write-All runs through three cores at one configuration:
 * **noff** — the same optimized loop with fast-forward disabled
   (``fast_forward=False``), i.e. PR 2's per-tick fast path.  The
   fast/noff ratio isolates what horizon batching alone buys;
+* **nokernel** — the fast loop with compiled program kernels disabled
+  (``compiled=False``), timed only for algorithms that ship a kernel.
+  The nokernel/fast ratio isolates what compiling the cycle stream
+  buys over generator dispatch;
 * **baseline** — the reference tick implementation
   (``fast_path=False``) with the O(N) termination rescan, i.e. the
   pre-optimization core kept in-tree as the executable specification.
@@ -51,6 +55,7 @@ from repro.faults import (
 from repro.metrics.report import bench_report
 from repro.perf.phases import PhaseCounters
 from repro.perf.timing import TimingResult, time_callable
+from repro.pram.compiled import resolve_kernel
 
 #: Algorithms runnable by the perf command.
 PERF_ALGORITHMS = {
@@ -109,7 +114,7 @@ DEFAULT_ADVERSARY = "none"
 class PerfLeg:
     """One timed core (fast / noff / baseline) at one configuration."""
 
-    mode: str  # "fast" | "noff" | "baseline"
+    mode: str  # "fast" | "noff" | "nokernel" | "baseline"
     timing: TimingResult
     result: WriteAllResult
     phases: Optional[PhaseCounters]
@@ -134,6 +139,7 @@ class PerfComparison:
     fast: PerfLeg
     baseline: Optional[PerfLeg]
     noff: Optional[PerfLeg] = None
+    nokernel: Optional[PerfLeg] = None
     adversary: str = DEFAULT_ADVERSARY
 
     @property
@@ -149,6 +155,13 @@ class PerfComparison:
         if self.noff is None or self.fast.best_s <= 0:
             return None
         return self.noff.best_s / self.fast.best_s
+
+    @property
+    def kernel_speedup(self) -> Optional[float]:
+        """No-kernel over fast ratio: the compiled-kernel win."""
+        if self.nokernel is None or self.fast.best_s <= 0:
+            return None
+        return self.nokernel.best_s / self.fast.best_s
 
 
 def _check_legs_agree(legs: Sequence[PerfLeg]) -> None:
@@ -185,6 +198,7 @@ def run_comparison(
     include_baseline: bool = True,
     adversary: str = DEFAULT_ADVERSARY,
     fast_forward: bool = True,
+    compiled: bool = True,
 ) -> PerfComparison:
     """Time one configuration through the cores.
 
@@ -195,6 +209,13 @@ def run_comparison(
     (:attr:`PerfComparison.ff_speedup`) ratios.  ``fast_forward=False``
     is the ``--no-fast-forward`` escape hatch: the fast leg runs tick by
     tick and the noff leg is skipped (it would duplicate it).
+
+    With ``compiled=True`` (the default) and an algorithm that ships a
+    compiled kernel for this configuration, a **nokernel** leg (same
+    loop, generator protocol) is timed alongside the fast leg, carrying
+    the kernel-only ratio (:attr:`PerfComparison.kernel_speedup`).
+    ``compiled=False`` is the ``--no-compiled`` escape hatch: the fast
+    leg itself runs on generators and the nokernel leg is skipped.
     """
     try:
         algorithm_cls = PERF_ALGORITHMS[algorithm]
@@ -219,7 +240,7 @@ def run_comparison(
     def run_fast() -> None:
         state["fast"] = solve_write_all(
             algorithm_cls(), n, p, adversary=fresh_adversary(),
-            fast_path=True, fast_forward=fast_forward,
+            fast_path=True, fast_forward=fast_forward, compiled=compiled,
         )
 
     fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
@@ -228,7 +249,7 @@ def run_comparison(
     phases = PhaseCounters()
     solve_write_all(algorithm_cls(), n, p, adversary=fresh_adversary(),
                     fast_path=True, fast_forward=fast_forward,
-                    phase_counters=phases)
+                    compiled=compiled, phase_counters=phases)
     fast_leg = PerfLeg(
         mode="fast", timing=fast_timing, result=state["fast"], phases=phases
     )
@@ -240,7 +261,7 @@ def run_comparison(
         def run_noff() -> None:
             state["noff"] = solve_write_all(
                 algorithm_cls(), n, p, adversary=fresh_adversary(),
-                fast_path=True, fast_forward=False,
+                fast_path=True, fast_forward=False, compiled=compiled,
             )
 
         noff_timing = time_callable(run_noff, repeats=repeats, warmup=warmup)
@@ -250,6 +271,24 @@ def run_comparison(
         )
         legs.append(noff_leg)
 
+    nokernel_leg: Optional[PerfLeg] = None
+    if compiled and _has_kernel(algorithm_cls, n, p):
+
+        def run_nokernel() -> None:
+            state["nokernel"] = solve_write_all(
+                algorithm_cls(), n, p, adversary=fresh_adversary(),
+                fast_path=True, fast_forward=fast_forward, compiled=False,
+            )
+
+        nokernel_timing = time_callable(
+            run_nokernel, repeats=repeats, warmup=warmup
+        )
+        nokernel_leg = PerfLeg(
+            mode="nokernel", timing=nokernel_timing,
+            result=state["nokernel"], phases=None,
+        )
+        legs.append(nokernel_leg)
+
     baseline_leg: Optional[PerfLeg] = None
     if include_baseline:
 
@@ -257,7 +296,7 @@ def run_comparison(
             state["baseline"] = solve_write_all(
                 algorithm_cls(), n, p, adversary=fresh_adversary(),
                 fast_path=False, incremental_until=False,
-                fast_forward=False,
+                fast_forward=False, compiled=False,
             )
 
         baseline_timing = time_callable(
@@ -272,8 +311,20 @@ def run_comparison(
     _check_legs_agree(legs)
     return PerfComparison(
         algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg,
-        noff=noff_leg, adversary=adversary,
+        noff=noff_leg, nokernel=nokernel_leg, adversary=adversary,
     )
+
+
+def _has_kernel(algorithm_cls, n: int, p: int) -> bool:
+    """Whether this configuration would actually run a compiled kernel.
+
+    Probes a throwaway instance (algorithms hold incidental state, so
+    the timed legs always build their own) through the same trust guard
+    and gating the runner uses.
+    """
+    probe = algorithm_cls()
+    layout = probe.build_layout(n, p)
+    return resolve_kernel(probe, layout, None, compiled=True) is not None
 
 
 def run_perf(
@@ -283,6 +334,7 @@ def run_perf(
     include_baseline: bool = True,
     adversaries: Sequence[str] = (DEFAULT_ADVERSARY,),
     fast_forward: bool = True,
+    compiled: bool = True,
 ) -> List[PerfComparison]:
     """Time every ``(algorithm, n, p)`` x adversary configuration."""
     return [
@@ -292,6 +344,7 @@ def run_perf(
             include_baseline=include_baseline,
             adversary=adversary,
             fast_forward=fast_forward,
+            compiled=compiled,
         )
         for algorithm, n, p in configurations
         for adversary in adversaries
@@ -346,6 +399,8 @@ def perf_report(
         legs = [comparison.fast]
         if comparison.noff is not None:
             legs.append(comparison.noff)
+        if comparison.nokernel is not None:
+            legs.append(comparison.nokernel)
         if comparison.baseline is not None:
             legs.append(comparison.baseline)
         for leg in legs:
@@ -391,6 +446,13 @@ def describe_comparison(comparison: PerfComparison) -> str:
             f"({noff.ticks_per_s:,.0f} ticks/s)  "
             f"ff-speedup {comparison.ff_speedup:.2f}x"
         )
+    if comparison.nokernel is not None:
+        nokernel = comparison.nokernel
+        lines.append(
+            f"  no-kernel {nokernel.best_s * 1e3:.1f} ms "
+            f"({nokernel.ticks_per_s:,.0f} ticks/s)  "
+            f"kernel-speedup {comparison.kernel_speedup:.2f}x"
+        )
     if comparison.baseline is not None:
         baseline = comparison.baseline
         lines.append(
@@ -398,6 +460,7 @@ def describe_comparison(comparison: PerfComparison) -> str:
             f"({baseline.ticks_per_s:,.0f} ticks/s)  "
             f"speedup {comparison.speedup:.2f}x"
         )
-    if fast.phases is not None and fast.phases.ticks:
+    if fast.phases is not None and (fast.phases.ticks
+                                    or fast.phases.fused_ticks):
         lines.append(f"  {fast.phases.describe()}")
     return "\n".join(lines)

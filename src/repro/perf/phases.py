@@ -11,13 +11,20 @@ the four tick phases:
 * **resolve** — CRCW write resolution and the memory commit;
 * **settle** — work charging, processor advancement, and restarts.
 
+Ticks executed inside a fused event-horizon window skip the four-phase
+breakdown entirely (that is the point of the fused loop) and are counted
+in ``fused_ticks`` instead, so ``ticks + fused_ticks`` is the run's true
+tick total and the percentages describe only the instrumented
+(non-fused) ticks.  Requesting phase counters therefore no longer
+disables fusion.
+
 Only the fast path is instrumented: the reference tick implementation is
 the executable specification and stays free of timing hooks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 
@@ -30,6 +37,7 @@ class PhaseCounters:
     resolve_s: float = 0.0
     settle_s: float = 0.0
     ticks: int = 0
+    fused_ticks: int = 0
 
     @property
     def total_s(self) -> float:
@@ -43,6 +51,7 @@ class PhaseCounters:
             "settle_s": round(self.settle_s, 6),
             "total_s": round(self.total_s, 6),
             "ticks": self.ticks,
+            "fused_ticks": self.fused_ticks,
         }
 
     def merge(self, other: "PhaseCounters") -> None:
@@ -52,12 +61,14 @@ class PhaseCounters:
         self.resolve_s += other.resolve_s
         self.settle_s += other.settle_s
         self.ticks += other.ticks
+        self.fused_ticks += other.fused_ticks
 
     def describe(self) -> str:
         """One-line human-readable phase breakdown."""
         total = self.total_s
+        fused = f" fused_ticks={self.fused_ticks}" if self.fused_ticks else ""
         if total <= 0.0:
-            return f"ticks={self.ticks} (no phase time recorded)"
+            return f"ticks={self.ticks}{fused} (no phase time recorded)"
         parts = []
         for name, seconds in (
             ("collect", self.collect_s),
@@ -66,4 +77,4 @@ class PhaseCounters:
             ("settle", self.settle_s),
         ):
             parts.append(f"{name} {100.0 * seconds / total:.1f}%")
-        return f"ticks={self.ticks} phases: " + ", ".join(parts)
+        return f"ticks={self.ticks}{fused} phases: " + ", ".join(parts)

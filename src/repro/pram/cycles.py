@@ -19,7 +19,7 @@ generator).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 from repro.pram.errors import ProgramError

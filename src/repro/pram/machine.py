@@ -67,12 +67,11 @@ from __future__ import annotations
 from collections import defaultdict
 from time import perf_counter
 from types import MappingProxyType
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.pram.cycles import Cycle, Write
 from repro.pram.errors import (
     AdversaryError,
-    MachineStalledError,
     ProgramError,
     ProgressViolationError,
     TickLimitError,
@@ -82,7 +81,7 @@ from repro.pram.failures import (
     Decision,
     FailureTag,
 )
-from repro.pram.ledger import PidCounter, RunLedger
+from repro.pram.ledger import RunLedger
 from repro.pram.memory import MemoryReader, SharedMemory
 from repro.pram.policies import CommonCrcw, WritePolicy
 from repro.pram.processor import Processor, ProcessorStatus, ProgramFactory
@@ -244,15 +243,36 @@ class Machine:
         self._window_values_scratch: List[tuple] = []
         self._window_writes_scratch: List[object] = []
         self._window_staged: Dict[int, int] = {}
+        # Compiled-kernel lane (see repro.pram.compiled): set by
+        # load_program when a kernel factory is installed; the kernel
+        # fused tick stages flat (address, value) pairs here.
+        self._kernel_mode = False
+        self._kernel_raw_scratch: List[int] = []
+        self._kernel_ends_scratch: List[int] = []
 
     # ------------------------------------------------------------------ #
     # setup
     # ------------------------------------------------------------------ #
 
-    def load_program(self, program_factory: ProgramFactory) -> None:
-        """Install the program on all P processors and start them."""
+    def load_program(
+        self,
+        program_factory: ProgramFactory,
+        compiled_program: Optional[object] = None,
+    ) -> None:
+        """Install the program on all P processors and start them.
+
+        ``compiled_program`` optionally installs a compiled kernel
+        factory (see :mod:`repro.pram.compiled`) alongside the program:
+        every processor then advances through its per-PID stepper
+        instead of a generator, and quiet-window ticks take the fused
+        kernel lane.  Callers are expected to route the factory through
+        :func:`repro.pram.compiled.resolve_kernel`, which applies the
+        MRO trust guard and the ``--no-compiled`` opt-out.
+        """
+        self._kernel_mode = compiled_program is not None
         self._processors = [
-            Processor(pid, program_factory) for pid in range(self.num_processors)
+            Processor(pid, program_factory, compiled_program)
+            for pid in range(self.num_processors)
         ]
         for processor in self._processors:
             processor.bind_epoch_cell(self._status_epoch)
@@ -622,7 +642,10 @@ class Machine:
         for processor in running:
             cycle = processor._pending
             if cycle is None:
-                processor.pending_cycle  # raises the standard ProgramError
+                # Compiled kernels materialize their pending cycle only
+                # for observed ticks; a generator processor with nothing
+                # pending raises the standard ProgramError here.
+                cycle = processor.materialize_pending()
             label = cycle.label
             if label not in validated:
                 collected.append(
@@ -762,6 +785,56 @@ class Machine:
                         groups = {}
                     groups[address] = [prev, (pid, write.value)]
                     del single[address]
+        self._commit_grouped(single, groups)
+
+    def _resolve_and_apply_raw(
+        self,
+        procs: List[Processor],
+        ends: List[int],
+        raw: List[int],
+    ) -> None:
+        """Resolve and apply kernel-staged flat ``address, value`` pairs.
+
+        The compiled-kernel analogue of :meth:`_resolve_and_apply_fast`:
+        ``raw`` holds each processor's writes as flat pairs in cycle
+        write order, ``ends[i]`` is processor ``i``'s end offset into
+        ``raw``, and ``procs`` is in ascending-PID (running-list) order,
+        so grouping order matches the reference ``_apply_writes``.
+        """
+        single = self._single_scratch
+        single.clear()
+        groups: Optional[Dict[int, List[Tuple[int, int]]]] = None
+        start = 0
+        for index, processor in enumerate(procs):
+            pid = processor.pid
+            end = ends[index]
+            i = start
+            while i < end:
+                address = raw[i]
+                value = raw[i + 1]
+                i += 2
+                if groups is not None:
+                    group = groups.get(address)
+                    if group is not None:
+                        group.append((pid, value))
+                        continue
+                prev = single.get(address)
+                if prev is None:
+                    single[address] = (pid, value)
+                else:
+                    if groups is None:
+                        groups = {}
+                    groups[address] = [prev, (pid, value)]
+                    del single[address]
+            start = end
+        self._commit_grouped(single, groups)
+
+    def _commit_grouped(
+        self,
+        single: Dict[int, Tuple[int, int]],
+        groups: Optional[Dict[int, List[Tuple[int, int]]]],
+    ) -> None:
+        """Commit grouped writers: batched singleton commit or reference path."""
         policy = self.policy
         memory = self.memory
         if (
@@ -930,9 +1003,11 @@ class Machine:
         views are built and no per-tick ledger charges land (the window
         flushes those in one batch).  Preconditions, checked by the
         window: concurrent reads allowed, singleton resolve is the
-        identity, raw writes allowed, no phase counters.  Same-tick
-        write collisions and exotic addresses fall back to the
-        reference-exact resolution for the whole tick.
+        identity, raw writes allowed.  Phase counters do not disable
+        fusion — fused ticks land in ``phases.fused_ticks``, charged
+        per batch by the window.  Same-tick write collisions and exotic
+        addresses fall back to the reference-exact resolution for the
+        whole tick.
         """
         memory = self.memory
         cells = self._cells
@@ -953,7 +1028,7 @@ class Machine:
         for processor in running:
             cycle = processor._pending
             if cycle is None:
-                processor.pending_cycle  # raises the standard ProgramError
+                raise ProgramError(f"pid {processor.pid}: no pending cycle")
             label = cycle.label
             if label not in validated:
                 entry = self._collect_one_validated(processor, cycle, None)
@@ -1052,6 +1127,61 @@ class Machine:
                 processor._check_cycle(next_cycle)
             processor._pending = next_cycle
 
+    def _quiet_tick_kernel(self, running: List[Processor]) -> None:
+        """One adversary-free tick through the compiled-kernel lane.
+
+        The compiled analogue of :meth:`_quiet_tick_fused`: one sweep
+        over the running list calls each stepper's ``quiet_step``, which
+        reads the raw cells, stages flat ``address, value`` pairs, and
+        advances its own state — no generator resume, no ``Cycle`` or
+        ``Write`` allocation, no pending views.  Kernels are trusted to
+        respect the cycle read/write budgets (the soundness contract in
+        :mod:`repro.pram.compiled`); addresses are still bounds-checked
+        during staging, and same-tick write collisions or exotic
+        addresses fall back to the reference-exact resolution for the
+        whole tick.
+        """
+        memory = self.memory
+        cells = self._cells
+        size = len(cells)
+        procs = self._window_procs_scratch
+        raw = self._kernel_raw_scratch
+        ends = self._kernel_ends_scratch
+        staged = self._window_staged
+        procs.clear()
+        raw.clear()
+        ends.clear()
+        staged.clear()
+        reads_charged = 0
+        for processor in running:
+            stepper = processor._stepper
+            reads_charged += stepper.quiet_step(cells, raw)
+            processor.cycles_completed += 1
+            procs.append(processor)
+            ends.append(len(raw))
+            if not stepper.live:
+                # Voluntary halt: the compiled analogue of the generator
+                # raising StopIteration in complete_cycle.
+                processor.status = ProcessorStatus.HALTED
+                processor._bump_epoch()
+        memory.charge_reads(reads_charged)
+        clean = True
+        for i in range(0, len(raw), 2):
+            address = raw[i]
+            if (
+                address.__class__ is int
+                and 0 <= address < size
+                and address not in staged
+            ):
+                staged[address] = raw[i + 1]
+            else:
+                clean = False
+                break
+        if clean:
+            memory.commit_resolved(staged.items())
+        else:
+            self._resolve_and_apply_raw(procs, ends, raw)
+
     def _run_quiet_window(
         self, stop_tick: int, until: Optional[UntilPredicate]
     ) -> str:
@@ -1090,18 +1220,24 @@ class Machine:
                 interrupts.pop(processor.pid, None)
         phases = self.phase_counters
         policy = self.policy
+        # Phase counters do not disable fusion: fused ticks are counted
+        # in phases.fused_ticks (flushed per batch below) instead of
+        # being timed per-phase — the fused sweep has no phase
+        # boundaries to time without destroying what it measures.
         fused = (
-            phases is None
-            and self._raw_write_ok
+            self._raw_write_ok
             and policy.allows_concurrent_reads
             and policy.singleton_resolve_is_identity
+        )
+        quiet_tick = (
+            self._quiet_tick_kernel if self._kernel_mode else self._quiet_tick_fused
         )
         batch_ticks = 0
         outcome = _WINDOW_RAN
         while True:
             if fused:
                 ledger.ticks += 1
-                self._quiet_tick_fused(running)
+                quiet_tick(running)
                 batch_ticks += 1
             else:
                 mark = perf_counter() if phases is not None else 0.0
@@ -1130,6 +1266,8 @@ class Machine:
                 # the status generation that actually ran it (halting
                 # pids completed this tick too), then recompute.
                 self._flush_quiet_batch(running, batch_ticks)
+                if fused and phases is not None:
+                    phases.fused_ticks += batch_ticks
                 batch_ticks = 0
                 self._refresh_status_caches()
                 running = self._running_cache
@@ -1141,6 +1279,8 @@ class Machine:
             if ledger.ticks >= stop_tick:
                 break
         self._flush_quiet_batch(running, batch_ticks)
+        if fused and phases is not None:
+            phases.fused_ticks += batch_ticks
         self._sync_traffic()
         return outcome
 

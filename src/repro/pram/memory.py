@@ -25,7 +25,7 @@ Two facilities exist purely for the simulator's hot path:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.pram.errors import MemoryError_
 

@@ -15,10 +15,13 @@ A restartable fail-stop processor (Section 2.1):
 from __future__ import annotations
 
 from enum import Enum
-from typing import Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.pram.cycles import Cycle
 from repro.pram.errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.pram.compiled import CompiledFactory, CompiledProgram
 
 #: A processor program: called with the PID, returns a generator that
 #: yields :class:`Cycle` objects and receives read-value tuples.
@@ -34,9 +37,21 @@ class ProcessorStatus(Enum):
 class Processor:
     """State of one fail-stop processor inside the machine."""
 
-    def __init__(self, pid: int, program_factory: ProgramFactory) -> None:
+    def __init__(
+        self,
+        pid: int,
+        program_factory: ProgramFactory,
+        compiled_factory: Optional["CompiledFactory"] = None,
+    ) -> None:
         self.pid = pid
         self._program_factory = program_factory
+        # Optional compiled kernel (see repro.pram.compiled).  When set,
+        # the processor never builds a generator: spawn()/restart()
+        # reset the stepper from the PID, adversary-visible ticks
+        # materialize the pending Cycle on demand, and quiet windows
+        # advance the stepper directly.
+        self._compiled_factory = compiled_factory
+        self._stepper: Optional["CompiledProgram"] = None
         self.status = ProcessorStatus.FAILED  # becomes RUNNING on spawn()
         self._generator: Optional[Generator[Cycle, tuple, None]] = None
         self._pending: Optional[Cycle] = None
@@ -64,6 +79,23 @@ class Processor:
 
     def spawn(self) -> None:
         """Start (or restart) the program from its initial state."""
+        factory = self._compiled_factory
+        if factory is not None:
+            stepper = self._stepper
+            if stepper is None:
+                stepper = factory(self.pid)
+                self._stepper = stepper
+            self._generator = None
+            self._pending = None
+            # reset() rebuilds the state from the PID alone (a restart
+            # knows nothing else); False is the compiled analogue of the
+            # first next() raising StopIteration.
+            if stepper.reset():
+                self.status = ProcessorStatus.RUNNING
+            else:
+                self.status = ProcessorStatus.HALTED
+            self._bump_epoch()
+            return
         generator = self._program_factory(self.pid)
         try:
             first_cycle = next(generator)
@@ -109,9 +141,31 @@ class Processor:
     @property
     def pending_cycle(self) -> Cycle:
         """The update cycle the processor executes on the current tick."""
-        if self.status is not ProcessorStatus.RUNNING or self._pending is None:
-            raise ProgramError(f"pid {self.pid}: no pending cycle")
-        return self._pending
+        pending = self._pending
+        if self.status is ProcessorStatus.RUNNING and pending is not None:
+            return pending
+        return self.materialize_pending()
+
+    def materialize_pending(self) -> Cycle:
+        """Materialize (and cache) the pending cycle of a compiled program.
+
+        Generator programs always carry their pending cycle; compiled
+        steppers build it lazily, only for ticks something actually
+        observes (an active adversary, a tracer, the reference core).
+        Raises the standard :class:`ProgramError` when there is nothing
+        pending — explicitly, not via a side-effect attribute access.
+        """
+        if self.status is ProcessorStatus.RUNNING:
+            pending = self._pending
+            if pending is not None:
+                return pending
+            stepper = self._stepper
+            if stepper is not None and stepper.live:
+                pending = stepper.current_cycle()
+                self._check_cycle(pending)
+                self._pending = pending
+                return pending
+        raise ProgramError(f"pid {self.pid}: no pending cycle")
 
     def complete_cycle(self, read_values: tuple) -> None:
         """Advance past a completed cycle; fetch the next one.
@@ -120,11 +174,24 @@ class Processor:
         information a cycle brings into private memory).  If the program
         returns, the processor halts.
         """
-        if self.status is not ProcessorStatus.RUNNING or self._generator is None:
+        if self.status is not ProcessorStatus.RUNNING:
             raise ProgramError(f"pid {self.pid}: no running program to advance")
+        generator = self._generator
+        if generator is None:
+            stepper = self._stepper
+            if stepper is None or not stepper.live:
+                raise ProgramError(
+                    f"pid {self.pid}: no running program to advance"
+                )
+            self.cycles_completed += 1
+            self._pending = None
+            if not stepper.advance(read_values):
+                self.status = ProcessorStatus.HALTED
+                self._bump_epoch()
+            return
         self.cycles_completed += 1
         try:
-            next_cycle = self._generator.send(read_values)
+            next_cycle = generator.send(read_values)
         except StopIteration:
             self._generator = None
             self._pending = None

@@ -27,7 +27,6 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.base import Adversary
 from repro.pram.failures import Decision
-from repro.pram.processor import ProcessorStatus
 from repro.pram.view import TickView
 
 

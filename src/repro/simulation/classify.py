@@ -23,7 +23,7 @@ model consistent with the observed access patterns:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.simulation.step import SimProgram
 

@@ -16,7 +16,7 @@ Memory layout: ``dist[0..m-1]`` at addresses ``0..m-1``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.simulation.step import SimProgram, SimStep
 

@@ -8,7 +8,7 @@ reproducible: the machine never consumes global random state.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 RandomLike = Union[int, random.Random, None]
 

@@ -44,8 +44,6 @@ class TestCorrectness:
         assert result.solved
 
     def test_done_flag_raised_when_run_to_completion(self):
-        from repro.core.base import done_predicate
-
         # Let the machine run until every processor halts (no until), so
         # the finalize step sets the done flag and everyone exits.
         from repro.core import AlgorithmV

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.core import AlgorithmX, CycleFactoryTasks, solve_write_all
-from repro.core.algorithm_x import XLayout
 from repro.faults import (
     NoFailures,
     RandomAdversary,
@@ -13,7 +12,7 @@ from repro.faults import (
     StalkingAdversaryX,
     ThrashingAdversary,
 )
-from repro.pram.cycles import Cycle, Write
+from repro.pram.cycles import Cycle
 
 
 class TestLayout:

@@ -7,7 +7,6 @@ paper's adversaries are designed to satisfy condition 2.(i) themselves
 and assert zero vetoes.
 """
 
-import pytest
 
 from repro.core import (
     AccAlgorithm,

@@ -250,7 +250,10 @@ class TestRunComparison:
         assert comparison.speedup is not None and comparison.speedup > 0
         assert comparison.noff is not None
         assert comparison.ff_speedup is not None and comparison.ff_speedup > 0
-        assert comparison.fast.phases.ticks == \
+        # Fused windows bypass the per-phase timers; the dedicated
+        # fused_ticks counter keeps the tick accounting complete.
+        phases = comparison.fast.phases
+        assert phases.ticks + phases.fused_ticks == \
             comparison.fast.result.ledger.ticks
         text = describe_comparison(comparison)
         assert "W(N=64, P=8)" in text
@@ -308,7 +311,7 @@ class TestPerfReport:
         [scenario] = report["scenarios"]
         assert scenario["tag"] == "PERF_micro"
         names = [sweep["name"] for sweep in scenario["sweeps"]]
-        assert names == ["X/fast", "X/noff", "X/baseline"]
+        assert names == ["X/fast", "X/noff", "X/nokernel", "X/baseline"]
 
     def test_adversarial_sweeps_are_namespaced(self):
         comparison = run_comparison("X", 64, 8, repeats=1, warmup=0,
@@ -320,6 +323,7 @@ class TestPerfReport:
         assert names == [
             "X@budget-sparse/fast",
             "X@budget-sparse/noff",
+            "X@budget-sparse/nokernel",
             "X@budget-sparse/baseline",
         ]
 
@@ -328,4 +332,4 @@ class TestPerfReport:
         report = perf_report([comparison], tag="unit", wall_s=0.1)
         diff = compare_reports(report, copy.deepcopy(report))
         assert diff.ok
-        assert diff.compared == 3
+        assert diff.compared == 4

@@ -33,9 +33,7 @@ class TestMonotoneCellChecker:
 
     def test_detects_a_planted_decrease(self):
         """Sanity: the checker itself works."""
-        from repro.faults.base import Adversary
         from repro.pram.cycles import Cycle, Write
-        from repro.pram.failures import Decision
         from repro.pram.machine import Machine
         from repro.pram.memory import SharedMemory
 

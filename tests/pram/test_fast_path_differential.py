@@ -53,21 +53,31 @@ ADVERSARIES = {
 }
 
 
-#: (fast_path, fast_forward) legs every configuration runs through:
-#: the batched event-horizon core, the per-tick fast core, and the
-#: reference core (which never fast-forwards).
-MODES = ((True, True), (True, False), (False, False))
+#: (fast_path, fast_forward, compiled) legs every configuration runs
+#: through: the batched event-horizon core with compiled kernels, the
+#: same core on the generator protocol (``--no-compiled``), the
+#: per-tick fast core with kernels, and the reference core (which never
+#: fast-forwards and runs generators).  Algorithms without a kernel
+#: silently run the generator protocol on every leg — the legs still
+#: must agree.
+MODES = (
+    (True, True, True),
+    (True, True, False),
+    (True, False, True),
+    (False, False, False),
+)
 
 
 def run_both(algorithm_key, adversary_factory, n=64, p=16, **kwargs):
     """Run one configuration through all cores, reference last."""
     outcomes = []
-    for fast, forward in MODES:
+    for fast, forward, compiled in MODES:
         outcomes.append(solve_write_all(
             ALGORITHMS[algorithm_key](), n, p,
             adversary=adversary_factory(),
             fast_path=fast,
             fast_forward=forward,
+            compiled=compiled,
             **kwargs,
         ))
     return outcomes
@@ -219,14 +229,15 @@ class TestTraceIdentity:
         # it over a random adversary checks the fast path presents the
         # identical per-tick world, not just identical totals.
         traces = []
-        for fast, forward in MODES:
+        for fast, forward, compiled in MODES:
             tracer = Tracer(watch=(0, 1, 2, 3))
             adversary = UnionAdversary([
                 tracer, RandomAdversary(0.15, 0.3, seed=13),
             ])
             solve_write_all(
                 AlgorithmX(), 64, 16, adversary=adversary,
-                fast_path=fast, fast_forward=forward, max_ticks=5_000,
+                fast_path=fast, fast_forward=forward, compiled=compiled,
+                max_ticks=5_000,
             )
             traces.append(tracer.records)
         reference_trace = traces[-1]
@@ -283,11 +294,12 @@ class TestEventHorizonEdges:
         # the until() predicate must still end it at the exact tick the
         # per-tick loop would.
         from repro.core.base import done_predicate
+        from repro.pram.compiled import resolve_kernel
         from repro.pram.machine import Machine
         from repro.pram.memory import SharedMemory
 
         ticks = []
-        for fast, forward in MODES:
+        for fast, forward, compiled in MODES:
             algorithm = AlgorithmX()
             layout = algorithm.build_layout(32, 8)
             memory = SharedMemory(layout.size)
@@ -295,7 +307,12 @@ class TestEventHorizonEdges:
                               adversary=NoFailures(),
                               fast_path=fast, fast_forward=forward,
                               context={"layout": layout})
-            machine.load_program(algorithm.program(layout, None))
+            machine.load_program(
+                algorithm.program(layout, None),
+                compiled_program=resolve_kernel(
+                    algorithm, layout, None, compiled
+                ),
+            )
             ledger = machine.run(until=done_predicate(layout),
                                  max_ticks=100_000)
             assert ledger.goal_reached

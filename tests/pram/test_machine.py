@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.pram.cycles import Cycle, Write, noop_cycle, snapshot_cycle
+from repro.pram.cycles import Cycle, Write, snapshot_cycle
 from repro.pram.errors import (
     AdversaryError,
     ProgramError,
@@ -13,7 +13,6 @@ from repro.pram.failures import AFTER_ALL_WRITES, BEFORE_WRITES, Decision
 from repro.pram.machine import Machine
 from repro.pram.memory import SharedMemory
 from repro.pram.policies import Erew, PriorityCrcw
-from repro.pram.processor import ProcessorStatus
 from repro.faults.base import Adversary
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.pram.cycles import Cycle, Write
 from repro.pram.errors import ProgramError
-from repro.pram.processor import Processor, ProcessorStatus
+from repro.pram.processor import Processor
 
 
 def two_cycle_program(pid):

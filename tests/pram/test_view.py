@@ -5,7 +5,6 @@ from repro.pram.cycles import Cycle, Write
 from repro.pram.failures import Decision
 from repro.pram.machine import Machine
 from repro.pram.memory import SharedMemory
-from repro.pram.processor import ProcessorStatus
 
 
 class Recorder(Adversary):

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.generational import GenerationalX
-from repro.core.tasks import CycleFactoryTasks, TrivialTasks
+from repro.core.tasks import TrivialTasks
 from repro.faults import (
     NoFailures,
     NoRestartAdversary,
