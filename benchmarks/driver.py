@@ -15,6 +15,13 @@ the two entry points cannot diverge::
 whole run in cProfile via :mod:`repro.perf.profile_hook` — the quickest
 way to see where scenario time goes after a core change.
 
+All other flags are forwarded to ``repro bench`` verbatim — including
+the chaos-injection flags (``--chaos-seed`` plus
+``--chaos-crash/-stall/-error/-corrupt``), so a benchmark run can be
+exercised under deterministic fault injection; chaos stays strictly
+opt-in and the recovery accounting (retries, crashes, pool restarts,
+corrupt cache entries) lands in the report's per-sweep ``stats``.
+
 The report schema is documented in ``repro.metrics.report`` and
 ``docs/EXPERIMENT_ENGINE.md``.  A second run with the same cache
 directory is served entirely from cache (100% hit rate), which is what

@@ -9,6 +9,10 @@ Commands:
   ``--resume``) and per-point ``--timeout``/``--retries``;
 * ``bench``     — run registered benchmark scenarios through the
   parallel engine and write a machine-readable ``BENCH_<tag>.json``;
+* ``chaos``     — soak the engine itself under deterministic fault
+  injection (worker crashes, stalls, transient errors, cache
+  corruption) and assert the sweep still converges to results
+  bit-identical to a fault-free serial run;
 * ``perf``      — micro-benchmark the simulator core: fast path (with
   and without event-horizon batching) vs the reference baseline under
   selectable fault scenarios (``--adversary``), min-of-k timing,
@@ -131,6 +135,38 @@ def _add_engine(parser: argparse.ArgumentParser) -> None:
                         help="per-point wall-clock timeout in seconds")
     parser.add_argument("--retries", type=int, default=1,
                         help="extra attempts per timed-out/crashed point")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="enable deterministic fault injection with "
+                             "this seed (soak-testing only; default: off)")
+    parser.add_argument("--chaos-crash", type=float, default=0.05,
+                        help="injected worker-crash probability per "
+                             "attempt (with --chaos-seed)")
+    parser.add_argument("--chaos-stall", type=float, default=0.05,
+                        help="injected stall probability per attempt "
+                             "(with --chaos-seed)")
+    parser.add_argument("--chaos-error", type=float, default=0.05,
+                        help="injected transient-error probability per "
+                             "attempt (with --chaos-seed)")
+    parser.add_argument("--chaos-corrupt", type=float, default=0.05,
+                        help="cache-entry corruption probability per "
+                             "point (with --chaos-seed)")
+
+
+def _chaos_from_args(args: argparse.Namespace):
+    """The opt-in ChaosPolicy for engine commands, or None (default)."""
+    if getattr(args, "chaos_seed", None) is None:
+        return None
+    from repro.experiments.chaos import ChaosPolicy
+
+    return ChaosPolicy(
+        seed=args.chaos_seed,
+        crash=args.chaos_crash,
+        stall=args.chaos_stall,
+        error=args.chaos_error,
+        corrupt=args.chaos_corrupt,
+        stall_s=(max(4.0 * args.timeout, 2.0)
+                 if args.timeout is not None else 5.0),
+    )
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -160,9 +196,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
     )
+    chaos = _chaos_from_args(args)
     use_engine = (
         args.workers is not None or args.resume
         or args.timeout is not None or args.cache_dir is not None
+        or chaos is not None
     )
     if use_engine:
         result = run_sweep_parallel(
@@ -175,6 +213,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             resume=not args.no_resume,
             timeout=args.timeout,
             retries=args.retries,
+            chaos=chaos,
         )
     else:
         result = run_sweep(spec)
@@ -191,6 +230,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"{stats.failed} failed, {stats.retries} retries, "
             f"{stats.wall_s:.2f}s wall"
         )
+        if stats.crashes or stats.pool_restarts or stats.cache_corrupt:
+            degraded = ", degraded to serial" if stats.degraded_serial else ""
+            print(
+                f"recovery: {stats.crashes} crash attempts, "
+                f"{stats.pool_restarts} pool restarts{degraded}, "
+                f"{stats.cache_corrupt} corrupt cache entries discarded"
+            )
+        if stats.injected:
+            print(f"chaos injected: {stats.injected}")
         for failure in result.failures:
             print(
                 f"  FAILED (N={failure.n}, P={failure.p}, "
@@ -248,6 +296,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         resume=not args.no_resume,
         timeout=args.timeout,
         retries=args.retries,
+        chaos=_chaos_from_args(args),
         progress=lambda line: print(f"[bench] {line}"),
     )
     for tag in tags:
@@ -264,6 +313,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
         f"{totals['failed']} failed, {totals['wall_s']:.2f}s"
     )
     return 0 if totals["failed"] == 0 else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_soak_series
+
+    ok, outcomes = run_soak_series(
+        iterations=args.iterations,
+        chaos_seed=args.chaos_seed,
+        workers=args.workers,
+        seeds=tuple(range(args.seeds)),
+        timeout=args.timeout,
+        retries=args.retries,
+        crash=args.chaos_crash,
+        stall=args.chaos_stall,
+        error=args.chaos_error,
+        corrupt=args.chaos_corrupt,
+        log=lambda line: print(f"[chaos] {line}"),
+    )
+    converged = sum(1 for outcome in outcomes if outcome.converged)
+    print(f"[chaos] {converged}/{len(outcomes)} iteration(s) converged")
+    return 0 if ok else 1
 
 
 def _parse_size(token: str) -> tuple:
@@ -478,6 +548,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output directory for the JSON report")
     _add_engine(bench)
     bench.set_defaults(func=cmd_bench)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="soak the sweep engine under deterministic fault injection",
+    )
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes for the chaos pass")
+    chaos.add_argument("--seeds", type=int, default=4,
+                       help="sweep seeds per size (grid is 4 sizes x "
+                            "this, 16 points by default)")
+    chaos.add_argument("--iterations", type=int, default=1,
+                       help="independent soak iterations (chaos seeds "
+                            "are spaced 1000 apart)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="base chaos seed (stepped deterministically "
+                            "until the plan covers crash+stall+corrupt)")
+    chaos.add_argument("--timeout", type=float, default=2.0,
+                       help="per-point wall-clock budget; injected "
+                            "stalls spin past it")
+    chaos.add_argument("--retries", type=int, default=8,
+                       help="extra attempts per faulted point (keep "
+                            "above the per-point injection cap)")
+    chaos.add_argument("--chaos-crash", type=float, default=0.15,
+                       help="worker-crash injection rate per attempt")
+    chaos.add_argument("--chaos-stall", type=float, default=0.10,
+                       help="stall injection rate per attempt")
+    chaos.add_argument("--chaos-error", type=float, default=0.10,
+                       help="transient-error injection rate per attempt")
+    chaos.add_argument("--chaos-corrupt", type=float, default=0.25,
+                       help="cache-corruption injection rate per point")
+    chaos.set_defaults(func=cmd_chaos)
 
     perf = commands.add_parser(
         "perf",

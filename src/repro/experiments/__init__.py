@@ -36,8 +36,10 @@ fanned out over worker processes with on-disk caching and resume::
 
 See :mod:`repro.experiments.parallel` (the engine),
 :mod:`repro.experiments.cache` (content-hashed result store),
-:mod:`repro.experiments.factories` (picklable adversary factories) and
-:mod:`repro.experiments.bench` (the benchmark scenario registry).
+:mod:`repro.experiments.factories` (picklable adversary factories),
+:mod:`repro.experiments.chaos` (deterministic fault injection for the
+engine itself) and :mod:`repro.experiments.bench` (the benchmark
+scenario registry).
 """
 
 from repro.experiments.spec import SweepSpec
@@ -48,6 +50,7 @@ from repro.experiments.runner import (
     run_sweep,
 )
 from repro.experiments.cache import ResultCache, fingerprint, point_key
+from repro.experiments.chaos import ChaosPolicy, run_soak
 from repro.experiments.parallel import (
     ParallelSweepResult,
     PointFailure,
@@ -59,6 +62,7 @@ from repro.experiments.parallel import (
 )
 
 __all__ = [
+    "ChaosPolicy",
     "ParallelSweepResult",
     "PointFailure",
     "PointMeta",
@@ -72,6 +76,7 @@ __all__ = [
     "fingerprint",
     "point_key",
     "run_one_point",
+    "run_soak",
     "run_sweep",
     "run_sweep_parallel",
 ]

@@ -419,13 +419,18 @@ def run_scenario(
     resume: bool = True,
     timeout: Optional[float] = None,
     retries: int = 1,
+    chaos=None,
 ) -> Tuple[List[ParallelSweepResult], float]:
-    """Run every sweep of one scenario; returns (results, wall seconds)."""
+    """Run every sweep of one scenario; returns (results, wall seconds).
+
+    ``chaos`` (a :class:`~repro.experiments.chaos.ChaosPolicy`) is the
+    opt-in fault-injection hook; leave ``None`` for real measurements.
+    """
     started = time.perf_counter()
     results = [
         run_sweep_parallel(
             spec, workers=workers, cache_dir=cache_dir, resume=resume,
-            timeout=timeout, retries=retries,
+            timeout=timeout, retries=retries, chaos=chaos,
         )
         for spec in scenario.specs
     ]
@@ -440,6 +445,7 @@ def run_benchmarks(
     resume: bool = True,
     timeout: Optional[float] = None,
     retries: int = 1,
+    chaos=None,
     progress=None,
 ) -> Tuple[dict, Dict[str, List[ParallelSweepResult]]]:
     """Run scenarios and assemble the ``repro-bench/1`` report.
@@ -458,7 +464,7 @@ def run_benchmarks(
             )
         results, wall_s = run_scenario(
             scenario, workers=workers, cache_dir=cache_dir, resume=resume,
-            timeout=timeout, retries=retries,
+            timeout=timeout, retries=retries, chaos=chaos,
         )
         by_scenario[scenario.tag] = results
         sections.append(scenario_section(

@@ -15,8 +15,12 @@ Layout (one directory per sweep, sanitized)::
         <sha256-of-point-spec>.json
 
 Entries are written atomically (temp file + ``os.replace``) so a kill
-mid-write never leaves a half entry under the final name; a corrupted
-or truncated entry is detected on read, discarded, and recomputed.
+mid-write never leaves a half entry under the final name.  Every entry
+(and the checkpoint) carries a content checksum: corruption that still
+parses as JSON — a flipped bit in a stored measure — is detected on
+read just like truncation, logged, discarded, and self-healed by
+recompute instead of silently loaded.  ``corrupt_discarded`` counts
+those discards so the engine can surface them in its stats.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import dataclasses
 import functools
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import re
@@ -34,9 +39,16 @@ from typing import Any, Dict, Optional
 
 from repro.experiments.runner import RunPoint
 
-#: Bump when the entry format or the fingerprint scheme changes:
-#: old entries then miss instead of deserializing garbage.
+_LOG = logging.getLogger(__name__)
+
+#: Bump when the *key* material (fingerprint scheme) changes: old
+#: entries then miss instead of deserializing garbage.
 CACHE_VERSION = 1
+
+#: Entry-body schema.  Schema 2 added the content ``checksum``; schema 1
+#: entries (pre-checksum) are still accepted — the migration shim below —
+#: so existing caches are not invalidated wholesale.
+ENTRY_SCHEMA = 2
 
 
 def fingerprint(obj: Any) -> str:
@@ -128,16 +140,32 @@ def _sanitize(name: str) -> str:
     return cleaned[:80]
 
 
+def entry_checksum(key: str, point: Dict[str, Any]) -> str:
+    """Content checksum binding a point payload to its key.
+
+    Computed over the canonical JSON of the point dict, so any mutation
+    of a stored measure — even one that still parses — fails the check.
+    """
+    material = key + "|" + json.dumps(
+        point, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Content-addressed store of completed :class:`RunPoint` s."""
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = pathlib.Path(root)
+        #: Corrupt (present-but-invalid) entries discarded by this
+        #: instance; the engine diffs it to report corruption in stats.
+        self.corrupt_discarded = 0
 
     def _sweep_dir(self, sweep: str) -> pathlib.Path:
         return self.root / _sanitize(sweep)
 
-    def _entry_path(self, sweep: str, key: str) -> pathlib.Path:
+    def entry_path(self, sweep: str, key: str) -> pathlib.Path:
+        """Where ``key``'s entry lives (whether or not it exists yet)."""
         return self._sweep_dir(sweep) / f"{key}.json"
 
     def load(self, sweep: str, key: str) -> Optional[RunPoint]:
@@ -145,58 +173,97 @@ class ResultCache:
 
         A missing entry and a corrupted one are the same thing to the
         caller — the point just recomputes.  Corrupted files are
-        deleted so they cannot shadow a later good write.
+        logged, counted, and deleted so they cannot shadow a later good
+        write.  Schema-1 entries (written before checksums existed) are
+        still accepted; schema-2 entries must pass their checksum.
         """
-        path = self._entry_path(sweep, key)
+        path = self.entry_path(sweep, key)
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
             return None
-        except (OSError, ValueError):
-            self._discard(path)
+        except (OSError, ValueError) as exc:
+            self._discard(path, f"unreadable entry ({exc})")
             return None
         try:
             if payload["version"] != CACHE_VERSION or payload["key"] != key:
                 raise ValueError("stale or mismatched entry")
+            if payload.get("schema", 1) >= 2:
+                stored = payload.get("checksum")
+                if stored != entry_checksum(key, payload["point"]):
+                    raise ValueError("checksum mismatch")
             return RunPoint.from_dict(payload["point"])
-        except (KeyError, TypeError, ValueError):
-            self._discard(path)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._discard(path, str(exc))
             return None
 
     def store(self, sweep: str, key: str, point: RunPoint,
               elapsed: float) -> None:
         directory = self._sweep_dir(sweep)
         directory.mkdir(parents=True, exist_ok=True)
+        point_dict = point.to_dict()
         payload = {
             "version": CACHE_VERSION,
+            "schema": ENTRY_SCHEMA,
             "key": key,
-            "point": point.to_dict(),
+            "point": point_dict,
             "elapsed_s": elapsed,
+            "checksum": entry_checksum(key, point_dict),
         }
-        _atomic_write_json(self._entry_path(sweep, key), payload)
+        _atomic_write_json(self.entry_path(sweep, key), payload)
 
     def write_checkpoint(self, sweep: str, done: int, total: int) -> None:
         """Progress manifest — informational; the entries are the truth."""
         directory = self._sweep_dir(sweep)
         directory.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(directory / "checkpoint.json", {
+        body = {
             "version": CACHE_VERSION,
+            "schema": ENTRY_SCHEMA,
             "sweep": sweep,
             "done": done,
             "total": total,
             "updated_unix": time.time(),
-        })
+        }
+        body["checksum"] = hashlib.sha256(
+            json.dumps(body, sort_keys=True,
+                       separators=(",", ":")).encode("utf-8")
+        ).hexdigest()
+        _atomic_write_json(directory / "checkpoint.json", body)
 
     def read_checkpoint(self, sweep: str) -> Optional[Dict[str, Any]]:
+        """The progress manifest, or ``None`` when missing or corrupt.
+
+        Pre-checksum (schema-1) checkpoints are accepted as-is; a
+        schema-2 checkpoint failing its checksum is treated as corrupt.
+        The entries are still the truth either way — a bad checkpoint
+        costs nothing but the progress readout.
+        """
         path = self._sweep_dir(sweep) / "checkpoint.json"
         try:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema", 1) >= 2:
+            stored = payload.get("checksum")
+            body = {k: v for k, v in payload.items() if k != "checksum"}
+            expected = hashlib.sha256(
+                json.dumps(body, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+            ).hexdigest()
+            if stored != expected:
+                self.corrupt_discarded += 1
+                _LOG.warning(
+                    "discarding corrupt checkpoint %s: checksum mismatch",
+                    path,
+                )
+                return None
+        return payload
 
-    @staticmethod
-    def _discard(path: pathlib.Path) -> None:
+    def _discard(self, path: pathlib.Path, reason: str) -> None:
+        self.corrupt_discarded += 1
+        _LOG.warning("discarding corrupt cache entry %s: %s", path, reason)
         try:
             path.unlink()
         except OSError:

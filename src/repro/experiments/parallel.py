@@ -11,10 +11,20 @@ Fans a :class:`~repro.experiments.spec.SweepSpec` grid out over a
   :class:`~repro.experiments.cache.ResultCache` as they finish; a
   re-run (or a resumed interrupted run) executes only the missing
   points;
-* **timeout + retry** — a per-point wall-clock timeout (SIGALRM-based,
-  enforced inside the worker) turns a pathological point into a
-  recorded :class:`PointFailure` after ``retries`` extra attempts,
-  instead of hanging the sweep.
+* **timeout + retry** — a per-point wall-clock timeout (SIGALRM-based
+  on the main thread, a soft ``threading.Timer`` deadline elsewhere)
+  turns a pathological point into a recorded :class:`PointFailure`
+  after ``retries`` extra attempts, instead of hanging the sweep;
+* **crash recovery** — a dead worker (``BrokenProcessPool``) does not
+  abort the sweep: in-flight points are charged one ``"crash"`` attempt
+  and resubmitted to a fresh pool after a capped, seeded-jitter
+  exponential backoff; a point that keeps killing workers is
+  quarantined as a :class:`PointFailure` after its retries, and a pool
+  that keeps dying degrades the run to serial in-process execution;
+* **fault injection (opt-in)** — a
+  :class:`~repro.experiments.chaos.ChaosPolicy` injects deterministic
+  crashes/stalls/errors/cache corruption for soak-testing the recovery
+  paths; ``chaos=None`` (the default) leaves every hot path untouched.
 
 ``workers <= 1`` executes inline (no subprocesses, no pickling
 requirement), which is both the fast path for small sweeps and the
@@ -26,20 +36,30 @@ factories in :mod:`repro.experiments.factories`.
 from __future__ import annotations
 
 import concurrent.futures
+import concurrent.futures.process
+import ctypes
 import pickle
+import random
 import signal
+import threading
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.runner import measure_write_all
 from repro.experiments.cache import ResultCache, point_key
+from repro.experiments.chaos import ChaosCrash, ChaosPolicy
 from repro.experiments.runner import RunPoint, SweepResult
 from repro.experiments.spec import SweepSpec
 
-#: Outcome statuses a worker can report.
-_OK, _TIMEOUT, _ERROR = "ok", "timeout", "error"
+#: Outcome statuses a worker can report (``crash`` is synthesized by
+#: the engine when the worker died without reporting, and by the inline
+#: path for injected crashes).
+_OK, _TIMEOUT, _ERROR, _CRASH = "ok", "timeout", "error", "crash"
+
+_BrokenPool = concurrent.futures.process.BrokenProcessPool
 
 
 @dataclass(frozen=True)
@@ -69,13 +89,18 @@ class PointSpec:
 
 @dataclass(frozen=True)
 class PointFailure:
-    """A point that exhausted its attempts (timeout or crash)."""
+    """A point that exhausted its attempts and was quarantined.
+
+    ``kind`` is ``"timeout"`` (deadline), ``"error"`` (exception inside
+    the point) or ``"crash"`` (the worker process died).  Quarantine is
+    per point: the rest of the sweep completes normally.
+    """
 
     index: int
     n: int
     p: int
     seed: int
-    kind: str  # "timeout" | "error"
+    kind: str  # "timeout" | "error" | "crash"
     attempts: int
     message: str
 
@@ -92,7 +117,14 @@ class PointMeta:
 
 @dataclass
 class SweepStats:
-    """Execution accounting for one engine run."""
+    """Execution accounting for one engine run.
+
+    Every recovery event leaves a trace here so it cannot vanish from
+    the ``BENCH_*.json`` artifact: per-attempt ``retries``/``timeouts``/
+    ``crashes``, quarantined points (``failed``), pool restarts, the
+    degraded-serial flag, corrupted cache entries detected on load, and
+    (opt-in) the chaos faults injected by kind.
+    """
 
     total: int = 0
     executed: int = 0
@@ -100,11 +132,21 @@ class SweepStats:
     timeouts: int = 0
     retries: int = 0
     failed: int = 0
+    crashes: int = 0
+    pool_restarts: int = 0
+    degraded_serial: bool = False
+    cache_corrupt: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
     wall_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def quarantined(self) -> int:
+        """Points recorded as :class:`PointFailure` (alias of ``failed``)."""
+        return self.failed
 
 
 @dataclass
@@ -140,20 +182,35 @@ class PointTimeout(Exception):
 
 
 class _alarm:
-    """SIGALRM-based wall-clock guard around one point execution.
+    """Wall-clock guard around one point execution.
 
-    Python-level timeouts cannot preempt a stuck C call, but every hot
-    loop in this simulator is pure Python, where a pending SIGALRM is
-    delivered between bytecodes.  On platforms (or threads) without
-    SIGALRM the guard degrades to no enforcement.
+    On the main thread (with SIGALRM available) this is the classic
+    ``setitimer`` guard: Python-level timeouts cannot preempt a stuck C
+    call, but every hot loop in this simulator is pure Python, where a
+    pending SIGALRM is delivered between bytecodes.
+
+    Off the main thread — or on platforms without SIGALRM — ``signal``
+    is unusable, so the guard degrades to a *soft deadline*: a
+    ``threading.Timer`` that async-raises :class:`PointTimeout` in the
+    guarded thread via ``PyThreadState_SetAsyncExc`` (same
+    between-bytecodes granularity, still cannot preempt C calls).  A
+    one-time ``RuntimeWarning`` records the degradation.  Entering the
+    guard never raises.
     """
+
+    _soft_warned = False
 
     def __init__(self, seconds: Optional[float]) -> None:
         self.seconds = seconds
         self.armed = False
+        self._soft_timer: Optional[threading.Timer] = None
 
     def __enter__(self):
-        if self.seconds is None or not hasattr(signal, "SIGALRM"):
+        if self.seconds is None:
+            return self
+        on_main = threading.current_thread() is threading.main_thread()
+        if not on_main or not hasattr(signal, "SIGALRM"):
+            self._arm_soft()
             return self
         try:
             self._previous = signal.signal(signal.SIGALRM, self._fire)
@@ -166,11 +223,17 @@ class _alarm:
             )
             self._entered_at = time.monotonic()
             self.armed = True
-        except ValueError:  # not the main thread
-            pass
+        except ValueError:
+            # signal refused the thread after all — soft deadline.
+            self._arm_soft()
         return self
 
     def __exit__(self, *exc_info):
+        if self._soft_timer is not None:
+            with self._soft_lock:
+                self._soft_armed = False
+            self._soft_timer.cancel()
+            return False
         if self.armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             # Restore the handler before re-arming the outer timer so a
@@ -184,23 +247,58 @@ class _alarm:
                 )
         return False
 
+    def _arm_soft(self) -> None:
+        if not _alarm._soft_warned:
+            warnings.warn(
+                "per-point timeout entered off the main thread: SIGALRM "
+                "is unavailable, enforcing a soft threading.Timer "
+                "deadline instead (cannot preempt stuck C calls)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _alarm._soft_warned = True
+        self._soft_lock = threading.Lock()
+        self._soft_target = threading.get_ident()
+        self._soft_armed = True
+        self._soft_timer = threading.Timer(self.seconds, self._soft_fire)
+        self._soft_timer.daemon = True
+        self._soft_timer.start()
+
+    def _soft_fire(self) -> None:
+        with self._soft_lock:
+            if not self._soft_armed:
+                return
+            ctypes.pythonapi.PyThreadState_SetAsyncExc(
+                ctypes.c_ulong(self._soft_target),
+                ctypes.py_object(PointTimeout),
+            )
+
     @staticmethod
     def _fire(signum, frame):
         raise PointTimeout()
 
 
 def execute_point(
-    point: PointSpec, timeout: Optional[float] = None
+    point: PointSpec,
+    timeout: Optional[float] = None,
+    chaos: Optional[ChaosPolicy] = None,
+    attempt: int = 1,
 ) -> Tuple[str, object, float]:
     """Run one point; never raises for timeout/algorithm errors.
 
     Returns ``(status, payload, elapsed_s)`` where payload is the
     :class:`RunPoint` on success and a diagnostic string otherwise.
-    This is the top-level function worker processes execute.
+    This is the top-level function worker processes execute.  With a
+    chaos policy, the injected fault for ``(point.index, attempt)``
+    fires before the computation — an injected worker crash never
+    returns at all (``os._exit``), which the engine observes as a
+    broken pool.
     """
     started = time.perf_counter()
     try:
         with _alarm(timeout):
+            if chaos is not None:
+                chaos.perturb(point.index, attempt)
             measures = measure_write_all(
                 point.algorithm, point.n, point.p,
                 adversary=(
@@ -215,6 +313,8 @@ def execute_point(
     except PointTimeout:
         return _TIMEOUT, f"exceeded {timeout:.3f}s", \
             time.perf_counter() - started
+    except ChaosCrash as exc:
+        return _CRASH, str(exc), time.perf_counter() - started
     except Exception:
         return _ERROR, traceback.format_exc(limit=8), \
             time.perf_counter() - started
@@ -242,6 +342,11 @@ def run_sweep_parallel(
     resume: bool = True,
     timeout: Optional[float] = None,
     retries: int = 1,
+    chaos: Optional[ChaosPolicy] = None,
+    max_pool_restarts: int = 3,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    backoff_seed: int = 0,
 ) -> ParallelSweepResult:
     """Execute ``spec`` through the parallel engine.
 
@@ -254,11 +359,20 @@ def run_sweep_parallel(
             every point while still checkpointing progress.
         timeout: per-point wall-clock budget in seconds.
         retries: extra attempts a timed-out/crashed point gets before
-            it is recorded as a :class:`PointFailure`.
+            it is quarantined as a :class:`PointFailure`.
+        chaos: opt-in deterministic fault injection
+            (:class:`~repro.experiments.chaos.ChaosPolicy`); ``None``
+            leaves the default path untouched.
+        max_pool_restarts: broken-pool rebuilds before the run degrades
+            to serial in-process execution for the remaining points.
+        backoff_base / backoff_cap / backoff_seed: capped exponential
+            backoff between pool rebuilds, with deterministic jitter
+            drawn from ``random.Random(backoff_seed)``.
     """
     started = time.perf_counter()
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    corrupt_before = cache.corrupt_discarded if cache is not None else 0
     points = expand_spec(spec)
     stats = SweepStats(total=len(points))
     results: Dict[int, RunPoint] = {}
@@ -280,6 +394,19 @@ def run_sweep_parallel(
         else:
             pending.append(point)
 
+    def note_injection(point: PointSpec, attempt: int) -> None:
+        """Account the chaos fault scheduled for this dispatched attempt.
+
+        The policy's plan is a pure function of (index, attempt), so the
+        engine and the worker agree on what fires without a back-channel
+        — which is the only way an ``os._exit`` crash can be counted.
+        """
+        if chaos is None:
+            return
+        kind = chaos.plan(point.index, attempt)
+        if kind is not None:
+            stats.injected[kind] = stats.injected.get(kind, 0) + 1
+
     def record(point: PointSpec, status: str, payload, elapsed: float,
                attempt: int) -> bool:
         """Account one attempt; returns True when the point is settled."""
@@ -292,12 +419,21 @@ def run_sweep_parallel(
             )
             if cache is not None:
                 cache.store(point.sweep, point.cache_key(), payload, elapsed)
+                if chaos is not None and chaos.corrupts(point.index):
+                    chaos.corrupt_entry(
+                        cache.entry_path(point.sweep, point.cache_key())
+                    )
+                    stats.injected["corrupt"] = (
+                        stats.injected.get("corrupt", 0) + 1
+                    )
                 cache.write_checkpoint(
                     spec.name, done=len(results), total=len(points)
                 )
             return True
         if status == _TIMEOUT:
             stats.timeouts += 1
+        if status == _CRASH:
+            stats.crashes += 1
         if attempt <= retries:
             stats.retries += 1
             return False
@@ -308,46 +444,117 @@ def run_sweep_parallel(
         ))
         return True
 
-    if pending and (workers is None or workers <= 1):
-        for point in pending:
-            attempt = 1
+    def run_inline(queue: List[PointSpec], attempts: Dict[int, int]) -> None:
+        for point in queue:
             while True:
-                status, payload, elapsed = execute_point(point, timeout)
+                attempt = attempts[point.index]
+                note_injection(point, attempt)
+                # Keep the chaos-free call signature identical to the
+                # pre-chaos engine: hooks (and tests) that wrap
+                # execute_point(point, timeout) keep working.
+                if chaos is None:
+                    status, payload, elapsed = execute_point(point, timeout)
+                else:
+                    status, payload, elapsed = execute_point(
+                        point, timeout, chaos, attempt
+                    )
                 if record(point, status, payload, elapsed, attempt):
                     break
-                attempt += 1
+                attempts[point.index] = attempt + 1
+
+    attempts: Dict[int, int] = {point.index: 1 for point in pending}
+    if pending and (workers is None or workers <= 1):
+        run_inline(pending, attempts)
     elif pending:
         _check_picklable(pending[0])
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(pending))
-        ) as pool:
-            attempts: Dict[int, int] = {point.index: 1 for point in pending}
-            futures = {
-                pool.submit(execute_point, point, timeout): point
-                for point in pending
-            }
-            while futures:
-                done, _ = concurrent.futures.wait(
-                    futures,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
-                for future in done:
-                    point = futures.pop(future)
-                    try:
-                        status, payload, elapsed = future.result()
-                    except concurrent.futures.process.BrokenProcessPool:
-                        raise
-                    except Exception as exc:  # worker died mid-task
-                        status, payload, elapsed = _ERROR, str(exc), 0.0
-                    settled = record(
-                        point, status, payload, elapsed,
+        backoff_rng = random.Random(backoff_seed)
+        queue: List[PointSpec] = list(pending)
+        while queue:
+            if stats.degraded_serial:
+                run_inline(queue, attempts)
+                break
+            survivors: List[PointSpec] = []
+            broken = False
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(queue))
+            ) as pool:
+
+                def submit(point: PointSpec):
+                    note_injection(point, attempts[point.index])
+                    if chaos is None:
+                        return pool.submit(execute_point, point, timeout)
+                    return pool.submit(
+                        execute_point, point, timeout, chaos,
                         attempts[point.index],
                     )
-                    if not settled:
+
+                futures: Dict[concurrent.futures.Future, PointSpec] = {}
+                for point in queue:
+                    try:
+                        futures[submit(point)] = point
+                    except _BrokenPool:
+                        broken = True
+                        survivors.append(point)
+                queue = []
+                while futures:
+                    done, _ = concurrent.futures.wait(
+                        futures,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        point = futures.pop(future)
+                        try:
+                            status, payload, elapsed = future.result()
+                        except _BrokenPool:
+                            # The worker died without reporting; results
+                            # already completed keep draining normally.
+                            broken = True
+                            survivors.append(point)
+                            continue
+                        except Exception as exc:  # worker died mid-task
+                            status, payload, elapsed = _ERROR, str(exc), 0.0
+                        settled = record(
+                            point, status, payload, elapsed,
+                            attempts[point.index],
+                        )
+                        if settled:
+                            continue
                         attempts[point.index] += 1
-                        futures[
-                            pool.submit(execute_point, point, timeout)
-                        ] = point
+                        if broken:
+                            survivors.append(point)
+                            continue
+                        try:
+                            futures[submit(point)] = point
+                        except _BrokenPool:
+                            broken = True
+                            survivors.append(point)
+            if not broken:
+                break
+            # Every in-flight point is charged one "crash" attempt (the
+            # engine cannot tell the poison point from its pool-mates);
+            # points past their retries are quarantined, the rest are
+            # resubmitted to a fresh pool after a jittered backoff.
+            stats.pool_restarts += 1
+            for point in survivors:
+                attempt = attempts[point.index]
+                settled = record(
+                    point, _CRASH,
+                    "worker process died (process pool broken)", 0.0,
+                    attempt,
+                )
+                if not settled:
+                    attempts[point.index] = attempt + 1
+                    queue.append(point)
+            if not queue:
+                break
+            if stats.pool_restarts > max_pool_restarts:
+                stats.degraded_serial = True
+            else:
+                delay = min(
+                    backoff_cap,
+                    backoff_base * (2 ** (stats.pool_restarts - 1)),
+                )
+                time.sleep(delay * (0.5 + backoff_rng.random()))
 
     ordered = [
         results[point.index] for point in points if point.index in results
@@ -358,6 +565,7 @@ def run_sweep_parallel(
     failures.sort(key=lambda failure: failure.index)
     stats.wall_s = time.perf_counter() - started
     if cache is not None:
+        stats.cache_corrupt = cache.corrupt_discarded - corrupt_before
         cache.write_checkpoint(
             spec.name, done=len(results), total=len(points)
         )

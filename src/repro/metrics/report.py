@@ -29,15 +29,24 @@ Schema (``repro-bench/1``)::
                  "F":..,"sigma":..,"ticks":..,"wall_s":..,"cached":..}
               ],
               "failures": [
-                {"n":..,"p":..,"seed":..,"kind":..,"attempts":..}
-              ]
+                {"n":..,"p":..,"seed":..,"kind":..,"attempts":..,
+                 "message":..}
+              ],
+              "stats": {"retries":..,"timeouts":..,"crashes":..,
+                        "pool_restarts":..,"degraded_serial":..,
+                        "cache_corrupt":..,"injected":{..}}  # optional
             }
           ]
         }
       ],
       "totals": {"points": n, "executed": n, "cache_hits": n,
-                 "failed": n, "wall_s": x}
+                 "failed": n, "retries": n, "timeouts": n,
+                 "pool_restarts": n, "wall_s": x}
     }
+
+The per-sweep ``stats`` object (and the retry/timeout totals) surface
+the engine's recovery accounting — reports written before they existed
+still validate; consumers must treat them as optional.
 
 S, S' and |F| are the paper's measures (completed work, charged work,
 pattern size); ``sigma = S / (N + |F|)``; ``ticks`` is parallel time in
@@ -86,14 +95,35 @@ def sweep_section(result) -> Dict[str, Any]:
         {
             "n": failure.n, "p": failure.p, "seed": failure.seed,
             "kind": failure.kind, "attempts": failure.attempts,
+            "message": str(getattr(failure, "message", ""))[:500],
         }
         for failure in getattr(result, "failures", [])
     ]
-    return {
+    section = {
         "name": result.spec.name,
         "points": records,
         "failures": failures,
     }
+    stats = getattr(result, "stats", None)
+    if stats is not None:
+        # Engine accounting per sweep, so recovery events (retries,
+        # quarantines, pool restarts, corrupt cache entries, injected
+        # chaos faults) cannot vanish from the artifact.
+        section["stats"] = {
+            "total": getattr(stats, "total", len(records)),
+            "executed": getattr(stats, "executed", 0),
+            "cache_hits": getattr(stats, "cache_hits", 0),
+            "timeouts": getattr(stats, "timeouts", 0),
+            "retries": getattr(stats, "retries", 0),
+            "failed": getattr(stats, "failed", 0),
+            "crashes": getattr(stats, "crashes", 0),
+            "pool_restarts": getattr(stats, "pool_restarts", 0),
+            "degraded_serial": bool(getattr(stats, "degraded_serial",
+                                            False)),
+            "cache_corrupt": getattr(stats, "cache_corrupt", 0),
+            "injected": dict(getattr(stats, "injected", {}) or {}),
+        }
+    return section
 
 
 def scenario_section(tag: str, title: str, source: str,
@@ -112,6 +142,14 @@ def scenario_section(tag: str, title: str, source: str,
             "executed": executed,
             "failed": failed,
             "hit_rate": round(hits / total, 6) if total else 0.0,
+            "retries": sum(getattr(r.stats, "retries", 0)
+                           for r in results),
+            "timeouts": sum(getattr(r.stats, "timeouts", 0)
+                            for r in results),
+            "pool_restarts": sum(getattr(r.stats, "pool_restarts", 0)
+                                 for r in results),
+            "cache_corrupt": sum(getattr(r.stats, "cache_corrupt", 0)
+                                 for r in results),
         },
         "sweeps": [sweep_section(result) for result in results],
     }
@@ -128,6 +166,11 @@ def bench_report(tag: str, scenarios: List[Dict[str, Any]],
         "executed": sum(s["cache"]["executed"] for s in scenarios),
         "cache_hits": sum(s["cache"]["hits"] for s in scenarios),
         "failed": sum(s["cache"]["failed"] for s in scenarios),
+        "retries": sum(s["cache"].get("retries", 0) for s in scenarios),
+        "timeouts": sum(s["cache"].get("timeouts", 0) for s in scenarios),
+        "pool_restarts": sum(
+            s["cache"].get("pool_restarts", 0) for s in scenarios
+        ),
         "wall_s": round(sum(s["wall_s"] for s in scenarios), 6),
     }
     return {
@@ -167,6 +210,8 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
         for sweep in scenario["sweeps"]:
             if "name" not in sweep or "points" not in sweep:
                 raise ValueError("sweep sections need name and points")
+            if "stats" in sweep and not isinstance(sweep["stats"], dict):
+                raise ValueError("sweep stats must be an object")
             for record in sweep["points"]:
                 missing = _POINT_KEYS - set(record)
                 if missing:

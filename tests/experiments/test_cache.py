@@ -111,6 +111,81 @@ def test_load_discards_mismatched_key(tmp_path):
     assert not victim.exists()  # discarded, cannot shadow a good write
 
 
+def test_bitflipped_measure_is_caught_by_checksum(tmp_path, monkeypatch):
+    # A flipped digit inside a stored measure still parses as JSON and
+    # still carries the right version and key — only the entry checksum
+    # can catch it.
+    cache = ResultCache(tmp_path)
+    cold = run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    victim = entry_files(tmp_path)[0]
+    payload = json.loads(victim.read_text())
+    field, value = next(
+        (name, value) for name, value in sorted(payload["point"].items())
+        if isinstance(value, int) and value > 0
+    )
+    payload["point"][field] = value + 1
+    victim.write_text(json.dumps(payload))
+
+    calls = counting_execute(monkeypatch)
+    warm = run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    assert len(calls) == 1  # only the tampered point recomputed
+    assert warm.stats.cache_hits == 3
+    assert warm.stats.cache_corrupt == 1
+    assert warm.points == cold.points  # the lie did not reach results
+
+
+def test_schema1_entry_without_checksum_still_loads(tmp_path):
+    # Migration shim: entries written before checksums existed carry
+    # neither a schema nor a checksum field and must keep loading —
+    # upgrading the engine must not invalidate a populated cache.
+    cache = ResultCache(tmp_path)
+    run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    victim = entry_files(tmp_path)[0]
+    payload = json.loads(victim.read_text())
+    for field in ("schema", "checksum"):
+        del payload[field]
+    victim.write_text(json.dumps(payload))
+
+    key = victim.name[: -len(".json")]
+    assert cache.load("cache-behavior", key) is not None
+    assert cache.corrupt_discarded == 0
+
+
+def test_corrupt_discarded_counts_every_discard(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    first, second = entry_files(tmp_path)[:2]
+    first.write_text("{ not json at all")
+    tampered = json.loads(second.read_text())
+    tampered["checksum"] = "0" * 64
+    second.write_text(json.dumps(tampered))
+
+    warm = run_sweep_parallel(cache_spec(), workers=1, cache=cache)
+    assert cache.corrupt_discarded == 2
+    assert warm.stats.cache_corrupt == 2
+    assert warm.stats.executed == 2
+    assert warm.stats.cache_hits == 2
+
+
+def test_checkpoint_checksum_detects_tampering(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.write_checkpoint("sweep", done=3, total=8)
+    assert cache.read_checkpoint("sweep")["done"] == 3
+
+    path = tmp_path / "sweep" / "checkpoint.json"
+    payload = json.loads(path.read_text())
+    payload["done"] = 8  # claim the sweep finished
+    path.write_text(json.dumps(payload))
+    assert cache.read_checkpoint("sweep") is None
+    assert cache.corrupt_discarded == 1
+
+    # Pre-checksum (schema-1) checkpoints are accepted as-is.
+    path.write_text(json.dumps(
+        {"version": 1, "sweep": "sweep", "done": 2, "total": 8}
+    ))
+    assert cache.read_checkpoint("sweep")["done"] == 2
+
+
 def test_point_key_is_stable_and_spec_sensitive():
     base = dict(
         sweep="s", algorithm=AlgorithmX, n=8, p=4, seed=0,

@@ -146,3 +146,110 @@ class TestAlarmNesting:
             pass
         delay, _ = signal.getitimer(signal.ITIMER_REAL)
         assert delay == 0.0
+
+
+class TestAlarmOffMainThread:
+    """The timeout guard off the main thread (satellite regression).
+
+    SIGALRM can only be armed from the main thread; before the fix,
+    entering ``_alarm`` anywhere else raised ``ValueError`` from
+    ``signal.signal``.  Now it degrades to a timer-based soft deadline:
+    same ``PointTimeout``, same between-bytecodes granularity, one
+    ``RuntimeWarning`` per process.
+    """
+
+    def run_in_thread(self, target):
+        import threading
+
+        box = {}
+
+        def wrapper():
+            try:
+                box["value"] = target()
+            except BaseException as exc:  # noqa: BLE001 - relayed to test
+                box["error"] = exc
+
+        worker = threading.Thread(target=wrapper, daemon=True)
+        worker.start()
+        worker.join(timeout=30.0)
+        assert not worker.is_alive(), "guarded thread never finished"
+        if "error" in box:
+            raise box["error"]
+        return box.get("value")
+
+    def test_entering_off_main_thread_warns_instead_of_raising(self):
+        import warnings
+
+        from repro.experiments.parallel import _alarm
+
+        def guarded_noop():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with _alarm(5.0):
+                    pass
+            return caught
+
+        _alarm._soft_warned = False  # the warning is once-per-process
+        caught = self.run_in_thread(guarded_noop)
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "SIGALRM" in str(w.message)
+            for w in caught
+        )
+        # Second use is silent.
+        assert not self.run_in_thread(guarded_noop)
+
+    def test_soft_deadline_interrupts_off_main_thread(self):
+        import time as _time
+
+        from repro.experiments.parallel import PointTimeout, _alarm
+
+        def spin_past_deadline():
+            with pytest.raises(PointTimeout):
+                with _alarm(0.05):
+                    deadline = _time.monotonic() + 10.0
+                    while _time.monotonic() < deadline:
+                        pass
+            return "interrupted"
+
+        assert self.run_in_thread(spin_past_deadline) == "interrupted"
+
+    def test_fast_body_is_not_interrupted_after_exit(self):
+        import time as _time
+
+        from repro.experiments.parallel import _alarm
+
+        def guarded_fast_body():
+            with _alarm(0.05):
+                value = 1 + 1
+            # Linger past the deadline: a timer firing after __exit__
+            # must not inject PointTimeout into this thread.
+            _time.sleep(0.2)
+            return value
+
+        assert self.run_in_thread(guarded_fast_body) == 2
+
+    def test_execute_point_times_out_off_main_thread(self):
+        from repro.experiments import parallel as parallel_module
+
+        spec = churn_spec()
+        point = parallel_module.expand_spec(spec)[0]
+
+        def glacial(*args, **kwargs):
+            import time as _time
+
+            deadline = _time.monotonic() + 10.0
+            while _time.monotonic() < deadline:
+                pass
+
+        real = parallel_module.measure_write_all
+        parallel_module.measure_write_all = glacial
+        try:
+            def run():
+                return parallel_module.execute_point(point, timeout=0.1)
+
+            status, payload, elapsed = self.run_in_thread(run)
+        finally:
+            parallel_module.measure_write_all = real
+        assert status == "timeout"
+        assert "0.1" in str(payload)
