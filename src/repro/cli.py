@@ -13,6 +13,11 @@ Commands:
   injection (worker crashes, stalls, transient errors, cache
   corruption) and assert the sweep still converges to results
   bit-identical to a fault-free serial run;
+* ``fuzz``      — property-based soak of the Theorem 4.1 simulator:
+  seeded random PRAM programs run through all four machine lanes under
+  randomly drawn adversaries (plus inline chaos injection), checked
+  bit-identical against the ideal fault-free oracle over three passes;
+  failures are delta-debugged to minimal replayable JSON fixtures;
 * ``perf``      — micro-benchmark the simulator core: fast path (with
   and without event-horizon batching) vs the reference baseline under
   selectable fault scenarios (``--adversary``), min-of-k timing,
@@ -336,6 +341,54 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.fuzz import run_fuzz
+    from repro.fuzz.driver import LANES
+    from repro.fuzz.generator import GeneratorConfig
+
+    if args.lanes is None:
+        lanes = tuple(LANES)
+    else:
+        lanes = tuple(
+            token.strip() for token in args.lanes.split(",") if token.strip()
+        )
+        unknown = [lane for lane in lanes if lane not in LANES]
+        if unknown:
+            raise SystemExit(
+                f"unknown lane(s): {', '.join(unknown)} "
+                f"(known: {', '.join(LANES)})"
+            )
+    config = GeneratorConfig(
+        max_width=args.max_width,
+        max_steps=args.max_steps,
+    )
+    started = time_module.perf_counter()
+    outcome = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        passes=args.passes,
+        lanes=lanes,
+        config=config,
+        chaos=not args.no_chaos,
+        fixture_dir=args.fixture_dir,
+        max_fixtures=args.max_fixtures,
+        log=lambda line: print(f"[fuzz] {line}"),
+    )
+    wall_s = time_module.perf_counter() - started
+    print(f"[fuzz] {outcome.summary()}")
+    print(
+        f"[fuzz] adversary draws: "
+        + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(outcome.adversary_histogram.items())
+        )
+        + f"; {wall_s:.2f}s wall"
+    )
+    return 0 if outcome.converged else 1
+
+
 def _parse_size(token: str) -> tuple:
     try:
         n_text, p_text = token.lower().split("x", 1)
@@ -453,7 +506,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("memory head:", result.memory[: min(16, len(result.memory))])
         return 0 if result.solved else 1
     simulator = RobustSimulator(
-        p=args.p, algorithm=ALGORITHMS[args.algorithm](), adversary=adversary
+        p=args.p, algorithm=ALGORITHMS[args.algorithm](), adversary=adversary,
+        fast_forward=not args.no_fast_forward, compiled=not args.no_compiled,
     )
     result = simulator.execute(program, initial)
     status = "solved" if result.solved else "INCOMPLETE"
@@ -579,6 +633,37 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--chaos-corrupt", type=float, default=0.25,
                        help="cache-corruption injection rate per point")
     chaos.set_defaults(func=cmd_chaos)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzz of the Theorem 4.1 simulator "
+             "(random programs x lanes x adversaries)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzz seed; every draw is a pure function "
+                           "of it")
+    fuzz.add_argument("--iterations", type=int, default=200,
+                      help="generated programs per run")
+    fuzz.add_argument("--passes", type=int, default=3,
+                      help="bit-identical convergence passes per "
+                           "program (the repro-chaos contract)")
+    fuzz.add_argument("--lanes", default=None,
+                      help="comma-separated lanes to exercise "
+                           "(default: fast,noff,nokernel,reference)")
+    fuzz.add_argument("--max-width", type=int, default=5,
+                      help="max simulated processors per program")
+    fuzz.add_argument("--max-steps", type=int, default=4,
+                      help="max steps per program")
+    fuzz.add_argument("--no-chaos", action="store_true",
+                      help="disable inline chaos injection around "
+                           "executions")
+    fuzz.add_argument("--fixture-dir", default="tests/fuzz/fixtures",
+                      help="where shrunk failure fixtures land "
+                           "(loaded forever after by "
+                           "tests/fuzz/test_fixtures.py)")
+    fuzz.add_argument("--max-fixtures", type=int, default=5,
+                      help="cap on shrunk fixtures per run")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     perf = commands.add_parser(
         "perf",

@@ -1,0 +1,370 @@
+"""The fuzz driver: generated programs x lanes x adversaries x passes.
+
+Each iteration draws a program, an initial memory, and an adversary
+from the named-adversary registry (all pure functions of the fuzz
+seed), computes the ideal fault-free oracle, then executes the program
+through :class:`~repro.simulation.executor.RobustSimulator` on all four
+machine lanes:
+
+====================  =========  ============  ========
+lane                  fast_path  fast_forward  compiled
+====================  =========  ============  ========
+``fast``              True       True          True
+``noff``              True       False         True
+``nokernel``          True       True          False
+``reference``         False      False         False
+====================  =========  ============  ========
+
+under the same three-pass bit-identical convergence contract as
+``repro chaos``: every (iteration, lane) memory must equal the oracle
+*and* reproduce bit-identically across all passes.  A
+:class:`~repro.experiments.chaos.ChaosPolicy` additionally injects
+inline crashes, stalls and transient errors around executions (the
+driver retries, and the retried run must still converge) — the
+harness-level faults of PR 5 layered on top of the model-level
+adversaries.
+
+On mismatch the driver delta-debugs the program to a minimal
+reproduction (:mod:`repro.fuzz.shrinker`) and emits a replayable JSON
+fixture (:mod:`repro.fuzz.fixtures`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import AlgorithmVX
+from repro.experiments.chaos import ChaosCrash, ChaosError, ChaosPolicy
+from repro.experiments.factories import build_named_adversary
+from repro.fuzz.generator import (
+    DEFAULT_CONFIG,
+    GeneratedProgram,
+    GeneratorConfig,
+    generate_initial_memory,
+    generate_program,
+    int_draw,
+    unit_draw,
+)
+from repro.fuzz.oracle import ideal_run
+from repro.fuzz.shrinker import shrink
+from repro.simulation.executor import RobustSimulator
+
+#: (fast_path, fast_forward, compiled) per lane, reference last — the
+#: same four legs as ``tests/pram/test_fast_path_differential.MODES``.
+LANES: Dict[str, Tuple[bool, bool, bool]] = {
+    "fast": (True, True, True),
+    "noff": (True, False, True),
+    "nokernel": (True, True, False),
+    "reference": (False, False, False),
+}
+
+#: Adversaries the fuzzer draws from — the registry names that are
+#: layout-agnostic and terminating for the simulator's V+X engine
+#: (``stalker``/``acc-stalker``/``starver`` are bespoke to one
+#: algorithm's layout and stay in their targeted suites).
+ADVERSARY_DRAWS: Tuple[str, ...] = (
+    "none", "random", "crash", "burst", "thrashing", "halving",
+    "sched-sparse",
+)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A replayable adversary draw (registry name + parameters)."""
+
+    name: str
+    fail: float = 0.1
+    restart_prob: float = 0.3
+    seed: int = 0
+
+    def build(self):
+        return build_named_adversary(
+            self.name, self.fail, self.restart_prob, self.seed
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "fail": self.fail,
+            "restart_prob": self.restart_prob,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "AdversarySpec":
+        return cls(
+            name=str(data["name"]),
+            fail=float(data["fail"]),
+            restart_prob=float(data["restart_prob"]),
+            seed=int(data["seed"]),
+        )
+
+
+def draw_adversary_spec(seed: int, iteration: int) -> AdversarySpec:
+    """The adversary for ``(seed, iteration)`` — hash-derived, stable."""
+    name = ADVERSARY_DRAWS[
+        int_draw(seed, 0, len(ADVERSARY_DRAWS) - 1, "adv", iteration)
+    ]
+    fail = 0.05 + 0.25 * unit_draw(seed, "adv-fail", iteration)
+    restart_prob = 0.2 + 0.4 * unit_draw(seed, "adv-restart", iteration)
+    adversary_seed = int_draw(seed, 0, 2**31 - 1, "adv-seed", iteration)
+    return AdversarySpec(
+        name=name, fail=round(fail, 6), restart_prob=round(restart_prob, 6),
+        seed=adversary_seed,
+    )
+
+
+def execute_lane(
+    program: GeneratedProgram,
+    initial: Sequence[int],
+    lane: str,
+    adversary_spec: AdversarySpec,
+    p: int,
+    max_ticks_per_phase: int = 300_000,
+):
+    """One robust execution of ``program`` on ``lane``; returns the
+    SimulationResult."""
+    fast_path, fast_forward, compiled = LANES[lane]
+    simulator = RobustSimulator(
+        p=p,
+        algorithm=AlgorithmVX(),
+        adversary=adversary_spec.build(),
+        max_ticks_per_phase=max_ticks_per_phase,
+        fast_path=fast_path,
+        fast_forward=fast_forward,
+        compiled=compiled,
+    )
+    return simulator.execute(program.to_sim_program(), list(initial))
+
+
+def _memory_digest(memory: Sequence[int]) -> str:
+    return hashlib.sha256(
+        json.dumps(list(memory)).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class FuzzFailure:
+    """One detected divergence, before and after shrinking."""
+
+    kind: str  # "mismatch" | "unsolved" | "nonconverged"
+    iteration: int
+    lane: str
+    pass_index: int
+    adversary: AdversarySpec
+    p: int
+    program: GeneratedProgram
+    initial: List[int]
+    expected: List[int]
+    observed: Optional[List[int]]
+    shrunk_program: Optional[GeneratedProgram] = None
+    shrunk_initial: Optional[List[int]] = None
+
+    def describe(self) -> str:
+        size = len(self.program.steps)
+        shrunk = (
+            f", shrunk to {len(self.shrunk_program.steps)} step(s)"
+            if self.shrunk_program is not None else ""
+        )
+        return (
+            f"{self.kind} at iteration {self.iteration}, lane {self.lane}, "
+            f"pass {self.pass_index}: {self.program.name} "
+            f"({size} step(s), width {self.program.width}) under "
+            f"{self.adversary.name}[seed={self.adversary.seed}] "
+            f"on p={self.p}{shrunk}"
+        )
+
+
+@dataclass
+class FuzzOutcome:
+    """A fuzz run's verdict and accounting."""
+
+    seed: int
+    iterations: int
+    passes: int
+    lanes: Tuple[str, ...]
+    converged: bool
+    executions: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    adversary_histogram: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+    fixture_paths: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        verdict = "CONVERGED" if self.converged else "DIVERGED"
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.injected.items())
+        ) or "none"
+        lines = [
+            f"{verdict}: seed {self.seed}, {self.iterations} program(s) x "
+            f"{len(self.lanes)} lane(s) x {self.passes} pass(es) = "
+            f"{self.executions} robust executions, chaos injected {injected}",
+        ]
+        lines.extend(
+            f"  FAILURE: {failure.describe()}" for failure in self.failures
+        )
+        lines.extend(
+            f"  fixture: {path}" for path in self.fixture_paths
+        )
+        return "\n".join(lines)
+
+
+def _failure_predicate(
+    lane: str, adversary_spec: AdversarySpec, p: int
+) -> Callable[[GeneratedProgram, List[int]], bool]:
+    """Does a candidate still diverge from its oracle on this lane?"""
+
+    def is_failing(program: GeneratedProgram, initial: List[int]) -> bool:
+        try:
+            expected = ideal_run(program, initial)
+            result = execute_lane(program, initial, lane, adversary_spec, p)
+        except ValueError:
+            return False
+        return not result.solved or result.memory != expected
+
+    return is_failing
+
+
+def run_fuzz(
+    seed: int = 0,
+    iterations: int = 100,
+    passes: int = 3,
+    lanes: Sequence[str] = tuple(LANES),
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    chaos: bool = True,
+    chaos_retries: int = 4,
+    fixture_dir: Optional[str] = None,
+    max_fixtures: int = 5,
+    shrink_budget: int = 250,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzOutcome:
+    """The fuzz soak: seeded programs, four lanes, three passes.
+
+    Convergence means every (iteration, lane, pass) execution solved
+    and ended bit-identical to the ideal fault-free oracle — which also
+    makes every pass bit-identical to every other, the ``repro chaos``
+    contract.  Pass-to-pass divergence with a correct oracle match is
+    impossible, but is still checked independently (``nonconverged``)
+    so a nondeterminism bug cannot hide behind a coincidentally-correct
+    final memory digest.
+    """
+    unknown = [lane for lane in lanes if lane not in LANES]
+    if unknown:
+        raise ValueError(f"unknown lane(s) {unknown}; known: {list(LANES)}")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if passes < 1:
+        raise ValueError(f"passes must be >= 1, got {passes}")
+
+    def emit(line: str) -> None:
+        if log is not None:
+            log(line)
+
+    policy = ChaosPolicy(
+        seed=int_draw(seed, 0, 2**31 - 1, "chaos"),
+        crash=0.02, stall=0.01, error=0.02, stall_s=0.01,
+    ) if chaos else None
+
+    outcome = FuzzOutcome(
+        seed=seed, iterations=iterations, passes=passes,
+        lanes=tuple(lanes), converged=True,
+    )
+    digests: Dict[Tuple[int, str], str] = {}
+    shrinks_left = max_fixtures
+    for iteration in range(iterations):
+        program = generate_program(int_draw(seed, 0, 2**31 - 1,
+                                            "program", iteration),
+                                   config)
+        initial = generate_initial_memory(
+            int_draw(seed, 0, 2**31 - 1, "initial", iteration),
+            program.memory_size, config,
+        )
+        adversary_spec = draw_adversary_spec(seed, iteration)
+        p = int_draw(seed, 1, 4, "p", iteration)
+        outcome.adversary_histogram[adversary_spec.name] = (
+            outcome.adversary_histogram.get(adversary_spec.name, 0) + 1
+        )
+        expected = ideal_run(program, initial)
+        iteration_failed = False
+        for pass_index in range(passes):
+            if iteration_failed:
+                break
+            for lane in lanes:
+                result = None
+                point = (iteration * passes + pass_index) * len(LANES) \
+                    + list(LANES).index(lane)
+                for attempt in range(1, chaos_retries + 2):
+                    try:
+                        if policy is not None:
+                            policy.perturb(point, attempt)
+                        result = execute_lane(
+                            program, initial, lane, adversary_spec, p
+                        )
+                        break
+                    except (ChaosCrash, ChaosError) as exc:
+                        kind = ("crash" if isinstance(exc, ChaosCrash)
+                                else "error")
+                        outcome.injected[kind] = (
+                            outcome.injected.get(kind, 0) + 1
+                        )
+                if result is None:  # pragma: no cover - retries exhausted
+                    raise RuntimeError(
+                        f"chaos exhausted {chaos_retries} retries at "
+                        f"iteration {iteration}, lane {lane}"
+                    )
+                outcome.executions += 1
+
+                failure_kind = None
+                if not result.solved:
+                    failure_kind = "unsolved"
+                elif result.memory != expected:
+                    failure_kind = "mismatch"
+                else:
+                    digest = _memory_digest(result.memory)
+                    prior = digests.setdefault((iteration, lane), digest)
+                    if digest != prior:  # pragma: no cover - needs a bug
+                        failure_kind = "nonconverged"
+                if failure_kind is None:
+                    continue
+
+                failure = FuzzFailure(
+                    kind=failure_kind,
+                    iteration=iteration,
+                    lane=lane,
+                    pass_index=pass_index,
+                    adversary=adversary_spec,
+                    p=p,
+                    program=program,
+                    initial=list(initial),
+                    expected=list(expected),
+                    observed=list(result.memory),
+                )
+                outcome.converged = False
+                outcome.failures.append(failure)
+                iteration_failed = True
+                emit(f"FAILURE: {failure.describe()}")
+                if shrinks_left > 0:
+                    shrinks_left -= 1
+                    predicate = _failure_predicate(lane, adversary_spec, p)
+                    if predicate(program, list(initial)):
+                        shrunk, shrunk_initial = shrink(
+                            program, initial, predicate,
+                            max_evaluations=shrink_budget,
+                        )
+                        failure.shrunk_program = shrunk
+                        failure.shrunk_initial = shrunk_initial
+                        emit(
+                            f"shrunk to {len(shrunk.steps)} step(s), "
+                            f"width {shrunk.width}"
+                        )
+                    if fixture_dir is not None:
+                        from repro.fuzz.fixtures import dump_fixture
+
+                        path = dump_fixture(fixture_dir, failure)
+                        outcome.fixture_paths.append(str(path))
+                        emit(f"fixture written: {path}")
+                break  # stop re-running a known-bad (iteration, lane)
+    return outcome

@@ -1,0 +1,344 @@
+"""Seeded random-program generator for the Theorem 4.1 fuzzer.
+
+Programs are *declarative*: a :class:`GeneratedProgram` is a table of
+per-processor :class:`ProcessorAction` rows (read addresses, write
+addresses, an opcode and a constant), not closures.  That buys three
+properties the fuzzer needs:
+
+* **JSON round-trip** — a failing program serializes into a replayable
+  fixture (see :mod:`repro.fuzz.fixtures`) byte-for-byte;
+* **shrinkability** — the delta-debugger edits the table, not code;
+* **version-stable determinism** — every draw is a pure SHA-256
+  function of ``(seed, coordinates)``, the same construction as
+  :class:`repro.experiments.chaos.ChaosPolicy`.  ``random.Random``
+  method behavior has shifted across CPython releases; hashes have not,
+  so a CI failure on Python 3.12 replays identically on 3.9.
+
+Generated programs respect the model's update-cycle budget (reads <= 4,
+writes <= 2 per simulated processor per step) and keep write sets
+disjoint across processors within a step (exclusive writes), so the
+ideal synchronous PRAM oracle is deterministic and the robust executor
+must reproduce it *exactly* for every failure pattern.  Data
+dependencies are acyclic by construction: programs are straight-line,
+and within a step every read observes the previous step's memory (the
+two-phase executor's synchronous semantics), so the step's dependence
+graph is bipartite reads -> writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.simulation.step import SimProgram, SimStep
+
+#: Opcodes a generated action may carry.  Semantics live in
+#: :func:`apply_op` — shared by the executor-facing SimStep *and* the
+#: ideal oracle, so the two cannot drift apart on op meaning; what is
+#: being differentially tested is the robust execution machinery, not
+#: the arithmetic.
+OPS: Tuple[str, ...] = ("sum", "max", "min", "const", "copy", "xor")
+
+#: Values are kept in a bounded ring so long programs cannot blow up
+#: fixture files; the modulus is prime so "sum" does not silently
+#: collapse onto a power-of-two mask.
+VALUE_MODULUS = 1_000_003
+
+
+def unit_draw(seed: int, *parts: object) -> float:
+    """A uniform [0, 1) draw that is a pure function of its arguments.
+
+    The same hash-derived construction as the chaos policy's draws:
+    there is no generator state to keep in sync, and the value is
+    identical on every Python version and platform.
+    """
+    material = "|".join(str(part) for part in (seed,) + parts)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:7], "big") / float(1 << 56)
+
+
+def int_draw(seed: int, low: int, high: int, *parts: object) -> int:
+    """A uniform integer in ``[low, high]`` (inclusive), hash-derived."""
+    if high < low:
+        raise ValueError(f"empty draw range [{low}, {high}]")
+    span = high - low + 1
+    return low + int(unit_draw(seed, *parts) * span) % span
+
+
+def permutation_draw(seed: int, n: int, *parts: object) -> List[int]:
+    """A deterministic permutation of ``range(n)`` (Fisher-Yates over
+    hash draws)."""
+    items = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = int_draw(seed, 0, i, *parts, "swap", i)
+        items[i], items[j] = items[j], items[i]
+    return items
+
+
+def apply_op(op: str, values: Tuple[int, ...], constant: int,
+             n_outputs: int) -> Tuple[int, ...]:
+    """Evaluate an action's opcode over the values it read.
+
+    Output slot ``j`` gets ``base + j`` (mod :data:`VALUE_MODULUS`) so
+    an action writing two cells writes two *different* values — a
+    commit that swaps or duplicates staging slots cannot hide.
+    """
+    if op == "sum":
+        base = sum(values) + constant
+    elif op == "max":
+        base = max(values) if values else constant
+    elif op == "min":
+        base = min(values) if values else constant
+    elif op == "const":
+        base = constant
+    elif op == "copy":
+        base = values[0] if values else constant
+    elif op == "xor":
+        base = constant
+        for value in values:
+            base ^= value
+    else:
+        raise ValueError(f"unknown op {op!r}; known: {OPS}")
+    return tuple((base + j) % VALUE_MODULUS for j in range(n_outputs))
+
+
+@dataclass(frozen=True)
+class ProcessorAction:
+    """One simulated processor's behavior in one step."""
+
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    op: str = "const"
+    constant: int = 0
+
+    def outputs(self, values: Tuple[int, ...]) -> Tuple[int, ...]:
+        return apply_op(self.op, values, self.constant, len(self.writes))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "reads": list(self.reads),
+            "writes": list(self.writes),
+            "op": self.op,
+            "constant": self.constant,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ProcessorAction":
+        return cls(
+            reads=tuple(data["reads"]),
+            writes=tuple(data["writes"]),
+            op=str(data["op"]),
+            constant=int(data["constant"]),
+        )
+
+
+class _TableStep(SimStep):
+    """A SimStep backed by a row of ProcessorActions."""
+
+    def __init__(self, actions: Sequence[ProcessorAction], label: str) -> None:
+        self.actions = tuple(actions)
+        self.label = label
+
+    def read_addresses(self, processor: int):
+        return self.actions[processor].reads
+
+    def write_addresses(self, processor: int):
+        return self.actions[processor].writes
+
+    def compute(self, processor: int, values: Tuple[int, ...]):
+        return self.actions[processor].outputs(values)
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A declarative straight-line PRAM program (one action table per
+    step)."""
+
+    width: int
+    memory_size: int
+    steps: Tuple[Tuple[ProcessorAction, ...], ...]
+    name: str = "fuzz"
+
+    def to_sim_program(self) -> SimProgram:
+        sim_steps = [
+            _TableStep(actions, label=f"{self.name}:{index}")
+            for index, actions in enumerate(self.steps)
+        ]
+        return SimProgram(
+            width=self.width,
+            memory_size=self.memory_size,
+            steps=sim_steps,
+            name=self.name,
+        )
+
+    def validate(self) -> None:
+        """Model-budget and exclusive-write checks on the action table."""
+        for index, actions in enumerate(self.steps):
+            if len(actions) != self.width:
+                raise ValueError(
+                    f"{self.name} step {index}: {len(actions)} actions "
+                    f"for width {self.width}"
+                )
+            seen_writes: Dict[int, int] = {}
+            for processor, action in enumerate(actions):
+                if len(action.reads) > 4:
+                    raise ValueError(
+                        f"{self.name} step {index} processor {processor}: "
+                        f"{len(action.reads)} reads exceed the budget of 4"
+                    )
+                if len(action.writes) > 2:
+                    raise ValueError(
+                        f"{self.name} step {index} processor {processor}: "
+                        f"{len(action.writes)} writes exceed the budget of 2"
+                    )
+                for address in action.reads + action.writes:
+                    if not 0 <= address < self.memory_size:
+                        raise ValueError(
+                            f"{self.name} step {index} processor "
+                            f"{processor}: address {address} out of "
+                            f"[0, {self.memory_size})"
+                        )
+                for address in action.writes:
+                    if address in seen_writes:
+                        raise ValueError(
+                            f"{self.name} step {index}: processors "
+                            f"{seen_writes[address]} and {processor} both "
+                            f"write cell {address} (writes must be "
+                            f"exclusive for a deterministic oracle)"
+                        )
+                    seen_writes[address] = processor
+        self.to_sim_program().validate()
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "width": self.width,
+            "memory_size": self.memory_size,
+            "name": self.name,
+            "steps": [
+                [action.to_json() for action in actions]
+                for actions in self.steps
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "GeneratedProgram":
+        return cls(
+            width=int(data["width"]),
+            memory_size=int(data["memory_size"]),
+            name=str(data.get("name", "fuzz")),
+            steps=tuple(
+                tuple(ProcessorAction.from_json(action) for action in actions)
+                for actions in data["steps"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Bounds on generated programs.
+
+    The defaults keep instances tiny — the point is breadth (many
+    seeds) rather than depth, and four lanes x three passes multiply
+    every iteration's cost.
+    """
+
+    min_width: int = 1
+    max_width: int = 5
+    extra_memory: int = 4       # memory_size - width upper bound
+    min_steps: int = 1
+    max_steps: int = 4
+    max_reads: int = 4          # the model budget; do not raise
+    max_writes: int = 2         # the model budget; do not raise
+    value_range: int = 50       # initial memory cells in [0, value_range)
+    ops: Tuple[str, ...] = OPS
+    write_density: float = 0.8  # P(a processor writes at all) per step
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_width <= self.max_width:
+            raise ValueError(
+                f"bad width bounds [{self.min_width}, {self.max_width}]"
+            )
+        if not 0 <= self.min_steps <= self.max_steps:
+            raise ValueError(
+                f"bad step bounds [{self.min_steps}, {self.max_steps}]"
+            )
+        if not 0 <= self.max_reads <= 4:
+            raise ValueError(f"max_reads {self.max_reads} outside [0, 4]")
+        if not 1 <= self.max_writes <= 2:
+            raise ValueError(f"max_writes {self.max_writes} outside [1, 2]")
+        unknown = [op for op in self.ops if op not in OPS]
+        if unknown:
+            raise ValueError(f"unknown ops {unknown}; known: {OPS}")
+
+
+#: The fuzzer's default bounds.
+DEFAULT_CONFIG = GeneratorConfig()
+
+
+def generate_program(
+    seed: int, config: GeneratorConfig = DEFAULT_CONFIG
+) -> GeneratedProgram:
+    """The program for ``seed`` under ``config`` — pure and stable.
+
+    Per step, a deterministic permutation of the address space is dealt
+    out to processors as write sets (hence exclusive writes), and each
+    processor draws up to ``max_reads`` read addresses freely: any cell
+    may be read by many processors (CREW), including cells written this
+    step (reads observe the previous step — the synchronous-semantics
+    trap the executor must not fall into).
+    """
+    width = int_draw(seed, config.min_width, config.max_width, "width")
+    memory_size = width + int_draw(seed, 0, config.extra_memory, "mem")
+    n_steps = int_draw(seed, config.min_steps, config.max_steps, "steps")
+    steps: List[Tuple[ProcessorAction, ...]] = []
+    for s in range(n_steps):
+        pool = permutation_draw(seed, memory_size, "pool", s)
+        cursor = 0
+        actions: List[ProcessorAction] = []
+        for i in range(width):
+            n_reads = int_draw(seed, 0, config.max_reads, "reads", s, i)
+            reads = tuple(
+                int_draw(seed, 0, memory_size - 1, "read", s, i, k)
+                for k in range(n_reads)
+            )
+            if unit_draw(seed, "writer", s, i) < config.write_density:
+                n_writes = min(
+                    int_draw(seed, 1, config.max_writes, "writes", s, i),
+                    memory_size - cursor,
+                )
+            else:
+                n_writes = 0
+            writes = tuple(sorted(pool[cursor:cursor + n_writes]))
+            cursor += n_writes
+            op = config.ops[
+                int_draw(seed, 0, len(config.ops) - 1, "op", s, i)
+            ]
+            constant = int_draw(
+                seed, 0, config.value_range - 1, "const", s, i
+            )
+            actions.append(
+                ProcessorAction(
+                    reads=reads, writes=writes, op=op, constant=constant
+                )
+            )
+        steps.append(tuple(actions))
+    program = GeneratedProgram(
+        width=width,
+        memory_size=memory_size,
+        steps=tuple(steps),
+        name=f"fuzz[{seed}]",
+    )
+    program.validate()
+    return program
+
+
+def generate_initial_memory(
+    seed: int, memory_size: int, config: GeneratorConfig = DEFAULT_CONFIG
+) -> List[int]:
+    """The initial simulated memory for ``seed`` — pure and stable."""
+    return [
+        int_draw(seed, 0, config.value_range - 1, "init", address)
+        for address in range(memory_size)
+    ]
+

@@ -1,0 +1,49 @@
+"""The ideal fault-free synchronous PRAM — the fuzzer's ground truth.
+
+Theorem 4.1's correctness statement is *semantic transparency*: for any
+failure pattern, the robust execution of a program must end with the
+exact memory the ideal synchronous PRAM produces.  This evaluator is
+that ideal machine, written with none of the Write-All machinery: a
+plain two-phase sweep per step (gather all reads against the previous
+memory, then install all writes).  It shares opcode semantics with the
+generator (:func:`repro.fuzz.generator.apply_op`), so the differential
+check isolates the execution machinery — phases, staging, commit,
+failure recovery — not the arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.fuzz.generator import GeneratedProgram
+
+
+def ideal_run(
+    program: GeneratedProgram, initial: Sequence[int]
+) -> List[int]:
+    """Final memory of the fault-free synchronous execution.
+
+    Raises ``ValueError`` on the inputs the generator never produces
+    (oversized initial memory, conflicting writes) so a hand-edited
+    fixture fails loudly instead of returning a bogus oracle.
+    """
+    if len(initial) > program.memory_size:
+        raise ValueError(
+            f"initial memory ({len(initial)} cells) exceeds the "
+            f"program's memory size {program.memory_size}"
+        )
+    memory = list(initial) + [0] * (program.memory_size - len(initial))
+    for index, actions in enumerate(program.steps):
+        writes = {}
+        for processor, action in enumerate(actions):
+            values = tuple(memory[address] for address in action.reads)
+            for address, value in zip(action.writes, action.outputs(values)):
+                if address in writes:
+                    raise ValueError(
+                        f"step {index}: cell {address} written twice; the "
+                        f"exclusive-write oracle is undefined"
+                    )
+                writes[address] = value
+        for address, value in writes.items():
+            memory[address] = value
+    return memory

@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 from repro.core.algorithm_vx import AlgorithmVX
 from repro.core.base import WriteAllAlgorithm, done_predicate
 from repro.core.tasks import CycleFactoryTasks
+from repro.pram.compiled import resolve_kernel
 from repro.pram.cycles import Cycle, Write
 from repro.pram.ledger import RunLedger
 from repro.pram.machine import Machine
@@ -51,6 +52,11 @@ class PhaseRecord:
     n_tasks: int
     ledger: RunLedger
     solved: bool
+    #: Simulated-memory snapshot taken right after this phase, when the
+    #: simulator runs with ``capture_snapshots=True`` (None otherwise).
+    #: The fuzz shrinker uses these to localize the first divergent
+    #: phase of a failing program.
+    memory: Optional[List[int]] = None
 
     @property
     def completed_work(self) -> int:
@@ -96,8 +102,19 @@ class SimulationResult:
     def step_overhead_ratio(self, step_index: int) -> float:
         """Per-simulated-step sigma = S_step / (N + |F|_step) (Thm 4.1)."""
         records = [r for r in self.phases if r.step_index == step_index]
+        if not records:
+            raise ValueError(
+                f"step {step_index} of {self.program!r} has no recorded "
+                f"phases (a write-free step is skipped as a no-op), so "
+                f"its overhead ratio sigma is undefined"
+            )
         pattern = sum(r.pattern_size for r in records)
-        n = max((r.n_tasks for r in records), default=1)
+        n = max(r.n_tasks for r in records)
+        if n + pattern == 0:
+            raise ValueError(
+                f"step {step_index} of {self.program!r} has zero pattern "
+                f"size and zero tasks; sigma = S / (N + |F|) is undefined"
+            )
         return self.step_work(step_index) / (n + pattern)
 
     @property
@@ -116,6 +133,10 @@ class RobustSimulator:
         adversary: Optional[object] = None,
         policy: Optional[WritePolicy] = None,
         max_ticks_per_phase: int = 2_000_000,
+        fast_path: bool = True,
+        fast_forward: bool = True,
+        compiled: bool = True,
+        capture_snapshots: bool = False,
     ) -> None:
         if p <= 0:
             raise ValueError(f"simulator needs p > 0, got {p}")
@@ -124,6 +145,14 @@ class RobustSimulator:
         self.adversary = adversary
         self.policy = policy
         self.max_ticks_per_phase = max_ticks_per_phase
+        # Lane selection, mirroring solve_write_all: the reference lane
+        # is (False, False, False); ``fast_forward``/``compiled`` are
+        # the --no-fast-forward / --no-compiled escape hatches.  The
+        # fuzz driver runs every program through all four lanes.
+        self.fast_path = fast_path
+        self.fast_forward = fast_forward
+        self.compiled = compiled
+        self.capture_snapshots = capture_snapshots
 
     def execute(
         self, program: SimProgram, initial_memory: Optional[List[int]] = None
@@ -205,6 +234,8 @@ class RobustSimulator:
             policy=self.policy,
             adversary=self.adversary,
             allow_snapshot=self.algorithm.requires_snapshot,
+            fast_path=self.fast_path,
+            fast_forward=self.fast_forward,
             context={
                 "layout": layout,
                 "algorithm": self.algorithm.name,
@@ -212,13 +243,21 @@ class RobustSimulator:
                 "step": step_index,
             },
         )
-        machine.load_program(self.algorithm.program(layout, tasks))
+        machine.load_program(
+            self.algorithm.program(layout, tasks),
+            compiled_program=resolve_kernel(
+                self.algorithm, layout, tasks, self.compiled
+            ),
+        )
         ledger = machine.run(
             until=done_predicate(layout),
             max_ticks=self.max_ticks_per_phase,
             raise_on_limit=False,
         )
         solved = ledger.goal_reached
+        reader = MemoryReader(memory)
+        staging[:] = reader.region(staging_base, len(staging))
+        simulated[:] = reader.region(sim_base, len(simulated))
         result.phases.append(
             PhaseRecord(
                 step_index=step_index,
@@ -226,11 +265,9 @@ class RobustSimulator:
                 n_tasks=n_tasks,
                 ledger=ledger,
                 solved=solved,
+                memory=list(simulated) if self.capture_snapshots else None,
             )
         )
-        reader = MemoryReader(memory)
-        staging[:] = reader.region(staging_base, len(staging))
-        simulated[:] = reader.region(sim_base, len(simulated))
         return solved
 
 

@@ -1,0 +1,69 @@
+"""Tests for the ideal fault-free PRAM oracle."""
+
+import pytest
+
+from repro.core import AlgorithmVX
+from repro.faults import NoFailures
+from repro.fuzz.generator import (
+    GeneratedProgram,
+    ProcessorAction,
+    generate_initial_memory,
+    generate_program,
+)
+from repro.fuzz.oracle import ideal_run
+from repro.simulation import RobustSimulator
+
+
+class TestHandComputed:
+    def test_synchronous_swap(self):
+        # Both processors read the other's cell and copy it — the
+        # classic synchronous-semantics trap.
+        program = GeneratedProgram(
+            width=2, memory_size=2,
+            steps=((ProcessorAction(reads=(1,), writes=(0,), op="copy"),
+                    ProcessorAction(reads=(0,), writes=(1,), op="copy")),),
+        )
+        assert ideal_run(program, [3, 9]) == [9, 3]
+
+    def test_two_steps_chain(self):
+        step1 = (ProcessorAction(reads=(0,), writes=(1,), op="sum",
+                                 constant=1),)
+        step2 = (ProcessorAction(reads=(1,), writes=(0,), op="sum",
+                                 constant=1),)
+        program = GeneratedProgram(width=1, memory_size=2,
+                                   steps=(step1, step2))
+        assert ideal_run(program, [5, 0]) == [7, 6]
+
+    def test_short_initial_padded_with_zeros(self):
+        program = GeneratedProgram(
+            width=1, memory_size=3,
+            steps=((ProcessorAction(reads=(2,), writes=(0,), op="copy"),),),
+        )
+        assert ideal_run(program, [9]) == [0, 0, 0]
+
+    def test_oversized_initial_rejected(self):
+        program = GeneratedProgram(width=1, memory_size=1, steps=())
+        with pytest.raises(ValueError, match="exceeds"):
+            ideal_run(program, [1, 2])
+
+    def test_conflicting_writes_rejected(self):
+        program = GeneratedProgram(
+            width=2, memory_size=2,
+            steps=((ProcessorAction(writes=(0,)),
+                    ProcessorAction(writes=(0,))),),
+        )
+        with pytest.raises(ValueError, match="written twice"):
+            ideal_run(program, [0, 0])
+
+
+class TestAgainstFailureFreeSimulator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_oracle_matches_robust_execution(self, seed):
+        program = generate_program(seed)
+        initial = generate_initial_memory(seed, program.memory_size)
+        simulator = RobustSimulator(
+            p=3, algorithm=AlgorithmVX(), adversary=NoFailures()
+        )
+        result = simulator.execute(program.to_sim_program(), list(initial))
+        assert result.solved
+        assert result.memory == ideal_run(program, initial)

@@ -1,0 +1,152 @@
+"""Cross-lane differential tests for every library PRAM program.
+
+Each program in :mod:`repro.simulation.programs` runs through all four
+machine lanes (fast / no-fast-forward / no-kernel / reference) under at
+least two adversaries, and every run's final simulated memory must be
+bit-identical to the fault-free reference execution — Theorem 4.1's
+semantic transparency, asserted program x adversary x lane.  The
+Write-All differential suite (``tests/pram/``) proves lane identity for
+the *solver*; this suite proves it for the *simulation layer* on real
+workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AlgorithmX
+from repro.faults import BurstAdversary, NoFailures, RandomAdversary
+from repro.simulation import RobustSimulator
+from repro.simulation.programs import (
+    bfs_input,
+    bfs_program,
+    list_ranking_program,
+    matvec_program,
+    max_find_program,
+    odd_even_sort_program,
+    polynomial_input,
+    polynomial_program,
+    prefix_sum_program,
+)
+from repro.simulation.programs.list_ranking import list_ranking_input
+
+#: (fast_path, fast_forward, compiled) per lane, reference last.
+LANES = {
+    "fast": (True, True, True),
+    "noff": (True, False, True),
+    "nokernel": (True, True, False),
+    "reference": (False, False, False),
+}
+
+ADVERSARIES = {
+    "random": lambda: RandomAdversary(0.12, 0.35, seed=5),
+    "burst": lambda: BurstAdversary(period=3, fraction=0.5, downtime=1),
+}
+
+
+def _programs():
+    rng = random.Random(11)
+    m = 8
+    data = [rng.randint(0, 50) for _ in range(m)]
+    successor = list(range(1, m)) + [m - 1]
+    ranking_initial, _ = list_ranking_input(successor)
+    ring = [[(v - 1) % m, (v + 1) % m] for v in range(m)]
+    coefficients = [rng.randint(-3, 3) for _ in range(m)]
+    matrix_m = 4
+    matvec_initial = (
+        [rng.randint(-3, 3) for _ in range(matrix_m * matrix_m)]
+        + [rng.randint(-3, 3) for _ in range(matrix_m)]
+        + [0] * matrix_m
+    )
+    return {
+        "prefix-sum": (prefix_sum_program(m), list(data)),
+        "max-find": (max_find_program(m), list(data)),
+        "list-ranking": (list_ranking_program(m), ranking_initial),
+        "odd-even-sort": (odd_even_sort_program(m), list(data)),
+        "bfs": (bfs_program(ring, rounds=m), bfs_input(m, [0])),
+        "polynomial": (polynomial_program(m),
+                       polynomial_input(coefficients, 2)),
+        "matvec": (matvec_program(matrix_m), matvec_initial),
+    }
+
+
+PROGRAMS = _programs()
+
+
+def execute(program, initial, adversary, lane):
+    fast_path, fast_forward, compiled = LANES[lane]
+    simulator = RobustSimulator(
+        p=4,
+        algorithm=AlgorithmX(),
+        adversary=adversary,
+        fast_path=fast_path,
+        fast_forward=fast_forward,
+        compiled=compiled,
+    )
+    return simulator.execute(program, list(initial))
+
+
+@pytest.fixture(scope="module")
+def fault_free_memories():
+    """The reference-lane, failure-free memory per program — the
+    differential baseline every faulty lane must reproduce exactly."""
+    baselines = {}
+    for name, (program, initial) in PROGRAMS.items():
+        result = execute(program, initial, NoFailures(), "reference")
+        assert result.solved
+        baselines[name] = result.memory
+    return baselines
+
+
+class TestEveryProgramEveryLane:
+    @pytest.mark.parametrize("adversary_key", sorted(ADVERSARIES))
+    @pytest.mark.parametrize("lane", sorted(LANES))
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_lane_matches_fault_free_baseline(
+        self, name, lane, adversary_key, fault_free_memories
+    ):
+        program, initial = PROGRAMS[name]
+        result = execute(
+            program, initial, ADVERSARIES[adversary_key](), lane
+        )
+        assert result.solved
+        assert result.memory == fault_free_memories[name]
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_adversaries_actually_injected_faults(self, name):
+        program, initial = PROGRAMS[name]
+        result = execute(
+            program, initial, ADVERSARIES["random"](), "fast"
+        )
+        assert result.total_pattern_size > 0
+
+
+class TestSemanticSpotChecks:
+    """The baselines themselves compute what the programs claim."""
+
+    def test_prefix_sum_baseline(self, fault_free_memories):
+        _, data = PROGRAMS["prefix-sum"]
+        assert fault_free_memories["prefix-sum"] == [
+            sum(data[: i + 1]) for i in range(len(data))
+        ]
+
+    def test_max_find_baseline(self, fault_free_memories):
+        _, data = PROGRAMS["max-find"]
+        m = len(data)
+        assert fault_free_memories["max-find"][m] == max(data)
+
+    def test_sort_baseline(self, fault_free_memories):
+        _, data = PROGRAMS["odd-even-sort"]
+        assert fault_free_memories["odd-even-sort"] == sorted(data)
+
+    def test_bfs_baseline(self, fault_free_memories):
+        m = 8
+        assert fault_free_memories["bfs"] == [
+            min(v, m - v) for v in range(m)
+        ]
+
+    def test_list_ranking_baseline(self, fault_free_memories):
+        m = 8
+        assert fault_free_memories["list-ranking"][m:] == [
+            m - 1 - i for i in range(m)
+        ]

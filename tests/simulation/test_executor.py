@@ -94,6 +94,40 @@ class TestAccounting:
         assert result.step_overhead_ratio(0) > 0
         assert result.max_step_overhead_ratio >= result.step_overhead_ratio(0)
 
+    def test_step_overhead_ratio_rejects_unrecorded_step(self):
+        """A write-free step is skipped as a no-op, so its sigma is
+        undefined — that must surface as a clear ValueError, never a
+        ZeroDivisionError."""
+        from repro.simulation.step import SimStep
+
+        program = SimProgram(
+            width=2, memory_size=2,
+            steps=[SimStep(), increment_program(2).steps[0]],
+            name="leading-noop",
+        )
+        simulator = RobustSimulator(p=2, algorithm=AlgorithmX())
+        result = simulator.execute(program, [0, 0])
+        assert result.solved
+        assert result.step_overhead_ratio(1) > 0
+        with pytest.raises(ValueError, match="step 0 .*no recorded phases"):
+            result.step_overhead_ratio(0)
+        with pytest.raises(ValueError, match="no recorded phases"):
+            result.step_overhead_ratio(99)
+
+    def test_phase_snapshots_opt_in(self):
+        simulator = RobustSimulator(
+            p=2, algorithm=AlgorithmX(), capture_snapshots=True
+        )
+        result = simulator.execute(increment_program(2), [10, 20])
+        # compute phases leave simulated memory untouched; commit
+        # phases land the increments one step at a time.
+        assert [record.memory for record in result.phases] == [
+            [10, 20], [11, 21], [11, 21], [12, 22],
+        ]
+        plain = RobustSimulator(p=2, algorithm=AlgorithmX())
+        result = plain.execute(increment_program(2), [10, 20])
+        assert all(record.memory is None for record in result.phases)
+
 
 class TestUnderFailures:
     @pytest.mark.parametrize("algorithm_factory", [AlgorithmX, AlgorithmVX,
