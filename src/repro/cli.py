@@ -30,8 +30,10 @@ Commands:
 
 Adversaries are selected by name; stochastic ones take ``--fail``,
 ``--restart-prob`` and ``--seed``.  ``--no-fast-forward`` disables the
-machine's event-horizon tick batching and ``--no-compiled`` disables
-the compiled-kernel lane (``solve``, ``sweep``, ``trace``, ``perf``).
+machine's event-horizon tick batching, ``--no-compiled`` disables the
+compiled-kernel lane, and ``--vectorized`` opts in to the numpy batch
+lane (``solve``, ``sweep``, ``trace``, ``perf``; needs the optional
+numpy extra — ``pip install .[numpy]``).
 """
 
 from __future__ import annotations
@@ -119,6 +121,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compiled", action="store_true",
                         help="disable compiled program kernels (force "
                              "the generator protocol)")
+    _add_vectorized(parser)
+
+
+def _add_vectorized(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vectorized", dest="vectorized",
+                        action="store_true",
+                        help="opt in to the numpy batch lane: advance "
+                             "all P processors per tick as array ops "
+                             "(needs the optional numpy extra)")
+    parser.add_argument("--no-vectorized", dest="vectorized",
+                        action="store_false",
+                        help="stay on the scalar lanes (the default)")
+    parser.set_defaults(vectorized=False)
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -182,6 +197,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
+        vectorized=args.vectorized,
     )
     print(result.summary())
     return 0 if result.solved else 1
@@ -200,6 +216,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
+        vectorized=args.vectorized,
     )
     chaos = _chaos_from_args(args)
     use_engine = (
@@ -435,6 +452,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             adversaries=adversaries,
             fast_forward=not args.no_fast_forward,
             compiled=not args.no_compiled,
+            vectorized=args.vectorized,
         )
     wall_s = time_module.perf_counter() - started
     for comparison in comparisons:
@@ -463,6 +481,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(
             f"compiled kernels alone: worst {min(kernel_speedups):.2f}x, "
             f"best {max(kernel_speedups):.2f}x (vs generator dispatch)"
+        )
+    vec_speedups = [
+        c.vec_speedup for c in comparisons
+        if getattr(c, "vec_speedup", None) is not None
+    ]
+    if vec_speedups:
+        print(
+            f"vectorized lane alone: worst {min(vec_speedups):.2f}x, "
+            f"best {max(vec_speedups):.2f}x (vs scalar compiled lane)"
         )
     if args.tag is not None:
         os.makedirs(args.out, exist_ok=True)
@@ -508,6 +535,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     simulator = RobustSimulator(
         p=args.p, algorithm=ALGORITHMS[args.algorithm](), adversary=adversary,
         fast_forward=not args.no_fast_forward, compiled=not args.no_compiled,
+        vectorized=args.vectorized,
     )
     result = simulator.execute(program, initial)
     status = "solved" if result.solved else "INCOMPLETE"
@@ -532,6 +560,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
+        vectorized=args.vectorized,
     )
     print(result.summary())
     print()
@@ -648,8 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bit-identical convergence passes per "
                            "program (the repro-chaos contract)")
     fuzz.add_argument("--lanes", default=None,
-                      help="comma-separated lanes to exercise "
-                           "(default: fast,noff,nokernel,reference)")
+                      help="comma-separated lanes to exercise; lanes "
+                           "this environment cannot run (vec without "
+                           "the numpy extra) are skipped with a note "
+                           "(default: all registered lanes)")
     fuzz.add_argument("--max-width", type=int, default=5,
                       help="max simulated processors per program")
     fuzz.add_argument("--max-steps", type=int, default=4,
@@ -690,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--no-compiled", action="store_true",
                       help="time the fast leg without compiled kernels "
                            "(skips the separate no-kernel leg)")
+    _add_vectorized(perf)
     perf.add_argument("--repeats", type=int, default=5,
                       help="measured repeats per leg (min is reported)")
     perf.add_argument("--warmup", type=int, default=1,
@@ -736,11 +768,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.pram.vectorized import VectorizedUnavailable
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if getattr(args, "p", None) is None and hasattr(args, "n"):
         args.p = args.n
-    return args.func(args)
+    try:
+        return args.func(args)
+    except VectorizedUnavailable as exc:
+        raise SystemExit(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -81,3 +81,13 @@ class AlgorithmW(WriteAllAlgorithm):
             return PhasedKernel(pid, layout, lam)
 
         return factory
+
+    def vectorized_program(
+        self, layout: WLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[object]:
+        tasks = default_tasks(tasks)
+        if tasks.cycles_per_task != 0:
+            return None  # task cycles need the generator path
+        from repro.core.vector_kernels import WVector
+
+        return WVector(layout, iteration_length(layout, tasks))

@@ -81,6 +81,20 @@ class WriteAllAlgorithm:
         """
         return None
 
+    def vectorized_program(
+        self, layout: BaseLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[object]:
+        """Optional whole-machine vector program for this configuration.
+
+        Returns a :class:`repro.pram.vectorized.VectorProgram` that is
+        observationally identical to :meth:`program`, or ``None`` when
+        the configuration cannot be vectorized (the default).  Trusted
+        under the same MRO guard as :meth:`compiled_program`
+        (``repro.pram.vectorized.trusted_vectorized_program``), and
+        only consulted when the run opted in with ``--vectorized``.
+        """
+        return None
+
     def is_done(self, memory: MemoryReader, layout: BaseLayout) -> bool:
         """Whether the Write-All array is fully visited (uncharged check)."""
         x_base = layout.x_base
@@ -117,6 +131,14 @@ def done_predicate(
             if memory.read(x_base + index) == 0:
                 return False
         return True
+
+    if incremental:
+        # Machine-readable shape of the goal: "the region [x_base,
+        # x_base + n) has no zeros".  The vectorized lane batches whole
+        # quiet windows and uses this to evaluate the predicate inside
+        # the batch (computing the exact first tick it flips) instead
+        # of breaking the window every tick.
+        all_written.zero_goal = (x_base, n)
 
     return all_written
 

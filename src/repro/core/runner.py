@@ -9,6 +9,7 @@ from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
 from repro.core.problem import WriteAllInstance, verify_solution
 from repro.core.tasks import TaskSet
 from repro.pram.compiled import resolve_kernel
+from repro.pram.vectorized import resolve_vectorized
 from repro.pram.ledger import RunLedger
 from repro.pram.machine import Machine
 from repro.pram.memory import MemoryReader, SharedMemory
@@ -74,6 +75,7 @@ def solve_write_all(
     phase_counters: Optional[object] = None,
     incremental_until: bool = True,
     compiled: bool = True,
+    vectorized: bool = False,
 ) -> WriteAllResult:
     """Run ``algorithm`` on an (n, p) instance under ``adversary``.
 
@@ -92,6 +94,11 @@ def solve_write_all(
     ``compiled=False`` disables the compiled-kernel lane and forces the
     generator protocol even for algorithms that ship a trusted
     :meth:`~repro.core.base.WriteAllAlgorithm.compiled_program`.
+    ``vectorized=True`` opts in to the numpy batch lane
+    (:mod:`repro.pram.vectorized`) for algorithms that ship a trusted
+    ``vectorized_program``; it raises
+    :class:`~repro.pram.vectorized.VectorizedUnavailable` when the
+    optional numpy extra is missing.
     """
     WriteAllInstance(n, p)  # validates the instance shape
     layout = algorithm.build_layout(n, p)
@@ -115,6 +122,9 @@ def solve_write_all(
     machine.load_program(
         algorithm.program(layout, tasks),
         compiled_program=resolve_kernel(algorithm, layout, tasks, compiled),
+        vectorized_program=resolve_vectorized(
+            algorithm, layout, tasks, vectorized
+        ),
     )
     if max_ticks is None:
         max_ticks = default_tick_budget(n, p)
@@ -165,6 +175,7 @@ def measure_write_all(
     fairness_window: Optional[int] = None,
     fast_forward: bool = True,
     compiled: bool = True,
+    vectorized: bool = False,
 ) -> RunMeasures:
     """Picklable sweep entry point: run one instance, return measures.
 
@@ -180,6 +191,7 @@ def measure_write_all(
         fairness_window=fairness_window,
         fast_forward=fast_forward,
         compiled=compiled,
+        vectorized=vectorized,
     )
     return RunMeasures(
         algorithm=result.algorithm,

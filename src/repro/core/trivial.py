@@ -74,6 +74,16 @@ class TrivialAssignment(WriteAllAlgorithm):
 
         return factory
 
+    def vectorized_program(
+        self, layout: TrivialLayout, tasks: Optional[TaskSet] = None
+    ) -> Optional[object]:
+        tasks = default_tasks(tasks)
+        if tasks.cycles_per_task != 0:
+            return None  # task cycles need the generator path
+        from repro.core.vector_kernels import TrivialVector
+
+        return TrivialVector(layout)
+
 
 class TrivialKernel(CompiledProgram):
     """Compiled form of the trivial assignment's program.

@@ -113,6 +113,7 @@ def point_key(
     fairness_window: Optional[int],
     fast_forward: bool = True,
     compiled: bool = True,
+    vectorized: bool = False,
 ) -> str:
     """The content hash identifying one sweep point's spec."""
     material = "|".join([
@@ -132,6 +133,10 @@ def point_key(
     if not compiled:
         # Same reasoning for the compiled-kernel escape hatch.
         material += "|no-compiled"
+    if vectorized:
+        # The vectorized lane is opt-in, so the suffix lands only on
+        # the new configuration and old cache entries keep their keys.
+        material += "|vectorized"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 

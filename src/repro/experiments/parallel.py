@@ -77,6 +77,7 @@ class PointSpec:
     fairness_window: Optional[int]
     fast_forward: bool = True
     compiled: bool = True
+    vectorized: bool = False
 
     def cache_key(self) -> str:
         return point_key(
@@ -84,6 +85,7 @@ class PointSpec:
             self.adversary, self.max_ticks, self.fairness_window,
             fast_forward=self.fast_forward,
             compiled=self.compiled,
+            vectorized=self.vectorized,
         )
 
 
@@ -172,6 +174,7 @@ def expand_spec(spec: SweepSpec) -> List[PointSpec]:
             fairness_window=spec.fairness_window,
             fast_forward=spec.fast_forward,
             compiled=spec.compiled,
+            vectorized=spec.vectorized,
         )
         for index, (n, p, seed) in enumerate(spec.points())
     ]
@@ -309,6 +312,7 @@ def execute_point(
                 fairness_window=point.fairness_window,
                 fast_forward=point.fast_forward,
                 compiled=point.compiled,
+                vectorized=point.vectorized,
             )
     except PointTimeout:
         return _TIMEOUT, f"exceeded {timeout:.3f}s", \

@@ -189,6 +189,7 @@ def run_one_point(spec: SweepSpec, n: int, p: int, seed: int) -> RunPoint:
         fairness_window=spec.fairness_window,
         fast_forward=spec.fast_forward,
         compiled=spec.compiled,
+        vectorized=spec.vectorized,
     )
     return RunPoint.from_measures(measures, seed=seed)
 

@@ -36,6 +36,9 @@ class SweepSpec:
         compiled: compiled-kernel lane for algorithms that ship one
             (the default; ``False`` is the ``--no-compiled`` escape
             hatch forcing the generator protocol).
+        vectorized: numpy batch lane for algorithms that ship a
+            vector program (opt-in ``--vectorized``; needs the
+            optional numpy extra).
     """
 
     name: str
@@ -48,6 +51,7 @@ class SweepSpec:
     fairness_window: Optional[int] = None
     fast_forward: bool = True
     compiled: bool = True
+    vectorized: bool = False
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

@@ -3,17 +3,12 @@
 Each iteration draws a program, an initial memory, and an adversary
 from the named-adversary registry (all pure functions of the fuzz
 seed), computes the ideal fault-free oracle, then executes the program
-through :class:`~repro.simulation.executor.RobustSimulator` on all four
-machine lanes:
-
-====================  =========  ============  ========
-lane                  fast_path  fast_forward  compiled
-====================  =========  ============  ========
-``fast``              True       True          True
-``noff``              True       False         True
-``nokernel``          True       True          False
-``reference``         False      False         False
-====================  =========  ============  ========
+through :class:`~repro.simulation.executor.RobustSimulator` on every
+machine lane of the registry in :mod:`repro.pram.lanes` (``fast``,
+``noff``, ``nokernel``, ``vec``, ``reference`` — the ``vec`` lane is
+skipped with a note when the optional numpy extra is absent, and its
+robust phases exercise the vector lane's scalar-fallback path, since
+the phase task sets are never vectorizable),
 
 under the same three-pass bit-identical convergence contract as
 ``repro chaos``: every (iteration, lane) memory must equal the oracle
@@ -50,16 +45,8 @@ from repro.fuzz.generator import (
 )
 from repro.fuzz.oracle import ideal_run
 from repro.fuzz.shrinker import shrink
+from repro.pram.lanes import LANES, lane_available
 from repro.simulation.executor import RobustSimulator
-
-#: (fast_path, fast_forward, compiled) per lane, reference last — the
-#: same four legs as ``tests/pram/test_fast_path_differential.MODES``.
-LANES: Dict[str, Tuple[bool, bool, bool]] = {
-    "fast": (True, True, True),
-    "noff": (True, False, True),
-    "nokernel": (True, True, False),
-    "reference": (False, False, False),
-}
 
 #: Adversaries the fuzzer draws from — the registry names that are
 #: layout-agnostic and terminating for the simulator's V+X engine
@@ -127,15 +114,12 @@ def execute_lane(
 ):
     """One robust execution of ``program`` on ``lane``; returns the
     SimulationResult."""
-    fast_path, fast_forward, compiled = LANES[lane]
     simulator = RobustSimulator(
         p=p,
         algorithm=AlgorithmVX(),
         adversary=adversary_spec.build(),
         max_ticks_per_phase=max_ticks_per_phase,
-        fast_path=fast_path,
-        fast_forward=fast_forward,
-        compiled=compiled,
+        **LANES[lane].solver_kwargs(),
     )
     return simulator.execute(program.to_sim_program(), list(initial))
 
@@ -162,6 +146,9 @@ class FuzzFailure:
     observed: Optional[List[int]]
     shrunk_program: Optional[GeneratedProgram] = None
     shrunk_initial: Optional[List[int]] = None
+    #: Every lane the detecting run covered (registry order); replays
+    #: re-check the fixture on all of them, not just the failing one.
+    run_lanes: Tuple[str, ...] = ()
 
     def describe(self) -> str:
         size = len(self.program.steps)
@@ -187,6 +174,9 @@ class FuzzOutcome:
     passes: int
     lanes: Tuple[str, ...]
     converged: bool
+    #: Requested lanes dropped because this environment cannot run them
+    #: (today: ``vec`` without the optional numpy extra).
+    skipped_lanes: Tuple[str, ...] = ()
     executions: int = 0
     injected: Dict[str, int] = field(default_factory=dict)
     adversary_histogram: Dict[str, int] = field(default_factory=dict)
@@ -203,6 +193,11 @@ class FuzzOutcome:
             f"{len(self.lanes)} lane(s) x {self.passes} pass(es) = "
             f"{self.executions} robust executions, chaos injected {injected}",
         ]
+        if self.skipped_lanes:
+            lines.append(
+                f"  skipped lane(s) {', '.join(self.skipped_lanes)}: "
+                "the optional numpy extra is not installed"
+            )
         lines.extend(
             f"  FAILURE: {failure.describe()}" for failure in self.failures
         )
@@ -241,7 +236,7 @@ def run_fuzz(
     shrink_budget: int = 250,
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
-    """The fuzz soak: seeded programs, four lanes, three passes.
+    """The fuzz soak: seeded programs, registry lanes, three passes.
 
     Convergence means every (iteration, lane, pass) execution solved
     and ended bit-identical to the ideal fault-free oracle — which also
@@ -251,7 +246,8 @@ def run_fuzz(
     so a nondeterminism bug cannot hide behind a coincidentally-correct
     final memory digest.
     """
-    unknown = [lane for lane in lanes if lane not in LANES]
+    requested = list(lanes)
+    unknown = [lane for lane in requested if lane not in LANES]
     if unknown:
         raise ValueError(f"unknown lane(s) {unknown}; known: {list(LANES)}")
     if iterations < 1:
@@ -263,6 +259,20 @@ def run_fuzz(
         if log is not None:
             log(line)
 
+    active = [lane for lane in requested if lane_available(lane)]
+    skipped = tuple(lane for lane in requested if lane not in active)
+    if not active:
+        raise ValueError(
+            f"no runnable lanes left from {requested}: "
+            f"{list(skipped)} need the optional numpy extra "
+            "(pip install .[numpy])"
+        )
+    for lane in skipped:
+        emit(
+            f"skipping lane {lane!r}: the optional numpy extra is not "
+            "installed"
+        )
+
     policy = ChaosPolicy(
         seed=int_draw(seed, 0, 2**31 - 1, "chaos"),
         crash=0.02, stall=0.01, error=0.02, stall_s=0.01,
@@ -270,7 +280,7 @@ def run_fuzz(
 
     outcome = FuzzOutcome(
         seed=seed, iterations=iterations, passes=passes,
-        lanes=tuple(lanes), converged=True,
+        lanes=tuple(active), converged=True, skipped_lanes=skipped,
     )
     digests: Dict[Tuple[int, str], str] = {}
     shrinks_left = max_fixtures
@@ -292,7 +302,7 @@ def run_fuzz(
         for pass_index in range(passes):
             if iteration_failed:
                 break
-            for lane in lanes:
+            for lane in active:
                 result = None
                 point = (iteration * passes + pass_index) * len(LANES) \
                     + list(LANES).index(lane)
@@ -341,6 +351,7 @@ def run_fuzz(
                     initial=list(initial),
                     expected=list(expected),
                     observed=list(result.memory),
+                    run_lanes=tuple(active),
                 )
                 outcome.converged = False
                 outcome.failures.append(failure)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.fuzz.generator import GeneratedProgram
@@ -42,6 +42,10 @@ def fixture_payload(failure) -> Dict[str, object]:
         "kind": failure.kind,
         "iteration": failure.iteration,
         "lane": failure.lane,
+        # Every lane the detecting run covered (--lanes selection);
+        # replays re-check all of them.  Older fixtures lack the key
+        # and replay just their failing lane.
+        "lanes": list(failure.run_lanes) or [failure.lane],
         "p": failure.p,
         "adversary": failure.adversary.to_json(),
         "program": program.to_json(),
@@ -89,6 +93,10 @@ class ReplayResult:
     expected: List[int]
     observed: List[int]
     problems: List[str]
+    #: Lanes actually re-executed, and lanes the environment cannot run
+    #: (e.g. ``vec`` without the optional numpy extra).
+    replayed_lanes: List[str] = field(default_factory=list)
+    skipped_lanes: List[str] = field(default_factory=list)
 
 
 def replay_fixture(payload: Dict[str, object]) -> ReplayResult:
@@ -97,9 +105,12 @@ def replay_fixture(payload: Dict[str, object]) -> ReplayResult:
     The stored ``expected`` memory is cross-checked against a freshly
     computed oracle first: if opcode semantics drifted since the
     fixture was written, the replay fails loudly instead of silently
-    testing the wrong claim.
+    testing the wrong claim.  Every lane the detecting run covered (the
+    ``lanes`` key; pre-lane-registry fixtures store only the failing
+    ``lane``) is replayed, minus any lane this environment cannot run.
     """
     from repro.fuzz.driver import AdversarySpec, execute_lane
+    from repro.pram.lanes import lane_available
 
     program = GeneratedProgram.from_json(payload["program"])
     initial = [int(value) for value in payload["initial"]]
@@ -110,23 +121,40 @@ def replay_fixture(payload: Dict[str, object]) -> ReplayResult:
             "stored oracle differs from a fresh ideal run — opcode "
             "semantics drifted; regenerate the fixture"
         )
-    result = execute_lane(
-        program,
-        initial,
-        str(payload["lane"]),
-        AdversarySpec.from_json(payload["adversary"]),
-        int(payload["p"]),
-    )
-    if not result.solved:
-        problems.append("robust execution did not solve the instance")
-    if result.memory != expected:
-        problems.append(
-            "robust execution still diverges from the oracle"
-        )
+    primary = str(payload["lane"])
+    lanes = [str(lane) for lane in payload.get("lanes", [primary])]
+    if primary not in lanes:
+        lanes.insert(0, primary)
+    adversary = AdversarySpec.from_json(payload["adversary"])
+    p = int(payload["p"])
+    replayed: List[str] = []
+    skipped: List[str] = []
+    observed: List[int] = []
+    solved = True
+    for lane in lanes:
+        if not lane_available(lane):
+            skipped.append(lane)
+            continue
+        result = execute_lane(program, initial, lane, adversary, p)
+        replayed.append(lane)
+        if lane == primary or not observed:
+            observed = list(result.memory)
+        if not result.solved:
+            solved = False
+            problems.append(
+                f"lane {lane!r}: robust execution did not solve the instance"
+            )
+        if result.memory != expected:
+            problems.append(
+                f"lane {lane!r}: robust execution still diverges from "
+                "the oracle"
+            )
     return ReplayResult(
         ok=not problems,
-        solved=result.solved,
+        solved=solved,
         expected=expected,
-        observed=list(result.memory),
+        observed=observed,
         problems=problems,
+        replayed_lanes=replayed,
+        skipped_lanes=skipped,
     )

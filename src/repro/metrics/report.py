@@ -218,6 +218,16 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
                     raise ValueError(
                         f"point record missing keys {sorted(missing)}"
                     )
+                if "vec_speedup" in record:
+                    # Optional since the vectorized lane landed; older
+                    # reports simply omit it.
+                    ratio = record["vec_speedup"]
+                    if (not isinstance(ratio, (int, float))
+                            or isinstance(ratio, bool) or ratio <= 0):
+                        raise ValueError(
+                            f"vec_speedup must be a positive number, "
+                            f"got {ratio!r}"
+                        )
 
 
 def dump_report(report: Dict[str, Any], path: str) -> None:

@@ -12,6 +12,12 @@ Times Write-All runs through three cores at one configuration:
   (``compiled=False``), timed only for algorithms that ship a kernel.
   The nokernel/fast ratio isolates what compiling the cycle stream
   buys over generator dispatch;
+* **novec** — with ``--vectorized``, the fast leg runs the numpy batch
+  lane and a **novec** leg (same configuration, scalar compiled lane)
+  is timed alongside it; the novec/fast ratio (``vec_speedup``)
+  isolates what batching all P processors into array ops buys over
+  the scalar kernel.  Timed only for algorithms that ship a vector
+  program and only when the numpy extra is installed;
 * **baseline** — the reference tick implementation
   (``fast_path=False``) with the O(N) termination rescan, i.e. the
   pre-optimization core kept in-tree as the executable specification.
@@ -56,6 +62,7 @@ from repro.metrics.report import bench_report
 from repro.perf.phases import PhaseCounters
 from repro.perf.timing import TimingResult, time_callable
 from repro.pram.compiled import resolve_kernel
+from repro.pram.vectorized import HAVE_NUMPY, resolve_vectorized
 
 #: Algorithms runnable by the perf command.
 PERF_ALGORITHMS = {
@@ -114,7 +121,7 @@ DEFAULT_ADVERSARY = "none"
 class PerfLeg:
     """One timed core (fast / noff / baseline) at one configuration."""
 
-    mode: str  # "fast" | "noff" | "nokernel" | "baseline"
+    mode: str  # "fast" | "noff" | "nokernel" | "novec" | "baseline"
     timing: TimingResult
     result: WriteAllResult
     phases: Optional[PhaseCounters]
@@ -140,6 +147,7 @@ class PerfComparison:
     baseline: Optional[PerfLeg]
     noff: Optional[PerfLeg] = None
     nokernel: Optional[PerfLeg] = None
+    novec: Optional[PerfLeg] = None
     adversary: str = DEFAULT_ADVERSARY
 
     @property
@@ -162,6 +170,17 @@ class PerfComparison:
         if self.nokernel is None or self.fast.best_s <= 0:
             return None
         return self.nokernel.best_s / self.fast.best_s
+
+    @property
+    def vec_speedup(self) -> Optional[float]:
+        """No-vec over fast ratio: the vectorized-lane win.
+
+        Kernel-relative: the novec leg runs the scalar compiled lane,
+        so this isolates array batching from everything beneath it.
+        """
+        if self.novec is None or self.fast.best_s <= 0:
+            return None
+        return self.novec.best_s / self.fast.best_s
 
 
 def _check_legs_agree(legs: Sequence[PerfLeg]) -> None:
@@ -199,6 +218,7 @@ def run_comparison(
     adversary: str = DEFAULT_ADVERSARY,
     fast_forward: bool = True,
     compiled: bool = True,
+    vectorized: bool = False,
 ) -> PerfComparison:
     """Time one configuration through the cores.
 
@@ -216,6 +236,13 @@ def run_comparison(
     the kernel-only ratio (:attr:`PerfComparison.kernel_speedup`).
     ``compiled=False`` is the ``--no-compiled`` escape hatch: the fast
     leg itself runs on generators and the nokernel leg is skipped.
+
+    With ``vectorized=True`` (the ``--vectorized`` opt-in) the fast leg
+    runs the numpy batch lane; for algorithms that actually ship a
+    vector program a **novec** leg (same loop, scalar compiled lane) is
+    timed alongside it, carrying the batching-only ratio
+    (:attr:`PerfComparison.vec_speedup`).  Requesting it without the
+    numpy extra raises the lane's clear unavailability error.
     """
     try:
         algorithm_cls = PERF_ALGORITHMS[algorithm]
@@ -241,6 +268,7 @@ def run_comparison(
         state["fast"] = solve_write_all(
             algorithm_cls(), n, p, adversary=fresh_adversary(),
             fast_path=True, fast_forward=fast_forward, compiled=compiled,
+            vectorized=vectorized,
         )
 
     fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
@@ -249,7 +277,8 @@ def run_comparison(
     phases = PhaseCounters()
     solve_write_all(algorithm_cls(), n, p, adversary=fresh_adversary(),
                     fast_path=True, fast_forward=fast_forward,
-                    compiled=compiled, phase_counters=phases)
+                    compiled=compiled, vectorized=vectorized,
+                    phase_counters=phases)
     fast_leg = PerfLeg(
         mode="fast", timing=fast_timing, result=state["fast"], phases=phases
     )
@@ -289,6 +318,25 @@ def run_comparison(
         )
         legs.append(nokernel_leg)
 
+    novec_leg: Optional[PerfLeg] = None
+    if vectorized and _has_vectorized(algorithm_cls, n, p):
+
+        def run_novec() -> None:
+            state["novec"] = solve_write_all(
+                algorithm_cls(), n, p, adversary=fresh_adversary(),
+                fast_path=True, fast_forward=fast_forward,
+                compiled=compiled, vectorized=False,
+            )
+
+        novec_timing = time_callable(
+            run_novec, repeats=repeats, warmup=warmup
+        )
+        novec_leg = PerfLeg(
+            mode="novec", timing=novec_timing,
+            result=state["novec"], phases=None,
+        )
+        legs.append(novec_leg)
+
     baseline_leg: Optional[PerfLeg] = None
     if include_baseline:
 
@@ -311,7 +359,8 @@ def run_comparison(
     _check_legs_agree(legs)
     return PerfComparison(
         algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg,
-        noff=noff_leg, nokernel=nokernel_leg, adversary=adversary,
+        noff=noff_leg, nokernel=nokernel_leg, novec=novec_leg,
+        adversary=adversary,
     )
 
 
@@ -327,6 +376,19 @@ def _has_kernel(algorithm_cls, n: int, p: int) -> bool:
     return resolve_kernel(probe, layout, None, compiled=True) is not None
 
 
+def _has_vectorized(algorithm_cls, n: int, p: int) -> bool:
+    """Whether this configuration would actually run the vector lane.
+
+    Mirrors :func:`_has_kernel` through ``resolve_vectorized``'s trust
+    guard and gating; always False without the numpy extra.
+    """
+    if not HAVE_NUMPY:
+        return False
+    probe = algorithm_cls()
+    layout = probe.build_layout(n, p)
+    return resolve_vectorized(probe, layout, None, vectorized=True) is not None
+
+
 def run_perf(
     configurations: List[Tuple[str, int, int]],
     repeats: int = 5,
@@ -335,6 +397,7 @@ def run_perf(
     adversaries: Sequence[str] = (DEFAULT_ADVERSARY,),
     fast_forward: bool = True,
     compiled: bool = True,
+    vectorized: bool = False,
 ) -> List[PerfComparison]:
     """Time every ``(algorithm, n, p)`` x adversary configuration."""
     return [
@@ -345,6 +408,7 @@ def run_perf(
             adversary=adversary,
             fast_forward=fast_forward,
             compiled=compiled,
+            vectorized=vectorized,
         )
         for algorithm, n, p in configurations
         for adversary in adversaries
@@ -401,12 +465,20 @@ def perf_report(
             legs.append(comparison.noff)
         if comparison.nokernel is not None:
             legs.append(comparison.nokernel)
+        if comparison.novec is not None:
+            legs.append(comparison.novec)
         if comparison.baseline is not None:
             legs.append(comparison.baseline)
         for leg in legs:
+            record = _leg_point(leg, comparison.n, comparison.p)
+            if leg is comparison.fast and comparison.vec_speedup is not None:
+                # The headline ratio rides on the fast point so the
+                # regression checker can validate it; absent in reports
+                # written before the vectorized lane existed.
+                record["vec_speedup"] = round(comparison.vec_speedup, 4)
             sweeps.append({
                 "name": sweep_name(comparison, leg),
-                "points": [_leg_point(leg, comparison.n, comparison.p)],
+                "points": [record],
                 "failures": [],
             })
     executed = sum(len(sweep["points"]) for sweep in sweeps)
@@ -452,6 +524,13 @@ def describe_comparison(comparison: PerfComparison) -> str:
             f"  no-kernel {nokernel.best_s * 1e3:.1f} ms "
             f"({nokernel.ticks_per_s:,.0f} ticks/s)  "
             f"kernel-speedup {comparison.kernel_speedup:.2f}x"
+        )
+    if comparison.novec is not None:
+        novec = comparison.novec
+        lines.append(
+            f"  no-vec {novec.best_s * 1e3:.1f} ms "
+            f"({novec.ticks_per_s:,.0f} ticks/s)  "
+            f"vec-speedup {comparison.vec_speedup:.2f}x"
         )
     if comparison.baseline is not None:
         baseline = comparison.baseline

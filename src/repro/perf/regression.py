@@ -34,14 +34,36 @@ PointKey = Tuple[str, str, int, int, int]
 def _index_points(report: Dict[str, Any]) -> Dict[PointKey, Dict[str, Any]]:
     points: Dict[PointKey, Dict[str, Any]] = {}
     for scenario in report.get("scenarios", []):
+        tag = scenario.get("tag")
+        if tag is None:
+            raise ValueError(
+                f"report {report.get('tag', '?')!r} has a scenario "
+                f"without a 'tag' key (titled "
+                f"{scenario.get('title', '?')!r})"
+            )
         for sweep in scenario.get("sweeps", []):
-            for record in sweep.get("points", []):
-                key = (
-                    scenario["tag"], sweep["name"],
-                    record["n"], record["p"], record["seed"],
+            name = sweep.get("name")
+            if name is None:
+                raise ValueError(
+                    f"scenario {tag!r} has a sweep without a 'name' key"
                 )
+            for record in sweep.get("points", []):
+                try:
+                    key = (tag, name,
+                           record["n"], record["p"], record["seed"])
+                except KeyError as exc:
+                    raise ValueError(
+                        f"scenario {tag!r} sweep {name!r} has a point "
+                        f"record missing the {exc.args[0]!r} key"
+                    ) from None
                 points[key] = record
     return points
+
+
+def _scenario_tags(report: Dict[str, Any]) -> List[str]:
+    return [
+        scenario.get("tag", "?") for scenario in report.get("scenarios", [])
+    ]
 
 
 @dataclass(frozen=True)
@@ -115,6 +137,9 @@ def compare_reports(
 ) -> RegressionReport:
     """Diff ``candidate`` against ``baseline`` point by point.
 
+    * a baseline scenario entirely absent from the candidate → one
+      **error** naming the scenario (instead of one error per missing
+      point, or a raw ``KeyError``);
     * a baseline point absent from the candidate → **error** (coverage
       lost);
     * any :data:`MODEL_FIELDS` difference → **error** (the simulation
@@ -134,7 +159,22 @@ def compare_reports(
     baseline_points = _index_points(baseline)
     candidate_points = _index_points(candidate)
 
+    missing_scenarios = sorted(
+        set(_scenario_tags(baseline)) - set(_scenario_tags(candidate))
+    )
+    for tag in missing_scenarios:
+        report.findings.append(Finding(
+            severity="error", kind="scenario-missing",
+            key=(tag, "*", 0, 0, 0),
+            detail=(
+                f"scenario {tag!r} missing from candidate report "
+                f"{report.candidate_tag!r}"
+            ),
+        ))
+
     for key, base_record in sorted(baseline_points.items()):
+        if key[0] in missing_scenarios:
+            continue  # already reported once at scenario granularity
         cand_record = candidate_points.get(key)
         if cand_record is None:
             report.findings.append(Finding(

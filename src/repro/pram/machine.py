@@ -249,6 +249,10 @@ class Machine:
         self._kernel_mode = False
         self._kernel_raw_scratch: List[int] = []
         self._kernel_ends_scratch: List[int] = []
+        # Vectorized lane (see repro.pram.vectorized): set by
+        # load_program when a whole-machine vector program is installed;
+        # fused quiet windows then run as batched ndarray bursts.
+        self._vector: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # setup
@@ -258,6 +262,7 @@ class Machine:
         self,
         program_factory: ProgramFactory,
         compiled_program: Optional[object] = None,
+        vectorized_program: Optional[object] = None,
     ) -> None:
         """Install the program on all P processors and start them.
 
@@ -268,7 +273,17 @@ class Machine:
         kernel lane.  Callers are expected to route the factory through
         :func:`repro.pram.compiled.resolve_kernel`, which applies the
         MRO trust guard and the ``--no-compiled`` opt-out.
+
+        ``vectorized_program`` optionally installs a whole-machine
+        vector program (see :mod:`repro.pram.vectorized`, routed through
+        ``resolve_vectorized``): its per-PID scalar kernels then drive
+        every observable tick exactly like the compiled lane (it
+        supersedes ``compiled_program``), and fused quiet windows run
+        as batched array bursts instead of per-processor Python steps.
         """
+        self._vector = vectorized_program
+        if vectorized_program is not None:
+            compiled_program = vectorized_program.pid_stepper
         self._kernel_mode = compiled_program is not None
         self._processors = [
             Processor(pid, program_factory, compiled_program)
@@ -1203,6 +1218,23 @@ class Machine:
         otherwise (``stop_tick`` reached, or the running set drained
         mid-window).
         """
+        if self._vector is not None:
+            vec_policy = self.policy
+            if (
+                self._raw_write_ok
+                and vec_policy.allows_concurrent_reads
+                and vec_policy.singleton_resolve_is_identity
+            ):
+                # The vectorized lane batches the whole window, so it
+                # needs the goal in machine-readable form (the
+                # ``zero_goal`` marker of ``done_predicate``) to find
+                # the exact tick the predicate flips.  Unmarked
+                # predicates fall through to the per-tick loop below.
+                goal = None if until is None else getattr(until, "zero_goal", None)
+                if until is None or goal is not None:
+                    return self._run_quiet_window_vectorized(
+                        stop_tick, until, goal
+                    )
         self._refresh_status_caches()
         running = self._running_cache
         if not running:
@@ -1281,6 +1313,76 @@ class Machine:
         self._flush_quiet_batch(running, batch_ticks)
         if fused and phases is not None:
             phases.fused_ticks += batch_ticks
+        self._sync_traffic()
+        return outcome
+
+    def _run_quiet_window_vectorized(
+        self,
+        stop_tick: int,
+        until: Optional[UntilPredicate],
+        goal: Optional[Tuple[int, int]],
+    ) -> str:
+        """Run a fused quiet window as batched vector-lane bursts.
+
+        The vectorized analogue of the fused loop in
+        :meth:`_run_quiet_window`: the vector program advances every
+        running lane as array operations, in bursts that stop exactly on
+        the first tick a lane halts or the ``goal`` region empties, so
+        ticks, per-PID charges, statuses, and the goal tick are
+        bit-identical to the per-processor loop.  Traffic and cell
+        contents sync back through the window's ``finish()`` (always,
+        via ``finally``, so policy errors leave reference-equal state).
+        """
+        self._refresh_status_caches()
+        running = self._running_cache
+        if not running:
+            return _WINDOW_IDLE
+        ledger = self.ledger
+        interrupts = self._consecutive_interrupts
+        if interrupts:
+            # Same rule as the per-tick window: every running processor
+            # completes a cycle each quiet tick, zeroing its
+            # consecutive-interrupt count; failed processors keep theirs.
+            for processor in running:
+                interrupts.pop(processor.pid, None)
+        phases = self.phase_counters
+        vector = self._vector
+        window = vector.begin_window(self.memory, self.policy, goal)
+        outcome = _WINDOW_RAN
+        try:
+            while True:
+                budget = stop_tick - ledger.ticks
+                if budget <= 0:
+                    break
+                if until is not None and window.goal_reached:
+                    # Goal already true at the burst boundary: the
+                    # per-tick loop would still run exactly one more
+                    # tick before observing it.
+                    budget = 1
+                pids = [processor.pid for processor in running]
+                burst = vector.run_quiet(window, pids, budget)
+                ticks = burst.ticks
+                ledger.ticks += ticks
+                self._flush_quiet_batch(running, ticks)
+                if phases is not None:
+                    phases.fused_ticks += ticks
+                for processor in running:
+                    processor.cycles_completed += ticks
+                if burst.halted:
+                    by_pid = {processor.pid: processor for processor in running}
+                    for pid in burst.halted:
+                        halting = by_pid[pid]
+                        halting.status = ProcessorStatus.HALTED
+                        halting._bump_epoch()
+                    self._refresh_status_caches()
+                    running = self._running_cache
+                if until is not None and window.goal_reached:
+                    outcome = _WINDOW_GOAL
+                    break
+                if not running:
+                    break
+        finally:
+            window.finish()
         self._sync_traffic()
         return outcome
 

@@ -25,7 +25,7 @@ Two facilities exist purely for the simulator's hot path:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.pram.errors import MemoryError_
 
@@ -203,6 +203,48 @@ class SharedMemory:
     def charge_reads(self, count: int) -> None:
         """Charge ``count`` reads performed through :meth:`raw_cells`."""
         self.reads_served += count
+
+    def charge_writes(self, count: int) -> None:
+        """Charge ``count`` writes applied outside :meth:`write`.
+
+        Counterpart of :meth:`charge_reads` for the vectorized lane,
+        which resolves and applies whole quiet windows of writes in a
+        detached ndarray and syncs the result back in bulk via
+        :meth:`replace_cells`.
+        """
+        self.writes_applied += count
+
+    def replace_cells(
+        self,
+        values: Sequence[int],
+        count_zeros: Optional[Callable[[int, int], int]] = None,
+    ) -> None:
+        """Overwrite the full contents in bulk (uncharged); recount trackers.
+
+        The vectorized lane's window-exit sync: ``values`` must cover
+        every cell.  Traffic is charged separately (the window counted
+        its own reads/writes); zero-region trackers are recounted
+        exactly, so incremental termination predicates stay coherent
+        with the new contents.  ``count_zeros(start, stop)``, when
+        given, must return the exact zero count of ``values[start:stop]``
+        — callers holding the data in an ndarray use it to replace the
+        per-cell Python scan with one array reduction.
+        """
+        cells = self._cells
+        if len(values) != len(cells):
+            raise MemoryError_(
+                f"replace_cells got {len(values)} values for "
+                f"{len(cells)} cells"
+            )
+        cells[:] = values
+        for tracker in self._trackers:
+            if count_zeros is not None:
+                tracker.zeros = int(count_zeros(tracker.start, tracker.stop))
+            else:
+                tracker.zeros = sum(
+                    1 for value in cells[tracker.start : tracker.stop]
+                    if value == 0
+                )
 
     def commit_resolved(self, pairs: Sequence[Tuple[int, int]]) -> None:
         """Apply pre-validated resolved writes (one per address).

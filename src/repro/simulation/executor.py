@@ -34,6 +34,7 @@ from repro.core.algorithm_vx import AlgorithmVX
 from repro.core.base import WriteAllAlgorithm, done_predicate
 from repro.core.tasks import CycleFactoryTasks
 from repro.pram.compiled import resolve_kernel
+from repro.pram.vectorized import resolve_vectorized
 from repro.pram.cycles import Cycle, Write
 from repro.pram.ledger import RunLedger
 from repro.pram.machine import Machine
@@ -136,6 +137,7 @@ class RobustSimulator:
         fast_path: bool = True,
         fast_forward: bool = True,
         compiled: bool = True,
+        vectorized: bool = False,
         capture_snapshots: bool = False,
     ) -> None:
         if p <= 0:
@@ -145,13 +147,18 @@ class RobustSimulator:
         self.adversary = adversary
         self.policy = policy
         self.max_ticks_per_phase = max_ticks_per_phase
-        # Lane selection, mirroring solve_write_all: the reference lane
-        # is (False, False, False); ``fast_forward``/``compiled`` are
-        # the --no-fast-forward / --no-compiled escape hatches.  The
-        # fuzz driver runs every program through all four lanes.
+        # Lane selection, mirroring solve_write_all (see
+        # repro.pram.lanes for the registry): ``fast_forward`` /
+        # ``compiled`` / ``vectorized`` are the --no-fast-forward /
+        # --no-compiled / --vectorized switches.  The fuzz driver runs
+        # every program through all available lanes.  Note the robust
+        # phases always use non-trivial task sets (CycleFactoryTasks),
+        # which every vectorized_program hook gates to None — so the
+        # vec lane here exercises exactly the scalar-fallback path.
         self.fast_path = fast_path
         self.fast_forward = fast_forward
         self.compiled = compiled
+        self.vectorized = vectorized
         self.capture_snapshots = capture_snapshots
 
     def execute(
@@ -247,6 +254,9 @@ class RobustSimulator:
             self.algorithm.program(layout, tasks),
             compiled_program=resolve_kernel(
                 self.algorithm, layout, tasks, self.compiled
+            ),
+            vectorized_program=resolve_vectorized(
+                self.algorithm, layout, tasks, self.vectorized
             ),
         )
         ledger = machine.run(

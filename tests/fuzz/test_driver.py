@@ -17,10 +17,24 @@ from repro.pram.cycles import Cycle, Write
 
 class TestLanesAndDraws:
     def test_lane_table_matches_differential_modes(self):
-        assert LANES["fast"] == (True, True, True)
-        assert LANES["noff"] == (True, False, True)
-        assert LANES["nokernel"] == (True, True, False)
-        assert LANES["reference"] == (False, False, False)
+        # The driver enumerates the shared registry (repro.pram.lanes);
+        # the reference lane must stay last (differential anchor).
+        assert list(LANES) == ["fast", "noff", "nokernel", "vec", "reference"]
+
+        def switches(name):
+            kwargs = LANES[name].solver_kwargs()
+            return (
+                kwargs["fast_path"],
+                kwargs["fast_forward"],
+                kwargs["compiled"],
+                kwargs["vectorized"],
+            )
+
+        assert switches("fast") == (True, True, True, False)
+        assert switches("noff") == (True, False, True, False)
+        assert switches("nokernel") == (True, True, False, False)
+        assert switches("vec") == (True, True, True, True)
+        assert switches("reference") == (False, False, False, False)
 
     def test_adversary_draws_are_pure(self):
         assert draw_adversary_spec(0, 7) == draw_adversary_spec(0, 7)
@@ -53,7 +67,11 @@ class TestConvergence:
         outcome = run_fuzz(seed=1, iterations=6)
         assert outcome.converged
         assert not outcome.failures
-        assert outcome.executions == 6 * len(LANES) * 3
+        # Executions count only the lanes this environment can run
+        # (the vec lane is skipped without the numpy extra).
+        assert outcome.executions == 6 * len(outcome.lanes) * 3
+        assert set(outcome.lanes) | set(outcome.skipped_lanes) \
+            == set(LANES)
         assert sum(outcome.adversary_histogram.values()) == 6
 
     def test_chaos_injection_is_survivable_and_accounted(self):

@@ -16,6 +16,7 @@ from repro.perf.micro import (
     run_comparison,
 )
 from repro.perf.phases import PhaseCounters
+from repro.pram.vectorized import HAVE_NUMPY
 from repro.perf.regression import (
     DEFAULT_MIN_WALL_S,
     DEFAULT_WALL_TOLERANCE,
@@ -157,6 +158,27 @@ class TestCompareReports:
         assert grown.ok
         kinds = [f.kind for f in grown.findings]
         assert kinds == ["new-point"]
+
+    def test_missing_scenario_is_one_named_error(self):
+        base = _tiny_report()
+        cand = _tiny_report(tag="cand")
+        cand["scenarios"][0]["tag"] = "PERF_other"
+        report = compare_reports(base, cand)
+        assert not report.ok
+        missing = [f for f in report.errors if f.kind == "scenario-missing"]
+        [finding] = missing
+        assert "'PERF_micro'" in finding.detail
+        # the scenario's points are not additionally reported one by one
+        assert not any(
+            f.kind == "missing-point" and f.key[0] == "PERF_micro"
+            for f in report.findings
+        )
+
+    def test_malformed_record_names_scenario_not_keyerror(self):
+        broken = _tiny_report()
+        del broken["scenarios"][0]["sweeps"][0]["points"][0]["n"]
+        with pytest.raises(ValueError, match="'PERF_micro'.*'n'"):
+            compare_reports(broken, _tiny_report(tag="cand"))
 
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):
@@ -333,3 +355,55 @@ class TestPerfReport:
         diff = compare_reports(report, copy.deepcopy(report))
         assert diff.ok
         assert diff.compared == 4
+
+    def test_vec_speedup_field_validated_but_optional(self):
+        report = _tiny_report()
+        point = report["scenarios"][0]["sweeps"][0]["points"][0]
+        validate_bench_report(report)  # pre-PR reports omit it: fine
+        point["vec_speedup"] = 6.21
+        validate_bench_report(report)
+        point["vec_speedup"] = -1.0
+        with pytest.raises(ValueError, match="vec_speedup"):
+            validate_bench_report(report)
+        point["vec_speedup"] = "fast"
+        with pytest.raises(ValueError, match="vec_speedup"):
+            validate_bench_report(report)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="the vec leg needs numpy")
+class TestVectorizedLeg:
+    def test_vec_comparison_times_novec_leg(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False, vectorized=True)
+        assert comparison.novec is not None
+        assert comparison.vec_speedup is not None
+        assert comparison.vec_speedup > 0
+        text = describe_comparison(comparison)
+        assert "no-vec" in text and "vec-speedup" in text
+
+    def test_default_skips_novec_leg(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False)
+        assert comparison.novec is None
+        assert comparison.vec_speedup is None
+
+    def test_unvectorizable_algorithm_skips_novec_leg(self):
+        # V ships no vector program, so the vec run degrades to the
+        # scalar lanes and a novec leg would time the same thing twice.
+        comparison = run_comparison("V", 64, 8, repeats=1, warmup=0,
+                                    include_baseline=False, vectorized=True)
+        assert comparison.novec is None
+
+    def test_report_records_vec_speedup_on_fast_point(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False, vectorized=True)
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        validate_bench_report(report)
+        [scenario] = report["scenarios"]
+        by_name = {s["name"]: s["points"][0] for s in scenario["sweeps"]}
+        assert "trivial/novec" in by_name
+        fast_point = by_name["trivial/fast"]
+        assert fast_point["vec_speedup"] == pytest.approx(
+            comparison.vec_speedup, rel=1e-3
+        )
+        assert "vec_speedup" not in by_name["trivial/novec"]

@@ -1,14 +1,18 @@
-"""Differential harness: the fast tick path vs the reference semantics.
+"""Differential harness: every machine lane vs the reference semantics.
 
-The machine ships two tick implementations (see ``repro.pram.machine``):
-the reference path is the executable specification, the fast path is the
-allocation-lean optimization.  These tests run the same (algorithm,
-adversary, policy) configuration through both and assert the *entire*
-observable outcome is identical: ticks, per-PID completed/charged work,
-the realized failure pattern, per-tick completions, memory traffic,
-veto counters, termination flags, final memory contents — and, through
-a composed :class:`~repro.pram.trace.Tracer`, the per-tick execution
-trace itself.
+The machine ships several tick implementations (see the lane registry
+in ``repro.pram.lanes``): the reference path is the executable
+specification; the fast path, event-horizon batching, compiled kernels,
+and the vectorized numpy lane are optimizations over it.  These tests
+run the same (algorithm, adversary, policy) configuration through every
+available lane and assert the *entire* observable outcome is identical:
+ticks, per-PID completed/charged work, the realized failure pattern,
+per-tick completions, memory traffic, veto counters, termination flags,
+final memory contents — and, through a composed
+:class:`~repro.pram.trace.Tracer`, the per-tick execution trace itself.
+
+The ``vec`` lane needs the optional numpy extra and is skipped (not
+failed) when it is absent; the remaining lanes always run.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.faults import (
     UnionAdversary,
 )
 from repro.faults.base import ScheduledAdversary
+from repro.pram.lanes import LANES, lane_available
 from repro.pram.policies import RotatingArbitraryCrcw
 from repro.pram.trace import Tracer
 
@@ -53,31 +58,23 @@ ADVERSARIES = {
 }
 
 
-#: (fast_path, fast_forward, compiled) legs every configuration runs
-#: through: the batched event-horizon core with compiled kernels, the
-#: same core on the generator protocol (``--no-compiled``), the
-#: per-tick fast core with kernels, and the reference core (which never
-#: fast-forwards and runs generators).  Algorithms without a kernel
-#: silently run the generator protocol on every leg — the legs still
-#: must agree.
-MODES = (
-    (True, True, True),
-    (True, True, False),
-    (True, False, True),
-    (False, False, False),
-)
+#: The legs every configuration runs through, straight from the lane
+#: registry (``repro.pram.lanes``): fast, noff (``--no-fast-forward``),
+#: nokernel (``--no-compiled``), vec (``--vectorized``, when numpy is
+#: installed), and the reference core last.  Algorithms without a
+#: kernel or vector program silently run the generator protocol on
+#: every leg — the legs still must agree.
+MODES = tuple(LANES[name] for name in LANES if lane_available(name))
 
 
 def run_both(algorithm_key, adversary_factory, n=64, p=16, **kwargs):
-    """Run one configuration through all cores, reference last."""
+    """Run one configuration through all available lanes, reference last."""
     outcomes = []
-    for fast, forward, compiled in MODES:
+    for lane in MODES:
         outcomes.append(solve_write_all(
             ALGORITHMS[algorithm_key](), n, p,
             adversary=adversary_factory(),
-            fast_path=fast,
-            fast_forward=forward,
-            compiled=compiled,
+            **lane.solver_kwargs(),
             **kwargs,
         ))
     return outcomes
@@ -229,15 +226,14 @@ class TestTraceIdentity:
         # it over a random adversary checks the fast path presents the
         # identical per-tick world, not just identical totals.
         traces = []
-        for fast, forward, compiled in MODES:
+        for lane in MODES:
             tracer = Tracer(watch=(0, 1, 2, 3))
             adversary = UnionAdversary([
                 tracer, RandomAdversary(0.15, 0.3, seed=13),
             ])
             solve_write_all(
                 AlgorithmX(), 64, 16, adversary=adversary,
-                fast_path=fast, fast_forward=forward, compiled=compiled,
-                max_ticks=5_000,
+                max_ticks=5_000, **lane.solver_kwargs(),
             )
             traces.append(tracer.records)
         reference_trace = traces[-1]
@@ -297,20 +293,25 @@ class TestEventHorizonEdges:
         from repro.pram.compiled import resolve_kernel
         from repro.pram.machine import Machine
         from repro.pram.memory import SharedMemory
+        from repro.pram.vectorized import resolve_vectorized
 
         ticks = []
-        for fast, forward, compiled in MODES:
+        for lane in MODES:
             algorithm = AlgorithmX()
             layout = algorithm.build_layout(32, 8)
             memory = SharedMemory(layout.size)
             machine = Machine(num_processors=8, memory=memory,
                               adversary=NoFailures(),
-                              fast_path=fast, fast_forward=forward,
+                              fast_path=lane.fast_path,
+                              fast_forward=lane.fast_forward,
                               context={"layout": layout})
             machine.load_program(
                 algorithm.program(layout, None),
                 compiled_program=resolve_kernel(
-                    algorithm, layout, None, compiled
+                    algorithm, layout, None, lane.compiled
+                ),
+                vectorized_program=resolve_vectorized(
+                    algorithm, layout, None, lane.vectorized
                 ),
             )
             ledger = machine.run(until=done_predicate(layout),

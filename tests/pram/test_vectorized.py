@@ -1,0 +1,174 @@
+"""Unit tests for the vectorized lane's guards, gating, and registry.
+
+The heavy bit-identity claims live in the 5-mode differential suite
+(``test_fast_path_differential.py``) and the CRCW property tests
+(``tests/properties/``); this file covers the plumbing around them —
+the lane registry every consumer enumerates, the optional-dependency
+guard, the MRO trust guard, per-algorithm gating, and the window's
+memory-sync accounting.
+"""
+
+import pytest
+
+from repro.core import AlgorithmW, AlgorithmX, TrivialAssignment
+from repro.core.tasks import CycleFactoryTasks
+from repro.pram.cycles import Cycle
+from repro.pram.lanes import LANES, available_lane_names, lane_available
+from repro.pram import vectorized as vectorized_module
+from repro.pram.vectorized import (
+    HAVE_NUMPY,
+    VectorizedUnavailable,
+    require_numpy,
+    resolve_vectorized,
+    trusted_vectorized_program,
+)
+
+
+class TestLaneRegistry:
+    def test_five_lanes_reference_last(self):
+        names = list(LANES)
+        assert names == ["fast", "noff", "nokernel", "vec", "reference"]
+
+    def test_solver_kwargs_cover_all_switches(self):
+        for lane in LANES.values():
+            kwargs = lane.solver_kwargs()
+            assert set(kwargs) == {
+                "fast_path", "fast_forward", "compiled", "vectorized"
+            }
+
+    def test_reference_lane_disables_everything(self):
+        kwargs = LANES["reference"].solver_kwargs()
+        assert not any(kwargs.values())
+
+    def test_only_vec_needs_numpy(self):
+        assert [n for n, lane in LANES.items() if lane.requires_numpy] \
+            == ["vec"]
+
+    def test_availability_tracks_numpy(self, monkeypatch):
+        assert lane_available("fast")
+        assert lane_available("vec") == HAVE_NUMPY
+        monkeypatch.setattr(vectorized_module, "HAVE_NUMPY", False)
+        assert not lane_available("vec")
+        assert "vec" not in available_lane_names()
+        assert lane_available("reference")
+
+
+class TestNumpyGuard:
+    def test_require_numpy_error_names_the_extra(self, monkeypatch):
+        monkeypatch.setattr(vectorized_module, "_np", None)
+        with pytest.raises(VectorizedUnavailable) as caught:
+            require_numpy()
+        assert "pip install .[numpy]" in str(caught.value)
+        assert "--vectorized" in str(caught.value)
+
+    def test_opt_in_without_numpy_is_loud(self, monkeypatch):
+        monkeypatch.setattr(vectorized_module, "_np", None)
+        algorithm = TrivialAssignment()
+        layout = algorithm.build_layout(16, 4)
+        with pytest.raises(VectorizedUnavailable):
+            resolve_vectorized(algorithm, layout, None, vectorized=True)
+
+    def test_default_never_touches_numpy(self, monkeypatch):
+        monkeypatch.setattr(vectorized_module, "_np", None)
+        algorithm = TrivialAssignment()
+        layout = algorithm.build_layout(16, 4)
+        assert resolve_vectorized(algorithm, layout, None) is None
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector programs need numpy")
+class TestTrustGuardAndGating:
+    def test_stock_algorithms_are_trusted(self):
+        for algorithm in (TrivialAssignment(), AlgorithmW(), AlgorithmX()):
+            assert trusted_vectorized_program(algorithm) is not None
+
+    def test_subclass_overriding_program_is_untrusted(self):
+        class Hijacked(TrivialAssignment):
+            def program(self, layout, tasks=None):  # pragma: no cover
+                def factory(pid):
+                    yield Cycle(label="hijacked")
+                return factory
+
+        assert trusted_vectorized_program(Hijacked()) is None
+        layout = Hijacked().build_layout(16, 4)
+        assert resolve_vectorized(
+            Hijacked(), layout, None, vectorized=True
+        ) is None
+
+    def test_instance_patched_program_is_untrusted(self):
+        algorithm = TrivialAssignment()
+        algorithm.program = lambda layout, tasks=None: None
+        assert trusted_vectorized_program(algorithm) is None
+
+    def test_resolves_for_default_tasks(self):
+        for algorithm in (TrivialAssignment(), AlgorithmW(), AlgorithmX()):
+            layout = algorithm.build_layout(16, 4)
+            program = resolve_vectorized(
+                algorithm, layout, None, vectorized=True
+            )
+            assert program is not None
+
+    def test_gates_to_scalar_for_nontrivial_tasks(self):
+        tasks = CycleFactoryTasks(
+            cycles_per_task=2,
+            factory=lambda element, pid: [Cycle(label="t")] * 2,
+        )
+        for algorithm in (TrivialAssignment(), AlgorithmW(), AlgorithmX()):
+            layout = algorithm.build_layout(16, 4)
+            assert resolve_vectorized(
+                algorithm, layout, tasks, vectorized=True
+            ) is None
+
+    def test_random_routing_gates_to_scalar(self):
+        algorithm = AlgorithmX(routing="random")
+        layout = algorithm.build_layout(16, 4)
+        assert resolve_vectorized(
+            algorithm, layout, None, vectorized=True
+        ) is None
+
+    def test_off_switch_wins_over_everything(self):
+        algorithm = TrivialAssignment()
+        layout = algorithm.build_layout(16, 4)
+        assert resolve_vectorized(
+            algorithm, layout, None, vectorized=False
+        ) is None
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="window tests need numpy")
+class TestWindowMemorySync:
+    def test_replace_cells_count_zeros_matches_scan(self):
+        from repro.pram.memory import SharedMemory
+
+        memory = SharedMemory(16)
+        tracker = memory.track_zeros(4, 8)
+        values = [0, 1, 2, 0, 0, 5, 0, 7, 0, 0, 1, 0, 3, 0, 0, 0]
+        expected = sum(1 for v in values[4:12] if v == 0)
+        memory.replace_cells(
+            values,
+            count_zeros=lambda start, stop: sum(
+                1 for v in values[start:stop] if v == 0
+            ),
+        )
+        assert tracker.zeros == expected
+        # and the default scan recount agrees
+        memory.replace_cells(values)
+        assert tracker.zeros == expected
+
+    def test_out_of_range_commit_raises_reference_error(self):
+        import numpy as np
+
+        from repro.pram.errors import MemoryError_
+        from repro.pram.memory import SharedMemory
+        from repro.pram.policies import CommonCrcw
+        from repro.pram.vectorized import VectorProgram, VectorWindow
+
+        algorithm = TrivialAssignment()
+        layout = algorithm.build_layout(16, 4)
+        program = resolve_vectorized(algorithm, layout, None, vectorized=True)
+        assert isinstance(program, VectorProgram)
+        window = VectorWindow(
+            program, SharedMemory(8), CommonCrcw(), goal=None
+        )
+        with pytest.raises(MemoryError_, match="out of range"):
+            window.commit(
+                np.asarray([99]), np.asarray([0]), np.asarray([1])
+            )

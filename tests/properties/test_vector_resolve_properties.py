@@ -1,0 +1,164 @@
+"""Property tests: vectorized CRCW resolution vs the reference policies.
+
+``repro.pram.vectorized.resolve_writes`` resolves one tick's staged
+writes as flat arrays (lexsort + ``reduceat``); the object lane resolves
+them by calling ``policy.resolve`` per address with writers sorted by
+PID.  For any random collision pattern the two must agree value for
+value — including the singleton fast case (one writer per address),
+where the fused-window preconditions let both lanes skip the resolve
+call entirely, and the COMMON-violation case, where both must raise the
+same reference error.
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pram.errors import WriteConflictError
+from repro.pram.policies import (
+    ArbitraryCrcw,
+    CollisionCrcw,
+    CommonCrcw,
+    PriorityCrcw,
+    RotatingArbitraryCrcw,
+    StrongCrcw,
+)
+
+np = pytest.importorskip("numpy", reason="the vectorized lane needs numpy")
+
+from repro.pram.vectorized import resolve_writes  # noqa: E402
+
+COMMON_SETTINGS = dict(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Policies whose resolution the vector path expresses directly, plus a
+#: stateless unknown subclass exercised through the per-group fallback.
+POLICIES = [
+    ArbitraryCrcw,
+    PriorityCrcw,
+    StrongCrcw,
+    lambda: CollisionCrcw(collision_value=-7),
+]
+
+
+def reference_resolve(writes, policy):
+    """What the object lane stores: resolve per address, PIDs ascending.
+
+    ``writes`` is a list of ``(address, pid, value)``.  Returns the
+    ``{address: value}`` mapping, resolving addresses in ascending
+    order (the order the grouped commit applies them), so a policy
+    error surfaces at the same address as the vector fallback.
+    """
+    groups = {}
+    for address, pid, value in writes:
+        groups.setdefault(address, []).append((pid, value))
+    resolved = {}
+    for address in sorted(groups):
+        writers = sorted(groups[address])
+        resolved[address] = policy.resolve(address, writers)
+    return resolved
+
+
+@st.composite
+def collision_patterns(draw):
+    """Random staged writes with distinct (address, pid) pairs.
+
+    A processor stages at most one write per cell per tick (a cycle's
+    write set maps addresses to single values), so patterns where the
+    same PID hits the same address twice are unreachable and excluded.
+    """
+    pairs = draw(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 5)),
+        min_size=0, max_size=24, unique=True,
+    ))
+    values = draw(st.lists(
+        st.integers(-9, 9), min_size=len(pairs), max_size=len(pairs),
+    ))
+    return [
+        (address, pid, value)
+        for (address, pid), value in zip(pairs, values)
+    ]
+
+
+@pytest.mark.parametrize("make_policy", POLICIES)
+@given(writes=collision_patterns())
+@settings(**COMMON_SETTINGS)
+def test_vector_matches_reference(make_policy, writes):
+    policy = make_policy()
+    expected = reference_resolve(writes, make_policy())
+    addresses = [w[0] for w in writes]
+    pids = [w[1] for w in writes]
+    values = [w[2] for w in writes]
+    uaddrs, resolved = resolve_writes(addresses, pids, values, policy)
+    assert uaddrs.tolist() == sorted(expected)
+    assert dict(zip(uaddrs.tolist(), resolved.tolist())) == expected
+
+
+@given(writes=collision_patterns())
+@settings(**COMMON_SETTINGS)
+def test_common_matches_reference_or_raises_identically(writes):
+    """COMMON agrees value-for-value, or raises the reference error."""
+    try:
+        expected = reference_resolve(writes, CommonCrcw())
+    except WriteConflictError as exc:
+        with pytest.raises(WriteConflictError) as caught:
+            resolve_writes(
+                [w[0] for w in writes], [w[1] for w in writes],
+                [w[2] for w in writes], CommonCrcw(),
+            )
+        assert str(caught.value) == str(exc)
+        return
+    uaddrs, resolved = resolve_writes(
+        [w[0] for w in writes], [w[1] for w in writes],
+        [w[2] for w in writes], CommonCrcw(),
+    )
+    assert dict(zip(uaddrs.tolist(), resolved.tolist())) == expected
+
+
+@given(writes=collision_patterns())
+@settings(**COMMON_SETTINGS)
+def test_unknown_policy_falls_back_to_reference_resolve(writes):
+    """A policy subclass the vector path cannot prove safe still agrees.
+
+    RotatingArbitraryCrcw is stateful (its pick depends on how many
+    times resolve ran), so ``_vector_resolve`` must decline it and the
+    per-group fallback must call ``resolve`` in exactly the reference
+    order — same ascending addresses, same writer lists.
+    """
+    expected = reference_resolve(writes, RotatingArbitraryCrcw())
+    uaddrs, resolved = resolve_writes(
+        [w[0] for w in writes], [w[1] for w in writes],
+        [w[2] for w in writes], RotatingArbitraryCrcw(),
+    )
+    assert dict(zip(uaddrs.tolist(), resolved.tolist())) == expected
+
+
+@given(
+    addresses=st.lists(st.integers(0, 63), min_size=0, max_size=16,
+                       unique=True),
+    seed=st.integers(0, 2**16),
+)
+@settings(**COMMON_SETTINGS)
+def test_singleton_fast_case(addresses, seed):
+    """Distinct addresses (one writer each) resolve to the raw values.
+
+    This is the overwhelmingly common pattern inside fused quiet
+    windows; the vector path returns first-in-group without consulting
+    the policy at all, which is only sound because
+    ``singleton_resolve_is_identity`` holds for the stock policies.
+    """
+    import random
+
+    rng = random.Random(seed)
+    pids = [rng.randrange(8) for _ in addresses]
+    values = [rng.randint(-9, 9) for _ in addresses]
+    for make_policy in POLICIES + [CommonCrcw]:
+        uaddrs, resolved = resolve_writes(
+            addresses, pids, values, make_policy(),
+        )
+        expected = dict(zip(addresses, values))
+        assert dict(zip(uaddrs.tolist(), resolved.tolist())) == expected
