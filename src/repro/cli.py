@@ -133,7 +133,26 @@ def _add_vectorized(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-vectorized", dest="vectorized",
                         action="store_false",
                         help="stay on the scalar lanes (the default)")
+    parser.add_argument("--lane", dest="lane", default=None,
+                        choices=("auto", "vec", "scalar"),
+                        help="lane selection: 'auto' dispatches vec vs "
+                             "scalar per quiet window via the calibrated "
+                             "cost model (silently scalar without numpy), "
+                             "'vec'/'scalar' force one lane; overrides "
+                             "--vectorized/--no-vectorized")
     parser.set_defaults(vectorized=False)
+
+
+def _vectorized_from_args(args: argparse.Namespace):
+    """The tri-state ``vectorized`` switch from --lane / --vectorized."""
+    lane = getattr(args, "lane", None)
+    if lane == "auto":
+        return "auto"
+    if lane == "vec":
+        return True
+    if lane == "scalar":
+        return False
+    return args.vectorized
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -197,7 +216,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
-        vectorized=args.vectorized,
+        vectorized=_vectorized_from_args(args),
     )
     print(result.summary())
     return 0 if result.solved else 1
@@ -216,7 +235,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
-        vectorized=args.vectorized,
+        vectorized=_vectorized_from_args(args),
     )
     chaos = _chaos_from_args(args)
     use_engine = (
@@ -452,7 +471,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
             adversaries=adversaries,
             fast_forward=not args.no_fast_forward,
             compiled=not args.no_compiled,
-            vectorized=args.vectorized,
+            vectorized=_vectorized_from_args(args),
         )
     wall_s = time_module.perf_counter() - started
     for comparison in comparisons:
@@ -490,6 +509,15 @@ def cmd_perf(args: argparse.Namespace) -> int:
         print(
             f"vectorized lane alone: worst {min(vec_speedups):.2f}x, "
             f"best {max(vec_speedups):.2f}x (vs scalar compiled lane)"
+        )
+    auto_speedups = [
+        c.auto_speedup for c in comparisons
+        if getattr(c, "auto_speedup", None) is not None
+    ]
+    if auto_speedups:
+        print(
+            f"adaptive dispatch: worst {min(auto_speedups):.2f}x, "
+            f"best {max(auto_speedups):.2f}x (vs scalar compiled lane)"
         )
     if args.tag is not None:
         os.makedirs(args.out, exist_ok=True)
@@ -535,7 +563,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     simulator = RobustSimulator(
         p=args.p, algorithm=ALGORITHMS[args.algorithm](), adversary=adversary,
         fast_forward=not args.no_fast_forward, compiled=not args.no_compiled,
-        vectorized=args.vectorized,
+        vectorized=_vectorized_from_args(args),
     )
     result = simulator.execute(program, initial)
     status = "solved" if result.solved else "INCOMPLETE"
@@ -560,7 +588,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         fast_forward=not args.no_fast_forward,
         compiled=not args.no_compiled,
-        vectorized=args.vectorized,
+        vectorized=_vectorized_from_args(args),
     )
     print(result.summary())
     print()

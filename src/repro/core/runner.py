@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
 from repro.core.problem import WriteAllInstance, verify_solution
@@ -75,7 +75,7 @@ def solve_write_all(
     phase_counters: Optional[object] = None,
     incremental_until: bool = True,
     compiled: bool = True,
-    vectorized: bool = False,
+    vectorized: "Union[bool, str]" = False,
 ) -> WriteAllResult:
     """Run ``algorithm`` on an (n, p) instance under ``adversary``.
 
@@ -98,7 +98,11 @@ def solve_write_all(
     (:mod:`repro.pram.vectorized`) for algorithms that ship a trusted
     ``vectorized_program``; it raises
     :class:`~repro.pram.vectorized.VectorizedUnavailable` when the
-    optional numpy extra is missing.
+    optional numpy extra is missing.  ``vectorized="auto"`` (the
+    ``--lane auto`` mode) instead lets the calibrated cost model in
+    :mod:`repro.pram.dispatch` pick vec vs scalar per fused quiet
+    window, and silently degrades to the scalar compiled lane when
+    numpy is absent — results are bit-identical either way.
     """
     WriteAllInstance(n, p)  # validates the instance shape
     layout = algorithm.build_layout(n, p)
@@ -125,6 +129,7 @@ def solve_write_all(
         vectorized_program=resolve_vectorized(
             algorithm, layout, tasks, vectorized
         ),
+        vector_dispatch="auto" if vectorized == "auto" else "always",
     )
     if max_ticks is None:
         max_ticks = default_tick_budget(n, p)
@@ -175,7 +180,7 @@ def measure_write_all(
     fairness_window: Optional[int] = None,
     fast_forward: bool = True,
     compiled: bool = True,
-    vectorized: bool = False,
+    vectorized: "Union[bool, str]" = False,
 ) -> RunMeasures:
     """Picklable sweep entry point: run one instance, return measures.
 

@@ -69,6 +69,8 @@ class TrivialVector(VectorProgram):
     amortized O(1) array work.
     """
 
+    kind = "trivial"
+
     def __init__(self, layout: TrivialLayout) -> None:
         n = layout.n
         p = layout.p
@@ -120,6 +122,7 @@ class TrivialVector(VectorProgram):
                 filled_per_tick = filled_per_tick[:ticks]
         flat = addresses.ravel()
         window.cells[flat] = 1
+        window.mark_dirty(flat)
         window.writes += int(flat.size)
         if window.goal is not None:
             window.goal_zeros -= int(filled_per_tick[ticks - 1])
@@ -143,6 +146,8 @@ class XVector(VectorProgram):
     ``random`` routing rule hashes (pid, node) per descent and is not
     vectorizable — the algorithm's hook gates it to the scalar lanes.
     """
+
+    kind = "X"
 
     def __init__(self, layout: XLayout, routing: str, spread: bool) -> None:
         super().__init__(
@@ -277,6 +282,8 @@ class WVector(VectorProgram):
     branches are uniform per group).  ``last_seen``/``target``/``leaf``
     encode ``None`` as ``-1``.
     """
+
+    kind = "W"
 
     def __init__(self, layout: IterativeLayout, lam: int) -> None:
         super().__init__(layout, lambda pid: PhasedKernel(pid, layout, lam))

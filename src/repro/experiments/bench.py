@@ -29,6 +29,7 @@ from repro.core import (
     AlgorithmW,
     AlgorithmX,
     SnapshotAlgorithm,
+    TrivialAssignment,
 )
 from repro.experiments.factories import (
     Budgeted,
@@ -368,6 +369,27 @@ def _build_scenarios() -> Dict[str, BenchScenario]:
                 adversary=SparseSchedule(), seeds=(0, 1),
                 max_ticks=2_000_000, fast_forward=False,
             ),
+        ),
+    ))
+
+    scenarios.append(BenchScenario(
+        tag="A8_adaptive_smallsize",
+        title="Adaptive dispatch — small sizes where forced vec lost; "
+              "auto must match scalar's model exactly",
+        source="bench_adaptive_smallsize.py",
+        specs=tuple(
+            SweepSpec(
+                name=f"{label}@sched-sparse/{mode}", algorithm=algorithm,
+                sizes=(size,), processors=8,
+                adversary=SparseSchedule(), seeds=(0,),
+                max_ticks=2_000_000, vectorized=vectorized,
+            )
+            for label, algorithm, size in [
+                ("X", AlgorithmX, 512),
+                ("W", AlgorithmW, 1024),
+                ("trivial", TrivialAssignment, 256),
+            ]
+            for mode, vectorized in [("scalar", False), ("auto", "auto")]
         ),
     ))
 

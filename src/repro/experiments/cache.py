@@ -35,7 +35,7 @@ import pathlib
 import re
 import tempfile
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.experiments.runner import RunPoint
 
@@ -113,7 +113,7 @@ def point_key(
     fairness_window: Optional[int],
     fast_forward: bool = True,
     compiled: bool = True,
-    vectorized: bool = False,
+    vectorized: "Union[bool, str]" = False,
 ) -> str:
     """The content hash identifying one sweep point's spec."""
     material = "|".join([
@@ -133,7 +133,12 @@ def point_key(
     if not compiled:
         # Same reasoning for the compiled-kernel escape hatch.
         material += "|no-compiled"
-    if vectorized:
+    if vectorized == "auto":
+        # Adaptive dispatch is bit-identical to both forced lanes, but
+        # gets its own key (same investigability reasoning as above) —
+        # and must not collide with the hard --vectorized suffix.
+        material += "|lane-auto"
+    elif vectorized:
         # The vectorized lane is opt-in, so the suffix lands only on
         # the new configuration and old cache entries keep their keys.
         material += "|vectorized"

@@ -46,7 +46,7 @@ import time
 import traceback
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.runner import measure_write_all
 from repro.experiments.cache import ResultCache, point_key
@@ -77,7 +77,7 @@ class PointSpec:
     fairness_window: Optional[int]
     fast_forward: bool = True
     compiled: bool = True
-    vectorized: bool = False
+    vectorized: "Union[bool, str]" = False
 
     def cache_key(self) -> str:
         return point_key(

@@ -38,7 +38,10 @@ class SweepSpec:
             hatch forcing the generator protocol).
         vectorized: numpy batch lane for algorithms that ship a
             vector program (opt-in ``--vectorized``; needs the
-            optional numpy extra).
+            optional numpy extra).  The string ``"auto"`` selects
+            per-window adaptive dispatch (``--lane auto``), which
+            degrades silently to the scalar compiled lane without
+            numpy.
     """
 
     name: str
@@ -51,7 +54,7 @@ class SweepSpec:
     fairness_window: Optional[int] = None
     fast_forward: bool = True
     compiled: bool = True
-    vectorized: bool = False
+    vectorized: "Union[bool, str]" = False
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

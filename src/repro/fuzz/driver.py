@@ -5,8 +5,9 @@ from the named-adversary registry (all pure functions of the fuzz
 seed), computes the ideal fault-free oracle, then executes the program
 through :class:`~repro.simulation.executor.RobustSimulator` on every
 machine lane of the registry in :mod:`repro.pram.lanes` (``fast``,
-``noff``, ``nokernel``, ``vec``, ``reference`` — the ``vec`` lane is
-skipped with a note when the optional numpy extra is absent, and its
+``noff``, ``nokernel``, ``vec``, ``auto``, ``reference`` — the ``vec``
+lane is skipped with a note when the optional numpy extra is absent,
+``auto`` degrades to the scalar compiled lane instead, and their
 robust phases exercise the vector lane's scalar-fallback path, since
 the phase task sets are never vectorizable),
 

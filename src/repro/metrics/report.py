@@ -14,6 +14,8 @@ Schema (``repro-bench/1``)::
       "tag": "<run tag>",
       "created_unix": <float>,
       "workers": <int>,
+      "environment": {"python":..,"python_build":..,"platform":..,
+                      "cpu_count":..,"numpy":..},  # since PR 8
       "scenarios": [
         {
           "tag": "E1_thrashing",
@@ -46,7 +48,11 @@ Schema (``repro-bench/1``)::
 
 The per-sweep ``stats`` object (and the retry/timeout totals) surface
 the engine's recovery accounting — reports written before they existed
-still validate; consumers must treat them as optional.
+still validate; consumers must treat them as optional.  The same goes
+for ``environment``: an audit of the host that produced the numbers
+(interpreter, platform, CPU count, numpy version or ``null`` when the
+extra is absent), so wall-clock comparisons across reports can tell a
+perf change from a host change.
 
 S, S' and |F| are the paper's measures (completed work, charged work,
 pattern size); ``sigma = S / (N + |F|)``; ``ticks`` is parallel time in
@@ -56,10 +62,37 @@ machine ticks; ``wall_s`` is host wall-clock, 0.0 for cached points.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 import time
 from typing import Any, Dict, List
 
 SCHEMA = "repro-bench/1"
+
+
+def environment_section() -> Dict[str, Any]:
+    """Audit of the host producing a report (the ``environment`` key).
+
+    ``numpy`` is the installed version string, or ``None`` when the
+    optional extra is absent — so a report records which lanes could
+    have run at all.
+    """
+    try:
+        import numpy
+        numpy_version: Any = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "python_build": " ".join(platform.python_build()),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "executable": sys.executable,
+    }
 
 
 def point_record(point, elapsed_s: float = 0.0,
@@ -178,6 +211,7 @@ def bench_report(tag: str, scenarios: List[Dict[str, Any]],
         "tag": tag,
         "created_unix": time.time(),
         "workers": workers,
+        "environment": environment_section(),
         "scenarios": scenarios,
         "totals": totals,
     }
@@ -218,16 +252,27 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
                     raise ValueError(
                         f"point record missing keys {sorted(missing)}"
                     )
-                if "vec_speedup" in record:
-                    # Optional since the vectorized lane landed; older
-                    # reports simply omit it.
-                    ratio = record["vec_speedup"]
+                for optional_ratio in ("vec_speedup", "auto_speedup"):
+                    # Optional since the vectorized lane (PR 7) and the
+                    # adaptive-dispatch lane (PR 8) landed; older
+                    # reports simply omit them.
+                    if optional_ratio not in record:
+                        continue
+                    ratio = record[optional_ratio]
                     if (not isinstance(ratio, (int, float))
                             or isinstance(ratio, bool) or ratio <= 0):
                         raise ValueError(
-                            f"vec_speedup must be a positive number, "
+                            f"{optional_ratio} must be a positive number, "
                             f"got {ratio!r}"
                         )
+    if "environment" in report:
+        # Optional since PR 8; older reports simply omit the audit.
+        environment = report["environment"]
+        if not isinstance(environment, dict):
+            raise ValueError("environment must be an object")
+        for key in ("python", "platform", "cpu_count", "numpy"):
+            if key not in environment:
+                raise ValueError(f"environment missing key {key!r}")
 
 
 def dump_report(report: Dict[str, Any], path: str) -> None:

@@ -41,7 +41,7 @@ over time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core import (
     AlgorithmV,
@@ -60,7 +60,11 @@ from repro.faults import (
 )
 from repro.metrics.report import bench_report
 from repro.perf.phases import PhaseCounters
-from repro.perf.timing import TimingResult, time_callable
+from repro.perf.timing import (
+    TimingResult,
+    time_callable,
+    time_callables_interleaved,
+)
 from repro.pram.compiled import resolve_kernel
 from repro.pram.vectorized import HAVE_NUMPY, resolve_vectorized
 
@@ -149,6 +153,9 @@ class PerfComparison:
     nokernel: Optional[PerfLeg] = None
     novec: Optional[PerfLeg] = None
     adversary: str = DEFAULT_ADVERSARY
+    #: The lane switch the fast leg ran with (False / True / "auto") —
+    #: decides whether the novec ratio reports as vec_ or auto_speedup.
+    vectorized: "Union[bool, str]" = False
 
     @property
     def speedup(self) -> Optional[float]:
@@ -177,7 +184,26 @@ class PerfComparison:
 
         Kernel-relative: the novec leg runs the scalar compiled lane,
         so this isolates array batching from everything beneath it.
+        Reported only for the hard ``--vectorized`` opt-in; the
+        adaptive mode reports :attr:`auto_speedup` instead.
         """
+        if self.vectorized == "auto":
+            return None
+        if self.novec is None or self.fast.best_s <= 0:
+            return None
+        return self.novec.best_s / self.fast.best_s
+
+    @property
+    def auto_speedup(self) -> Optional[float]:
+        """No-vec over auto ratio: what adaptive dispatch buys.
+
+        The auto leg may dispatch any mix of vec and scalar windows;
+        dividing the forced-scalar leg's time by it answers the
+        question the cost model exists for — "is ``--lane auto`` at
+        least as fast as the scalar lane here?" (≥ 1.0 means yes; the
+        CI gate allows 0.95 for timing noise on small sizes)."""
+        if self.vectorized != "auto":
+            return None
         if self.novec is None or self.fast.best_s <= 0:
             return None
         return self.novec.best_s / self.fast.best_s
@@ -218,7 +244,7 @@ def run_comparison(
     adversary: str = DEFAULT_ADVERSARY,
     fast_forward: bool = True,
     compiled: bool = True,
-    vectorized: bool = False,
+    vectorized: "Union[bool, str]" = False,
 ) -> PerfComparison:
     """Time one configuration through the cores.
 
@@ -243,6 +269,12 @@ def run_comparison(
     timed alongside it, carrying the batching-only ratio
     (:attr:`PerfComparison.vec_speedup`).  Requesting it without the
     numpy extra raises the lane's clear unavailability error.
+
+    With ``vectorized="auto"`` (the ``--lane auto`` mode) the fast leg
+    runs adaptive per-window dispatch and reports as mode ``auto`` in
+    the bench export; the same novec leg then carries
+    :attr:`PerfComparison.auto_speedup` — scalar time over auto time,
+    the "adaptive never loses" number the CI baselines gate on.
     """
     try:
         algorithm_cls = PERF_ALGORITHMS[algorithm]
@@ -271,7 +303,24 @@ def run_comparison(
             vectorized=vectorized,
         )
 
-    fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
+    def run_novec() -> None:
+        state["novec"] = solve_write_all(
+            algorithm_cls(), n, p, adversary=fresh_adversary(),
+            fast_path=True, fast_forward=fast_forward,
+            compiled=compiled, vectorized=False,
+        )
+
+    has_novec = bool(vectorized) and _has_vectorized(algorithm_cls, n, p)
+    novec_timing: Optional[TimingResult] = None
+    if has_novec:
+        # The vec/auto speedup is a *ratio* of these two legs, so they
+        # are timed interleaved: block-by-block timing aliases slow
+        # host drift into the ratio (see time_callables_interleaved).
+        fast_timing, novec_timing = time_callables_interleaved(
+            [run_fast, run_novec], repeats=repeats, warmup=warmup
+        )
+    else:
+        fast_timing = time_callable(run_fast, repeats=repeats, warmup=warmup)
     # The per-phase breakdown comes from one separate instrumented run so
     # the timed repeats above stay free of perf_counter overhead.
     phases = PhaseCounters()
@@ -280,7 +329,8 @@ def run_comparison(
                     compiled=compiled, vectorized=vectorized,
                     phase_counters=phases)
     fast_leg = PerfLeg(
-        mode="fast", timing=fast_timing, result=state["fast"], phases=phases
+        mode="auto" if vectorized == "auto" else "fast",
+        timing=fast_timing, result=state["fast"], phases=phases,
     )
     legs = [fast_leg]
 
@@ -319,18 +369,7 @@ def run_comparison(
         legs.append(nokernel_leg)
 
     novec_leg: Optional[PerfLeg] = None
-    if vectorized and _has_vectorized(algorithm_cls, n, p):
-
-        def run_novec() -> None:
-            state["novec"] = solve_write_all(
-                algorithm_cls(), n, p, adversary=fresh_adversary(),
-                fast_path=True, fast_forward=fast_forward,
-                compiled=compiled, vectorized=False,
-            )
-
-        novec_timing = time_callable(
-            run_novec, repeats=repeats, warmup=warmup
-        )
+    if has_novec:
         novec_leg = PerfLeg(
             mode="novec", timing=novec_timing,
             result=state["novec"], phases=None,
@@ -360,7 +399,7 @@ def run_comparison(
     return PerfComparison(
         algorithm=algorithm, n=n, p=p, fast=fast_leg, baseline=baseline_leg,
         noff=noff_leg, nokernel=nokernel_leg, novec=novec_leg,
-        adversary=adversary,
+        adversary=adversary, vectorized=vectorized,
     )
 
 
@@ -397,7 +436,7 @@ def run_perf(
     adversaries: Sequence[str] = (DEFAULT_ADVERSARY,),
     fast_forward: bool = True,
     compiled: bool = True,
-    vectorized: bool = False,
+    vectorized: "Union[bool, str]" = False,
 ) -> List[PerfComparison]:
     """Time every ``(algorithm, n, p)`` x adversary configuration."""
     return [
@@ -476,6 +515,10 @@ def perf_report(
                 # regression checker can validate it; absent in reports
                 # written before the vectorized lane existed.
                 record["vec_speedup"] = round(comparison.vec_speedup, 4)
+            if leg is comparison.fast and comparison.auto_speedup is not None:
+                # Same pattern for the adaptive-dispatch ratio (PR 8);
+                # absent in reports written before --lane auto existed.
+                record["auto_speedup"] = round(comparison.auto_speedup, 4)
             sweeps.append({
                 "name": sweep_name(comparison, leg),
                 "points": [record],
@@ -505,7 +548,7 @@ def describe_comparison(comparison: PerfComparison) -> str:
     header = (
         f"{comparison.algorithm}(N={comparison.n}, "
         f"P={comparison.p}){scenario}: "
-        f"fast {fast.best_s * 1e3:.1f} ms "
+        f"{fast.mode} {fast.best_s * 1e3:.1f} ms "
         f"({fast.ticks_per_s:,.0f} ticks/s, "
         f"{fast.result.ledger.ticks} ticks, spread "
         f"{100.0 * fast.timing.spread:.0f}%)"
@@ -527,10 +570,15 @@ def describe_comparison(comparison: PerfComparison) -> str:
         )
     if comparison.novec is not None:
         novec = comparison.novec
+        ratio_label, ratio = (
+            ("auto-speedup", comparison.auto_speedup)
+            if comparison.vectorized == "auto"
+            else ("vec-speedup", comparison.vec_speedup)
+        )
         lines.append(
             f"  no-vec {novec.best_s * 1e3:.1f} ms "
             f"({novec.ticks_per_s:,.0f} ticks/s)  "
-            f"vec-speedup {comparison.vec_speedup:.2f}x"
+            f"{ratio_label} {ratio:.2f}x"
         )
     if comparison.baseline is not None:
         baseline = comparison.baseline

@@ -66,6 +66,28 @@ def _scenario_tags(report: Dict[str, Any]) -> List[str]:
     ]
 
 
+def _sweep_lane(name: str) -> str:
+    """The lane suffix of a sweep name (``X@sched-sparse/auto`` -> ``auto``).
+
+    Sweep names without a ``/`` (the experiment-driver scenarios) have
+    no lane notion; they map to ``""`` and never participate in
+    lane-set comparison.
+    """
+    if "/" not in name:
+        return ""
+    return name.rsplit("/", 1)[1]
+
+
+def _lane_sets(points: Dict[PointKey, Dict[str, Any]]) -> Dict[str, set]:
+    """Per-scenario set of lane suffixes appearing in the point index."""
+    lanes: Dict[str, set] = {}
+    for tag, name, _n, _p, _seed in points:
+        lane = _sweep_lane(name)
+        if lane:
+            lanes.setdefault(tag, set()).add(lane)
+    return lanes
+
+
 @dataclass(frozen=True)
 class Finding:
     """One comparison outcome worth reporting."""
@@ -140,6 +162,12 @@ def compare_reports(
     * a baseline scenario entirely absent from the candidate → one
       **error** naming the scenario (instead of one error per missing
       point, or a raw ``KeyError``);
+    * a baseline *lane* (the ``/<mode>`` sweep-name suffix) entirely
+      absent from the candidate's scenario → one named
+      ``lane-mismatch`` **error** per lane — e.g. comparing a
+      ``--lane auto`` baseline against a scalar candidate — instead of
+      a wall of per-point missing errors; candidate-only lanes are
+      **info** (new coverage, the usual forward-compatible case);
     * a baseline point absent from the candidate → **error** (coverage
       lost);
     * any :data:`MODEL_FIELDS` difference → **error** (the simulation
@@ -172,9 +200,39 @@ def compare_reports(
             ),
         ))
 
+    baseline_lanes = _lane_sets(baseline_points)
+    candidate_lanes = _lane_sets(candidate_points)
+    missing_lanes = set()
+    for tag, lanes in sorted(baseline_lanes.items()):
+        if tag in missing_scenarios:
+            continue
+        for lane in sorted(lanes - candidate_lanes.get(tag, set())):
+            missing_lanes.add((tag, lane))
+            report.findings.append(Finding(
+                severity="error", kind="lane-mismatch",
+                key=(tag, f"*/{lane}", 0, 0, 0),
+                detail=(
+                    f"baseline has lane {lane!r} in scenario {tag!r}, "
+                    f"candidate has "
+                    f"{sorted(candidate_lanes.get(tag, set())) or 'none'} "
+                    f"— was the candidate run with a different --lane?"
+                ),
+            ))
+    new_lanes = set()
+    for tag, lanes in sorted(candidate_lanes.items()):
+        for lane in sorted(lanes - baseline_lanes.get(tag, set())):
+            new_lanes.add((tag, lane))
+            report.findings.append(Finding(
+                severity="info", kind="new-lane",
+                key=(tag, f"*/{lane}", 0, 0, 0),
+                detail="lane absent from baseline (new coverage)",
+            ))
+
     for key, base_record in sorted(baseline_points.items()):
         if key[0] in missing_scenarios:
             continue  # already reported once at scenario granularity
+        if (key[0], _sweep_lane(key[1])) in missing_lanes:
+            continue  # already reported once at lane granularity
         cand_record = candidate_points.get(key)
         if cand_record is None:
             report.findings.append(Finding(
@@ -210,6 +268,8 @@ def compare_reports(
             ))
 
     for key in sorted(set(candidate_points) - set(baseline_points)):
+        if (key[0], _sweep_lane(key[1])) in new_lanes:
+            continue  # already reported once at lane granularity
         report.findings.append(Finding(
             severity="info", kind="new-point", key=key,
             detail="absent from baseline (new coverage)",

@@ -61,3 +61,37 @@ def time_callable(
         func()
         samples.append(perf_counter() - start)
     return TimingResult(samples_s=samples, warmup=warmup)
+
+
+def time_callables_interleaved(
+    funcs: List[Callable[[], object]],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> List[TimingResult]:
+    """Time several callables round-robin instead of block-by-block.
+
+    When the *ratio* between two timings is the deliverable (the perf
+    harness's speedup numbers), sequential min-of-k blocks alias slow
+    host drift — thermal throttling, frequency wandering — into the
+    ratio: whichever leg ran during the slow minutes loses ~10% through
+    no fault of its own.  Interleaving the repeats exposes every
+    callable to the same drift, so the mins it feeds into the ratio
+    were taken under like conditions.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for func in funcs:
+        for _ in range(warmup):
+            func()
+    samples: List[List[float]] = [[] for _ in funcs]
+    for _ in range(repeats):
+        for position, func in enumerate(funcs):
+            start = perf_counter()
+            func()
+            samples[position].append(perf_counter() - start)
+    return [
+        TimingResult(samples_s=leg_samples, warmup=warmup)
+        for leg_samples in samples
+    ]

@@ -9,6 +9,7 @@ fast       yes        yes           yes        no
 noff       yes        no            yes        no   (no fast-forward)
 nokernel   yes        yes           no         no   (no compiled kernels)
 vec        yes        yes           yes        yes  (needs numpy)
+auto       yes        yes           yes        auto (adaptive dispatch)
 reference  no         no            no         no
 ========== ========== ============= ========== ============
 
@@ -22,30 +23,42 @@ benchmarkable.
 
 The ``vec`` lane needs the optional numpy extra;
 :func:`lane_available` / :func:`available_lane_names` let consumers
-skip it cleanly (never crash) when numpy is absent.
+skip it cleanly (never crash) when numpy is absent.  The ``auto``
+lane (``--lane auto``) runs everywhere: with numpy it consults the
+calibrated cost model in :mod:`repro.pram.dispatch` per fused quiet
+window, without numpy it silently degrades to the scalar compiled
+lane (its ``vectorized`` switch is the string ``"auto"`` rather than
+a bool, which :func:`repro.pram.vectorized.resolve_vectorized`
+understands as "soft opt-in").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
 
 @dataclass(frozen=True)
 class Lane:
-    """One machine lane: a name plus the solver/Machine switches."""
+    """One machine lane: a name plus the solver/Machine switches.
+
+    ``vectorized`` is tri-state: ``False`` (scalar), ``True`` (the
+    hard ``--vectorized`` opt-in, loud error without numpy) or
+    ``"auto"`` (adaptive dispatch, silent scalar degrade without
+    numpy).
+    """
 
     name: str
     fast_path: bool
     fast_forward: bool
     compiled: bool
-    vectorized: bool = False
+    vectorized: Union[bool, str] = False
     #: Lanes that need the optional numpy extra are skipped (not failed)
     #: by consumers when it is absent.
     requires_numpy: bool = False
     description: str = ""
 
-    def solver_kwargs(self) -> Dict[str, bool]:
+    def solver_kwargs(self) -> Dict[str, Union[bool, str]]:
         """Keyword arguments for ``solve_write_all`` / ``RobustSimulator``."""
         return {
             "fast_path": self.fast_path,
@@ -91,6 +104,15 @@ LANES: Dict[str, Lane] = {
             requires_numpy=True,
             description="vectorized quiet windows (--vectorized; "
             "needs the numpy extra)",
+        ),
+        Lane(
+            name="auto",
+            fast_path=True,
+            fast_forward=True,
+            compiled=True,
+            vectorized="auto",
+            description="adaptive per-window vec/scalar dispatch "
+            "(--lane auto; scalar without numpy)",
         ),
         Lane(
             name="reference",

@@ -253,6 +253,15 @@ class Machine:
         # load_program when a whole-machine vector program is installed;
         # fused quiet windows then run as batched ndarray bursts.
         self._vector: Optional[object] = None
+        # Resident vector window: persists across consecutive quiet
+        # windows (mirror + packed columns stay warm) and is flushed by
+        # _flush_resident before anything outside the vector lane can
+        # observe memory or per-PID kernel state.  With
+        # vector_dispatch="auto", _dispatch holds the calibrated cost
+        # model that picks vec vs scalar per fused window.
+        self._resident: Optional[object] = None
+        self._vector_auto = False
+        self._dispatch: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # setup
@@ -263,6 +272,7 @@ class Machine:
         program_factory: ProgramFactory,
         compiled_program: Optional[object] = None,
         vectorized_program: Optional[object] = None,
+        vector_dispatch: str = "always",
     ) -> None:
         """Install the program on all P processors and start them.
 
@@ -280,8 +290,22 @@ class Machine:
         every observable tick exactly like the compiled lane (it
         supersedes ``compiled_program``), and fused quiet windows run
         as batched array bursts instead of per-processor Python steps.
+
+        ``vector_dispatch`` selects how a vector program is used:
+        ``"always"`` (every eligible quiet window runs vectorized —
+        the ``--vectorized`` behaviour) or ``"auto"`` (the calibrated
+        cost model in :mod:`repro.pram.dispatch` picks vec vs scalar
+        per fused window — the ``--lane auto`` behaviour).  Either
+        lane choice produces bit-identical results; dispatch only
+        decides which one is faster.
         """
+        if self._resident is not None:
+            self._resident.close()
+            self._resident = None
         self._vector = vectorized_program
+        self._vector_auto = (
+            vectorized_program is not None and vector_dispatch == "auto"
+        )
         if vectorized_program is not None:
             compiled_program = vectorized_program.pid_stepper
         self._kernel_mode = compiled_program is not None
@@ -318,6 +342,10 @@ class Machine:
         """
         if not self._processors:
             raise ProgramError("no program loaded; call load_program() first")
+        if self._resident is not None:
+            # Observable tick: the adversary view, traces, and the
+            # scalar kernels all read memory / per-PID state directly.
+            self._resident.flush()
         if self.fast_path:
             return self._step_fast()
         return self._step_reference()
@@ -1232,9 +1260,17 @@ class Machine:
                 # predicates fall through to the per-tick loop below.
                 goal = None if until is None else getattr(until, "zero_goal", None)
                 if until is None or goal is not None:
-                    return self._run_quiet_window_vectorized(
-                        stop_tick, until, goal
-                    )
+                    if not self._vector_auto or self._prefer_vectorized(
+                        stop_tick
+                    ):
+                        return self._run_quiet_window_vectorized(
+                            stop_tick, until, goal
+                        )
+        if self._resident is not None:
+            # Scalar window chosen (dispatch, unmarked predicate, or
+            # ineligible policy): the fused scalar loop reads and
+            # writes memory directly, so the mirror must stand down.
+            self._resident.flush()
         self._refresh_status_caches()
         running = self._running_cache
         if not running:
@@ -1329,9 +1365,16 @@ class Machine:
         running lane as array operations, in bursts that stop exactly on
         the first tick a lane halts or the ``goal`` region empties, so
         ticks, per-PID charges, statuses, and the goal tick are
-        bit-identical to the per-processor loop.  Traffic and cell
-        contents sync back through the window's ``finish()`` (always,
-        via ``finally``, so policy errors leave reference-equal state).
+        bit-identical to the per-processor loop.
+
+        The window is *resident*: it outlives this call, so the next
+        quiet window reuses the memory mirror and any still-packed
+        lanes at zero boundary cost.  Traffic is charged at every
+        window boundary (so the ledger is exact whenever control
+        leaves), but cells and kernel state are written back lazily —
+        by the ``flush()`` the machine issues before any outside
+        observation, or here on error so policy failures leave
+        reference-equal state.
         """
         self._refresh_status_caches()
         running = self._running_cache
@@ -1347,7 +1390,12 @@ class Machine:
                 interrupts.pop(processor.pid, None)
         phases = self.phase_counters
         vector = self._vector
-        window = vector.begin_window(self.memory, self.policy, goal)
+        window = self._resident
+        if window is None:
+            window = vector.begin_window(self.memory, self.policy, goal)
+            self._resident = window
+        else:
+            window.resume(goal)
         outcome = _WINDOW_RAN
         try:
             while True:
@@ -1381,10 +1429,42 @@ class Machine:
                     break
                 if not running:
                     break
-        finally:
-            window.finish()
+        except BaseException:
+            # A policy error mid-burst: charge what ran and write back
+            # so the caller sees the same partially-applied state the
+            # reference path would leave (matching PR 7's finish()-in-
+            # finally; _sync_traffic is skipped on error there too).
+            window.charge_traffic()
+            window.flush()
+            raise
+        window.charge_traffic()
         self._sync_traffic()
         return outcome
+
+    def _prefer_vectorized(self, stop_tick: int) -> bool:
+        """Adaptive dispatch: is the vector lane worth it for this window?
+
+        Consults the calibrated cost model (:mod:`repro.pram.dispatch`)
+        with the window's tick budget, the running-lane count, the
+        vector program's kind, and whether the resident window's packed
+        state is still warm.  Either answer is bit-identical; this only
+        picks the faster lane.
+        """
+        model = self._dispatch
+        if model is None:
+            from repro.pram.dispatch import get_model
+
+            model = self._dispatch = get_model()
+        self._refresh_status_caches()
+        window = self._resident
+        return model.prefer_vector(
+            kind=getattr(self._vector, "kind", "generic"),
+            ticks=max(1, stop_tick - self.ledger.ticks),
+            p=len(self._running_cache),
+            cells=len(self._cells),
+            mirror=window is not None,
+            packed=window is not None and not window.suspended,
+        )
 
     # ------------------------------------------------------------------ #
     # whole runs
@@ -1419,6 +1499,12 @@ class Machine:
         """
         ledger = self.ledger
         reader = self._reader
+        if self._resident is not None:
+            # A resident window from an earlier run() on this machine:
+            # the entry `until` check (and anything else this run
+            # observes before the first vectorized window) must see
+            # authoritative memory.
+            self._resident.flush()
         if until is not None and until(reader):
             ledger.goal_reached = True
             self._sync_traffic()
@@ -1443,6 +1529,8 @@ class Machine:
                         if ledger.ticks >= max_ticks:
                             ledger.tick_limited = True
                             if raise_on_limit:
+                                if self._resident is not None:
+                                    self._resident.flush()
                                 raise TickLimitError(
                                     f"run exceeded max_ticks={max_ticks} "
                                     f"(S={ledger.completed_work})"
@@ -1476,5 +1564,9 @@ class Machine:
                         f"(S={ledger.completed_work})"
                     )
                 break
+        if self._resident is not None:
+            # Run over: callers inspect memory (σ, snapshots, asserts)
+            # the moment this returns.
+            self._resident.flush()
         self._sync_traffic()
         return ledger

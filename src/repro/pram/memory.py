@@ -57,6 +57,29 @@ class ZeroRegionTracker:
         )
 
 
+class WriteWatcher:
+    """A journal of addresses written since it was last cleared.
+
+    Attached via :meth:`SharedMemory.attach_watcher` by a resident
+    vector window (see :mod:`repro.pram.vectorized`): while the window
+    is suspended, every write path records the touched address here, so
+    resuming the window refreshes only those mirror cells instead of
+    rebuilding the whole ndarray.  ``overflow`` is set by bulk rewrites
+    (:meth:`SharedMemory.replace_cells`) whose touched set is "all of
+    memory" — the watcher's owner must then do a full refresh.
+    """
+
+    __slots__ = ("addresses", "overflow")
+
+    def __init__(self) -> None:
+        self.addresses: set = set()
+        self.overflow = False
+
+    def clear(self) -> None:
+        self.addresses.clear()
+        self.overflow = False
+
+
 class SharedMemory:
     """A flat array of integer word cells."""
 
@@ -71,6 +94,7 @@ class SharedMemory:
         self._cells: List[int] = [0] * size
         self._word_bits = word_bits
         self._trackers: List[ZeroRegionTracker] = []
+        self._watchers: List[WriteWatcher] = []
         self.reads_served = 0
         self.writes_applied = 0
         if initial is not None:
@@ -138,6 +162,9 @@ class SharedMemory:
             for tracker in self._trackers:
                 if tracker.start <= address < tracker.stop:
                     tracker.zeros += delta
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher.addresses.add(address)
 
     def write(self, address: int, value: int) -> None:
         """Atomically write one word (counted toward traffic statistics)."""
@@ -237,6 +264,10 @@ class SharedMemory:
                 f"{len(cells)} cells"
             )
         cells[:] = values
+        for watcher in self._watchers:
+            # The touched set is "everything": watchers must do a full
+            # refresh rather than enumerate every address.
+            watcher.overflow = True
         for tracker in self._trackers:
             if count_zeros is not None:
                 tracker.zeros = int(count_zeros(tracker.start, tracker.stop))
@@ -254,6 +285,46 @@ class SharedMemory:
         Addresses must already be in range.
         """
         self.writes_applied += len(pairs)
+        cells = self._cells
+        trackers = self._trackers
+        watchers = self._watchers
+        if trackers or watchers:
+            for address, value in pairs:
+                old = cells[address]
+                cells[address] = value
+                if trackers and (old == 0) != (value == 0):
+                    delta = 1 if value == 0 else -1
+                    for tracker in trackers:
+                        if tracker.start <= address < tracker.stop:
+                            tracker.zeros += delta
+                for watcher in watchers:
+                    watcher.addresses.add(address)
+        else:
+            for address, value in pairs:
+                cells[address] = value
+
+    def attach_watcher(self) -> WriteWatcher:
+        """Register (and return) a journal of subsequently written cells."""
+        watcher = WriteWatcher()
+        self._watchers.append(watcher)
+        return watcher
+
+    def detach_watcher(self, watcher: WriteWatcher) -> None:
+        """Unregister a journal returned by :meth:`attach_watcher`."""
+        if watcher in self._watchers:
+            self._watchers.remove(watcher)
+
+    def sync_cells(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Apply externally resolved cell contents (uncharged, unjournaled).
+
+        The resident vector window's dirty-cell writeback: like
+        :meth:`replace_cells` it charges no traffic (the window counted
+        its own reads/writes) and keeps zero-region trackers exact, but
+        it touches only the given cells — O(dirty) instead of O(M) —
+        and does *not* notify watchers (the caller IS the watcher's
+        owner, syncing its own mirror; after it, mirror and memory
+        agree, so it clears its journal instead).
+        """
         cells = self._cells
         trackers = self._trackers
         if trackers:

@@ -48,7 +48,7 @@ error — never a crash at import time — when it is absent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.pram.errors import MemoryError_
 from repro.pram.policies import (
@@ -115,21 +115,31 @@ def trusted_vectorized_program(algorithm: object):
 
 
 def resolve_vectorized(
-    algorithm: object, layout: object, tasks: object, vectorized: bool = False
+    algorithm: object,
+    layout: object,
+    tasks: object,
+    vectorized: Union[bool, str] = False,
 ) -> Optional["VectorProgram"]:
     """The vector program to install for a run, or None for scalar lanes.
 
     Combines the opt-in switch (``vectorized=True`` is the
-    ``--vectorized`` flag; the default stays on the scalar lanes), the
-    numpy availability check (an explicit opt-in without numpy is a
-    loud :class:`VectorizedUnavailable`, not a silent downgrade), the
-    MRO trust guard, and the algorithm's own gating
-    (``vectorized_program`` returns None for configurations it cannot
-    vectorize, e.g. non-trivial task sets or PID-hashed routing).
+    ``--vectorized`` flag; the default stays on the scalar lanes; the
+    string ``"auto"`` is the ``--lane auto`` adaptive mode), the numpy
+    availability check (an explicit ``True`` without numpy is a loud
+    :class:`VectorizedUnavailable`, not a silent downgrade — but
+    ``"auto"`` *does* degrade silently to the scalar compiled lane,
+    that being the whole point of an adaptive default), the MRO trust
+    guard, and the algorithm's own gating (``vectorized_program``
+    returns None for configurations it cannot vectorize, e.g.
+    non-trivial task sets or PID-hashed routing).
     """
     if not vectorized:
         return None
-    require_numpy()
+    if vectorized == "auto":
+        if not HAVE_NUMPY:
+            return None
+    else:
+        require_numpy()
     hook = trusted_vectorized_program(algorithm)
     if hook is None:
         return None
@@ -250,16 +260,27 @@ class Burst:
     halted: List[int] = field(default_factory=list)
 
 
-class VectorWindow:
-    """Mutable state for one fused quiet window run on the vector lane.
+#: Dirty fraction above which flushing falls back to a full
+#: ``replace_cells`` (one C-speed bulk copy + vectorized recount) instead
+#: of the per-cell tracker-exact sync loop.
+_FULL_SYNC_FRACTION = 3
 
-    Mirrors shared memory into an int64 ndarray at entry, accumulates
-    read/write charges and the goal region's remaining-zero count, and
-    on :meth:`finish` (always called, via ``finally``) unpacks touched
-    lanes, charges traffic, and syncs the cells back into
-    :class:`~repro.pram.memory.SharedMemory` with trackers recounted —
-    so every observable outside the window is exactly what the scalar
-    quiet loop would have produced.
+
+class VectorWindow:
+    """Resident state for fused quiet windows run on the vector lane.
+
+    Mirrors shared memory into an int64 ndarray and accumulates
+    read/write charges plus the goal region's remaining-zero count.
+    Since PR 8 the window is *persistent*: consecutive quiet windows
+    reuse the mirror and the packed SoA columns with zero boundary cost,
+    and only :meth:`flush` — called by the machine the moment anything
+    outside the vector lane could observe memory or kernel state —
+    unpacks the touched lanes and writes back the **dirty cells only**
+    (tracked in a bitmap by :meth:`mark_dirty`), turning the old
+    per-window ``O(P + M)`` pack/mirror/writeback cost into
+    ``O(touched)``.  While suspended, a
+    :class:`~repro.pram.memory.WriteWatcher` journals every external
+    write so :meth:`resume` refreshes exactly those mirror cells.
     """
 
     def __init__(
@@ -273,6 +294,7 @@ class VectorWindow:
         self.memory = memory
         self.policy = policy
         self.cells = _np.array(memory.raw_cells(), dtype=_np.int64)
+        self.dirty = _np.zeros(self.cells.size, dtype=bool)
         self.reads = 0
         self.writes = 0
         self.touched: Set[int] = set()
@@ -282,11 +304,116 @@ class VectorWindow:
             self.goal_zeros = tracker.zeros
         else:
             self.goal_zeros = -1
-        self._finished = False
+        self._watcher = memory.attach_watcher()
+        self._suspended = False
 
     @property
     def goal_reached(self) -> bool:
         return self.goal is not None and self.goal_zeros == 0
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the window is flushed (memory authoritative, lanes cold)."""
+        return self._suspended
+
+    def resume(self, goal: Optional[Tuple[int, int]]) -> None:
+        """Make the mirror current again after a :meth:`flush`.
+
+        Between back-to-back quiet windows (nothing intervened) this is
+        a no-op; after observable/adversary ticks it refreshes exactly
+        the journaled cells — a bulk rewrite (``replace_cells``) sets
+        the journal's overflow flag and forces a full refresh — and
+        re-reads the goal tracker, which stayed exact while the scalar
+        paths wrote through :class:`~repro.pram.memory.SharedMemory`.
+        Packed lanes are *not* revived: flush invalidated them (their
+        scalar kernels advanced in the meantime), so the next burst's
+        ``ensure_packed`` re-packs the running set.
+        """
+        if self._suspended:
+            watcher = self._watcher
+            if watcher.overflow:
+                self.cells[:] = self.memory.raw_cells()
+            elif watcher.addresses:
+                raw = self.memory.raw_cells()
+                addrs = list(watcher.addresses)
+                self.cells[addrs] = [raw[address] for address in addrs]
+            watcher.clear()
+            if self.goal is not None:
+                tracker = self.memory.track_zeros(self.goal[0], self.goal[1])
+                self.goal_zeros = tracker.zeros
+            self._suspended = False
+        if goal != self.goal:
+            # A different ``until`` predicate than the one the window
+            # was built for (a later run() on the same machine): count
+            # the new region from the mirror, which is authoritative
+            # for any cell the resident window has dirtied.
+            self.goal = goal
+            if goal is None:
+                self.goal_zeros = -1
+            else:
+                self.memory.track_zeros(goal[0], goal[1])
+                start, length = goal
+                self.goal_zeros = int(_np.count_nonzero(
+                    self.cells[start : start + length] == 0
+                ))
+
+    def flush(self) -> None:
+        """Unpack touched lanes and write back dirty cells (idempotent).
+
+        Called by the machine before anything outside the vector lane
+        observes memory or per-PID kernel state: adversary-visible
+        ticks, scalar quiet windows, ``until`` predicates outside the
+        window, and run exits.  Afterwards memory and mirror agree, so
+        the external-write journal restarts empty.
+        """
+        if self._suspended:
+            return
+        self._suspended = True
+        for pid in sorted(self.touched):
+            self.program.unpack_lane(pid)
+        self.touched.clear()
+        dirty = self.dirty
+        indexes = _np.flatnonzero(dirty)
+        if indexes.size:
+            cells = self.cells
+            memory = self.memory
+            if indexes.size * _FULL_SYNC_FRACTION >= cells.size:
+                memory.replace_cells(
+                    cells.tolist(),
+                    count_zeros=lambda start, stop: _np.count_nonzero(
+                        cells[start:stop] == 0
+                    ),
+                )
+            else:
+                memory.sync_cells(zip(
+                    indexes.tolist(), cells[indexes].tolist()
+                ))
+            dirty[indexes] = False
+        self._watcher.clear()
+
+    def charge_traffic(self) -> None:
+        """Charge the accumulated read/write counts into the memory.
+
+        Called at every window boundary (not only at flush) so the
+        ledger's traffic totals at any observable point are identical
+        to the scalar quiet loop's.
+        """
+        memory = self.memory
+        if self.reads:
+            memory.charge_reads(self.reads)
+            self.reads = 0
+        if self.writes:
+            memory.charge_writes(self.writes)
+            self.writes = 0
+
+    def mark_dirty(self, addresses) -> None:
+        """Record mirror cells written outside :meth:`commit`.
+
+        Vector programs with closed-form bursts (TrivialVector) scatter
+        into ``window.cells`` directly; they must mark what they wrote
+        so the dirty-cell writeback stays exact.
+        """
+        self.dirty[addresses] = True
 
     def commit(self, addresses, pids, values) -> None:
         """Resolve and apply one tick's staged writes.
@@ -338,24 +465,22 @@ class VectorWindow:
                 emptied = int(((old != 0) & (new == 0)).sum())
                 self.goal_zeros += emptied - filled
         cells[uaddrs] = uvals
+        self.dirty[uaddrs] = True
 
     def finish(self) -> None:
-        """Unpack lanes, charge traffic, sync cells back (idempotent)."""
-        if self._finished:
-            return
-        self._finished = True
-        for pid in sorted(self.touched):
-            self.program.unpack_lane(pid)
-        memory = self.memory
-        memory.charge_reads(self.reads)
-        memory.charge_writes(self.writes)
-        cells = self.cells
-        memory.replace_cells(
-            cells.tolist(),
-            count_zeros=lambda start, stop: _np.count_nonzero(
-                cells[start:stop] == 0
-            ),
-        )
+        """Charge traffic and flush: the one-shot (non-resident) exit."""
+        self.charge_traffic()
+        self.flush()
+
+    def close(self) -> None:
+        """Flush and detach the external-write journal (end of residency).
+
+        Called when the machine retires the window for good — a new
+        program is loaded — so the journal stops charging every scalar
+        write with a set insert.
+        """
+        self.flush()
+        self.memory.detach_watcher(self._watcher)
 
 
 class VectorProgram:
@@ -368,6 +493,11 @@ class VectorProgram:
     while a window is live, with :meth:`pack_lane` /
     :meth:`unpack_lane` converting at the boundary.
     """
+
+    #: Program-kind tag consumed by the adaptive dispatch cost model
+    #: (:mod:`repro.pram.dispatch`); subclasses override with their
+    #: algorithm name so per-kind calibrated coefficients apply.
+    kind = "generic"
 
     def __init__(self, layout, scalar_factory: Callable[[int], object]) -> None:
         require_numpy()

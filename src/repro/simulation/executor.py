@@ -28,7 +28,7 @@ which is a legal adversary behavior in the restart model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 from repro.core.algorithm_vx import AlgorithmVX
 from repro.core.base import WriteAllAlgorithm, done_predicate
@@ -137,7 +137,7 @@ class RobustSimulator:
         fast_path: bool = True,
         fast_forward: bool = True,
         compiled: bool = True,
-        vectorized: bool = False,
+        vectorized: "Union[bool, str]" = False,
         capture_snapshots: bool = False,
     ) -> None:
         if p <= 0:
@@ -150,7 +150,8 @@ class RobustSimulator:
         # Lane selection, mirroring solve_write_all (see
         # repro.pram.lanes for the registry): ``fast_forward`` /
         # ``compiled`` / ``vectorized`` are the --no-fast-forward /
-        # --no-compiled / --vectorized switches.  The fuzz driver runs
+        # --no-compiled / --vectorized switches (``vectorized="auto"``
+        # is --lane auto adaptive dispatch).  The fuzz driver runs
         # every program through all available lanes.  Note the robust
         # phases always use non-trivial task sets (CycleFactoryTasks),
         # which every vectorized_program hook gates to None — so the
@@ -258,6 +259,7 @@ class RobustSimulator:
             vectorized_program=resolve_vectorized(
                 self.algorithm, layout, tasks, self.vectorized
             ),
+            vector_dispatch="auto" if self.vectorized == "auto" else "always",
         )
         ledger = machine.run(
             until=done_predicate(layout),

@@ -19,7 +19,9 @@ class TestLanesAndDraws:
     def test_lane_table_matches_differential_modes(self):
         # The driver enumerates the shared registry (repro.pram.lanes);
         # the reference lane must stay last (differential anchor).
-        assert list(LANES) == ["fast", "noff", "nokernel", "vec", "reference"]
+        assert list(LANES) == [
+            "fast", "noff", "nokernel", "vec", "auto", "reference"
+        ]
 
         def switches(name):
             kwargs = LANES[name].solver_kwargs()
@@ -34,6 +36,7 @@ class TestLanesAndDraws:
         assert switches("noff") == (True, False, True, False)
         assert switches("nokernel") == (True, True, False, False)
         assert switches("vec") == (True, True, True, True)
+        assert switches("auto") == (True, True, True, "auto")
         assert switches("reference") == (False, False, False, False)
 
     def test_adversary_draws_are_pure(self):

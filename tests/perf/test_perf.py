@@ -22,7 +22,11 @@ from repro.perf.regression import (
     DEFAULT_WALL_TOLERANCE,
     compare_reports,
 )
-from repro.perf.timing import TimingResult, time_callable
+from repro.perf.timing import (
+    TimingResult,
+    time_callable,
+    time_callables_interleaved,
+)
 
 
 class TestTimeCallable:
@@ -52,6 +56,32 @@ class TestTimeCallable:
         assert timing.best_s == pytest.approx(0.1)
         assert timing.mean_s == pytest.approx(0.7 / 3)
         assert timing.spread == pytest.approx(3.0)
+
+
+class TestTimeCallablesInterleaved:
+    def test_round_robin_order(self):
+        order = []
+        timings = time_callables_interleaved(
+            [lambda: order.append("a"), lambda: order.append("b")],
+            repeats=3, warmup=1,
+        )
+        # Warmup runs each leg once, then the measured repeats strictly
+        # alternate — that alternation is the whole point: slow host
+        # drift hits both legs of a speedup ratio equally.
+        assert order == ["a", "b", "a", "b", "a", "b", "a", "b"]
+        assert [len(t.samples_s) for t in timings] == [3, 3]
+        assert all(t.warmup == 1 for t in timings)
+
+    def test_zero_warmup_is_legal(self):
+        [timing] = time_callables_interleaved([lambda: None],
+                                              repeats=1, warmup=0)
+        assert len(timing.samples_s) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            time_callables_interleaved([lambda: None], repeats=0)
+        with pytest.raises(ValueError):
+            time_callables_interleaved([lambda: None], warmup=-1)
 
 
 class TestPhaseCounters:
@@ -173,6 +203,46 @@ class TestCompareReports:
             f.kind == "missing-point" and f.key[0] == "PERF_micro"
             for f in report.findings
         )
+
+    def test_missing_lane_is_one_named_error(self):
+        # Baseline ran with --lane auto, candidate with the default
+        # lane: one lane-mismatch error naming the lane, not a wall of
+        # per-point missing errors.
+        base = _tiny_report()
+        auto_sweep = copy.deepcopy(base["scenarios"][0]["sweeps"][0])
+        auto_sweep["name"] = "X/auto"
+        base["scenarios"][0]["sweeps"].append(auto_sweep)
+        report = compare_reports(base, _tiny_report(tag="cand"))
+        assert not report.ok
+        [finding] = report.errors
+        assert finding.kind == "lane-mismatch"
+        assert "'auto'" in finding.detail
+        assert "--lane" in finding.detail
+        assert not any(f.kind == "missing-point" for f in report.findings)
+        # the shared fast lane still compared normally
+        assert report.compared == 1
+
+    def test_candidate_extra_lane_is_info(self):
+        cand = _tiny_report(tag="cand")
+        auto_sweep = copy.deepcopy(cand["scenarios"][0]["sweeps"][0])
+        auto_sweep["name"] = "X/auto"
+        cand["scenarios"][0]["sweeps"].append(auto_sweep)
+        report = compare_reports(_tiny_report(), cand)
+        assert report.ok
+        kinds = [f.kind for f in report.findings]
+        assert kinds == ["new-lane"]
+
+    def test_laneless_sweep_names_fall_back_to_per_point_errors(self):
+        # Experiment-driver sweeps have no /<mode> suffix, so there is
+        # no lane notion to collapse into: a whole missing sweep is
+        # still reported point by point.
+        base = _tiny_report()
+        base["scenarios"][0]["sweeps"][0]["name"] = "Xsweep"
+        cand = _tiny_report(tag="cand")
+        cand["scenarios"][0]["sweeps"][0]["name"] = "Ysweep"
+        report = compare_reports(base, cand)
+        kinds = sorted(f.kind for f in report.findings)
+        assert kinds == ["missing-point", "new-point"]
 
     def test_malformed_record_names_scenario_not_keyerror(self):
         broken = _tiny_report()
@@ -369,6 +439,43 @@ class TestPerfReport:
         with pytest.raises(ValueError, match="vec_speedup"):
             validate_bench_report(report)
 
+    def test_auto_speedup_field_validated_but_optional(self):
+        report = _tiny_report()
+        point = report["scenarios"][0]["sweeps"][0]["points"][0]
+        validate_bench_report(report)  # pre-PR-8 reports omit it: fine
+        point["auto_speedup"] = 0.98
+        validate_bench_report(report)
+        point["auto_speedup"] = 0.0
+        with pytest.raises(ValueError, match="auto_speedup"):
+            validate_bench_report(report)
+        point["auto_speedup"] = True
+        with pytest.raises(ValueError, match="auto_speedup"):
+            validate_bench_report(report)
+
+    def test_environment_section_validated_but_optional(self):
+        from repro.metrics.report import environment_section
+
+        report = _tiny_report()
+        validate_bench_report(report)  # pre-PR-8 reports omit it: fine
+        report["environment"] = environment_section()
+        validate_bench_report(report)
+        assert report["environment"]["python"]
+        assert report["environment"]["cpu_count"] >= 1
+        report["environment"] = "linux"
+        with pytest.raises(ValueError, match="environment"):
+            validate_bench_report(report)
+        report["environment"] = {"python": "3.12"}
+        with pytest.raises(ValueError, match="environment"):
+            validate_bench_report(report)
+
+    def test_perf_reports_carry_the_environment_audit(self):
+        comparison = run_comparison("X", 64, 8, repeats=1, warmup=0,
+                                    include_baseline=False)
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        environment = report["environment"]
+        assert environment["python"] == __import__("platform").python_version()
+        assert "numpy" in environment  # version string or None
+
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="the vec leg needs numpy")
 class TestVectorizedLeg:
@@ -407,3 +514,56 @@ class TestVectorizedLeg:
             comparison.vec_speedup, rel=1e-3
         )
         assert "vec_speedup" not in by_name["trivial/novec"]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="the auto novec leg needs numpy")
+class TestAutoLeg:
+    def test_auto_comparison_reports_auto_speedup(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False,
+                                    vectorized="auto")
+        assert comparison.fast.mode == "auto"
+        assert comparison.novec is not None
+        assert comparison.auto_speedup is not None
+        assert comparison.auto_speedup > 0
+        # vec_speedup is reserved for the *forced* vec lane: under auto
+        # the fast leg may have run scalar windows, so the ratio gets
+        # its own name.
+        assert comparison.vec_speedup is None
+        text = describe_comparison(comparison)
+        assert "auto-speedup" in text and "vec-speedup" not in text
+
+    def test_forced_vec_has_no_auto_speedup(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False, vectorized=True)
+        assert comparison.auto_speedup is None
+        assert comparison.vec_speedup is not None
+
+    def test_report_names_the_auto_lane(self):
+        comparison = run_comparison("trivial", 256, 8, repeats=1, warmup=0,
+                                    include_baseline=False,
+                                    vectorized="auto")
+        report = perf_report([comparison], tag="unit", wall_s=0.1)
+        validate_bench_report(report)
+        [scenario] = report["scenarios"]
+        by_name = {s["name"]: s["points"][0] for s in scenario["sweeps"]}
+        assert "trivial/auto" in by_name
+        assert "trivial/novec" in by_name
+        auto_point = by_name["trivial/auto"]
+        assert auto_point["auto_speedup"] == pytest.approx(
+            comparison.auto_speedup, rel=1e-3
+        )
+        assert "vec_speedup" not in auto_point
+
+    def test_auto_model_equals_scalar_model(self):
+        auto = run_comparison("W", 256, 8, repeats=1, warmup=0,
+                              include_baseline=False, adversary="sched-sparse",
+                              vectorized="auto")
+        scalar = run_comparison("W", 256, 8, repeats=1, warmup=0,
+                                include_baseline=False,
+                                adversary="sched-sparse")
+        for field in ("completed_work", "charged_work", "pattern_size"):
+            assert getattr(auto.fast.result, field) == \
+                getattr(scalar.fast.result, field)
+        assert auto.fast.result.ledger.ticks == \
+            scalar.fast.result.ledger.ticks

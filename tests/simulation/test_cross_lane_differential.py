@@ -1,7 +1,7 @@
 """Cross-lane differential tests for every library PRAM program.
 
-Each program in :mod:`repro.simulation.programs` runs through all four
-machine lanes (fast / no-fast-forward / no-kernel / reference) under at
+Each program in :mod:`repro.simulation.programs` runs through every
+machine lane of the shared registry (:mod:`repro.pram.lanes`) under at
 least two adversaries, and every run's final simulated memory must be
 bit-identical to the fault-free reference execution — Theorem 4.1's
 semantic transparency, asserted program x adversary x lane.  The
@@ -16,6 +16,7 @@ import pytest
 
 from repro.core import AlgorithmX
 from repro.faults import BurstAdversary, NoFailures, RandomAdversary
+from repro.pram.lanes import LANES as LANE_REGISTRY, lane_available
 from repro.simulation import RobustSimulator
 from repro.simulation.programs import (
     bfs_input,
@@ -30,12 +31,14 @@ from repro.simulation.programs import (
 )
 from repro.simulation.programs.list_ranking import list_ranking_input
 
-#: (fast_path, fast_forward, compiled) per lane, reference last.
+#: Straight from the shared registry (reference last), minus lanes this
+#: environment cannot run (vec without the numpy extra).  The robust
+#: phases use non-trivial task sets, so the vec/auto lanes exercise
+#: exactly the vector lane's scalar-fallback gating here.
 LANES = {
-    "fast": (True, True, True),
-    "noff": (True, False, True),
-    "nokernel": (True, True, False),
-    "reference": (False, False, False),
+    name: lane
+    for name, lane in LANE_REGISTRY.items()
+    if lane_available(name)
 }
 
 ADVERSARIES = {
@@ -74,14 +77,11 @@ PROGRAMS = _programs()
 
 
 def execute(program, initial, adversary, lane):
-    fast_path, fast_forward, compiled = LANES[lane]
     simulator = RobustSimulator(
         p=4,
         algorithm=AlgorithmX(),
         adversary=adversary,
-        fast_path=fast_path,
-        fast_forward=fast_forward,
-        compiled=compiled,
+        **LANES[lane].solver_kwargs(),
     )
     return simulator.execute(program, list(initial))
 
