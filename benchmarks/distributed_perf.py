@@ -1,0 +1,200 @@
+"""Distributed-fabric scaling benchmark: 1 vs 4 workers, one host.
+
+Measures sweep *throughput* (points per second) through the remote
+backend as the worker fleet grows, and writes the committed
+``BENCH_distributed_perf.json`` baseline the issue's acceptance gate
+reads (>= 3x at 4 workers vs 1).
+
+The sweep pins per-point latency with ``point_floor_s`` — each point
+sleeps out the remainder after its (tiny) model run — so what is being
+measured is the fabric's *dispatch concurrency*: N workers hold N
+leases at once, exactly like N restartable processors each holding one
+Write-All cell.  Without the floor, a 1-core CI host would serialize
+the model work itself and the measurement would gate on the runner's
+core count instead of on the scheduler.  The floor is model-invisible:
+the report's model fields (solved, S, S', |F|, ticks) are identical
+across legs and are what ``check_regression.py --gate-model`` compares.
+
+Each leg gets a fresh cacheless server and its own fleet, so no result
+reuse can flatter the scaling::
+
+    PYTHONPATH=src python benchmarks/distributed_perf.py \
+        --tag distributed --out benchmarks/results
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Per-point latency floor (seconds).  High enough to swamp dispatch
+#: overhead (~ms per lease round-trip), low enough that the whole
+#: benchmark stays under a minute.
+POINT_FLOOR_S = 0.25
+
+#: Points per leg: 24 divides evenly across both fleets (24 and 6 full
+#: waves), so neither leg pays a ragged final wave.
+SEEDS = 24
+
+#: Fleet sizes compared; the acceptance gate reads the first and last.
+FLEETS = (1, 4)
+
+
+def build_spec(floor_s: float = POINT_FLOOR_S, seeds: int = SEEDS):
+    from repro.core import AlgorithmX
+    from repro.experiments import SweepSpec
+    from repro.experiments.factories import FailureFree
+
+    # The smallest model run the engine accepts: the measured quantity
+    # is the floor (dispatch concurrency), and any serialized CPU per
+    # point erodes the scaling signal on a small host.
+    return SweepSpec(
+        name="dist-scaling",
+        algorithm=AlgorithmX,
+        sizes=(8,),
+        processors=4,
+        adversary=FailureFree(),
+        seeds=range(seeds),
+        max_ticks=200_000,
+        point_floor_s=floor_s,
+    )
+
+
+def _wait_for_fleet(server, workers: int, timeout_s: float = 60.0) -> None:
+    """Block until every worker has registered with the daemon.
+
+    Interpreter boot (N python processes starting on a possibly 1-core
+    host) is fleet provisioning, not dispatch throughput; timing starts
+    once the fleet is actually serving.
+    """
+    from repro.experiments.serve import fetch_status
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if fetch_status(server.address)["workers"] >= workers:
+            return
+        time.sleep(0.05)
+    raise SystemExit(
+        f"fleet of {workers} never finished registering "
+        f"within {timeout_s:.0f}s"
+    )
+
+
+def run_leg(workers: int, floor_s: float, seeds: int):
+    """One fleet size: fresh server, fresh workers, no caches anywhere."""
+    from repro.experiments import run_sweep_parallel
+    from repro.experiments.serve import SweepServer
+    from repro.experiments.worker import spawn_worker
+
+    spec = build_spec(floor_s, seeds)
+    server = SweepServer(port=0)  # no cache_dir: every leg executes all
+    server.start()
+    fleet = []
+    try:
+        fleet = [
+            spawn_worker(server.address, name=f"w{index}")
+            for index in range(workers)
+        ]
+        _wait_for_fleet(server, workers)
+        started = time.perf_counter()
+        result = run_sweep_parallel(
+            spec, backend=f"remote:{server.address}",
+        )
+        wall_s = time.perf_counter() - started
+    finally:
+        for process in fleet:
+            process.terminate()
+        for process in fleet:
+            try:
+                process.wait(timeout=10)
+            except Exception:
+                process.kill()
+        server.stop()
+    if result.failures:
+        raise SystemExit(
+            f"leg with {workers} worker(s) had failures: {result.failures}"
+        )
+    return result, wall_s
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--tag", default="distributed")
+    parser.add_argument("--out", default="benchmarks/results")
+    parser.add_argument("--floor", type=float, default=POINT_FLOOR_S,
+                        help="per-point latency floor, seconds")
+    parser.add_argument("--seeds", type=int, default=SEEDS,
+                        help="points per leg")
+    args = parser.parse_args(argv)
+
+    from repro.metrics.report import bench_report, dump_report, sweep_section
+
+    legs = {}
+    sections = []
+    serial_points = None
+    for workers in FLEETS:
+        print(f"[dist] {args.seeds} points, floor {args.floor:.2f}s, "
+              f"{workers} worker(s)...", flush=True)
+        result, wall_s = run_leg(workers, args.floor, args.seeds)
+        throughput = len(result.points) / wall_s
+        legs[workers] = {
+            "workers": workers,
+            "points": len(result.points),
+            "wall_s": round(wall_s, 3),
+            "throughput_points_per_s": round(throughput, 3),
+        }
+        print(f"[dist]   {wall_s:.2f}s wall, "
+              f"{throughput:.2f} points/s", flush=True)
+        if serial_points is None:
+            serial_points = result.points
+        elif result.points != serial_points:
+            raise SystemExit(
+                "model results differ across fleet sizes — the fabric "
+                "is not bit-identical"
+            )
+        section = sweep_section(result)
+        section["name"] = f"dist/remote-w{workers}"
+        sections.append(section)
+
+    first, last = FLEETS[0], FLEETS[-1]
+    speedup = (legs[last]["throughput_points_per_s"]
+               / legs[first]["throughput_points_per_s"])
+    print(f"[dist] throughput scaling {first} -> {last} workers: "
+          f"{speedup:.2f}x", flush=True)
+
+    scenario = {
+        "tag": "DIST_scaling",
+        "title": f"remote-backend sweep throughput, {first} vs {last} "
+                 f"local workers (point floor {args.floor:.2f}s)",
+        "source": "benchmarks/distributed_perf.py",
+        "wall_s": round(sum(leg["wall_s"] for leg in legs.values()), 6),
+        "cache": {"hits": 0, "executed": sum(
+            leg["points"] for leg in legs.values()
+        ), "failed": 0, "hit_rate": 0.0},
+        "sweeps": sections,
+    }
+    report = bench_report(args.tag, [scenario], workers=last,
+                          backend="remote")
+    # Scaling summary for humans and for the committed-baseline test;
+    # extra top-level keys are schema-tolerated.
+    report["distributed"] = {
+        "point_floor_s": args.floor,
+        "legs": [legs[workers] for workers in FLEETS],
+        "throughput_speedup": round(speedup, 3),
+    }
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{args.tag}_perf.json"
+    dump_report(report, str(path))
+    print(f"[dist] report written: {path}", flush=True)
+    print(json.dumps(report["distributed"], indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""CI distributed smoke: serve + 2 workers, one killed mid-sweep.
+
+End-to-end proof of the fabric's failure model through the real CLI
+surface (no in-process shortcuts):
+
+1. start ``python -m repro serve`` as a subprocess and parse its
+   listening address;
+2. spawn two ``python -m repro worker`` subprocesses (each its own
+   process group);
+3. run a sweep through ``backend=remote:host:port`` whose points carry
+   a latency floor, so both workers are guaranteed to be mid-lease;
+4. once the status endpoint shows the whole fleet leasing, SIGKILL one
+   worker's entire process group — a fail-stop, the paper's Section 2
+   failure event, landing on our own fleet;
+5. assert the sweep still completes **bit-identical to the serial
+   runner**, that the server re-queued at least one abandoned lease
+   (the restart half of the model), and that nothing was quarantined.
+
+Exit code 0 on success; any broken promise exits 1 with a message::
+
+    PYTHONPATH=src python benchmarks/distributed_smoke.py
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Enough floor per point that the kill window (fleet fully leasing)
+#: is wide open on any host; 12 points keep the smoke under ~20s.
+POINT_FLOOR_S = 0.4
+SEEDS = 12
+
+
+def build_spec():
+    from repro.core import AlgorithmX
+    from repro.experiments import SweepSpec
+    from repro.experiments.factories import RandomChurn
+
+    return SweepSpec(
+        name="dist-smoke",
+        algorithm=AlgorithmX,
+        sizes=(16,),
+        processors=4,
+        adversary=RandomChurn(0.15, 0.4),
+        seeds=range(SEEDS),
+        max_ticks=200_000,
+        point_floor_s=POINT_FLOOR_S,
+    )
+
+
+def start_server():
+    """``repro serve`` as a subprocess; returns (process, address)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--no-cache"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = process.stdout.readline().strip()
+    marker = "listening on "
+    if marker not in line:
+        process.terminate()
+        raise SystemExit(f"serve did not announce its address: {line!r}")
+    return process, line.split(marker, 1)[1]
+
+
+def kill_one_worker_mid_sweep(address, victim, killed_event):
+    """Wait until the whole fleet holds leases, then fail-stop one."""
+    from repro.experiments.serve import fetch_status
+
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        status = fetch_status(address)
+        if status["leased"] >= 2 and status["executed"] >= 1:
+            break
+        time.sleep(0.05)
+    else:
+        print("[smoke] fleet never reached 2 concurrent leases",
+              flush=True)
+        return
+    os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+    killed_event.set()
+    print(f"[smoke] SIGKILLed worker pid {victim.pid} mid-lease "
+          f"(status: {status['leased']} leased, "
+          f"{status['executed']} executed)", flush=True)
+
+
+def main() -> int:
+    from repro.experiments import run_sweep, run_sweep_parallel
+    from repro.experiments.serve import fetch_status
+    from repro.experiments.worker import spawn_worker
+
+    spec = build_spec()
+    print(f"[smoke] serial reference: {SEEDS} points...", flush=True)
+    serial = run_sweep(spec)
+
+    server, address = start_server()
+    print(f"[smoke] serve daemon at {address}", flush=True)
+    workers = []
+    killed = threading.Event()
+    try:
+        workers = [
+            spawn_worker(address, name=f"w{index}", new_session=True)
+            for index in range(2)
+        ]
+        killer = threading.Thread(
+            target=kill_one_worker_mid_sweep,
+            args=(address, workers[0], killed), daemon=True,
+        )
+        killer.start()
+        print("[smoke] sweeping through the remote backend...", flush=True)
+        result = run_sweep_parallel(spec, backend=f"remote:{address}")
+        killer.join(timeout=60.0)
+        status = fetch_status(address)
+    finally:
+        for process in workers:
+            try:
+                os.killpg(os.getpgid(process.pid), signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+        server.terminate()
+        server.wait(timeout=10)
+
+    problems = []
+    if not killed.is_set():
+        problems.append("never killed a worker mid-sweep (window missed)")
+    if result.points != serial.points:
+        problems.append("remote sweep is NOT bit-identical to serial")
+    if result.failures:
+        problems.append(f"unexpected failures: {result.failures}")
+    if result.stats.requeues < 1:
+        problems.append(
+            f"expected >= 1 lease re-queue after the kill, saw "
+            f"{result.stats.requeues}"
+        )
+    if status["quarantined"] != 0:
+        problems.append(
+            f"server quarantined {status['quarantined']} task(s)"
+        )
+    if problems:
+        for problem in problems:
+            print(f"[smoke] FAIL: {problem}", flush=True)
+        return 1
+    print(f"[smoke] PASS: {len(result.points)} points bit-identical to "
+          f"serial after a mid-sweep worker kill; "
+          f"{result.stats.requeues} lease(s) re-queued", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

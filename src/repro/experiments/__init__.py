@@ -34,12 +34,19 @@ fanned out over worker processes with on-disk caching and resume::
     result = run_sweep_parallel(spec, workers=4, cache_dir=".sweep-cache")
     print(result.stats.hit_rate)
 
+The engine executes through a pluggable executor seam — pass
+``backend="serial" | "pool" | "remote:host:port"`` to fan a sweep out
+over a ``python -m repro serve`` daemon's worker fleet with the same
+bit-identical results.
+
 See :mod:`repro.experiments.parallel` (the engine),
-:mod:`repro.experiments.cache` (content-hashed result store),
-:mod:`repro.experiments.factories` (picklable adversary factories),
-:mod:`repro.experiments.chaos` (deterministic fault injection for the
-engine itself) and :mod:`repro.experiments.bench` (the benchmark
-scenario registry).
+:mod:`repro.experiments.backends` (the executor seam),
+:mod:`repro.experiments.serve` / :mod:`repro.experiments.worker` (the
+distributed fabric), :mod:`repro.experiments.cache` (content-hashed
+result store), :mod:`repro.experiments.factories` (picklable adversary
+factories), :mod:`repro.experiments.chaos` (deterministic fault
+injection for the engine itself) and :mod:`repro.experiments.bench`
+(the benchmark scenario registry).
 """
 
 from repro.experiments.spec import SweepSpec
@@ -49,9 +56,18 @@ from repro.experiments.runner import (
     run_one_point,
     run_sweep,
 )
+from repro.experiments.backends import (
+    AttemptResult,
+    Backend,
+    BackendCapabilities,
+    PoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.experiments.cache import ResultCache, fingerprint, point_key
 from repro.experiments.chaos import ChaosPolicy, run_soak
 from repro.experiments.parallel import (
+    EtaEstimator,
     ParallelSweepResult,
     PointFailure,
     PointMeta,
@@ -62,19 +78,26 @@ from repro.experiments.parallel import (
 )
 
 __all__ = [
+    "AttemptResult",
+    "Backend",
+    "BackendCapabilities",
     "ChaosPolicy",
+    "EtaEstimator",
     "ParallelSweepResult",
     "PointFailure",
     "PointMeta",
     "PointSpec",
+    "PoolBackend",
     "ResultCache",
     "RunPoint",
+    "SerialBackend",
     "SweepResult",
     "SweepSpec",
     "SweepStats",
     "expand_spec",
     "fingerprint",
     "point_key",
+    "resolve_backend",
     "run_one_point",
     "run_soak",
     "run_sweep",

@@ -1,0 +1,97 @@
+"""Executor backends for the parallel sweep engine.
+
+``serial`` and ``pool`` reproduce the pre-seam engine bit for bit in
+this process / a local process pool; ``remote`` ships points to a
+``python -m repro serve`` daemon's worker fleet over sockets.  See
+:mod:`repro.experiments.backends.base` for the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.experiments.backends.base import (
+    AttemptResult,
+    Backend,
+    BackendCapabilities,
+)
+from repro.experiments.backends.local import PoolBackend, SerialBackend
+
+#: Accepted ``--backend`` spellings (remote takes ``remote:host:port``).
+BACKEND_NAMES = ("serial", "pool", "remote")
+
+
+def resolve_backend(
+    backend,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    chaos=None,
+    resume: bool = True,
+    max_pool_restarts: int = 3,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    backoff_seed: int = 0,
+) -> Tuple[Backend, bool]:
+    """Turn an engine-level backend request into a live Backend.
+
+    ``backend`` may be ``None`` (legacy behavior: ``workers <= 1`` is
+    serial, more is a local pool), a string (``"serial"``, ``"pool"``,
+    ``"remote:host:port"``), or an already-constructed
+    :class:`Backend`.  Returns ``(backend, owns)`` — ``owns`` tells the
+    caller whether it should close the backend when the sweep ends.
+    """
+    if isinstance(backend, Backend):
+        return backend, False
+    if backend is None:
+        backend = "serial" if workers is None or workers <= 1 else "pool"
+    if not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be None, a string, or a Backend; "
+            f"got {type(backend).__name__}"
+        )
+    if backend == "serial":
+        return SerialBackend(timeout=timeout, chaos=chaos), True
+    if backend == "pool":
+        return PoolBackend(
+            workers=workers if workers is not None else 2,
+            timeout=timeout, chaos=chaos,
+            max_pool_restarts=max_pool_restarts,
+            backoff_base=backoff_base, backoff_cap=backoff_cap,
+            backoff_seed=backoff_seed,
+        ), True
+    if backend.startswith("remote:") or backend == "remote":
+        if backend == "remote":
+            raise ValueError(
+                "the remote backend needs an address: remote:host:port"
+            )
+        from repro.experiments.backends.remote import RemoteBackend
+
+        return RemoteBackend(
+            backend, timeout=timeout, chaos=chaos, resume=resume,
+        ), True
+    raise ValueError(
+        f"unknown backend {backend!r}: expected one of "
+        f"{', '.join(BACKEND_NAMES)} (remote as remote:host:port)"
+    )
+
+
+def __getattr__(name: str):
+    # RemoteBackend pulls in the socket stack; import it on demand so
+    # plain local sweeps never pay for it.
+    if name == "RemoteBackend":
+        from repro.experiments.backends.remote import RemoteBackend
+
+        return RemoteBackend
+    raise AttributeError(name)
+
+
+__all__ = [
+    "AttemptResult",
+    "Backend",
+    "BackendCapabilities",
+    "BACKEND_NAMES",
+    "PoolBackend",
+    "RemoteBackend",
+    "SerialBackend",
+    "resolve_backend",
+]

@@ -1,0 +1,113 @@
+"""The socket backend: sweep points execute on a serve daemon's fleet.
+
+One connection, pipelined: every :meth:`submit` streams one job to the
+server, every :meth:`collect` blocks on the next ``result`` frame.
+The server dedupes by content-hash key across all connected clients
+and answers from the shared store when it can; ``cached``/``stored``/
+``lease_tries``/``healed_corrupt`` flags flow back so the engine's
+:class:`~repro.experiments.parallel.SweepStats` stay truthful about
+work it never ran locally.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.experiments.backends.base import (
+    AttemptResult,
+    Backend,
+    BackendCapabilities,
+)
+from repro.experiments.wire import PointJob, connect, pack, parse_address, unpack
+
+
+class RemoteBackend(Backend):
+    """Client half of ``python -m repro serve``; see the module doc."""
+
+    capabilities = BackendCapabilities(
+        name="remote", supports_timeout=True, isolates_crashes=True,
+        requires_picklable=True, requeues_lost_work=True, remote=True,
+    )
+
+    def __init__(
+        self,
+        address: str,
+        timeout: Optional[float] = None,
+        chaos=None,
+        resume: bool = True,
+    ) -> None:
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        self._timeout = timeout
+        self._chaos_blob = None if chaos is None else pack(chaos)
+        self._resume = resume
+        self._conn = connect(host, port, role="client", timeout=10.0)
+        self._counter = 0
+        self._pending: Dict[str, Tuple[object, int]] = {}
+        self._buffered: Deque[dict] = collections.deque()
+        self.requeues = 0
+        self.cache_corrupt = 0
+
+    def submit(self, point, attempt: int) -> None:
+        task_id = f"c{self._counter}"
+        self._counter += 1
+        self._pending[task_id] = (point, attempt)
+        # Sweep points ship wrapped in PointJob; other work (the fuzz
+        # driver's iterations) provides its own wire job — anything
+        # with run(timeout, chaos, attempt) -> (status, payload,
+        # elapsed) executes in the worker sandbox.  A None cache key
+        # opts out of the server's shared store.
+        to_job = getattr(point, "to_wire_job", None)
+        self._conn.send({
+            "type": "submit",
+            "task_id": task_id,
+            "sweep": point.sweep,
+            "key": point.cache_key(),
+            "index": point.index,
+            "attempt": attempt,
+            "timeout": self._timeout,
+            "resume": self._resume,
+            "job": pack(to_job() if to_job is not None else PointJob(point)),
+            "chaos": self._chaos_blob,
+        })
+
+    def _next_frame(self, kind: str) -> dict:
+        for position, frame in enumerate(self._buffered):
+            if frame.get("type") == kind:
+                del self._buffered[position]
+                return frame
+        while True:
+            frame = self._conn.recv()
+            if frame.get("type") == kind:
+                return frame
+            self._buffered.append(frame)
+
+    def collect(self) -> List[AttemptResult]:
+        frame = self._next_frame("result")
+        point, attempt = self._pending.pop(frame["task_id"])
+        lease_tries = int(frame.get("lease_tries", 1))
+        self.requeues += max(0, lease_tries - 1)
+        self.cache_corrupt += int(frame.get("healed_corrupt", 0))
+        return [AttemptResult(
+            point=point,
+            attempt=attempt,
+            status=str(frame.get("status", "error")),
+            payload=unpack(frame.get("payload")),
+            elapsed=float(frame.get("elapsed", 0.0)),
+            cached=bool(frame.get("cached", False)),
+            stored=bool(frame.get("stored", False)),
+            lease_tries=max(1, lease_tries),
+        )]
+
+    def status(self) -> dict:
+        """The server's live status (queue depth, fleet, ETA)."""
+        self._conn.send({"type": "status"})
+        return self._next_frame("status")
+
+    def close(self) -> None:
+        try:
+            self._conn.send({"type": "bye"})
+        except OSError:
+            pass
+        self._conn.close()

@@ -442,17 +442,20 @@ def run_scenario(
     timeout: Optional[float] = None,
     retries: int = 1,
     chaos=None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[ParallelSweepResult], float]:
     """Run every sweep of one scenario; returns (results, wall seconds).
 
     ``chaos`` (a :class:`~repro.experiments.chaos.ChaosPolicy`) is the
     opt-in fault-injection hook; leave ``None`` for real measurements.
+    ``backend`` selects the executor (``serial``, ``pool``,
+    ``remote:host:port``); results are backend-independent.
     """
     started = time.perf_counter()
     results = [
         run_sweep_parallel(
             spec, workers=workers, cache_dir=cache_dir, resume=resume,
-            timeout=timeout, retries=retries, chaos=chaos,
+            timeout=timeout, retries=retries, chaos=chaos, backend=backend,
         )
         for spec in scenario.specs
     ]
@@ -468,6 +471,7 @@ def run_benchmarks(
     timeout: Optional[float] = None,
     retries: int = 1,
     chaos=None,
+    backend: Optional[str] = None,
     progress=None,
 ) -> Tuple[dict, Dict[str, List[ParallelSweepResult]]]:
     """Run scenarios and assemble the ``repro-bench/1`` report.
@@ -486,11 +490,13 @@ def run_benchmarks(
             )
         results, wall_s = run_scenario(
             scenario, workers=workers, cache_dir=cache_dir, resume=resume,
-            timeout=timeout, retries=retries, chaos=chaos,
+            timeout=timeout, retries=retries, chaos=chaos, backend=backend,
         )
         by_scenario[scenario.tag] = results
         sections.append(scenario_section(
             scenario.tag, scenario.title, scenario.source, results, wall_s,
         ))
-    report = bench_report(tag, sections, workers=workers or 1)
+    report = bench_report(
+        tag, sections, workers=workers or 1, backend=backend,
+    )
     return report, by_scenario

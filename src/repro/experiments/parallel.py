@@ -1,7 +1,9 @@
 """The parallel sweep engine.
 
-Fans a :class:`~repro.experiments.spec.SweepSpec` grid out over a
-``concurrent.futures.ProcessPoolExecutor``, with
+Fans a :class:`~repro.experiments.spec.SweepSpec` grid out over an
+executor :class:`~repro.experiments.backends.Backend` — inline
+(``serial``), a local process pool (``pool``), or a remote worker
+fleet behind ``python -m repro serve`` (``remote:host:port``) — with
 
 * **determinism** — each point seeds its own adversary exactly as the
   serial runner does, and results are reassembled in sweep order, so
@@ -30,16 +32,18 @@ Fans a :class:`~repro.experiments.spec.SweepSpec` grid out over a
 requirement), which is both the fast path for small sweeps and the
 hook tests use to count executions.  ``workers > 1`` requires the
 spec's ``algorithm`` and ``adversary`` to be picklable — use the
-factories in :mod:`repro.experiments.factories`.
+factories in :mod:`repro.experiments.factories`.  ``backend`` selects
+the executor explicitly (``"serial"``, ``"pool"``,
+``"remote:host:port"``, or a live Backend); results are bit-identical
+across backends by construction — the engine's scheduling and
+accounting are backend-agnostic, and every backend reassembles in
+sweep order.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import concurrent.futures.process
 import ctypes
 import pickle
-import random
 import signal
 import threading
 import time
@@ -49,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.runner import measure_write_all
+from repro.experiments.backends import Backend, resolve_backend
 from repro.experiments.cache import ResultCache, point_key
 from repro.experiments.chaos import ChaosCrash, ChaosPolicy
 from repro.experiments.runner import RunPoint, SweepResult
@@ -58,8 +63,6 @@ from repro.experiments.spec import SweepSpec
 #: the engine when the worker died without reporting, and by the inline
 #: path for injected crashes).
 _OK, _TIMEOUT, _ERROR, _CRASH = "ok", "timeout", "error", "crash"
-
-_BrokenPool = concurrent.futures.process.BrokenProcessPool
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,13 @@ class PointSpec:
     fast_forward: bool = True
     compiled: bool = True
     vectorized: "Union[bool, str]" = False
+    #: Minimum wall seconds one execution takes (0 = off).  The point
+    #: sleeps out any remainder after computing.  Model-invisible, so
+    #: it is *not* cache-key material: it exists to give the fabric
+    #: benchmarks a calibrated latency-bound workload — dispatch
+    #: concurrency measured on any host, including a one-core CI
+    #: runner where CPU-bound points cannot overlap.
+    point_floor_s: float = 0.0
 
     def cache_key(self) -> str:
         return point_key(
@@ -140,6 +150,12 @@ class SweepStats:
     cache_corrupt: int = 0
     injected: Dict[str, int] = field(default_factory=dict)
     wall_s: float = 0.0
+    #: Leases the remote fabric re-queued past dead/stalled workers
+    #: (0 for local backends, which have no lease scheduler).
+    requeues: int = 0
+    #: Running mean wall seconds per executed point (``None`` when the
+    #: run executed nothing) — the ETA estimator's final reading.
+    mean_point_s: Optional[float] = None
 
     @property
     def hit_rate(self) -> float:
@@ -149,6 +165,49 @@ class SweepStats:
     def quarantined(self) -> int:
         """Points recorded as :class:`PointFailure` (alias of ``failed``)."""
         return self.failed
+
+
+@dataclass
+class EtaEstimator:
+    """SweepStats-driven ETA for long sweeps.
+
+    Feeds on the same per-point wall times the engine already accounts
+    into :class:`SweepStats`: a running mean over *executed* points
+    (cache hits complete instantly and would poison the mean), times
+    the work still outstanding.  The serve daemon keeps one of these
+    per fleet and surfaces it on the status endpoint.
+    """
+
+    total: int
+    completed: int = 0
+    executed: int = 0
+    wall_sum: float = 0.0
+
+    def observe(self, elapsed_s: float, cached: bool = False) -> None:
+        self.completed += 1
+        if not cached:
+            self.executed += 1
+            self.wall_sum += elapsed_s
+
+    @property
+    def mean_point_s(self) -> Optional[float]:
+        return self.wall_sum / self.executed if self.executed else None
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        mean = self.mean_point_s
+        if mean is None:
+            return None
+        return mean * max(0, self.total - self.completed)
+
+    def render(self) -> str:
+        mean, eta = self.mean_point_s, self.eta_s
+        if mean is None:
+            return f"{self.completed}/{self.total} points"
+        return (
+            f"{self.completed}/{self.total} points, "
+            f"mean {mean:.3f}s/point, eta ~{eta:.0f}s"
+        )
 
 
 @dataclass
@@ -175,6 +234,7 @@ def expand_spec(spec: SweepSpec) -> List[PointSpec]:
             fast_forward=spec.fast_forward,
             compiled=spec.compiled,
             vectorized=spec.vectorized,
+            point_floor_s=getattr(spec, "point_floor_s", 0.0),
         )
         for index, (n, p, seed) in enumerate(spec.points())
     ]
@@ -314,6 +374,13 @@ def execute_point(
                 compiled=point.compiled,
                 vectorized=point.vectorized,
             )
+            floor = getattr(point, "point_floor_s", 0.0)
+            if floor > 0.0:
+                remaining = floor - (time.perf_counter() - started)
+                if remaining > 0.0:
+                    # Sleep is interruptible by the timeout guard, so a
+                    # floor larger than the budget still times out.
+                    time.sleep(remaining)
     except PointTimeout:
         return _TIMEOUT, f"exceeded {timeout:.3f}s", \
             time.perf_counter() - started
@@ -351,6 +418,9 @@ def run_sweep_parallel(
     backoff_base: float = 0.05,
     backoff_cap: float = 2.0,
     backoff_seed: int = 0,
+    backend: Optional[Union[str, Backend]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    progress_every: int = 25,
 ) -> ParallelSweepResult:
     """Execute ``spec`` through the parallel engine.
 
@@ -372,6 +442,18 @@ def run_sweep_parallel(
         backoff_base / backoff_cap / backoff_seed: capped exponential
             backoff between pool rebuilds, with deterministic jitter
             drawn from ``random.Random(backoff_seed)``.
+        backend: where attempts execute — ``None`` keeps the legacy
+            mapping (``workers <= 1`` is serial in-process, more is a
+            local process pool), or pass ``"serial"``, ``"pool"``,
+            ``"remote:host:port"`` (a ``python -m repro serve``
+            daemon), or an already-built
+            :class:`~repro.experiments.backends.Backend`.  Falls back
+            to ``spec.backend`` when the spec carries one.  The backend
+            is *not* cache-key material: the same point computed
+            anywhere lands on the same content-hash entry.
+        progress: optional callable fed human-readable ETA lines
+            (:class:`EtaEstimator` output) while the sweep runs.
+        progress_every: emit a progress line every N settled points.
     """
     started = time.perf_counter()
     if cache is None and cache_dir is not None:
@@ -383,6 +465,7 @@ def run_sweep_parallel(
     metas: Dict[int, PointMeta] = {}
     failures: List[PointFailure] = []
 
+    eta = EtaEstimator(total=len(points))
     pending: List[PointSpec] = []
     for point in points:
         cached = (
@@ -395,6 +478,7 @@ def run_sweep_parallel(
             metas[point.index] = PointMeta(
                 index=point.index, elapsed_s=0.0, cached=True, attempts=0,
             )
+            eta.observe(0.0, cached=True)
         else:
             pending.append(point)
 
@@ -412,8 +496,13 @@ def run_sweep_parallel(
             stats.injected[kind] = stats.injected.get(kind, 0) + 1
 
     def record(point: PointSpec, status: str, payload, elapsed: float,
-               attempt: int) -> bool:
-        """Account one attempt; returns True when the point is settled."""
+               attempt: int, stored: bool = False) -> bool:
+        """Account one attempt; returns True when the point is settled.
+
+        ``stored`` marks results the backend already persisted (the
+        serve daemon's shared store); the engine then only accounts the
+        chaos corruption the server applied instead of writing locally.
+        """
         if status == _OK:
             stats.executed += 1
             results[point.index] = payload
@@ -433,6 +522,13 @@ def run_sweep_parallel(
                 cache.write_checkpoint(
                     spec.name, done=len(results), total=len(points)
                 )
+            elif stored and chaos is not None and chaos.corrupts(point.index):
+                # The server stored this entry and (same pure draw)
+                # corrupted it; count the injection on the client so
+                # the soak's books balance without a back-channel.
+                stats.injected["corrupt"] = (
+                    stats.injected.get("corrupt", 0) + 1
+                )
             return True
         if status == _TIMEOUT:
             stats.timeouts += 1
@@ -448,117 +544,59 @@ def run_sweep_parallel(
         ))
         return True
 
-    def run_inline(queue: List[PointSpec], attempts: Dict[int, int]) -> None:
-        for point in queue:
-            while True:
-                attempt = attempts[point.index]
-                note_injection(point, attempt)
-                # Keep the chaos-free call signature identical to the
-                # pre-chaos engine: hooks (and tests) that wrap
-                # execute_point(point, timeout) keep working.
-                if chaos is None:
-                    status, payload, elapsed = execute_point(point, timeout)
-                else:
-                    status, payload, elapsed = execute_point(
-                        point, timeout, chaos, attempt
-                    )
-                if record(point, status, payload, elapsed, attempt):
-                    break
-                attempts[point.index] = attempt + 1
-
-    attempts: Dict[int, int] = {point.index: 1 for point in pending}
-    if pending and (workers is None or workers <= 1):
-        run_inline(pending, attempts)
-    elif pending:
-        _check_picklable(pending[0])
-        backoff_rng = random.Random(backoff_seed)
-        queue: List[PointSpec] = list(pending)
-        while queue:
-            if stats.degraded_serial:
-                run_inline(queue, attempts)
-                break
-            survivors: List[PointSpec] = []
-            broken = False
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(queue))
-            ) as pool:
-
-                def submit(point: PointSpec):
-                    note_injection(point, attempts[point.index])
-                    if chaos is None:
-                        return pool.submit(execute_point, point, timeout)
-                    return pool.submit(
-                        execute_point, point, timeout, chaos,
-                        attempts[point.index],
-                    )
-
-                futures: Dict[concurrent.futures.Future, PointSpec] = {}
-                for point in queue:
-                    try:
-                        futures[submit(point)] = point
-                    except _BrokenPool:
-                        broken = True
-                        survivors.append(point)
-                queue = []
-                while futures:
-                    done, _ = concurrent.futures.wait(
-                        futures,
-                        return_when=concurrent.futures.FIRST_COMPLETED,
-                    )
-                    for future in done:
-                        point = futures.pop(future)
-                        try:
-                            status, payload, elapsed = future.result()
-                        except _BrokenPool:
-                            # The worker died without reporting; results
-                            # already completed keep draining normally.
-                            broken = True
-                            survivors.append(point)
-                            continue
-                        except Exception as exc:  # worker died mid-task
-                            status, payload, elapsed = _ERROR, str(exc), 0.0
-                        settled = record(
-                            point, status, payload, elapsed,
-                            attempts[point.index],
+    backend_corrupt = 0
+    if pending:
+        requested = backend if backend is not None else \
+            getattr(spec, "backend", None)
+        engine, owns = resolve_backend(
+            requested, workers=workers, timeout=timeout, chaos=chaos,
+            resume=resume, max_pool_restarts=max_pool_restarts,
+            backoff_base=backoff_base, backoff_cap=backoff_cap,
+            backoff_seed=backoff_seed,
+        )
+        try:
+            if engine.capabilities.requires_picklable:
+                _check_picklable(pending[0])
+            outstanding = 0
+            for point in pending:
+                note_injection(point, 1)
+                engine.submit(point, 1)
+                outstanding += 1
+            step = max(1, progress_every)
+            while outstanding:
+                for res in engine.collect():
+                    if res.cached:
+                        # The serve daemon answered from its shared
+                        # content-addressed store: a global cache hit.
+                        outstanding -= 1
+                        stats.cache_hits += 1
+                        results[res.point.index] = res.payload
+                        metas[res.point.index] = PointMeta(
+                            index=res.point.index, elapsed_s=0.0,
+                            cached=True, attempts=0,
                         )
-                        if settled:
-                            continue
-                        attempts[point.index] += 1
-                        if broken:
-                            survivors.append(point)
-                            continue
-                        try:
-                            futures[submit(point)] = point
-                        except _BrokenPool:
-                            broken = True
-                            survivors.append(point)
-            if not broken:
-                break
-            # Every in-flight point is charged one "crash" attempt (the
-            # engine cannot tell the poison point from its pool-mates);
-            # points past their retries are quarantined, the rest are
-            # resubmitted to a fresh pool after a jittered backoff.
-            stats.pool_restarts += 1
-            for point in survivors:
-                attempt = attempts[point.index]
-                settled = record(
-                    point, _CRASH,
-                    "worker process died (process pool broken)", 0.0,
-                    attempt,
-                )
-                if not settled:
-                    attempts[point.index] = attempt + 1
-                    queue.append(point)
-            if not queue:
-                break
-            if stats.pool_restarts > max_pool_restarts:
-                stats.degraded_serial = True
-            else:
-                delay = min(
-                    backoff_cap,
-                    backoff_base * (2 ** (stats.pool_restarts - 1)),
-                )
-                time.sleep(delay * (0.5 + backoff_rng.random()))
+                        eta.observe(0.0, cached=True)
+                    elif record(res.point, res.status, res.payload,
+                                res.elapsed, res.attempt,
+                                stored=res.stored):
+                        outstanding -= 1
+                        eta.observe(res.elapsed)
+                    else:
+                        note_injection(res.point, res.attempt + 1)
+                        engine.submit(res.point, res.attempt + 1)
+                        continue
+                    if progress is not None and (
+                        eta.completed % step == 0
+                        or eta.completed == eta.total
+                    ):
+                        progress(eta.render())
+            stats.pool_restarts = getattr(engine, "pool_restarts", 0)
+            stats.degraded_serial = getattr(engine, "degraded_serial", False)
+            stats.requeues = getattr(engine, "requeues", 0)
+            backend_corrupt = getattr(engine, "cache_corrupt", 0)
+        finally:
+            if owns:
+                engine.close()
 
     ordered = [
         results[point.index] for point in points if point.index in results
@@ -568,11 +606,14 @@ def run_sweep_parallel(
     ]
     failures.sort(key=lambda failure: failure.index)
     stats.wall_s = time.perf_counter() - started
+    stats.mean_point_s = eta.mean_point_s
     if cache is not None:
         stats.cache_corrupt = cache.corrupt_discarded - corrupt_before
         cache.write_checkpoint(
             spec.name, done=len(results), total=len(points)
         )
+    # Corrupt entries the server's shared store healed on our behalf.
+    stats.cache_corrupt += backend_corrupt
     return ParallelSweepResult(
         spec=spec, points=ordered, stats=stats, failures=failures, meta=meta,
     )

@@ -1,0 +1,465 @@
+"""``python -m repro serve`` — the distributed sweep scheduler.
+
+A long-running daemon holding one work queue, one shared
+content-addressed :class:`~repro.experiments.cache.ResultCache`, and
+two kinds of connections:
+
+* **clients** (the :class:`~repro.experiments.backends.RemoteBackend`
+  inside any sweep/bench/fuzz run) submit jobs and stream results back;
+  many clients run concurrently and jobs with the same content-hash key
+  are deduped — the second client subscribes to the first's execution,
+  and a key already in the store is answered instantly without
+  executing at all;
+* **workers** (``python -m repro worker --connect host:port``) pull
+  work: each ``ready`` is answered with a **lease** — one job, one
+  deadline.  A worker that reports ``done`` completes the lease; a
+  worker that disconnects or blows its deadline loses it, and the job
+  is re-queued for the next ready worker (``lease_try + 1``).
+
+That lease discipline is the paper's fail-stop/restart model applied
+to the fleet: the grid is the fixed pool of work (the Write-All
+array), workers are restartable fail-stop processors, and a lease
+re-queue is the algorithm reassigning a cell abandoned by a crashed
+processor.  A job that keeps killing its workers is completed as a
+``crash`` after ``max_lease_tries`` leases — the quarantine path —
+so one poison point cannot absorb the fleet.
+
+Results fan out to every subscribed client as they complete; a
+``status`` request answers with queue depth, fleet size, completion
+counts, the running mean point wall time, and the ETA for the work
+currently in the system.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.wire import (
+    PROTOCOL,
+    Connection,
+    WireError,
+    connect,
+    pack,
+    unpack,
+)
+
+_LOG = logging.getLogger(__name__)
+
+
+@dataclass
+class _Task:
+    """One unit of leased work and everyone waiting on it."""
+
+    task_id: str
+    sweep: str
+    key: Optional[str]
+    index: int
+    attempt: int
+    timeout: Optional[float]
+    job_blob: str
+    chaos_blob: Optional[str]
+    #: (connection, client task id, healed-corrupt count) per client.
+    subscribers: List[Tuple[Connection, str, int]] = field(
+        default_factory=list
+    )
+    lease_try: int = 0
+    deadline: Optional[float] = None
+    worker: Optional[str] = None
+    done: bool = False
+
+
+class SweepServer:
+    """The scheduler; see the module docstring for the protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        lease_ttl: float = 60.0,
+        max_lease_tries: int = 5,
+        reap_interval: float = 0.2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.lease_ttl = lease_ttl
+        self.max_lease_tries = max_lease_tries
+        self.reap_interval = reap_interval
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: List[_Task] = []
+        self._leases: Dict[str, _Task] = {}
+        self._by_key: Dict[Tuple[str, str], _Task] = {}
+        self._workers: Dict[str, float] = {}  # name -> connected_unix
+        self._ids = itertools.count()
+        self._stopping = False
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+
+        # Accounting surfaced on the status endpoint.
+        self.completed = 0
+        self.executed = 0
+        self.cache_hits = 0
+        self.requeues = 0
+        self.quarantined = 0
+        self.wall_sum = 0.0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "SweepServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._spawn(self._accept_loop, "repro-serve-accept")
+        self._spawn(self._reap_loop, "repro-serve-reaper")
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopping = True
+            self._work.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def serve_forever(self) -> None:  # pragma: no cover - CLI loop
+        try:
+            while True:
+                time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "SweepServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    # -- connection handling ------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            conn = Connection(sock)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="repro-serve-conn", daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: Connection) -> None:
+        try:
+            hello = conn.recv()
+        except WireError:
+            conn.close()
+            return
+        if hello.get("type") != "hello":
+            conn.close()
+            return
+        conn.send({"type": "welcome", "protocol": PROTOCOL})
+        role = hello.get("role")
+        try:
+            if role == "worker":
+                self._worker_loop(conn, str(hello.get("name") or
+                                            f"worker-{next(self._ids)}"))
+            else:
+                self._client_loop(conn)
+        except OSError:  # includes WireError: the peer is simply gone
+            pass
+        finally:
+            conn.close()
+
+    # -- client side --------------------------------------------------
+
+    def _client_loop(self, conn: Connection) -> None:
+        while True:
+            message = conn.recv()
+            kind = message.get("type")
+            if kind == "submit":
+                self._handle_submit(conn, message)
+            elif kind == "status":
+                conn.send(self.status())
+            elif kind == "bye":
+                return
+            else:
+                conn.send({"type": "error",
+                           "detail": f"unknown message type {kind!r}"})
+
+    def _handle_submit(self, conn: Connection, message: Dict[str, Any]
+                       ) -> None:
+        client_id = str(message["task_id"])
+        sweep = str(message.get("sweep", "jobs"))
+        key = message.get("key")
+        resume = bool(message.get("resume", True))
+        healed = 0
+        if key is not None and resume and self.cache is not None:
+            with self._lock:
+                before = self.cache.corrupt_discarded
+                cached = self.cache.load(sweep, key)
+                healed = self.cache.corrupt_discarded - before
+                if cached is not None:
+                    self.cache_hits += 1
+                    self.completed += 1
+            if cached is not None:
+                conn.send({
+                    "type": "result", "task_id": client_id, "status": "ok",
+                    "payload": pack(cached), "elapsed": 0.0,
+                    "cached": True, "stored": True, "lease_tries": 0,
+                    "healed_corrupt": healed,
+                })
+                return
+        with self._lock:
+            existing = (
+                self._by_key.get((sweep, key))
+                if key is not None and resume else None
+            )
+            if existing is not None and not existing.done:
+                existing.subscribers.append((conn, client_id, healed))
+                return
+            task = _Task(
+                task_id=f"t{next(self._ids)}",
+                sweep=sweep,
+                key=key,
+                index=int(message.get("index", 0)),
+                attempt=int(message.get("attempt", 1)),
+                timeout=message.get("timeout"),
+                job_blob=str(message["job"]),
+                chaos_blob=message.get("chaos"),
+                subscribers=[(conn, client_id, healed)],
+            )
+            if key is not None:
+                self._by_key[(sweep, key)] = task
+            self._queue.append(task)
+            self._work.notify()
+
+    # -- worker side --------------------------------------------------
+
+    def _worker_loop(self, conn: Connection, name: str) -> None:
+        with self._lock:
+            self._workers[name] = time.time()
+        lease: Optional[_Task] = None
+        try:
+            while True:
+                message = conn.recv()
+                kind = message.get("type")
+                if kind == "ready":
+                    lease = self._next_lease(name)
+                    if lease is None:  # server stopping
+                        conn.send({"type": "bye"})
+                        return
+                    try:
+                        conn.send({
+                            "type": "lease",
+                            "task_id": lease.task_id,
+                            "sweep": lease.sweep,
+                            "index": lease.index,
+                            "attempt": lease.attempt,
+                            "timeout": lease.timeout,
+                            "job": lease.job_blob,
+                            "chaos": lease.chaos_blob,
+                            "lease_try": lease.lease_try,
+                        })
+                    except OSError:
+                        self._abandon(lease)
+                        raise WireError("worker vanished taking a lease")
+                elif kind == "done" and lease is not None:
+                    self._complete(
+                        lease,
+                        status=str(message.get("status", "error")),
+                        payload_blob=message.get("payload"),
+                        elapsed=float(message.get("elapsed", 0.0)),
+                    )
+                    lease = None
+                elif kind == "bye":
+                    return
+        finally:
+            if lease is not None:
+                self._abandon(lease)
+            with self._lock:
+                self._workers.pop(name, None)
+
+    def _next_lease(self, worker: str) -> Optional[_Task]:
+        with self._lock:
+            while True:
+                while self._queue and self._queue[0].done:
+                    self._queue.pop(0)
+                if self._queue:
+                    task = self._queue.pop(0)
+                    task.lease_try += 1
+                    task.deadline = time.monotonic() + self.lease_ttl
+                    task.worker = worker
+                    self._leases[task.task_id] = task
+                    return task
+                if self._stopping:
+                    return None
+                self._work.wait(timeout=0.5)
+
+    def _abandon(self, task: _Task) -> None:
+        """A lease's worker died or stalled; re-queue or quarantine."""
+        with self._lock:
+            if self._leases.pop(task.task_id, None) is None or task.done:
+                return
+            task.worker = None
+            task.deadline = None
+            if task.lease_try >= self.max_lease_tries:
+                self.quarantined += 1
+                self._finish(
+                    task, status="crash",
+                    payload_blob=pack(
+                        f"lease abandoned {task.lease_try} time(s): worker "
+                        f"died or stalled past the {self.lease_ttl:.1f}s "
+                        f"deadline"
+                    ),
+                    elapsed=0.0, stored=False,
+                )
+                return
+            self.requeues += 1
+            self._queue.insert(0, task)
+            self._work.notify()
+
+    def _reap_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(self.reap_interval)
+            now = time.monotonic()
+            expired = []
+            with self._lock:
+                for task in list(self._leases.values()):
+                    if task.deadline is not None and now > task.deadline:
+                        expired.append(task)
+            for task in expired:
+                _LOG.warning(
+                    "lease %s expired on worker %s (try %d); re-queueing",
+                    task.task_id, task.worker, task.lease_try,
+                )
+                self._abandon(task)
+
+    # -- completion ---------------------------------------------------
+
+    def _complete(self, task: _Task, status: str,
+                  payload_blob: Optional[str], elapsed: float) -> None:
+        with self._lock:
+            self._leases.pop(task.task_id, None)
+            if task.done:
+                return  # first result won (a re-queued copy finished first)
+            stored = False
+            if status == "ok" and self.cache is not None \
+                    and task.key is not None:
+                point = unpack(payload_blob)
+                try:
+                    self.cache.store(task.sweep, task.key, point, elapsed)
+                    stored = True
+                except Exception as exc:
+                    # A payload the store cannot serialize (or a full
+                    # disk) must never hang the subscribers waiting in
+                    # _finish below — deliver unstored instead.
+                    _LOG.warning(
+                        "shared store cannot persist %s/%s (%s); "
+                        "delivering the result unstored",
+                        task.sweep, task.key, exc,
+                    )
+                if stored:
+                    chaos = unpack(task.chaos_blob)
+                    if chaos is not None and chaos.corrupts(task.index):
+                        chaos.corrupt_entry(
+                            self.cache.entry_path(task.sweep, task.key)
+                        )
+            self.executed += 1
+            self.completed += 1
+            self.wall_sum += elapsed
+            self._finish(task, status, payload_blob, elapsed, stored)
+
+    def _finish(self, task: _Task, status: str,
+                payload_blob: Optional[str], elapsed: float,
+                stored: bool) -> None:
+        """Mark done and fan out to subscribers.  Caller holds the lock."""
+        task.done = True
+        if task.key is not None:
+            current = self._by_key.get((task.sweep, task.key))
+            if current is task:
+                del self._by_key[(task.sweep, task.key)]
+        for conn, client_id, healed in task.subscribers:
+            try:
+                conn.send({
+                    "type": "result", "task_id": client_id,
+                    "status": status, "payload": payload_blob,
+                    "elapsed": elapsed, "cached": False, "stored": stored,
+                    "lease_tries": task.lease_try,
+                    "healed_corrupt": healed,
+                })
+            except OSError:
+                pass  # that client is gone; others still get theirs
+        task.subscribers = []
+
+    # -- status -------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            pending = sum(1 for task in self._queue if not task.done)
+            leased = len(self._leases)
+            mean = self.wall_sum / self.executed if self.executed else None
+            eta = mean * (pending + leased) if mean is not None else None
+            return {
+                "type": "status",
+                "protocol": PROTOCOL,
+                "workers": len(self._workers),
+                "worker_names": sorted(self._workers),
+                "pending": pending,
+                "leased": leased,
+                "completed": self.completed,
+                "executed": self.executed,
+                "cache_hits": self.cache_hits,
+                "requeues": self.requeues,
+                "quarantined": self.quarantined,
+                "mean_point_s": (round(mean, 6)
+                                 if mean is not None else None),
+                "eta_s": round(eta, 3) if eta is not None else None,
+                "cache_dir": (str(self.cache.root)
+                              if self.cache is not None else None),
+            }
+
+
+def fetch_status(address: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """One-shot status query against a running serve daemon."""
+    from repro.experiments.wire import parse_address
+
+    host, port = parse_address(address)
+    conn = connect(host, port, role="client", timeout=timeout)
+    try:
+        conn.send({"type": "status"})
+        return conn.recv()
+    finally:
+        try:
+            conn.send({"type": "bye"})
+        except OSError:
+            pass
+        conn.close()

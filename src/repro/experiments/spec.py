@@ -42,6 +42,18 @@ class SweepSpec:
             per-window adaptive dispatch (``--lane auto``), which
             degrades silently to the scalar compiled lane without
             numpy.
+        backend: preferred executor backend for this sweep
+            (``"serial"``, ``"pool"``, ``"remote:host:port"``); ``None``
+            defers to the engine's ``workers`` mapping.  An explicit
+            ``backend=`` argument to the engine wins over this.  Not
+            cache-key material — results are backend-independent.
+        point_floor_s: minimum wall-clock per point, enforced by
+            sleeping out the remainder *after* the measures are taken.
+            Zero (the default) is a no-op.  This exists for the
+            distributed-fabric benchmarks: it pins per-point latency so
+            1 -> N worker scaling measures dispatch concurrency rather
+            than this host's core count.  Model-invisible and not
+            cache-key material.
     """
 
     name: str
@@ -55,6 +67,8 @@ class SweepSpec:
     fast_forward: bool = True
     compiled: bool = True
     vectorized: "Union[bool, str]" = False
+    backend: Optional[str] = None
+    point_floor_s: float = 0.0
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

@@ -1,0 +1,153 @@
+"""Line-delimited JSON wire protocol for the distributed sweep fabric.
+
+One message per line, UTF-8 JSON with a mandatory ``type`` key.
+Callables and results (algorithm classes, adversary factories,
+:class:`~repro.experiments.runner.RunPoint` s) travel as base64-pickle
+blobs inside the JSON — the same trust model as
+``ProcessPoolExecutor``: the server and its workers are one
+administrative domain.  **Do not expose a serve port to untrusted
+networks** — anyone who can connect can execute code, exactly as if
+they could spawn processes on the host.
+
+The unit of work is a :class:`Job`: a small frozen dataclass with a
+``run(timeout, chaos, attempt) -> (status, payload, elapsed)`` method,
+executed inside a worker's sandbox subprocess.  :class:`PointJob` wraps
+one sweep point; other subsystems (the fuzzer) ship their own job
+types over the same fabric.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+#: Protocol identifier sent in the hello/welcome handshake.
+PROTOCOL = "repro-serve/1"
+
+#: Hard cap on one message line (64 MiB) — a framing error (binary
+#: garbage on the port) fails fast instead of buffering forever.
+MAX_LINE = 64 * 1024 * 1024
+
+
+def pack(obj: Any) -> str:
+    """Pickle ``obj`` to a base64 string for embedding in JSON."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(blob: Optional[str]) -> Any:
+    """Inverse of :func:`pack`; ``None`` passes through."""
+    if blob is None:
+        return None
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+class WireError(ConnectionError):
+    """The peer closed the connection or sent a malformed frame."""
+
+
+class Connection:
+    """A line-framed JSON message stream over one socket.
+
+    Sends are serialized by a lock so multiple server threads (a cache
+    hit on the client handler, a completion fanned out from a worker
+    handler) can safely share one client connection.  Receives are
+    expected from a single thread.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._reader = sock.makefile("rb")
+        import threading
+
+        self._send_lock = threading.Lock()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+        with self._send_lock:
+            self.sock.sendall(data + b"\n")
+
+    def recv(self) -> Dict[str, Any]:
+        line = self._reader.readline(MAX_LINE + 1)
+        if not line:
+            raise WireError("connection closed by peer")
+        if len(line) > MAX_LINE:
+            raise WireError(f"frame exceeds {MAX_LINE} bytes")
+        try:
+            message = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError(f"malformed frame: {exc}") from None
+        if not isinstance(message, dict) or "type" not in message:
+            raise WireError("frame is not a typed JSON object")
+        return message
+
+    def close(self) -> None:
+        for closer in (self._reader.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+def connect(host: str, port: int, role: str,
+            name: Optional[str] = None,
+            timeout: Optional[float] = None) -> Connection:
+    """Dial a serve daemon and complete the hello/welcome handshake."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    conn = Connection(sock)
+    hello: Dict[str, Any] = {"type": "hello", "role": role,
+                             "protocol": PROTOCOL}
+    if name is not None:
+        hello["name"] = name
+    conn.send(hello)
+    welcome = conn.recv()
+    if welcome.get("type") != "welcome":
+        conn.close()
+        raise WireError(f"expected welcome, got {welcome.get('type')!r}")
+    if welcome.get("protocol") != PROTOCOL:
+        conn.close()
+        raise WireError(
+            f"protocol mismatch: server speaks "
+            f"{welcome.get('protocol')!r}, this client {PROTOCOL!r}"
+        )
+    return conn
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` (or ``"remote:host:port"``) -> ``(host, port)``."""
+    text = address
+    if text.startswith("remote:"):
+        text = text[len("remote:"):]
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(
+            f"bad address {address!r}: expected host:port, "
+            f"e.g. 127.0.0.1:7341"
+        )
+    return host, int(port_text)
+
+
+@dataclass(frozen=True)
+class PointJob:
+    """One sweep point as a fabric job.
+
+    ``run`` delegates to the live ``parallel.execute_point`` (module
+    attribute lookup, same monkeypatch hook as the local backends) and
+    keeps the chaos-free call signature at ``(point, timeout)``.
+    """
+
+    point: object
+
+    def run(self, timeout: Optional[float] = None, chaos=None,
+            attempt: int = 1) -> Tuple[str, object, float]:
+        import repro.experiments.parallel as parallel
+
+        if chaos is None:
+            return parallel.execute_point(self.point, timeout)
+        return parallel.execute_point(self.point, timeout, chaos, attempt)

@@ -1,0 +1,258 @@
+"""``python -m repro worker`` — one restartable fail-stop processor.
+
+A worker is three processes deep, on purpose:
+
+* the **supervisor** (the CLI process) does nothing but restart the
+  session when it dies abnormally — it is the paper's *restart* half
+  of the fail-stop/restart model, running on our own fleet;
+* the **session** holds the socket to the serve daemon and loops
+  ``ready`` -> lease -> execute -> ``done``;
+* each lease executes in a single-slot **sandbox subprocess**
+  (a ``ProcessPoolExecutor``), so a per-point SIGALRM timeout runs on
+  that process's main thread and an injected ``os._exit`` crash kills
+  the sandbox — observed by the session as a broken pool and reported
+  upstream as an ordinary ``crash`` — instead of the session.
+
+Chaos ``worker-kill`` injection is acted on by the *session* (the
+whole worker dies, its lease is re-queued by the server), and only on
+a job's first lease — the restarted/other worker then completes it,
+which is exactly the re-queue path the soak needs to witness.  The
+``REPRO_REMOTE_WORKER`` environment variable is set in sandbox
+children so :meth:`ChaosPolicy.perturb` does not fire the same kill a
+second time inside the sandbox.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import concurrent.futures.process
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.experiments.chaos import CHAOS_EXIT_CODE
+from repro.experiments.wire import WireError, connect, parse_address, unpack
+
+#: Set inside sandbox subprocesses; tells ChaosPolicy.perturb that the
+#: session already acted on a planned worker-kill.
+REMOTE_WORKER_ENV = "REPRO_REMOTE_WORKER"
+
+_BrokenPool = concurrent.futures.process.BrokenProcessPool
+
+
+def _mark_sandbox() -> None:  # pool initializer, runs in the child
+    os.environ[REMOTE_WORKER_ENV] = "1"
+
+
+def _run_job(job_blob: str, chaos_blob: Optional[str], attempt: int,
+             timeout: Optional[float]):
+    """Top-level sandbox entry: unpack and run one job."""
+    job = unpack(job_blob)
+    chaos = unpack(chaos_blob)
+    return job.run(timeout=timeout, chaos=chaos, attempt=attempt)
+
+
+class SessionKilled(Exception):
+    """Raised instead of ``os._exit`` when the session runs in-process
+    (thread-hosted test workers); ends the session, not the host."""
+
+
+class WorkerSession:
+    """One connected session; see the module docstring."""
+
+    def __init__(
+        self,
+        address: str,
+        name: Optional[str] = None,
+        kill_mode: str = "exit",  # "exit" (real worker) | "raise" (tests)
+        connect_attempts: int = 50,
+        connect_delay: float = 0.1,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.address = address
+        self.name = name
+        self.kill_mode = kill_mode
+        self.connect_attempts = connect_attempts
+        self.connect_delay = connect_delay
+        self._log = log
+
+    def _emit(self, line: str) -> None:
+        if self._log is not None:
+            self._log(line)
+
+    def _connect(self):
+        host, port = parse_address(self.address)
+        last: Optional[Exception] = None
+        for _ in range(self.connect_attempts):
+            try:
+                return connect(host, port, role="worker", name=self.name)
+            except OSError as exc:
+                last = exc
+                time.sleep(self.connect_delay)
+        raise ConnectionError(
+            f"cannot reach serve daemon at {self.address}: {last}"
+        )
+
+    def _fresh_pool(self):
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, initializer=_mark_sandbox,
+        )
+
+    def _die(self, pool) -> None:
+        # Shut the sandbox down first so an orphan child cannot outlive
+        # the injected kill, then fail-stop the session itself.
+        pool.shutdown(wait=False)
+        if self.kill_mode == "raise":
+            raise SessionKilled("chaos: injected worker kill")
+        os._exit(CHAOS_EXIT_CODE)
+
+    def run(self) -> int:
+        """Serve leases until the server goes away; 0 on clean exit."""
+        conn = self._connect()
+        pool = self._fresh_pool()
+        try:
+            while True:
+                try:
+                    conn.send({"type": "ready"})
+                    lease = conn.recv()
+                except (WireError, OSError):
+                    return 0  # server gone: a clean fleet shutdown
+                kind = lease.get("type")
+                if kind == "bye":
+                    return 0
+                if kind != "lease":
+                    continue
+                chaos = unpack(lease.get("chaos"))
+                if (
+                    chaos is not None
+                    and int(lease.get("lease_try", 1)) == 1
+                    and chaos.plan(int(lease.get("index", 0)),
+                                   int(lease.get("attempt", 1)))
+                    == "worker-kill"
+                ):
+                    self._emit("chaos worker-kill: failing stop")
+                    self._die(pool)
+                timeout = lease.get("timeout")
+                hard = (
+                    None if timeout is None
+                    else float(timeout) + max(5.0, float(timeout))
+                )
+                try:
+                    future = pool.submit(
+                        _run_job, lease["job"], lease.get("chaos"),
+                        int(lease.get("attempt", 1)), timeout,
+                    )
+                    status, payload, elapsed = future.result(timeout=hard)
+                except (_BrokenPool,
+                        concurrent.futures.TimeoutError) as exc:
+                    pool.shutdown(wait=False)
+                    pool = self._fresh_pool()
+                    status, payload, elapsed = (
+                        "crash",
+                        f"worker sandbox died executing the lease "
+                        f"({type(exc).__name__})",
+                        0.0,
+                    )
+                except Exception as exc:
+                    status, payload, elapsed = "error", str(exc), 0.0
+                from repro.experiments.wire import pack
+
+                try:
+                    conn.send({
+                        "type": "done",
+                        "task_id": lease.get("task_id"),
+                        "status": status,
+                        "payload": pack(payload),
+                        "elapsed": elapsed,
+                    })
+                except OSError:
+                    return 0  # server gone mid-report; lease re-queues
+        finally:
+            pool.shutdown(wait=False)
+            conn.close()
+
+
+def _session_entry(address: str, name: Optional[str]) -> None:
+    session = WorkerSession(address, name=name)
+    sys.exit(session.run())
+
+
+def run_worker(
+    address: str,
+    name: Optional[str] = None,
+    max_restarts: Optional[int] = None,
+    restart_backoff_s: float = 0.2,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """The supervisor loop: restart the session until it exits cleanly.
+
+    An abnormal session exit (an injected ``worker-kill``, a real
+    crash, an OOM kill) is the *fail-stop* event; the restart —
+    bounded by ``max_restarts``, default unbounded — is the paper's
+    restart.  Returns the final session exit code.
+    """
+
+    def emit(line: str) -> None:
+        if log is not None:
+            log(line)
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    restarts = 0
+    while True:
+        process = context.Process(
+            target=_session_entry, args=(address, name),
+            name=f"repro-worker-session-{restarts}",
+        )
+        process.start()
+        process.join()
+        code = process.exitcode or 0
+        if code == 0:
+            emit("session exited cleanly; supervisor done")
+            return 0
+        restarts += 1
+        if max_restarts is not None and restarts > max_restarts:
+            emit(f"session exited {code}; restart budget exhausted")
+            return code
+        emit(f"session exited {code} (restart {restarts}); "
+             f"restarting in {restart_backoff_s:.2f}s")
+        time.sleep(restart_backoff_s)
+
+
+def spawn_worker(
+    address: str,
+    name: Optional[str] = None,
+    env: Optional[dict] = None,
+    new_session: bool = False,
+) -> subprocess.Popen:
+    """Start a CLI worker subprocess against ``address``.
+
+    Used by the soak, the smoke harness, and the scaling benchmark; the
+    child inherits this interpreter and an import path that can see
+    :mod:`repro` even when the caller relied on an installed package.
+    """
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    child_env = dict(os.environ if env is None else env)
+    existing = child_env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        child_env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    command = [sys.executable, "-m", "repro", "worker",
+               "--connect", address]
+    if name is not None:
+        command += ["--name", name]
+    return subprocess.Popen(
+        command, env=child_env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=new_session,
+    )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -208,6 +209,178 @@ class FuzzOutcome:
         return "\n".join(lines)
 
 
+def _perturb_inline(policy: ChaosPolicy, point: int, attempt: int) -> None:
+    """Act on the chaos plan like :meth:`ChaosPolicy.perturb`, but
+    always inline: crashes surface as :class:`ChaosCrash` even inside a
+    subprocess.  The fuzz driver's retry loop is the recovery path
+    under test — the process tree (a remote worker's sandbox, say) must
+    not die for it."""
+    kind = policy.plan(point, attempt)
+    if kind is None:
+        return
+    if kind in ("crash", "worker-kill"):
+        raise ChaosCrash(
+            f"chaos: injected crash (point {point}, attempt {attempt})"
+        )
+    if kind == "stall":
+        deadline = time.monotonic() + policy.stall_s
+        while time.monotonic() < deadline:
+            pass
+        return
+    raise ChaosError(
+        f"chaos: injected transient error "
+        f"(point {point}, attempt {attempt})"
+    )
+
+
+@dataclass
+class FuzzIterationResult:
+    """One iteration's accounting, mergeable into a FuzzOutcome."""
+
+    iteration: int
+    executions: int
+    injected: Dict[str, int]
+    adversary: str
+    failure: Optional[FuzzFailure]
+
+
+def run_fuzz_iteration(
+    seed: int,
+    iteration: int,
+    passes: int,
+    lanes: Sequence[str],
+    config: GeneratorConfig = DEFAULT_CONFIG,
+    chaos: bool = True,
+    chaos_retries: int = 4,
+) -> FuzzIterationResult:
+    """One complete fuzz iteration: draw, oracle, lanes x passes.
+
+    Pure function of its arguments (every draw is hash-derived), so
+    iterations can run locally in a loop or fan out across a remote
+    worker fleet and produce identical results.  Shrinking and fixture
+    emission stay with the caller.
+    """
+    program = generate_program(
+        int_draw(seed, 0, 2**31 - 1, "program", iteration), config,
+    )
+    initial = generate_initial_memory(
+        int_draw(seed, 0, 2**31 - 1, "initial", iteration),
+        program.memory_size, config,
+    )
+    adversary_spec = draw_adversary_spec(seed, iteration)
+    p = int_draw(seed, 1, 4, "p", iteration)
+    expected = ideal_run(program, initial)
+    policy = ChaosPolicy(
+        seed=int_draw(seed, 0, 2**31 - 1, "chaos"),
+        crash=0.02, stall=0.01, error=0.02, stall_s=0.01,
+    ) if chaos else None
+
+    executions = 0
+    injected: Dict[str, int] = {}
+    failure: Optional[FuzzFailure] = None
+    digests: Dict[str, str] = {}
+    for pass_index in range(passes):
+        if failure is not None:
+            break
+        for lane in lanes:
+            result = None
+            point = (iteration * passes + pass_index) * len(LANES) \
+                + list(LANES).index(lane)
+            for attempt in range(1, chaos_retries + 2):
+                try:
+                    if policy is not None:
+                        _perturb_inline(policy, point, attempt)
+                    result = execute_lane(
+                        program, initial, lane, adversary_spec, p
+                    )
+                    break
+                except (ChaosCrash, ChaosError) as exc:
+                    kind = ("crash" if isinstance(exc, ChaosCrash)
+                            else "error")
+                    injected[kind] = injected.get(kind, 0) + 1
+            if result is None:  # pragma: no cover - retries exhausted
+                raise RuntimeError(
+                    f"chaos exhausted {chaos_retries} retries at "
+                    f"iteration {iteration}, lane {lane}"
+                )
+            executions += 1
+
+            failure_kind = None
+            if not result.solved:
+                failure_kind = "unsolved"
+            elif result.memory != expected:
+                failure_kind = "mismatch"
+            else:
+                digest = _memory_digest(result.memory)
+                prior = digests.setdefault(lane, digest)
+                if digest != prior:  # pragma: no cover - needs a bug
+                    failure_kind = "nonconverged"
+            if failure_kind is None:
+                continue
+
+            failure = FuzzFailure(
+                kind=failure_kind,
+                iteration=iteration,
+                lane=lane,
+                pass_index=pass_index,
+                adversary=adversary_spec,
+                p=p,
+                program=program,
+                initial=list(initial),
+                expected=list(expected),
+                observed=list(result.memory),
+                run_lanes=tuple(lanes),
+            )
+            break  # stop re-running a known-bad (iteration, lane)
+    return FuzzIterationResult(
+        iteration=iteration,
+        executions=executions,
+        injected=injected,
+        adversary=adversary_spec.name,
+        failure=failure,
+    )
+
+
+@dataclass(frozen=True)
+class FuzzIterationTask:
+    """A fuzz iteration shaped like a sweep point for the remote
+    backend: ``sweep``/``index``/``cache_key()`` for scheduling and a
+    ``to_wire_job`` whose ``run`` executes the iteration in the worker
+    sandbox.  ``cache_key`` is ``None`` on purpose — fuzz results do
+    not land in the shared sweep store."""
+
+    seed: int
+    iteration: int
+    passes: int
+    lanes: Tuple[str, ...]
+    config: GeneratorConfig
+    chaos: bool
+    chaos_retries: int
+
+    @property
+    def sweep(self) -> str:
+        return f"fuzz/{self.seed}"
+
+    @property
+    def index(self) -> int:
+        return self.iteration
+
+    def cache_key(self) -> Optional[str]:
+        return None
+
+    def to_wire_job(self) -> "FuzzIterationTask":
+        return self
+
+    def run(self, timeout=None, chaos=None, attempt=1):
+        started = time.perf_counter()
+        result = run_fuzz_iteration(
+            seed=self.seed, iteration=self.iteration, passes=self.passes,
+            lanes=self.lanes, config=self.config, chaos=self.chaos,
+            chaos_retries=self.chaos_retries,
+        )
+        return "ok", result, time.perf_counter() - started
+
+
 def _failure_predicate(
     lane: str, adversary_spec: AdversarySpec, p: int
 ) -> Callable[[GeneratedProgram, List[int]], bool]:
@@ -235,6 +408,7 @@ def run_fuzz(
     fixture_dir: Optional[str] = None,
     max_fixtures: int = 5,
     shrink_budget: int = 250,
+    backend: Optional[str] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> FuzzOutcome:
     """The fuzz soak: seeded programs, registry lanes, three passes.
@@ -246,6 +420,12 @@ def run_fuzz(
     impossible, but is still checked independently (``nonconverged``)
     so a nondeterminism bug cannot hide behind a coincidentally-correct
     final memory digest.
+
+    ``backend="remote:host:port"`` fans complete iterations out across
+    a ``repro serve`` daemon's worker fleet (each iteration is a pure
+    function of the seed, so results are identical to a local run and
+    are merged in iteration order); ``None``/``"serial"`` runs the loop
+    in-process.  Shrinking and fixture emission always happen locally.
     """
     requested = list(lanes)
     unknown = [lane for lane in requested if lane not in LANES]
@@ -255,6 +435,13 @@ def run_fuzz(
         raise ValueError(f"iterations must be >= 1, got {iterations}")
     if passes < 1:
         raise ValueError(f"passes must be >= 1, got {passes}")
+    if backend not in (None, "serial") \
+            and not str(backend).startswith("remote:"):
+        raise ValueError(
+            f"fuzz backend must be 'serial' or 'remote:host:port', got "
+            f"{backend!r} (iterations are not sweep points; the local "
+            f"process pool does not apply)"
+        )
 
     def emit(line: str) -> None:
         if log is not None:
@@ -274,109 +461,97 @@ def run_fuzz(
             "installed"
         )
 
-    policy = ChaosPolicy(
-        seed=int_draw(seed, 0, 2**31 - 1, "chaos"),
-        crash=0.02, stall=0.01, error=0.02, stall_s=0.01,
-    ) if chaos else None
-
     outcome = FuzzOutcome(
         seed=seed, iterations=iterations, passes=passes,
         lanes=tuple(active), converged=True, skipped_lanes=skipped,
     )
-    digests: Dict[Tuple[int, str], str] = {}
     shrinks_left = max_fixtures
-    for iteration in range(iterations):
-        program = generate_program(int_draw(seed, 0, 2**31 - 1,
-                                            "program", iteration),
-                                   config)
-        initial = generate_initial_memory(
-            int_draw(seed, 0, 2**31 - 1, "initial", iteration),
-            program.memory_size, config,
-        )
-        adversary_spec = draw_adversary_spec(seed, iteration)
-        p = int_draw(seed, 1, 4, "p", iteration)
-        outcome.adversary_histogram[adversary_spec.name] = (
-            outcome.adversary_histogram.get(adversary_spec.name, 0) + 1
-        )
-        expected = ideal_run(program, initial)
-        iteration_failed = False
-        for pass_index in range(passes):
-            if iteration_failed:
-                break
-            for lane in active:
-                result = None
-                point = (iteration * passes + pass_index) * len(LANES) \
-                    + list(LANES).index(lane)
-                for attempt in range(1, chaos_retries + 2):
-                    try:
-                        if policy is not None:
-                            policy.perturb(point, attempt)
-                        result = execute_lane(
-                            program, initial, lane, adversary_spec, p
-                        )
-                        break
-                    except (ChaosCrash, ChaosError) as exc:
-                        kind = ("crash" if isinstance(exc, ChaosCrash)
-                                else "error")
-                        outcome.injected[kind] = (
-                            outcome.injected.get(kind, 0) + 1
-                        )
-                if result is None:  # pragma: no cover - retries exhausted
-                    raise RuntimeError(
-                        f"chaos exhausted {chaos_retries} retries at "
-                        f"iteration {iteration}, lane {lane}"
-                    )
-                outcome.executions += 1
 
-                failure_kind = None
-                if not result.solved:
-                    failure_kind = "unsolved"
-                elif result.memory != expected:
-                    failure_kind = "mismatch"
-                else:
-                    digest = _memory_digest(result.memory)
-                    prior = digests.setdefault((iteration, lane), digest)
-                    if digest != prior:  # pragma: no cover - needs a bug
-                        failure_kind = "nonconverged"
-                if failure_kind is None:
-                    continue
-
-                failure = FuzzFailure(
-                    kind=failure_kind,
-                    iteration=iteration,
-                    lane=lane,
-                    pass_index=pass_index,
-                    adversary=adversary_spec,
-                    p=p,
-                    program=program,
-                    initial=list(initial),
-                    expected=list(expected),
-                    observed=list(result.memory),
-                    run_lanes=tuple(active),
+    def absorb(result: FuzzIterationResult) -> None:
+        nonlocal shrinks_left
+        outcome.executions += result.executions
+        for kind, count in result.injected.items():
+            outcome.injected[kind] = outcome.injected.get(kind, 0) + count
+        outcome.adversary_histogram[result.adversary] = (
+            outcome.adversary_histogram.get(result.adversary, 0) + 1
+        )
+        failure = result.failure
+        if failure is None:
+            return
+        outcome.converged = False
+        outcome.failures.append(failure)
+        emit(f"FAILURE: {failure.describe()}")
+        if shrinks_left > 0:
+            shrinks_left -= 1
+            predicate = _failure_predicate(
+                failure.lane, failure.adversary, failure.p
+            )
+            if predicate(failure.program, list(failure.initial)):
+                shrunk, shrunk_initial = shrink(
+                    failure.program, failure.initial, predicate,
+                    max_evaluations=shrink_budget,
                 )
-                outcome.converged = False
-                outcome.failures.append(failure)
-                iteration_failed = True
-                emit(f"FAILURE: {failure.describe()}")
-                if shrinks_left > 0:
-                    shrinks_left -= 1
-                    predicate = _failure_predicate(lane, adversary_spec, p)
-                    if predicate(program, list(initial)):
-                        shrunk, shrunk_initial = shrink(
-                            program, initial, predicate,
-                            max_evaluations=shrink_budget,
-                        )
-                        failure.shrunk_program = shrunk
-                        failure.shrunk_initial = shrunk_initial
-                        emit(
-                            f"shrunk to {len(shrunk.steps)} step(s), "
-                            f"width {shrunk.width}"
-                        )
-                    if fixture_dir is not None:
-                        from repro.fuzz.fixtures import dump_fixture
+                failure.shrunk_program = shrunk
+                failure.shrunk_initial = shrunk_initial
+                emit(
+                    f"shrunk to {len(shrunk.steps)} step(s), "
+                    f"width {shrunk.width}"
+                )
+            if fixture_dir is not None:
+                from repro.fuzz.fixtures import dump_fixture
 
-                        path = dump_fixture(fixture_dir, failure)
-                        outcome.fixture_paths.append(str(path))
-                        emit(f"fixture written: {path}")
-                break  # stop re-running a known-bad (iteration, lane)
+                path = dump_fixture(fixture_dir, failure)
+                outcome.fixture_paths.append(str(path))
+                emit(f"fixture written: {path}")
+
+    if backend in (None, "serial"):
+        for iteration in range(iterations):
+            absorb(run_fuzz_iteration(
+                seed, iteration, passes, tuple(active), config,
+                chaos, chaos_retries,
+            ))
+        return outcome
+
+    # Remote fan-out: one task per iteration, results merged in
+    # iteration order so the outcome (and any fixtures) are identical
+    # to a local run regardless of fleet scheduling.
+    from repro.experiments.backends.remote import RemoteBackend
+
+    client = RemoteBackend(str(backend), timeout=None, chaos=None,
+                           resume=False)
+    by_iteration: Dict[int, FuzzIterationResult] = {}
+    attempts: Dict[int, int] = {}
+    try:
+        for iteration in range(iterations):
+            task = FuzzIterationTask(
+                seed=seed, iteration=iteration, passes=passes,
+                lanes=tuple(active), config=config, chaos=chaos,
+                chaos_retries=chaos_retries,
+            )
+            attempts[iteration] = 1
+            client.submit(task, 1)
+        outstanding = iterations
+        while outstanding:
+            for res in client.collect():
+                iteration = res.point.iteration
+                if res.status == "ok":
+                    by_iteration[iteration] = res.payload
+                    outstanding -= 1
+                elif attempts[iteration] < 3:
+                    # A worker died mid-iteration (fleet-level fault,
+                    # not a fuzz finding); re-run the pure function.
+                    attempts[iteration] += 1
+                    emit(f"iteration {iteration} lost to a worker "
+                         f"fault ({res.status}); resubmitting")
+                    client.submit(res.point, attempts[iteration])
+                else:
+                    raise RuntimeError(
+                        f"fuzz iteration {iteration} failed remotely "
+                        f"after {attempts[iteration]} attempts "
+                        f"({res.status}): {res.payload}"
+                    )
+    finally:
+        client.close()
+    for iteration in range(iterations):
+        absorb(by_iteration[iteration])
     return outcome

@@ -14,8 +14,12 @@ Schema (``repro-bench/1``)::
       "tag": "<run tag>",
       "created_unix": <float>,
       "workers": <int>,
+      "backend": "serial|pool|remote:host:port",  # optional
       "environment": {"python":..,"python_build":..,"platform":..,
-                      "cpu_count":..,"numpy":..},  # since PR 8
+                      "cpu_count":..,"cpu_governor":..,"cpu_turbo":..,
+                      "load_avg_1min":..,"numpy":..},  # since PR 8;
+                      # governor/turbo/load joined with the fabric,
+                      # null where the host does not expose them
       "scenarios": [
         {
           "tag": "E1_thrashing",
@@ -71,12 +75,52 @@ from typing import Any, Dict, List
 SCHEMA = "repro-bench/1"
 
 
+def _read_sysfs(path: str) -> Any:
+    """One stripped line from a sysfs file, or ``None`` when unreadable
+    (non-Linux hosts, containers that mask /sys, missing drivers)."""
+    try:
+        with open(path) as handle:
+            return handle.readline().strip() or None
+    except OSError:
+        return None
+
+
+def _cpu_governor() -> Any:
+    """The cpufreq scaling governor, or ``None`` where unexposed."""
+    return _read_sysfs(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+    )
+
+
+def _cpu_turbo() -> Any:
+    """Whether turbo/boost is enabled: True/False, ``None`` unknown."""
+    no_turbo = _read_sysfs("/sys/devices/system/cpu/intel_pstate/no_turbo")
+    if no_turbo is not None:
+        return no_turbo == "0"  # intel_pstate exposes the inverse
+    boost = _read_sysfs("/sys/devices/system/cpu/cpufreq/boost")
+    if boost is not None:
+        return boost == "1"
+    return None
+
+
+def _load_avg_1min() -> Any:
+    """The 1-minute load average, or ``None`` where unavailable."""
+    try:
+        return round(os.getloadavg()[0], 3)
+    except (OSError, AttributeError):
+        return None
+
+
 def environment_section() -> Dict[str, Any]:
     """Audit of the host producing a report (the ``environment`` key).
 
     ``numpy`` is the installed version string, or ``None`` when the
     optional extra is absent — so a report records which lanes could
-    have run at all.
+    have run at all.  ``cpu_governor``/``cpu_turbo``/``load_avg_1min``
+    capture the frequency-scaling state and ambient load at report
+    time (``None`` where the host does not expose them): two reports
+    with the same code but different governors or a loaded machine are
+    not comparable wall-clock-wise, and now the artifact says so.
     """
     try:
         import numpy
@@ -90,6 +134,9 @@ def environment_section() -> Dict[str, Any]:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "cpu_governor": _cpu_governor(),
+        "cpu_turbo": _cpu_turbo(),
+        "load_avg_1min": _load_avg_1min(),
         "numpy": numpy_version,
         "executable": sys.executable,
     }
@@ -189,8 +236,15 @@ def scenario_section(tag: str, title: str, source: str,
 
 
 def bench_report(tag: str, scenarios: List[Dict[str, Any]],
-                 workers: int) -> Dict[str, Any]:
-    """Assemble the top-level report from scenario sections."""
+                 workers: int, backend: Any = None) -> Dict[str, Any]:
+    """Assemble the top-level report from scenario sections.
+
+    ``backend`` records which executor produced the numbers (``serial``,
+    ``pool``, ``remote:host:port``); ``None`` omits the key (legacy
+    reports).  Model measures are backend-independent, but wall-clock
+    comparisons across backends are meaningless — the regression
+    checker refuses them by name (``backend-mismatch``).
+    """
     totals = {
         "points": sum(
             len(sweep["points"])
@@ -206,7 +260,7 @@ def bench_report(tag: str, scenarios: List[Dict[str, Any]],
         ),
         "wall_s": round(sum(s["wall_s"] for s in scenarios), 6),
     }
-    return {
+    report = {
         "schema": SCHEMA,
         "tag": tag,
         "created_unix": time.time(),
@@ -215,6 +269,9 @@ def bench_report(tag: str, scenarios: List[Dict[str, Any]],
         "scenarios": scenarios,
         "totals": totals,
     }
+    if backend is not None:
+        report["backend"] = str(backend)
+    return report
 
 
 _POINT_KEYS = {
@@ -265,6 +322,10 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
                             f"{optional_ratio} must be a positive number, "
                             f"got {ratio!r}"
                         )
+    if "backend" in report:
+        # Optional since the distributed fabric; legacy reports omit it.
+        if not isinstance(report["backend"], str) or not report["backend"]:
+            raise ValueError("backend must be a non-empty string")
     if "environment" in report:
         # Optional since PR 8; older reports simply omit the audit.
         environment = report["environment"]
@@ -273,6 +334,23 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
         for key in ("python", "platform", "cpu_count", "numpy"):
             if key not in environment:
                 raise ValueError(f"environment missing key {key!r}")
+        # Governor/turbo/load joined the audit with the distributed
+        # fabric; older reports omit them, and on hosts that do not
+        # expose the state they are recorded as null.
+        if "cpu_governor" in environment:
+            governor = environment["cpu_governor"]
+            if governor is not None and not isinstance(governor, str):
+                raise ValueError("cpu_governor must be a string or null")
+        if "cpu_turbo" in environment:
+            turbo = environment["cpu_turbo"]
+            if turbo is not None and not isinstance(turbo, bool):
+                raise ValueError("cpu_turbo must be a boolean or null")
+        if "load_avg_1min" in environment:
+            load = environment["load_avg_1min"]
+            if load is not None and (
+                not isinstance(load, (int, float)) or isinstance(load, bool)
+            ):
+                raise ValueError("load_avg_1min must be a number or null")
 
 
 def dump_report(report: Dict[str, Any], path: str) -> None:

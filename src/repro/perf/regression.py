@@ -159,6 +159,10 @@ def compare_reports(
 ) -> RegressionReport:
     """Diff ``candidate`` against ``baseline`` point by point.
 
+    * baseline and candidate both carry a top-level ``backend`` key and
+      they differ → one named ``backend-mismatch`` **error** — the two
+      reports timed different dispatch fabrics, not different code;
+      reports without the key (legacy) skip the check;
     * a baseline scenario entirely absent from the candidate → one
       **error** naming the scenario (instead of one error per missing
       point, or a raw ``KeyError``);
@@ -186,6 +190,24 @@ def compare_reports(
     )
     baseline_points = _index_points(baseline)
     candidate_points = _index_points(candidate)
+
+    base_backend = baseline.get("backend")
+    cand_backend = candidate.get("backend")
+    if (base_backend is not None and cand_backend is not None
+            and base_backend != cand_backend):
+        # Model fields are backend-independent, but wall-clock bands
+        # across executors (in-process vs a remote fleet) compare
+        # dispatch fabrics, not code.  Name the problem instead of
+        # emitting spurious wall-regression warnings.
+        report.findings.append(Finding(
+            severity="error", kind="backend-mismatch",
+            key=("*", "*", 0, 0, 0),
+            detail=(
+                f"baseline ran on backend {base_backend!r}, candidate on "
+                f"{cand_backend!r}; wall-clock comparison across backends "
+                f"is meaningless — re-run both through the same backend"
+            ),
+        ))
 
     missing_scenarios = sorted(
         set(_scenario_tags(baseline)) - set(_scenario_tags(candidate))

@@ -1,0 +1,226 @@
+"""Backend conformance: one contract, three executors.
+
+The engine's promise is that the executor seam is unobservable in the
+output — ``run_sweep_parallel(spec, backend=b).points`` must be
+bit-identical to the serial runner for every backend ``b``, and the
+failure paths (crash quarantine, per-point timeout) must classify the
+same way whether a point dies inline, in a pool worker, or in a remote
+fleet sandbox.  Every test here is parametrized over all three.
+
+The remote leg runs against a real in-process :class:`SweepServer`
+with thread-hosted :class:`WorkerSession` workers (``kill_mode="raise"``
+so an injected kill ends the session thread, not the test process); the
+sandbox subprocesses underneath are real, so those legs carry the
+``slow`` marker.
+"""
+
+import threading
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import AlgorithmX
+from repro.experiments import SweepSpec, run_sweep, run_sweep_parallel
+from repro.experiments.backends import resolve_backend
+from repro.experiments.chaos import ChaosPolicy
+from repro.experiments.factories import RandomChurn
+from repro.experiments.serve import SweepServer
+from repro.experiments.worker import WorkerSession
+
+BACKENDS = [
+    pytest.param("serial", id="serial"),
+    pytest.param("pool", id="pool", marks=pytest.mark.slow),
+    pytest.param("remote", id="remote", marks=pytest.mark.slow),
+]
+
+
+@dataclass(frozen=True)
+class PoisonPoint(ChaosPolicy):
+    """Crash one point on every attempt, ignoring the fault budget.
+
+    The pre-crash sleep lets pool-mates drain first: a broken local
+    pool charges every in-flight point a crash attempt, and these tests
+    want the poison isolated as the only casualty.
+    """
+
+    target: int = 0
+
+    def plan(self, index, attempt):
+        return "crash" if index == self.target else None
+
+    def perturb(self, index, attempt):
+        if index == self.target:
+            time.sleep(0.5)
+        super().perturb(index, attempt)
+
+
+@dataclass(frozen=True)
+class StallPoint(ChaosPolicy):
+    """Stall one point past any reasonable per-point timeout, always."""
+
+    target: int = 0
+
+    def plan(self, index, attempt):
+        return "stall" if index == self.target else None
+
+
+class RemoteFleet:
+    """An in-process serve daemon plus N session threads."""
+
+    def __init__(self, workers: int = 2, cache_dir=None):
+        self.server = SweepServer(port=0, cache_dir=cache_dir)
+        self.workers = workers
+        self.threads = []
+
+    def __enter__(self):
+        self.server.start()
+        for index in range(self.workers):
+            session = WorkerSession(
+                self.server.address, name=f"t{index}", kill_mode="raise",
+            )
+            thread = threading.Thread(
+                target=self._run_forever, args=(session,), daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+        return self
+
+    def _run_forever(self, session):
+        # kill_mode="raise" turns an injected worker-kill into an
+        # exception; restarting the session here is the supervisor
+        # loop's job, inlined.
+        while True:
+            try:
+                session.run()
+                return  # clean exit: server gone
+            except Exception:
+                continue
+
+    def __exit__(self, *exc_info):
+        self.server.stop()
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+        return False
+
+
+def run_with(backend_name, spec, tmp_path, **kwargs):
+    """Run one sweep through the named backend."""
+    if backend_name == "remote":
+        with RemoteFleet(workers=2) as fleet:
+            return run_sweep_parallel(
+                spec, backend=f"remote:{fleet.server.address}", **kwargs,
+            )
+    workers = 2 if backend_name == "pool" else 1
+    return run_sweep_parallel(
+        spec, backend=backend_name, workers=workers, **kwargs,
+    )
+
+
+def small_spec(name):
+    return SweepSpec(
+        name=name,
+        algorithm=AlgorithmX,
+        sizes=(8, 16),
+        processors=4,
+        adversary=RandomChurn(0.15, 0.4),
+        seeds=(0, 1),
+        max_ticks=200_000,
+    )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_bit_identical_to_serial_runner(backend_name, tmp_path):
+    spec = small_spec(f"conf-ident-{backend_name}")
+    serial = run_sweep(spec)
+    result = run_with(backend_name, spec, tmp_path)
+    assert result.points == serial.points
+    assert not result.failures
+    assert result.stats.executed == len(serial.points)
+    assert result.stats.cache_hits == 0
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_crash_is_quarantined_not_fatal(backend_name, tmp_path):
+    # The poison point must end as PointFailure(kind="crash") after its
+    # retry budget — whether the crash is an inline ChaosCrash, a dead
+    # pool worker, or a dead remote sandbox — and the innocent points
+    # must still match the serial runner.
+    spec = small_spec(f"conf-poison-{backend_name}")
+    serial = run_sweep(spec)
+    result = run_with(
+        backend_name, spec, tmp_path,
+        retries=1, chaos=PoisonPoint(target=0),
+        max_pool_restarts=10, backoff_base=0.01, backoff_cap=0.1,
+    )
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert failure.kind == "crash"
+    assert failure.attempts >= 2
+    assert result.stats.quarantined == 1
+    assert result.points == serial.points[1:]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_timeout_classifies_as_timeout(backend_name, tmp_path):
+    # A point stalled past the per-point deadline must quarantine as
+    # kind="timeout" (never "crash" or a hang) on every executor.
+    spec = small_spec(f"conf-stall-{backend_name}")
+    serial = run_sweep(spec)
+    result = run_with(
+        backend_name, spec, tmp_path,
+        timeout=0.5, retries=0, chaos=StallPoint(target=0, stall_s=30.0),
+        max_pool_restarts=10, backoff_base=0.01, backoff_cap=0.1,
+    )
+    assert len(result.failures) == 1
+    assert result.failures[0].kind == "timeout"
+    assert result.points == serial.points[1:]
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_client_cache_replays_without_touching_backend(
+    backend_name, tmp_path,
+):
+    # Second run against the same client-side cache dir must be all
+    # hits; the backend never sees a submit.
+    spec = small_spec(f"conf-cache-{backend_name}")
+    first = run_with(backend_name, spec, tmp_path,
+                     cache_dir=tmp_path / "client-cache")
+    second = run_with(backend_name, spec, tmp_path,
+                      cache_dir=tmp_path / "client-cache")
+    assert second.points == first.points
+    assert second.stats.cache_hits == second.stats.total
+    assert second.stats.executed == 0
+    assert all(meta.cached for meta in second.meta)
+
+
+@pytest.mark.slow
+def test_remote_server_store_dedupes_across_clients(tmp_path):
+    # Two cacheless clients, one server-side store: the second sweep
+    # must come back entirely as shared-store hits (cached metas,
+    # elapsed 0), bit-identical to the first.
+    spec = small_spec("conf-dedupe")
+    with RemoteFleet(workers=2, cache_dir=tmp_path / "store") as fleet:
+        address = f"remote:{fleet.server.address}"
+        first = run_sweep_parallel(spec, backend=address)
+        second = run_sweep_parallel(spec, backend=address)
+    assert first.points == run_sweep(spec).points
+    assert second.points == first.points
+    assert second.stats.cache_hits == second.stats.total
+    assert second.stats.executed == 0
+    assert all(meta.cached for meta in second.meta)
+
+
+def test_capability_flags_are_coherent():
+    serial, _ = resolve_backend("serial", workers=1)
+    pool, _ = resolve_backend("pool", workers=2)
+    try:
+        assert serial.capabilities.name == "serial"
+        assert not serial.capabilities.requires_picklable
+        assert not serial.capabilities.remote
+        assert pool.capabilities.name == "pool"
+        assert pool.capabilities.requires_picklable
+        assert pool.capabilities.isolates_crashes
+    finally:
+        serial.close()
+        pool.close()

@@ -82,3 +82,74 @@ def test_validate_rejects_malformed_reports():
             "schema": "repro-bench/1", "tag": "x", "created_unix": 0.0,
             "workers": 1, "scenarios": [{"tag": "s"}], "totals": {},
         })
+
+
+def _minimal_report(**extra):
+    report = {
+        "schema": "repro-bench/1", "tag": "x", "created_unix": 0.0,
+        "workers": 1, "scenarios": [], "totals": {},
+    }
+    report.update(extra)
+    return report
+
+
+def test_environment_audit_records_host_frequency_state():
+    from repro.metrics.report import bench_report, environment_section
+
+    audit = environment_section()
+    # Governor/turbo/load are best-effort: a real value where the host
+    # exposes them, null otherwise — but the keys are always present,
+    # and whatever came back must pass schema validation.
+    for key in ("cpu_governor", "cpu_turbo", "load_avg_1min"):
+        assert key in audit
+    assert audit["cpu_governor"] is None \
+        or isinstance(audit["cpu_governor"], str)
+    assert audit["cpu_turbo"] in (None, True, False)
+    assert audit["load_avg_1min"] is None \
+        or isinstance(audit["load_avg_1min"], float)
+    validate_bench_report(bench_report("audit", [], workers=1))
+
+
+def test_validate_environment_audit_types():
+    good = _minimal_report(environment={
+        "python": "3.12.0", "platform": "linux", "cpu_count": 4,
+        "numpy": None, "cpu_governor": "performance", "cpu_turbo": False,
+        "load_avg_1min": 0.42,
+    })
+    validate_bench_report(good)
+    # Null where the host does not expose the state is fine...
+    nulls = _minimal_report(environment={
+        "python": "3.12.0", "platform": "linux", "cpu_count": 4,
+        "numpy": None, "cpu_governor": None, "cpu_turbo": None,
+        "load_avg_1min": None,
+    })
+    validate_bench_report(nulls)
+    # ...and a pre-fabric report without the new keys still loads.
+    legacy = _minimal_report(environment={
+        "python": "3.12.0", "platform": "linux", "cpu_count": 4,
+        "numpy": None,
+    })
+    validate_bench_report(legacy)
+    for key, bad in (("cpu_governor", 3), ("cpu_turbo", "yes"),
+                     ("load_avg_1min", True)):
+        broken = _minimal_report(environment={
+            "python": "3.12.0", "platform": "linux", "cpu_count": 4,
+            "numpy": None, key: bad,
+        })
+        with pytest.raises(ValueError, match=key):
+            validate_bench_report(broken)
+
+
+def test_validate_backend_key():
+    from repro.metrics.report import bench_report
+
+    tagged = bench_report("x", [], workers=1, backend="remote:h:1")
+    assert tagged["backend"] == "remote:h:1"
+    validate_bench_report(tagged)
+    untagged = bench_report("x", [], workers=1)
+    assert "backend" not in untagged
+    validate_bench_report(untagged)
+    with pytest.raises(ValueError, match="backend"):
+        validate_bench_report(_minimal_report(backend=""))
+    with pytest.raises(ValueError, match="backend"):
+        validate_bench_report(_minimal_report(backend=7))

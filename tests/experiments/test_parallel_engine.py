@@ -253,3 +253,40 @@ class TestAlarmOffMainThread:
             parallel_module.measure_write_all = real
         assert status == "timeout"
         assert "0.1" in str(payload)
+
+
+class TestEtaEstimator:
+    """The running-mean ETA the engine and serve daemon both feed."""
+
+    def test_mean_excludes_cache_hits(self):
+        from repro.experiments import EtaEstimator
+
+        eta = EtaEstimator(total=4)
+        assert eta.mean_point_s is None
+        assert eta.eta_s is None
+        assert eta.render() == "0/4 points"
+        eta.observe(0.0, cached=True)  # instant hit must not poison the mean
+        eta.observe(2.0)
+        eta.observe(4.0)
+        assert eta.completed == 3
+        assert eta.executed == 2
+        assert eta.mean_point_s == pytest.approx(3.0)
+        assert eta.eta_s == pytest.approx(3.0)  # one point left at the mean
+        assert eta.render() == "3/4 points, mean 3.000s/point, eta ~3s"
+        eta.observe(3.0)
+        assert eta.eta_s == pytest.approx(0.0)
+
+    def test_engine_reports_progress_through_the_estimator(self):
+        spec = SweepSpec(
+            name="eta-progress", algorithm=AlgorithmX, sizes=(8, 16),
+            adversary=FailureFree(), seeds=(0, 1),
+        )
+        lines = []
+        result = run_sweep_parallel(
+            spec, workers=1, progress=lines.append, progress_every=1,
+        )
+        assert len(lines) == result.stats.total
+        assert lines[-1].startswith(f"{result.stats.total}/"
+                                    f"{result.stats.total} points")
+        assert result.stats.mean_point_s is not None
+        assert result.stats.mean_point_s >= 0.0

@@ -1,0 +1,250 @@
+"""Lease-scheduler unit tests against a live server, at the wire level.
+
+The conformance suite proves the end-to-end contract through the real
+client and worker; these tests speak the protocol raw so each lease
+transition — worker disconnect, deadline expiry, the quarantine cap,
+cross-client dedupe — can be exercised in isolation, with the test
+playing a worker that misbehaves on cue.
+
+The scheduler *is* the paper's model run on our own fleet: the queue is
+the Write-All work pool, a lease is a processor claiming a cell, and
+every test here is one of Definition 2.1's failure patterns (fail-stop
+mid-cell, stalled past the deadline, repeated death) that the
+re-queue/quarantine discipline must absorb.
+"""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.serve import SweepServer, fetch_status
+from repro.experiments.wire import connect, pack, unpack
+
+pytestmark = pytest.mark.slow
+
+
+@dataclass(frozen=True)
+class EchoJob:
+    """A trivial wire job; the raw-socket tests never actually run it."""
+
+    value: int = 0
+
+    def run(self, timeout=None, chaos=None, attempt=1):
+        return "ok", {"value": self.value}, 0.01
+
+
+def submit(conn, task_id="c0", key="k0", sweep="s", index=0):
+    conn.send({
+        "type": "submit", "task_id": task_id, "sweep": sweep, "key": key,
+        "index": index, "attempt": 1, "timeout": None, "resume": True,
+        "job": pack(EchoJob(index)), "chaos": None,
+    })
+
+
+def dial_client(server):
+    host, port = server.host, server.port
+    return connect(host, port, role="client", timeout=5.0)
+
+
+def dial_worker(server, name):
+    return connect(server.host, server.port, role="worker", name=name,
+                   timeout=5.0)
+
+
+def take_lease(worker_conn):
+    worker_conn.send({"type": "ready"})
+    lease = worker_conn.recv()
+    assert lease["type"] == "lease"
+    return lease
+
+
+def finish(worker_conn, lease, payload, status="ok", elapsed=0.01):
+    worker_conn.send({
+        "type": "done", "task_id": lease["task_id"], "status": status,
+        "payload": pack(payload), "elapsed": elapsed,
+    })
+
+
+def test_worker_disconnect_requeues_the_lease():
+    # Worker A fail-stops holding the lease; the job must go back to
+    # the head of the queue and complete on worker B with lease_try 2.
+    with SweepServer(reap_interval=0.05) as server:
+        client = dial_client(server)
+        submit(client)
+        a = dial_worker(server, "a")
+        lease_a = take_lease(a)
+        assert lease_a["lease_try"] == 1
+        a.close()  # fail-stop, mid-lease
+
+        b = dial_worker(server, "b")
+        lease_b = take_lease(b)
+        assert lease_b["task_id"] == lease_a["task_id"]
+        assert lease_b["lease_try"] == 2
+        finish(b, lease_b, {"value": 0})
+
+        result = client.recv()
+        assert result["type"] == "result"
+        assert result["status"] == "ok"
+        assert result["lease_tries"] == 2
+        assert server.requeues == 1
+        assert server.quarantined == 0
+        client.close()
+        b.close()
+
+
+def test_lease_deadline_expiry_requeues():
+    # Worker A stalls (no fail-stop, just silence) past the TTL; the
+    # reaper must hand the lease to B without waiting for A to die.
+    with SweepServer(lease_ttl=0.3, reap_interval=0.05) as server:
+        client = dial_client(server)
+        submit(client)
+        a = dial_worker(server, "a")
+        take_lease(a)  # ...and go silent
+
+        b = dial_worker(server, "b")
+        deadline = time.monotonic() + 10.0
+        lease_b = take_lease(b)  # blocks until the reaper re-queues
+        assert time.monotonic() < deadline
+        assert lease_b["lease_try"] == 2
+        finish(b, lease_b, {"value": 0})
+        result = client.recv()
+        assert result["status"] == "ok"
+        assert result["lease_tries"] == 2
+        assert server.requeues == 1
+        for conn in (client, a, b):
+            conn.close()
+
+
+def test_repeated_death_quarantines_as_crash():
+    # A job that kills every worker it touches must be completed as a
+    # "crash" after max_lease_tries leases instead of absorbing the
+    # fleet forever.
+    with SweepServer(max_lease_tries=2, reap_interval=0.05) as server:
+        client = dial_client(server)
+        submit(client)
+        for try_number in (1, 2):
+            worker = dial_worker(server, f"w{try_number}")
+            lease = take_lease(worker)
+            assert lease["lease_try"] == try_number
+            worker.close()
+
+        result = client.recv()
+        assert result["status"] == "crash"
+        assert "lease abandoned" in unpack(result["payload"])
+        assert result["lease_tries"] == 2
+        assert server.quarantined == 1
+        assert server.requeues == 1  # first death re-queued, second quit
+        client.close()
+
+
+def test_same_key_submissions_dedupe_to_one_execution():
+    # Two clients race the same content-hash key; the second must
+    # subscribe to the first's execution, both get the result, and the
+    # fleet runs the job exactly once.
+    with SweepServer() as server:
+        first = dial_client(server)
+        second = dial_client(server)
+        submit(first, task_id="f0", key="shared")
+        time.sleep(0.1)  # order the submits: first creates, second joins
+        submit(second, task_id="s0", key="shared")
+        time.sleep(0.1)
+
+        worker = dial_worker(server, "w")
+        lease = take_lease(worker)
+        finish(worker, lease, {"value": 42})
+
+        for conn, task_id in ((first, "f0"), (second, "s0")):
+            result = conn.recv()
+            assert result["task_id"] == task_id
+            assert result["status"] == "ok"
+            assert unpack(result["payload"]) == {"value": 42}
+
+        # Exactly one execution of one deduped task; no second lease.
+        assert server.executed == 1
+        assert server.completed == 1
+        for conn in (first, second, worker):
+            conn.close()
+
+
+def run_point():
+    from repro.experiments.runner import RunPoint
+
+    return RunPoint(n=8, p=4, seed=0, solved=True, completed_work=8,
+                    charged_work=10, pattern_size=2, overhead_ratio=1.25,
+                    parallel_time=3)
+
+
+def test_shared_store_answers_repeat_keys_without_a_worker(tmp_path):
+    # With a server-side store, a completed key is answered instantly —
+    # cached=True, lease_tries=0 — with no worker connected at all.
+    with SweepServer(cache_dir=str(tmp_path / "store")) as server:
+        client = dial_client(server)
+        submit(client, task_id="c0", key="k")
+        worker = dial_worker(server, "w")
+        finish(worker, take_lease(worker), run_point())
+        first = client.recv()
+        assert first["status"] == "ok"
+        assert first["stored"] is True
+        worker.close()
+
+        submit(client, task_id="c1", key="k")
+        result = client.recv()
+        assert result["status"] == "ok"
+        assert result["cached"] is True
+        assert result["lease_tries"] == 0
+        assert unpack(result["payload"]) == run_point()
+        assert server.cache_hits == 1
+        client.close()
+
+
+def test_unstorable_payload_still_delivers(tmp_path):
+    # The shared store only understands RunPoint-shaped payloads; a job
+    # that completes with something else (the fuzz driver opts out via
+    # key=None, but a buggy job might not) must come back stored=False,
+    # never hang the subscriber.
+    with SweepServer(cache_dir=str(tmp_path / "store")) as server:
+        client = dial_client(server)
+        submit(client, task_id="c0", key="odd")
+        worker = dial_worker(server, "w")
+        finish(worker, take_lease(worker), {"not": "a RunPoint"})
+        result = client.recv()
+        assert result["status"] == "ok"
+        assert result["stored"] is False
+        assert unpack(result["payload"]) == {"not": "a RunPoint"}
+        for conn in (client, worker):
+            conn.close()
+
+
+def test_status_endpoint_tracks_queue_and_fleet():
+    with SweepServer() as server:
+        empty = fetch_status(server.address)
+        assert empty["type"] == "status"
+        assert empty["workers"] == 0
+        assert empty["pending"] == 0
+        assert empty["mean_point_s"] is None
+
+        client = dial_client(server)
+        submit(client, task_id="c0", key="k0")
+        submit(client, task_id="c1", key="k1", index=1)
+        worker = dial_worker(server, "w")
+        lease = take_lease(worker)
+        time.sleep(0.1)
+
+        live = fetch_status(server.address)
+        assert live["workers"] == 1
+        assert live["worker_names"] == ["w"]
+        assert live["pending"] == 1
+        assert live["leased"] == 1
+
+        finish(worker, lease, {"value": 0}, elapsed=0.5)
+        client.recv()
+        time.sleep(0.1)
+        after = fetch_status(server.address)
+        assert after["executed"] == 1
+        assert after["mean_point_s"] == pytest.approx(0.5)
+        # One executed point at 0.5s, one still in the system -> the
+        # ETA estimator projects 0.5s of work left.
+        assert after["eta_s"] == pytest.approx(0.5, abs=0.2)
+        for conn in (client, worker):
+            conn.close()

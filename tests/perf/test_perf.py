@@ -258,6 +258,36 @@ class TestCompareReports:
     def test_default_tolerance_is_two_x(self):
         assert DEFAULT_WALL_TOLERANCE == 1.0
 
+    def test_backend_mismatch_is_one_named_error(self):
+        # Wall-clock from an in-process run vs a remote fleet times the
+        # dispatch fabric, not the code: one named error, not spurious
+        # wall-regression warnings.
+        base = _tiny_report()
+        base["backend"] = "serial"
+        cand = _tiny_report(tag="cand", wall_s=10.0)
+        cand["backend"] = "remote:127.0.0.1:7341"
+        report = compare_reports(base, cand)
+        assert not report.ok
+        [finding] = [
+            f for f in report.errors if f.kind == "backend-mismatch"
+        ]
+        assert "'serial'" in finding.detail
+        assert "'remote:127.0.0.1:7341'" in finding.detail
+        # Model comparison still proceeds alongside the named error.
+        assert report.compared == 1
+
+    def test_matching_or_absent_backend_keys_pass(self):
+        # Same backend on both sides: no finding.  Legacy reports
+        # (no backend key on either or one side) skip the check.
+        both = _tiny_report(), _tiny_report(tag="cand")
+        for report_dict in both:
+            report_dict["backend"] = "pool"
+        assert compare_reports(*both).ok
+        legacy_base = _tiny_report()
+        tagged_cand = _tiny_report(tag="cand")
+        tagged_cand["backend"] = "remote:127.0.0.1:7341"
+        assert compare_reports(legacy_base, tagged_cand).ok
+
 
 class TestCheckRegressionCli:
     @staticmethod
