@@ -12,6 +12,13 @@ error.  Wall-clock is banded: a point is flagged only when the
 candidate exceeds ``baseline * (1 + --wall-tolerance)`` and the
 baseline point was slow enough to measure (``--min-wall``).
 
+Structural problems get named errors instead of per-point noise:
+``backend-mismatch`` (reports timed different dispatch fabrics),
+``scenario-missing`` / ``lane-mismatch`` (coverage lost wholesale), and
+``model-tag-missing`` (the baseline's ``adversaries`` list names an
+adversary absent from :mod:`repro.faults.registry`, so its fault model
+cannot be reproduced by this build).
+
 Exit status: 0 when clean, 1 on errors or perf warnings.  With
 ``--gate-model`` only model-level errors (and coverage gaps) fail the
 check while wall-clock warnings stay informational — that is how CI

@@ -57,13 +57,13 @@ from repro.core import (
     AlgorithmVX,
     AlgorithmW,
     AlgorithmX,
+    FaultRouting,
     SnapshotAlgorithm,
     TrivialAssignment,
     solve_write_all,
 )
 from repro.experiments import SweepSpec, run_sweep, run_sweep_parallel
 from repro.experiments.factories import (
-    NAMED_ADVERSARIES,
     NamedAdversary,
     build_named_adversary,
 )
@@ -74,6 +74,7 @@ from repro.faults import (
     RandomAdversary,
     ThrashingAdversary,
 )
+from repro.faults import registry as adversary_registry
 from repro.metrics.tables import render_table
 from repro.pram.trace import Tracer, render_timeline
 from repro.simulation import RobustSimulator
@@ -93,9 +94,16 @@ ALGORITHMS = {
     "VX": AlgorithmVX,
     "snapshot": SnapshotAlgorithm,
     "ACC": AccAlgorithm,
+    # The fault-aware Write-All variant: verifies writes by read-back
+    # and certifies through an ack region, so it terminates under
+    # static-mem adversaries that poison cells.
+    "froute": FaultRouting,
 }
 
-ADVERSARIES = list(NAMED_ADVERSARIES)
+#: ``--adversary`` choices — derived from the unified registry
+#: (:mod:`repro.faults.registry`), the single enumeration point.
+#: Already sorted.
+ADVERSARIES = adversary_registry.names()
 
 PROGRAMS = {
     "prefix-sum": prefix_sum_program,
@@ -113,10 +121,20 @@ def build_adversary(name: str, fail: float, restart_prob: float, seed: int):
         raise SystemExit(str(exc))
 
 
+def _adversary_help() -> str:
+    """The ``--adversary`` help line, with each name's model tags."""
+    entries = ", ".join(
+        f"{name} [{'/'.join(adversary_registry.tags_for(name))}]"
+        for name in ADVERSARIES
+    )
+    return f"named adversary (model tags in brackets): {entries}"
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--algorithm", default="X", choices=sorted(ALGORITHMS))
     parser.add_argument("--adversary", default="random",
-                        choices=sorted(ADVERSARIES))
+                        choices=ADVERSARIES, metavar="NAME",
+                        help=_adversary_help())
     parser.add_argument("--fail", type=float, default=0.1,
                         help="per-tick failure probability (stochastic)")
     parser.add_argument("--restart-prob", type=float, default=0.3,
@@ -310,6 +328,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if solved else 1
 
 
+def _scenario_matches_model(scenario, model_tag: Optional[str]) -> bool:
+    """Does a bench scenario exercise the given model tag?
+
+    Scenarios name their adversaries via ``BenchScenario.adversaries``;
+    legacy scenarios that predate the annotation all run KS91
+    adversaries, so they match only ``fail-stop-restart``.
+    """
+    if model_tag is None:
+        return True
+    names = getattr(scenario, "adversaries", ())
+    if not names:
+        return model_tag == "fail-stop-restart"
+    return any(
+        model_tag in adversary_registry.tags_for(name) for name in names
+    )
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -325,11 +360,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         for tag in scenario_tags():
             scenario = SCENARIOS[tag]
+            if not _scenario_matches_model(scenario, args.model_tag):
+                continue
             heavy = "  [heavy]" if scenario.heavy else ""
-            print(f"{tag:30s} {scenario.title}{heavy}")
+            adversaries = getattr(scenario, "adversaries", ())
+            named = f"  @{','.join(adversaries)}" if adversaries else ""
+            print(f"{tag:30s} {scenario.title}{heavy}{named}")
         print("\nbespoke (not engine-runnable):")
         for source, reason in sorted(EXCLUDED.items()):
             print(f"  {source}: {reason}")
+        names = (adversary_registry.names_for_tag(args.model_tag)
+                 if args.model_tag else adversary_registry.names())
+        print(
+            f"\nadversary registry ({len(names)} names, "
+            f"{len(adversary_registry.MODEL_TAGS)} model tags):"
+        )
+        for name in names:
+            entry = adversary_registry.get(name)
+            fuzz = "  [fuzzable]" if entry.fuzzable else ""
+            print(f"  {name:14s} [{', '.join(entry.tags)}]  "
+                  f"{entry.summary}{fuzz}")
         return 0
 
     if args.scenarios is None:
@@ -345,6 +395,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"unknown scenario(s): {', '.join(unknown)} "
             f"(see `repro bench --list`)"
         )
+    if args.model_tag:
+        tags = [tag for tag in tags
+                if _scenario_matches_model(SCENARIOS[tag], args.model_tag)]
+        if not tags:
+            raise SystemExit(
+                f"no selected scenario carries model tag "
+                f"{args.model_tag!r} (see `repro bench --list "
+                f"--model-tag {args.model_tag}`)"
+            )
     report, by_scenario = run_benchmarks(
         tags,
         tag=args.tag,
@@ -399,9 +458,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.experiments.serve import SweepServer, fetch_status
+    from repro.experiments.wire import TOKEN_ENV, WireError
 
     if args.status is not None:
-        status = fetch_status(args.status)
+        try:
+            status = fetch_status(args.status)
+        except WireError as exc:
+            raise SystemExit(
+                f"[serve] {args.status}: {exc} "
+                f"(set {TOKEN_ENV} if the daemon requires auth)"
+            )
         eta = status.get("eta_s")
         mean = status.get("mean_point_s")
         print(f"[serve] {args.status}: "
@@ -722,7 +788,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "every registered scenario (default: the "
                             "non-heavy set)")
     bench.add_argument("--list", action="store_true",
-                       help="list registered scenarios and exit")
+                       help="list registered scenarios and the adversary "
+                            "registry, then exit")
+    bench.add_argument("--model-tag", default=None,
+                       choices=adversary_registry.MODEL_TAGS,
+                       help="restrict to scenarios (and, with --list, "
+                            "registry entries) exercising this fault "
+                            "model")
     bench.add_argument("--tag", default="local",
                        help="report tag: writes BENCH_<tag>.json")
     bench.add_argument("--out", default="benchmarks/results",
@@ -778,7 +850,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: loopback; the "
                             "protocol trusts its peers — never expose "
-                            "it beyond hosts you control)")
+                            "it beyond hosts you control; export "
+                            "REPRO_SERVE_TOKEN on daemon and fleet to "
+                            "require a shared secret at the handshake)")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (default: OS-assigned; printed "
                             "on startup)")
@@ -857,19 +931,18 @@ def build_parser() -> argparse.ArgumentParser:
         "perf",
         help="micro-benchmark the simulator core (fast vs baseline)",
     )
+    # Choices derive from the perf module's own tables, not hand copies.
+    from repro.perf.micro import PERF_ADVERSARIES, PERF_ALGORITHMS
+
     perf.add_argument("--algorithm", action="append", default=None,
-                      choices=sorted(
-                          ("trivial", "W", "V", "X", "VX", "snapshot")
-                      ),
+                      choices=sorted(PERF_ALGORITHMS),
                       help="algorithm to time; repeatable (default: X)")
     perf.add_argument("--size", action="append", default=None,
                       metavar="NxP",
                       help="instance size, e.g. 4096x64; repeatable "
                            "(default: 4096x64)")
     perf.add_argument("--adversary", action="append", default=None,
-                      choices=sorted(
-                          ("none", "sched-sparse", "budget-sparse")
-                      ),
+                      choices=sorted(PERF_ADVERSARIES),
                       help="fault scenario to time under; repeatable "
                            "(default: none = fault-free)")
     perf.add_argument("--no-fast-forward", action="store_true",

@@ -8,7 +8,9 @@ Algorithms available:
 * :class:`AlgorithmX` — the local-traversal algorithm (Section 4.2);
 * :class:`AlgorithmVX` — the interleaved combination (Theorem 4.9);
 * :class:`SnapshotAlgorithm` — Theorem 3.2's unit-cost-snapshot matcher;
-* :class:`AccAlgorithm` — the randomized ACC reconstruction (Section 5).
+* :class:`AccAlgorithm` — the randomized ACC reconstruction (Section 5);
+* :class:`FaultRouting` — fault-aware sweep for the CGP static
+  memory-fault model (routes its certificate around dead cells).
 """
 
 from repro.core.acc import AccAlgorithm, AccLayout
@@ -17,6 +19,7 @@ from repro.core.algorithm_vx import AlgorithmVX, VXLayout
 from repro.core.algorithm_w import AlgorithmW, WLayout
 from repro.core.algorithm_x import AlgorithmX, XLayout
 from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
+from repro.core.fault_routing import FaultRouting, FaultRoutingLayout
 from repro.core.generational import GenerationalX, GenXLayout
 from repro.core.problem import (
     WriteAllInstance,
@@ -45,6 +48,8 @@ __all__ = [
     "AlgorithmX",
     "BaseLayout",
     "CycleFactoryTasks",
+    "FaultRouting",
+    "FaultRoutingLayout",
     "GenXLayout",
     "GenerationalX",
     "HeapTree",

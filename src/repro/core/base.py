@@ -100,11 +100,30 @@ class WriteAllAlgorithm:
         x_base = layout.x_base
         return all(memory.read(x_base + index) != 0 for index in range(layout.n))
 
+    def until_predicate(
+        self, layout: BaseLayout, incremental: bool = True
+    ) -> Callable[[MemoryReader], bool]:
+        """The machine's termination predicate for this algorithm.
+
+        The default is :func:`done_predicate` over the Write-All array.
+        Algorithms whose completion certificate lives elsewhere — e.g.
+        :class:`repro.core.fault_routing.FaultRouting`, whose ``x`` cells
+        may be permanently dead under static memory faults — override
+        this to watch their own certificate region.
+        """
+        return done_predicate(layout, incremental)
+
 
 def done_predicate(
-    layout: BaseLayout, incremental: bool = True
+    layout: BaseLayout,
+    incremental: bool = True,
+    region: Optional[tuple] = None,
 ) -> Callable[[MemoryReader], bool]:
     """An ``until`` predicate for the machine: all of x is written.
+
+    ``region=(base, count)`` watches an arbitrary memory region instead
+    of the Write-All array — used by algorithms whose completion
+    certificate lives outside ``x``.
 
     With ``incremental=True`` (the default) the predicate registers a
     zero-region tracker over ``x`` with the memory layer on its first
@@ -113,8 +132,7 @@ def done_predicate(
     without trackers — and ``incremental=False``, which the perf harness
     uses as the pre-optimization baseline — fall back to the scan.
     """
-    x_base = layout.x_base
-    n = layout.n
+    x_base, n = region if region is not None else (layout.x_base, layout.n)
     state = {"tracker": None}
 
     def all_written(memory: MemoryReader) -> bool:

@@ -5,9 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from repro.core.base import BaseLayout, WriteAllAlgorithm, done_predicate
+from repro.core.base import BaseLayout, WriteAllAlgorithm
 from repro.core.problem import WriteAllInstance, verify_solution
 from repro.core.tasks import TaskSet
+from repro.faults.static import apply_memory_faults
 from repro.pram.compiled import resolve_kernel
 from repro.pram.vectorized import resolve_vectorized
 from repro.pram.ledger import RunLedger
@@ -110,6 +111,9 @@ def solve_write_all(
     algorithm.initialize_memory(memory, layout)
     if adversary is not None and hasattr(adversary, "reset"):
         adversary.reset()
+    # Static-memory-fault adversaries (CGP model) carry a plan of dead
+    # cells; pin them before the first tick so every lane sees them.
+    apply_memory_faults(memory, adversary, layout)
     machine = Machine(
         num_processors=p,
         memory=memory,
@@ -134,11 +138,14 @@ def solve_write_all(
     if max_ticks is None:
         max_ticks = default_tick_budget(n, p)
     ledger = machine.run(
-        until=done_predicate(layout, incremental=incremental_until),
+        until=algorithm.until_predicate(layout, incremental=incremental_until),
         max_ticks=max_ticks,
         raise_on_limit=raise_on_limit,
     )
-    solved = verify_solution(MemoryReader(memory), layout.x_base, n)
+    solved = verify_solution(
+        MemoryReader(memory), layout.x_base, n,
+        skip=memory.faulty_addresses(),
+    )
     return WriteAllResult(
         algorithm=algorithm.name,
         n=n,

@@ -28,6 +28,7 @@ from repro.core import (
     AlgorithmVX,
     AlgorithmW,
     AlgorithmX,
+    FaultRouting,
     SnapshotAlgorithm,
     TrivialAssignment,
 )
@@ -38,10 +39,13 @@ from repro.experiments.factories import (
     FailureFree,
     Halving,
     NoRestart,
+    PersistentCheckpointRunner,
     RandomChurn,
     SparseSchedule,
+    SpeedClasses,
     Stalker,
     Starver,
+    StaticFaults,
     Thrashing,
 )
 from repro.experiments.parallel import ParallelSweepResult, run_sweep_parallel
@@ -58,6 +62,11 @@ class BenchScenario:
     source: str         # the bench_*.py that owns the assertions
     specs: Tuple[SweepSpec, ...]
     heavy: bool = False  # excluded from the driver's default set
+    #: Registry adversary names (repro.faults.registry) the scenario
+    #: exercises; recorded in the report so the regression checker can
+    #: verify the baseline's fault models still exist
+    #: (``model-tag-missing``).  Empty for pre-registry scenarios.
+    adversaries: Tuple[str, ...] = ()
 
     def total_points(self) -> int:
         return sum(len(list(spec.points())) for spec in self.specs)
@@ -393,6 +402,83 @@ def _build_scenarios() -> Dict[str, BenchScenario]:
         ),
     ))
 
+    scenarios.append(BenchScenario(
+        tag="R1_static_proc",
+        title="CGP static processor faults — X and froute finish on the "
+              "survivors",
+        source="bench_fault_frontier.py",
+        adversaries=("static-proc",),
+        specs=tuple(
+            SweepSpec(
+                name=f"{label}/static-proc", algorithm=algorithm,
+                sizes=(64, 128, 256), adversary=StaticFaults(0.25),
+                seeds=(0, 1), max_ticks=2_000_000,
+            )
+            for label, algorithm in [
+                ("X", AlgorithmX), ("froute", FaultRouting),
+            ]
+        ),
+    ))
+
+    scenarios.append(BenchScenario(
+        tag="R2_static_mem_routing",
+        title="CGP static memory faults — froute routes its certificate "
+              "around 25% dead cells",
+        source="bench_fault_frontier.py",
+        adversaries=("static-mem",),
+        specs=(
+            SweepSpec(
+                name="froute/static-mem", algorithm=FaultRouting,
+                sizes=(64, 128, 256),
+                adversary=StaticFaults(0.25, 0.25),
+                seeds=(0, 1), max_ticks=2_000_000,
+            ),
+            SweepSpec(
+                name="froute/static-mem-only", algorithm=FaultRouting,
+                sizes=(64, 128, 256),
+                adversary=StaticFaults(0.0, 0.25),
+                seeds=(0,), max_ticks=2_000_000,
+            ),
+        ),
+    ))
+
+    scenarios.append(BenchScenario(
+        tag="R3_pmem_checkpoint",
+        title="PPM checkpoints — Theorem 4.3's restart re-entry work "
+              "collapses as checkpoint frequency rises",
+        source="bench_fault_frontier.py",
+        adversaries=("pmem-churn",),
+        specs=tuple(
+            SweepSpec(
+                name=f"ppm/ck-{interval}", algorithm=TrivialAssignment,
+                sizes=(8,), processors=4,
+                adversary=RandomChurn(0.05, 0.4), seeds=(7,),
+                runner=PersistentCheckpointRunner(interval),
+            )
+            for interval in (0, 2, 8, 32)
+        ),
+    ))
+
+    scenarios.append(BenchScenario(
+        tag="R4_hetero_speed",
+        title="Heterogeneous speeds — stalls cost parallel time, not "
+              "pattern size",
+        source="bench_fault_frontier.py",
+        adversaries=("speed-classes", "none"),
+        specs=(
+            SweepSpec(
+                name="X/speed-classes", algorithm=AlgorithmX,
+                sizes=(64, 128, 256), adversary=SpeedClasses(),
+                seeds=(0, 1), max_ticks=2_000_000,
+            ),
+            SweepSpec(
+                name="X/uniform", algorithm=AlgorithmX,
+                sizes=(64, 128, 256), adversary=FailureFree(),
+                seeds=(0,), max_ticks=2_000_000,
+            ),
+        ),
+    ))
+
     return {scenario.tag: scenario for scenario in scenarios}
 
 
@@ -495,6 +581,7 @@ def run_benchmarks(
         by_scenario[scenario.tag] = results
         sections.append(scenario_section(
             scenario.tag, scenario.title, scenario.source, results, wall_s,
+            adversaries=getattr(scenario, "adversaries", ()),
         ))
     report = bench_report(
         tag, sections, workers=workers or 1, backend=backend,

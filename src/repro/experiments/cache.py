@@ -114,6 +114,7 @@ def point_key(
     fast_forward: bool = True,
     compiled: bool = True,
     vectorized: "Union[bool, str]" = False,
+    runner: Any = None,
 ) -> str:
     """The content hash identifying one sweep point's spec."""
     material = "|".join([
@@ -142,6 +143,12 @@ def point_key(
         # The vectorized lane is opt-in, so the suffix lands only on
         # the new configuration and old cache entries keep their keys.
         material += "|vectorized"
+    if runner is not None:
+        # A custom point runner changes what a point *measures* (e.g.
+        # the persistent-memory checkpoint sweep), so it is key
+        # material; appended only when set so default sweeps keep their
+        # pre-existing keys.
+        material += f"|runner={fingerprint(runner)}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 

@@ -31,9 +31,12 @@ from repro.faults import (
     NoRestartAdversary,
     RandomAdversary,
     ScheduledAdversary,
+    SpeedClassAdversary,
     StalkingAdversaryX,
+    StaticFaultAdversary,
     ThrashingAdversary,
 )
+from repro.faults import registry as adversary_registry
 
 #: Factory protocol: seed -> adversary (or None for failure-free).
 AdversaryFactory = Callable[[int], Optional[object]]
@@ -175,11 +178,87 @@ class NoRestart:
 
 
 @dataclass(frozen=True)
+class StaticFaults:
+    """CGP static processor/memory faults, seeded per sweep point.
+
+    ``dead_frac`` of the processors die at tick 1 forever; ``mem_frac``
+    of the Write-All cells are declared dead before the run starts (the
+    runner applies the adversary's memory fault plan).
+    """
+
+    dead_frac: float = 0.25
+    mem_frac: float = 0.0
+
+    def __call__(self, seed: int):
+        return StaticFaultAdversary(
+            dead_frac=self.dead_frac, mem_frac=self.mem_frac, seed=seed
+        )
+
+
+@dataclass(frozen=True)
+class SpeedClasses:
+    """Zavou/Fernández-Anta speed classes, rotation seeded per point."""
+
+    classes: tuple = (1, 2, 4)
+
+    def __call__(self, seed: int):
+        return SpeedClassAdversary(classes=self.classes, seed=seed)
+
+
+@dataclass(frozen=True)
+class PersistentCheckpointRunner:
+    """A :attr:`SweepSpec.runner` measuring the PPM checkpoint axis.
+
+    Each point runs a whole simulated program (prefix-sum of width N)
+    through :class:`repro.simulation.PersistentSimulator` under the
+    point's adversary, with private state checkpointed every
+    ``interval`` completed cycles at ``cost`` no-op cycles apiece
+    (``interval=0``: pure KS91 restarts).  The algorithm factory the
+    engine passes is ignored — the generational executor is fixed — and
+    the result maps onto :class:`~repro.core.runner.RunMeasures` so
+    sweeps, caching and reports treat it like any other point.
+    """
+
+    interval: int = 0
+    cost: int = 1
+
+    def __call__(self, algorithm_factory, n, p, adversary=None,
+                 max_ticks=None, fairness_window=None, fast_forward=True,
+                 compiled=True, vectorized=False):
+        from repro.core.runner import RunMeasures
+        from repro.simulation.persistent import (
+            CheckpointPolicy,
+            PersistentSimulator,
+        )
+        from repro.simulation.programs import prefix_sum_program
+
+        simulator = PersistentSimulator(
+            p,
+            adversary=adversary,
+            checkpoint=CheckpointPolicy(self.interval, self.cost),
+            **({} if max_ticks is None else {"max_ticks": max_ticks}),
+        )
+        result = simulator.execute(prefix_sum_program(n), list(range(n)))
+        ledger = result.ledger
+        return RunMeasures(
+            algorithm=f"ppm-ck{self.interval}",
+            n=n, p=p,
+            solved=result.solved,
+            completed_work=ledger.completed_work,
+            charged_work=ledger.charged_work,
+            pattern_size=ledger.pattern_size,
+            overhead_ratio=ledger.overhead_ratio(n),
+            parallel_time=ledger.parallel_time,
+        )
+
+
+@dataclass(frozen=True)
 class NamedAdversary:
-    """The CLI's adversary vocabulary as a picklable factory.
+    """The registry's adversary vocabulary as a picklable factory.
 
     Mirrors ``python -m repro``'s ``--adversary/--fail/--restart-prob``
-    flags so CLI sweeps can run through the parallel engine.
+    flags so CLI sweeps can run through the parallel engine.  Names
+    resolve through :mod:`repro.faults.registry`.
     """
 
     name: str
@@ -192,40 +271,19 @@ class NamedAdversary:
         )
 
 
-#: Names accepted by :class:`NamedAdversary` / the CLI.
-NAMED_ADVERSARIES = [
-    "none", "random", "crash", "thrashing", "halving",
-    "stalker", "starver", "acc-stalker", "burst", "sched-sparse",
-]
+#: Names accepted by :class:`NamedAdversary` / the CLI — derived from
+#: the unified registry (:mod:`repro.faults.registry`), sorted.  Kept
+#: as a list for backward compatibility with callers that copied it.
+NAMED_ADVERSARIES = list(adversary_registry.names())
 
 
 def build_named_adversary(name: str, fail: float, restart_prob: float,
                           seed: int):
-    """Build one adversary from the CLI vocabulary.
+    """Build one adversary from the registry vocabulary.
 
-    Raises ``ValueError`` for unknown names (the CLI wraps this into a
-    ``SystemExit``).
+    Thin delegate to :func:`repro.faults.registry.build`, kept as the
+    stable entry point (fuzz fixtures and cached sweep specs replay
+    adversaries by this name).  Raises ``ValueError`` for unknown names
+    (the CLI wraps this into a ``SystemExit``).
     """
-    if name == "none":
-        return NoFailures()
-    if name == "random":
-        return RandomAdversary(fail, restart_prob, seed=seed)
-    if name == "crash":
-        return NoRestartAdversary(RandomAdversary(fail, seed=seed))
-    if name == "thrashing":
-        return ThrashingAdversary()
-    if name == "halving":
-        return HalvingAdversary()
-    if name == "stalker":
-        return StalkingAdversaryX()
-    if name == "starver":
-        return IterationStarver()
-    if name == "acc-stalker":
-        return AccStalker()
-    if name == "burst":
-        return BurstAdversary(period=3, fraction=0.5, downtime=1)
-    if name == "sched-sparse":
-        return SparseSchedule()(seed)
-    raise ValueError(
-        f"unknown adversary {name!r}; known: {NAMED_ADVERSARIES}"
-    )
+    return adversary_registry.build(name, fail, restart_prob, seed)

@@ -88,6 +88,9 @@ class PointSpec:
     #: concurrency measured on any host, including a one-core CI
     #: runner where CPU-bound points cannot overlap.
     point_floor_s: float = 0.0
+    #: Optional substitute for ``measure_write_all`` (same signature).
+    #: Cache-key material — it changes what the point measures.
+    runner: Optional[Callable] = None
 
     def cache_key(self) -> str:
         return point_key(
@@ -96,6 +99,7 @@ class PointSpec:
             fast_forward=self.fast_forward,
             compiled=self.compiled,
             vectorized=self.vectorized,
+            runner=self.runner,
         )
 
 
@@ -235,6 +239,7 @@ def expand_spec(spec: SweepSpec) -> List[PointSpec]:
             compiled=spec.compiled,
             vectorized=spec.vectorized,
             point_floor_s=getattr(spec, "point_floor_s", 0.0),
+            runner=getattr(spec, "runner", None),
         )
         for index, (n, p, seed) in enumerate(spec.points())
     ]
@@ -362,7 +367,9 @@ def execute_point(
         with _alarm(timeout):
             if chaos is not None:
                 chaos.perturb(point.index, attempt)
-            measures = measure_write_all(
+            measure = measure_write_all if point.runner is None \
+                else point.runner
+            measures = measure(
                 point.algorithm, point.n, point.p,
                 adversary=(
                     None if point.adversary is None

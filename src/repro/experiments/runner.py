@@ -182,7 +182,8 @@ def run_one_point(spec: SweepSpec, n: int, p: int, seed: int) -> RunPoint:
     this, so a point's result is by construction independent of which
     path executed it.
     """
-    measures = measure_write_all(
+    measure = measure_write_all if spec.runner is None else spec.runner
+    measures = measure(
         spec.algorithm, n, p,
         adversary=spec.adversary_for(seed),
         max_ticks=spec.max_ticks,

@@ -28,12 +28,18 @@ Results fan out to every subscribed client as they complete; a
 ``status`` request answers with queue depth, fleet size, completion
 counts, the running mean point wall time, and the ETA for the work
 currently in the system.
+
+Exporting ``REPRO_SERVE_TOKEN`` before starting the daemon requires
+every hello to carry the same secret (constant-time compare) before
+the connection is served — see :mod:`repro.experiments.wire`.
 """
 
 from __future__ import annotations
 
+import hmac
 import itertools
 import logging
+import os
 import socket
 import threading
 import time
@@ -43,6 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.experiments.cache import ResultCache
 from repro.experiments.wire import (
     PROTOCOL,
+    TOKEN_ENV,
     Connection,
     WireError,
     connect,
@@ -86,6 +93,7 @@ class SweepServer:
         lease_ttl: float = 60.0,
         max_lease_tries: int = 5,
         reap_interval: float = 0.2,
+        token: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -93,6 +101,12 @@ class SweepServer:
         self.lease_ttl = lease_ttl
         self.max_lease_tries = max_lease_tries
         self.reap_interval = reap_interval
+        # Shared-secret gate; defaults from the environment so daemon
+        # and fleet authenticate by exporting one variable.  Empty /
+        # unset disables the check (loopback trust, the historic mode).
+        self.token = token if token is not None else os.environ.get(
+            TOKEN_ENV
+        )
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -186,6 +200,19 @@ class SweepServer:
         if hello.get("type") != "hello":
             conn.close()
             return
+        if self.token:
+            # Reject unauthenticated peers here, before any job payload
+            # (pickle blob) from this connection is ever unpacked.
+            supplied = hello.get("token")
+            if not isinstance(supplied, str) or not hmac.compare_digest(
+                supplied.encode("utf-8"), self.token.encode("utf-8")
+            ):
+                try:
+                    conn.send({"type": "error", "error": "auth-failed"})
+                except OSError:
+                    pass
+                conn.close()
+                return
         conn.send({"type": "welcome", "protocol": PROTOCOL})
         role = hello.get("role")
         try:

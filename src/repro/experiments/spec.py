@@ -54,6 +54,14 @@ class SweepSpec:
             1 -> N worker scaling measures dispatch concurrency rather
             than this host's core count.  Model-invisible and not
             cache-key material.
+        runner: optional picklable callable with the signature of
+            :func:`repro.core.runner.measure_write_all`, substituted
+            for it when executing each point — how a sweep measures
+            something other than a Write-All run (e.g. the
+            persistent-memory checkpoint sweep runs a whole simulated
+            program per point via
+            :class:`repro.experiments.factories.PersistentCheckpointRunner`).
+            Cache-key material, since it changes what a point measures.
     """
 
     name: str
@@ -69,6 +77,7 @@ class SweepSpec:
     vectorized: "Union[bool, str]" = False
     backend: Optional[str] = None
     point_floor_s: float = 0.0
+    runner: Optional[Callable] = None
 
     def processors_for(self, n: int) -> int:
         if callable(self.processors):

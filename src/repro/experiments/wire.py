@@ -9,6 +9,13 @@ administrative domain.  **Do not expose a serve port to untrusted
 networks** — anyone who can connect can execute code, exactly as if
 they could spawn processes on the host.
 
+Exporting :data:`TOKEN_ENV` (``REPRO_SERVE_TOKEN``) on the daemon adds
+a shared-secret gate: the hello must carry the matching ``token`` or
+the connection is rejected (constant-time compare) before any job
+payload is unpacked.  That narrows *who* can speak to the daemon; it
+does not sandbox what an authenticated peer says — the pickle trust
+model above still applies.
+
 The unit of work is a :class:`Job`: a small frozen dataclass with a
 ``run(timeout, chaos, attempt) -> (status, payload, elapsed)`` method,
 executed inside a worker's sandbox subprocess.  :class:`PointJob` wraps
@@ -20,6 +27,7 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import pickle
 import socket
 from dataclasses import dataclass
@@ -27,6 +35,13 @@ from typing import Any, Dict, Optional, Tuple
 
 #: Protocol identifier sent in the hello/welcome handshake.
 PROTOCOL = "repro-serve/1"
+
+#: Environment variable holding the fabric's shared secret.  When set
+#: on the daemon, every hello must carry the same value in its
+#: ``token`` field or the connection is rejected before any job payload
+#: is read; when set on a client/worker, :func:`connect` sends it
+#: automatically.
+TOKEN_ENV = "REPRO_SERVE_TOKEN"
 
 #: Hard cap on one message line (64 MiB) — a framing error (binary
 #: garbage on the port) fails fast instead of buffering forever.
@@ -96,8 +111,17 @@ class Connection:
 
 def connect(host: str, port: int, role: str,
             name: Optional[str] = None,
-            timeout: Optional[float] = None) -> Connection:
-    """Dial a serve daemon and complete the hello/welcome handshake."""
+            timeout: Optional[float] = None,
+            token: Optional[str] = None) -> Connection:
+    """Dial a serve daemon and complete the hello/welcome handshake.
+
+    ``token`` is the fabric's shared secret; it defaults to the
+    :data:`TOKEN_ENV` environment variable, so a deployment that
+    exports the same value on daemon and clients authenticates without
+    any call-site changes.
+    """
+    if token is None:
+        token = os.environ.get(TOKEN_ENV)
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(None)
     conn = Connection(sock)
@@ -105,8 +129,15 @@ def connect(host: str, port: int, role: str,
                              "protocol": PROTOCOL}
     if name is not None:
         hello["name"] = name
+    if token:
+        hello["token"] = token
     conn.send(hello)
     welcome = conn.recv()
+    if welcome.get("type") == "error":
+        conn.close()
+        raise WireError(
+            f"server refused connection: {welcome.get('error')!r}"
+        )
     if welcome.get("type") != "welcome":
         conn.close()
         raise WireError(f"expected welcome, got {welcome.get('type')!r}")

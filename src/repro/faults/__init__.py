@@ -15,6 +15,18 @@ The adversaries here realize every failure strategy the paper uses:
 * wrappers: :class:`NoRestartAdversary` (the [KS 89] fail-stop model),
   :class:`FailureBudgetAdversary` (caps |F| at M), and
   :class:`PhaseSwitchAdversary` / :class:`UnionAdversary` composition.
+
+Beyond KS91, the package opens three related fault models (see
+:mod:`repro.faults.registry` for the unified name/model-tag catalog):
+
+* :class:`StaticFaultAdversary` — Chlebus–Gasieniec–Pelc static
+  processor/memory faults (dead forever, dead cells poisoned);
+* :class:`SpeedClassAdversary` — Zavou & Fernández Anta heterogeneous
+  speeds via the machine's stall channel;
+* the persistent-memory axis lives in
+  :class:`repro.simulation.persistent.CheckpointPolicy` (Blelloch et
+  al.'s Parallel Persistent Memory model), driven by the registry's
+  ``pmem-churn`` entry.
 """
 
 from repro.faults.base import (
@@ -29,8 +41,10 @@ from repro.faults.halving import HalvingAdversary
 from repro.faults.random_adversary import BurstAdversary, RandomAdversary
 from repro.faults.replay import RecordingAdversary
 from repro.faults.simple import NoFailures, SinglePidKiller
+from repro.faults.speed import SpeedClassAdversary
 from repro.faults.stalking import AccStalker, StalkingAdversaryX
 from repro.faults.starver import IterationStarver
+from repro.faults.static import StaticFaultAdversary, apply_memory_faults
 from repro.faults.targeted import AdaptiveLoadAdversary, CellGuardAdversary
 from repro.faults.thrashing import ThrashingAdversary
 
@@ -51,8 +65,11 @@ __all__ = [
     "RecordingAdversary",
     "ScheduledAdversary",
     "SinglePidKiller",
+    "SpeedClassAdversary",
     "StalkingAdversaryX",
+    "StaticFaultAdversary",
     "ThrashingAdversary",
     "UnionAdversary",
+    "apply_memory_faults",
     "quiet_horizon",
 ]

@@ -1,0 +1,75 @@
+"""Adversarial heterogeneous processor speeds (Zavou & Fernández Anta).
+
+In the latency-heterogeneity model the processors are not uniformly
+fast: a processor in speed class ``k`` performs useful work only every
+``k``-th time step.  The adversary picks the class assignment.  This is
+not expressible with fail/restart choreography — a KS91 restart erases
+private state and re-enters the program from the top, whereas a slow
+processor merely *waits* and then continues where it was — so the
+machine grew a third decision channel, ``Decision.stalls``: a stalled
+pending cycle is deferred (not executed, not charged, not a failure)
+and re-attempted with fresh reads on the next permitted tick.
+
+:class:`SpeedClassAdversary` assigns classes round-robin over a seeded
+rotation, so every run is deterministic in the seed and roughly
+``P / len(classes)`` processors land in each class.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults.base import Adversary
+from repro.pram.failures import Decision
+
+
+class SpeedClassAdversary(Adversary):
+    """Stall each processor so class-k PIDs advance every k-th tick.
+
+    ``classes`` is the speed-class menu (each entry a positive integer;
+    1 = full speed); PID ``i`` gets ``classes[(i + seed) % len(classes)]``.
+    On tick ``t`` a class-``k`` processor's pending cycle is stalled
+    unless ``t % k == 0``.  If a tick would stall every pending cycle,
+    the adversary spares the lowest stalled PID itself (keeping the
+    paper's zero-veto discipline: progress holds by construction).
+
+    Stalls never enter the failure pattern, so ``|F|`` stays 0 under
+    this adversary alone — the cost shows up purely as parallel time.
+    """
+
+    online = False
+
+    def __init__(
+        self, classes: Tuple[int, ...] = (1, 2, 4), seed: int = 0
+    ) -> None:
+        classes = tuple(classes)
+        if not classes:
+            raise ValueError("classes must be non-empty")
+        for entry in classes:
+            if not isinstance(entry, int) or isinstance(entry, bool) \
+                    or entry < 1:
+                raise ValueError(
+                    f"speed classes must be integers >= 1, got {entry!r}"
+                )
+        self.classes = classes
+        self.seed = seed
+
+    def class_of(self, pid: int) -> int:
+        """The speed class assigned to ``pid``."""
+        return self.classes[(pid + self.seed) % len(self.classes)]
+
+    def decide(self, view) -> Decision:
+        time = view.time
+        stalled = [
+            pid for pid in view.pending if time % self.class_of(pid) != 0
+        ]
+        if not stalled:
+            return Decision.none()
+        if len(stalled) == len(view.pending):
+            # Every pending cycle would be deferred; spare the lowest
+            # PID so one cycle completes (progress by construction,
+            # same tie-break the machine's veto would use).
+            stalled.remove(min(stalled))
+            if not stalled:
+                return Decision.none()
+        return Decision.stall(stalled)

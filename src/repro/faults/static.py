@@ -1,0 +1,136 @@
+"""Static processor/memory faults (Chlebus–Gasieniec–Pelc).
+
+The CGP model ("Deterministic Computations on a PRAM with Static
+Processor and Memory Faults") differs from KS91 on both axes of the
+fault pattern:
+
+* a *static processor fault* kills a processor at the start of the
+  computation, forever — there are no restarts;
+* a *static memory fault* makes a shared cell permanently dead — writes
+  to it vanish and reads return garbage (our simulator pins a poison
+  sentinel, :data:`repro.pram.memory.POISON`, so runs stay
+  deterministic).
+
+:class:`StaticFaultAdversary` realizes both: it fails a seeded subset
+of processors on its first consulted tick and never restarts them, and
+it carries a *memory fault plan* the runner applies to the shared
+memory before the run starts.  Memory faults are confined to the
+Write-All array ``[x_base, x_base + n)`` — the CGP model lets the
+algorithm's control structures live in a fault-free region (their
+"safe" memory), and routing the certificate around dead *data* cells is
+the interesting part; see :class:`repro.core.fault_routing.FaultRouting`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.faults.base import QUIET_FOREVER, Adversary
+from repro.pram.failures import BEFORE_WRITES, Decision
+
+#: Seed domain separator for the memory-fault plan, so dead cells and
+#: dead processors are independent draws of the same adversary seed.
+_MEM_SALT = 0x5F5E1
+
+
+class StaticFaultAdversary(Adversary):
+    """Kill a seeded fraction of processors at one tick, forever.
+
+    ``dead_frac`` of the P processors (rounded down, always leaving at
+    least one survivor) fail with no writes applied at ``at_tick`` and
+    are never restarted.  ``mem_frac`` of the N Write-All cells are
+    declared dead before the run starts (see :meth:`memory_fault_plan`).
+    Both draws are deterministic in ``seed``.
+
+    The adversary is offline: the whole pattern is fixed in advance, so
+    after ``at_tick`` it is provably quiet forever and the machine's
+    event-horizon fast-forward batches the rest of the run.
+    """
+
+    online = False
+
+    def __init__(
+        self,
+        dead_frac: float = 0.25,
+        mem_frac: float = 0.0,
+        seed: int = 0,
+        at_tick: int = 1,
+    ) -> None:
+        if not 0.0 <= dead_frac < 1.0:
+            raise ValueError(
+                f"dead_frac must be in [0, 1), got {dead_frac}"
+            )
+        if not 0.0 <= mem_frac < 1.0:
+            raise ValueError(
+                f"mem_frac must be in [0, 1), got {mem_frac}"
+            )
+        if at_tick < 1:
+            raise ValueError(f"at_tick must be >= 1, got {at_tick}")
+        self.dead_frac = dead_frac
+        self.mem_frac = mem_frac
+        self.seed = seed
+        self.at_tick = at_tick
+        self._dead: Optional[FrozenSet[int]] = None
+
+    def reset(self) -> None:
+        self._dead = None
+
+    @property
+    def dead_pids(self) -> FrozenSet[int]:
+        """The realized dead set (empty before the kill tick)."""
+        return self._dead if self._dead is not None else frozenset()
+
+    def quiet_until(self, tick: int) -> int:
+        if tick < self.at_tick:
+            return self.at_tick
+        return QUIET_FOREVER
+
+    def decide(self, view) -> Decision:
+        if view.time != self.at_tick:
+            return Decision.none()
+        pids = sorted(view.pending)
+        count = min(
+            int(self.dead_frac * len(view.statuses)),
+            max(0, len(pids) - 1),  # always spare a survivor
+        )
+        if count <= 0:
+            self._dead = frozenset()
+            return Decision.none()
+        victims = random.Random(self.seed).sample(pids, count)
+        self._dead = frozenset(victims)
+        return Decision.fail(victims, BEFORE_WRITES)
+
+    def memory_fault_plan(self, layout) -> Tuple[int, ...]:
+        """Dead cell addresses for this layout (all inside the x array).
+
+        The runner calls this after the algorithm initialized memory and
+        marks the cells faulty via ``SharedMemory.mark_faulty``.  Cells
+        outside ``[x_base, x_base + n)`` — the algorithm's control
+        structures — stay reliable (the CGP "safe memory" region).
+        """
+        count = int(self.mem_frac * layout.n)
+        if count <= 0:
+            return ()
+        rng = random.Random(self.seed ^ _MEM_SALT)
+        addresses = rng.sample(
+            range(layout.x_base, layout.x_base + layout.n), count
+        )
+        return tuple(sorted(addresses))
+
+
+def apply_memory_faults(memory, adversary, layout) -> Sequence[int]:
+    """Apply an adversary's memory fault plan to ``memory``, if it has one.
+
+    The runner-side half of the static-memory-fault model: any adversary
+    exposing a ``memory_fault_plan(layout)`` hook gets its dead cells
+    pinned before the first tick.  Returns the marked addresses (empty
+    for adversaries without the hook).
+    """
+    plan = getattr(adversary, "memory_fault_plan", None)
+    if plan is None or layout is None:
+        return ()
+    addresses = tuple(plan(layout))
+    if addresses:
+        memory.mark_faulty(addresses)
+    return addresses

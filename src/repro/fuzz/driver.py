@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core import AlgorithmVX
 from repro.experiments.chaos import ChaosCrash, ChaosError, ChaosPolicy
 from repro.experiments.factories import build_named_adversary
+from repro.faults import registry as adversary_registry
 from repro.fuzz.generator import (
     DEFAULT_CONFIG,
     GeneratedProgram,
@@ -50,14 +51,14 @@ from repro.fuzz.shrinker import shrink
 from repro.pram.lanes import LANES, lane_available
 from repro.simulation.executor import RobustSimulator
 
-#: Adversaries the fuzzer draws from — the registry names that are
-#: layout-agnostic and terminating for the simulator's V+X engine
-#: (``stalker``/``acc-stalker``/``starver`` are bespoke to one
-#: algorithm's layout and stay in their targeted suites).
-ADVERSARY_DRAWS: Tuple[str, ...] = (
-    "none", "random", "crash", "burst", "thrashing", "halving",
-    "sched-sparse",
-)
+#: Adversaries the fuzzer draws from — the registry entries marked
+#: ``fuzzable``: layout-agnostic and terminating for the simulator's
+#: V+X engine (``stalker``/``acc-stalker``/``starver`` are bespoke to
+#: one algorithm's layout, and the ``static-mem`` entries poison cells
+#: that generated programs have no routing discipline for).  Kept in
+#: registration order so a new registry entry extends the draw table
+#: instead of permuting existing draws.
+ADVERSARY_DRAWS: Tuple[str, ...] = adversary_registry.fuzz_names()
 
 
 @dataclass(frozen=True)

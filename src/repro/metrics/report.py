@@ -207,12 +207,21 @@ def sweep_section(result) -> Dict[str, Any]:
 
 
 def scenario_section(tag: str, title: str, source: str,
-                     results: List[Any], wall_s: float) -> Dict[str, Any]:
+                     results: List[Any], wall_s: float,
+                     adversaries: Any = ()) -> Dict[str, Any]:
+    """One scenario's JSON section.
+
+    ``adversaries`` optionally names the registry adversaries
+    (:mod:`repro.faults.registry`) the scenario exercises; when
+    non-empty it is recorded so the regression checker can verify the
+    names still resolve (``model-tag-missing``).  Reports written
+    before the key existed simply omit it.
+    """
     hits = sum(getattr(r.stats, "cache_hits", 0) for r in results)
     executed = sum(getattr(r.stats, "executed", 0) for r in results)
     failed = sum(getattr(r.stats, "failed", 0) for r in results)
     total = hits + executed + failed
-    return {
+    section = {
         "tag": tag,
         "title": title,
         "source": source,
@@ -233,6 +242,9 @@ def scenario_section(tag: str, title: str, source: str,
         },
         "sweeps": [sweep_section(result) for result in results],
     }
+    if adversaries:
+        section["adversaries"] = [str(name) for name in adversaries]
+    return section
 
 
 def bench_report(tag: str, scenarios: List[Dict[str, Any]],
@@ -297,6 +309,16 @@ def validate_bench_report(report: Dict[str, Any]) -> None:
             if key not in scenario:
                 raise ValueError(
                     f"scenario {scenario.get('tag', '?')!r} missing {key!r}"
+                )
+        if "adversaries" in scenario:
+            # Optional since the fault-frontier scenarios; names the
+            # registry adversaries the scenario exercises.
+            names = scenario["adversaries"]
+            if not isinstance(names, list) or not all(
+                isinstance(name, str) and name for name in names
+            ):
+                raise ValueError(
+                    "scenario adversaries must be a list of names"
                 )
         for sweep in scenario["sweeps"]:
             if "name" not in sweep or "points" not in sweep:

@@ -163,6 +163,12 @@ def compare_reports(
       they differ → one named ``backend-mismatch`` **error** — the two
       reports timed different dispatch fabrics, not different code;
       reports without the key (legacy) skip the check;
+    * a baseline scenario's ``adversaries`` list names an adversary
+      absent from :mod:`repro.faults.registry` → one named
+      ``model-tag-missing`` **error** per name — the baseline measured
+      a fault model this build no longer provides, so its points are
+      unreproducible by construction; scenarios without the key
+      (legacy reports) skip the check;
     * a baseline scenario entirely absent from the candidate → one
       **error** naming the scenario (instead of one error per missing
       point, or a raw ``KeyError``);
@@ -208,6 +214,24 @@ def compare_reports(
                 f"is meaningless — re-run both through the same backend"
             ),
         ))
+
+    from repro.faults import registry as adversary_registry
+
+    known_names = set(adversary_registry.names())
+    for scenario in baseline.get("scenarios", []):
+        for name in scenario.get("adversaries", []):
+            if name in known_names:
+                continue
+            report.findings.append(Finding(
+                severity="error", kind="model-tag-missing",
+                key=(scenario.get("tag", "?"), "*", 0, 0, 0),
+                detail=(
+                    f"baseline scenario references adversary {name!r}, "
+                    f"which is absent from the registry — its points "
+                    f"cannot be reproduced by this build (known: "
+                    f"{sorted(known_names)})"
+                ),
+            ))
 
     missing_scenarios = sorted(
         set(_scenario_tags(baseline)) - set(_scenario_tags(candidate))

@@ -105,10 +105,19 @@ class Decision:
     ``restarts`` lists failed processors revived at this tick; a restarted
     processor re-enters its program from the initial state (knowing only
     its PID) and executes its first update cycle on the *next* tick.
+
+    ``stalls`` lists running processors whose pending cycle is *deferred*
+    this tick (the heterogeneous-speed model of Zavou & Fernández Anta: a
+    class-k processor advances only every k-th tick).  A stalled cycle is
+    not executed, not charged, and not a failure — the processor keeps
+    its private state and re-attempts the same cycle with fresh reads on
+    the next tick the adversary lets it run.  Stalls never enter the
+    failure pattern ``F``.  A PID may not be both stalled and failed.
     """
 
     failures: Mapping[int, int] = field(default_factory=dict)
     restarts: FrozenSet[int] = frozenset()
+    stalls: FrozenSet[int] = frozenset()
 
     @staticmethod
     def none() -> "Decision":
@@ -125,6 +134,11 @@ class Decision:
         """Restart every PID in ``pids``."""
         return Decision(restarts=frozenset(pids))
 
+    @staticmethod
+    def stall(pids: Iterable[int]) -> "Decision":
+        """Defer the pending cycles of ``pids`` to a later tick."""
+        return Decision(stalls=frozenset(pids))
+
     def merged_with(self, other: "Decision") -> "Decision":
         """Combine two decisions (later failure verdicts win on overlap)."""
         failures: Dict[int, int] = dict(self.failures)
@@ -132,4 +146,6 @@ class Decision:
         return Decision(
             failures=failures,
             restarts=frozenset(self.restarts) | frozenset(other.restarts),
+            stalls=(frozenset(self.stalls) | frozenset(other.stalls))
+            - set(failures),
         )

@@ -67,7 +67,7 @@ from __future__ import annotations
 from collections import defaultdict
 from time import perf_counter
 from types import MappingProxyType
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.pram.cycles import Cycle, Write
 from repro.pram.errors import (
@@ -375,10 +375,15 @@ class Machine:
         decision = self._consult_adversary(view)
         failures = self._validated_failures(decision, pending)
         failures = self._apply_fairness(failures)
-        failures = self._apply_progress_policy(failures, pending)
+        stalls = self._validated_stalls(decision, pending)
+        failures, stalls = self._apply_progress_policy(
+            failures, pending, stalls
+        )
 
-        self._apply_writes(pending, failures)
-        completed_this_tick = self._settle_processors(pending, failures, tick)
+        self._apply_writes(pending, failures, stalls)
+        completed_this_tick = self._settle_processors(
+            pending, failures, tick, stalls
+        )
         self.ledger.completed_per_tick.append(completed_this_tick)
         self._apply_restarts(decision, failures, pending, tick)
         self._sync_traffic()
@@ -463,6 +468,32 @@ class Machine:
             failures[pid] = writes_applied
         return failures
 
+    def _validated_stalls(
+        self, decision: Decision, pending: Mapping[int, PendingCycleView]
+    ) -> FrozenSet[int]:
+        """Validate the decision's stall set (heterogeneous-speed model).
+
+        A stalled processor's pending cycle is deferred: not executed,
+        not charged, not failed.  The processor keeps its private state
+        and re-attempts the same cycle (with fresh reads) on the next
+        tick it is allowed to run.  Stalls never enter the failure
+        pattern.  Only pending PIDs may be stalled, and a PID may not be
+        both stalled and failed in one decision.
+        """
+        stalls = decision.stalls
+        if not stalls:
+            return frozenset()
+        for pid in stalls:
+            if pid not in pending:
+                raise AdversaryError(
+                    f"adversary stalled pid {pid}, which has no pending cycle"
+                )
+            if pid in decision.failures:
+                raise AdversaryError(
+                    f"adversary both stalled and failed pid {pid}"
+                )
+        return frozenset(stalls)
+
     def _apply_fairness(self, failures: Dict[int, int]) -> Dict[int, int]:
         if self.fairness_window is None:
             return failures
@@ -485,34 +516,47 @@ class Machine:
         return pid not in failures
 
     def _apply_progress_policy(
-        self, failures: Dict[int, int], pending: Mapping[int, PendingCycleView]
-    ) -> Dict[int, int]:
+        self,
+        failures: Dict[int, int],
+        pending: Mapping[int, PendingCycleView],
+        stalls: FrozenSet[int] = frozenset(),
+    ) -> Tuple[Dict[int, int], FrozenSet[int]]:
         if not pending:
-            return failures
-        if any(self._cycle_completes(pid, failures, pending) for pid in pending):
-            return failures
-        # Every pending cycle would be interrupted: the model's progress
-        # condition (at least one completing update cycle at any time) is
-        # violated.
+            return failures, stalls
+        if any(
+            pid not in failures and pid not in stalls for pid in pending
+        ):
+            return failures, stalls
+        # Every pending cycle would be interrupted or deferred: the
+        # model's progress condition (at least one completing update
+        # cycle at any time) is violated.
         if self.strict_progress:
             raise ProgressViolationError(
                 "adversary interrupted every pending update cycle at tick "
                 f"{self.ledger.ticks}"
             )
         if not self.enforce_progress:
-            return failures
-        spared_pid = min(failures)
-        del failures[spared_pid]
+            return failures, stalls
+        if failures:
+            spared_pid = min(failures)
+            del failures[spared_pid]
+        else:
+            # Everyone pending was stalled: un-stall the lowest PID so
+            # one cycle completes this tick.
+            stalls = stalls - {min(stalls)}
         self.ledger.progress_vetoes += 1
-        return failures
+        return failures, stalls
 
     def _apply_writes(
         self,
         pending: Mapping[int, PendingCycleView],
         failures: Mapping[int, int],
+        stalls: FrozenSet[int] = frozenset(),
     ) -> None:
         writers_by_address: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
         for pid in sorted(pending):
+            if pid in stalls:
+                continue  # deferred cycle: its writes never happen
             entry = pending[pid]
             if pid in failures:
                 surviving: Tuple[Write, ...] = entry.writes[: failures[pid]]
@@ -530,9 +574,15 @@ class Machine:
         pending: Mapping[int, PendingCycleView],
         failures: Mapping[int, int],
         tick: int,
+        stalls: FrozenSet[int] = frozenset(),
     ) -> int:
         completed_this_tick = 0
         for pid in sorted(pending):
+            if pid in stalls:
+                # Deferred: no charge, no completion, no failure.  The
+                # processor's pending cycle stays cached and re-collects
+                # (with fresh reads) on its next un-stalled tick.
+                continue
             processor = self._processors[pid]
             self.ledger.charge_attempt(pid)
             completes = self._cycle_completes(pid, failures, pending)
@@ -997,7 +1047,10 @@ class Machine:
         decision = self._consult_adversary(view)
         failures = self._validated_failures(decision, pending)
         failures = self._apply_fairness(failures)
-        failures = self._apply_progress_policy(failures, pending)
+        stalls = self._validated_stalls(decision, pending)
+        failures, stalls = self._apply_progress_policy(
+            failures, pending, stalls
+        )
         if phases is not None:
             now = perf_counter()
             phases.adversary_s += now - mark
@@ -1005,6 +1058,8 @@ class Machine:
         pairs = self._pairs_scratch
         pairs.clear()
         for pid, entry in pending.items():
+            if pid in stalls:
+                continue
             if pid in failures:
                 surviving = entry.writes[: failures[pid]]
                 if surviving:
@@ -1016,7 +1071,9 @@ class Machine:
             now = perf_counter()
             phases.resolve_s += now - mark
             mark = now
-        completed_this_tick = self._settle_processors(pending, failures, tick)
+        completed_this_tick = self._settle_processors(
+            pending, failures, tick, stalls
+        )
         self.ledger.completed_per_tick.append(completed_this_tick)
         self._apply_restarts(decision, failures, pending, tick)
         if phases is not None:

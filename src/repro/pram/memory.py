@@ -29,6 +29,15 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.pram.errors import MemoryError_
 
+#: Value returned by reads of a faulty cell (the CGP static-memory-fault
+#: model: dead cells never store, and reads yield garbage — we make the
+#: garbage a recognizable sentinel so simulations stay deterministic).
+#: Deliberately nonzero: a dead Write-All cell must never look "written",
+#: and zero-region trackers count it as non-zero, so termination
+#: predicates that scan for zeros are not fooled either way — fault-aware
+#: algorithms must certify completion through their own live structures.
+POISON = -(1 << 61)
+
 
 class ZeroRegionTracker:
     """Incrementally maintained count of zero-valued cells in a region.
@@ -95,6 +104,7 @@ class SharedMemory:
         self._word_bits = word_bits
         self._trackers: List[ZeroRegionTracker] = []
         self._watchers: List[WriteWatcher] = []
+        self._faulty: frozenset = frozenset()
         self.reads_served = 0
         self.writes_applied = 0
         if initial is not None:
@@ -154,6 +164,8 @@ class SharedMemory:
 
     def _set_cell(self, address: int, value: int) -> None:
         """Store a validated value, keeping zero-region trackers exact."""
+        if address in self._faulty:
+            return  # writes to dead cells vanish (static memory faults)
         cells = self._cells
         old = cells[address]
         cells[address] = value
@@ -264,6 +276,13 @@ class SharedMemory:
                 f"{len(cells)} cells"
             )
         cells[:] = values
+        if self._faulty:
+            # Dead cells never change: re-pin the poison the bulk assign
+            # may have clobbered, and recount trackers by scan (the
+            # caller's count_zeros saw the pre-pin values).
+            for address in self._faulty:
+                cells[address] = POISON
+            count_zeros = None
         for watcher in self._watchers:
             # The touched set is "everything": watchers must do a full
             # refresh rather than enumerate every address.
@@ -285,6 +304,11 @@ class SharedMemory:
         Addresses must already be in range.
         """
         self.writes_applied += len(pairs)
+        if self._faulty:
+            pairs = [
+                (address, value) for address, value in pairs
+                if address not in self._faulty
+            ]
         cells = self._cells
         trackers = self._trackers
         watchers = self._watchers
@@ -327,8 +351,11 @@ class SharedMemory:
         """
         cells = self._cells
         trackers = self._trackers
+        faulty = self._faulty
         if trackers:
             for address, value in pairs:
+                if address in faulty:
+                    continue
                 old = cells[address]
                 cells[address] = value
                 if (old == 0) != (value == 0):
@@ -338,6 +365,8 @@ class SharedMemory:
                             tracker.zeros += delta
         else:
             for address, value in pairs:
+                if address in faulty:
+                    continue
                 cells[address] = value
 
     def track_zeros(self, start: int, length: int) -> ZeroRegionTracker:
@@ -365,6 +394,54 @@ class SharedMemory:
         tracker = ZeroRegionTracker(start, stop, zeros)
         self._trackers.append(tracker)
         return tracker
+
+    # ------------------------------------------------------------------ #
+    # static memory faults (Chlebus–Gasieniec–Pelc model)
+    # ------------------------------------------------------------------ #
+
+    def mark_faulty(self, addresses: Iterable[int]) -> None:
+        """Declare cells permanently dead (static memory faults).
+
+        From this call on, every write path silently drops writes to
+        these cells and reads return :data:`POISON`.  Faults never heal;
+        repeated calls accumulate.  The poison is pinned into the cell
+        contents directly, so the machine's raw fast path and compiled
+        kernels observe it with no read-path changes.  Zero-region
+        trackers are updated (a dead cell counts as non-zero), which is
+        deliberate: a tracker-based "all written" check can be *fooled*
+        by poison, exactly as the CGP model intends — fault-aware
+        algorithms must certify completion through live cells.
+        """
+        dead = []
+        for address in addresses:
+            self._validate_address(address)
+            if address not in self._faulty:
+                dead.append(address)
+        if not dead:
+            return
+        self._faulty = self._faulty | frozenset(dead)
+        for address in dead:
+            old = self._cells[address]
+            self._cells[address] = POISON
+            if self._trackers and old == 0:
+                for tracker in self._trackers:
+                    if tracker.start <= address < tracker.stop:
+                        tracker.zeros -= 1
+            if self._watchers:
+                for watcher in self._watchers:
+                    watcher.addresses.add(address)
+
+    @property
+    def has_faults(self) -> bool:
+        """Whether any cell has been marked dead."""
+        return bool(self._faulty)
+
+    def faulty_addresses(self) -> frozenset:
+        """The (immutable) set of dead cell addresses."""
+        return self._faulty
+
+    def is_faulty(self, address: int) -> bool:
+        return address in self._faulty
 
 
 class MemoryReader:
@@ -403,3 +480,13 @@ class MemoryReader:
         state, so it is safe to expose on the read-only facade.
         """
         return self._memory.track_zeros(start, length)
+
+    @property
+    def has_faults(self) -> bool:
+        return self._memory.has_faults
+
+    def faulty_addresses(self) -> frozenset:
+        return self._memory.faulty_addresses()
+
+    def is_faulty(self, address: int) -> bool:
+        return self._memory.is_faulty(address)

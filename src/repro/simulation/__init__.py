@@ -24,10 +24,15 @@ from repro.simulation.executor import (
     RobustSimulator,
     SimulationResult,
 )
-from repro.simulation.persistent import PersistentResult, PersistentSimulator
+from repro.simulation.persistent import (
+    CheckpointPolicy,
+    PersistentResult,
+    PersistentSimulator,
+)
 from repro.simulation.step import FunctionStep, SimProgram, SimStep
 
 __all__ = [
+    "CheckpointPolicy",
     "FunctionStep",
     "PersistentResult",
     "PersistentSimulator",

@@ -15,6 +15,17 @@ structures.  Consequences:
   ledger, one continuous failure pattern;
 * per-phase accounting comes from a passive flag-clock observer that
   records the tick at which each generation's flag rises.
+
+The simulator optionally runs under the *parallel persistent memory*
+model (Blelloch et al., "The Parallel Persistent Memory Model"): with a
+:class:`CheckpointPolicy`, a processor's private state is checkpointed
+to persistent storage every ``interval`` completed cycles at a charged
+cost of ``cost`` no-op cycles, and a restart resumes from the last
+checkpoint instead of the program top.  KS91's Theorem 4.3 simulation
+overhead carries an ``M log N`` term precisely because every restart
+re-enters the program with nothing but a PID; as checkpoint frequency
+rises that term collapses toward the checkpoint overhead itself, which
+is what the ``pmem-checkpoint`` bench scenario measures.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from repro.core.generational import (
 from repro.core.tasks import CycleFactoryTasks
 from repro.faults.base import Adversary
 from repro.faults.compose import UnionAdversary
+from repro.pram.cycles import noop_cycle
 from repro.pram.failures import Decision
 from repro.pram.ledger import RunLedger
 from repro.pram.machine import Machine
@@ -63,6 +75,101 @@ class _FlagClock(Adversary):
         return Decision.none()
 
 
+class CheckpointPolicy:
+    """Blelloch-style private-state checkpoints for generator programs.
+
+    Every ``interval`` completed update cycles a processor spends
+    ``cost`` charged no-op cycles writing its private state to
+    persistent storage; a restarted processor then *replays* its
+    logged read values up to the last committed checkpoint — a free,
+    harness-level reconstruction of the checkpointed private state —
+    instead of re-entering the program from the top.  ``interval=0``
+    disables checkpointing (pure KS91 restart semantics).
+
+    The policy wraps a ``pid -> generator`` program factory
+    (:meth:`wrap`).  Correctness invariants:
+
+    * the replay log holds only *completed* cycles' read values, in
+      order — a failed cycle never reached the wrapper;
+    * a checkpoint commits (``mark`` advances) only after all ``cost``
+      no-op cycles completed, so a crash mid-checkpoint falls back to
+      the previous checkpoint;
+    * entries after ``mark`` are truncated on restart — ephemeral state
+      since the last checkpoint is lost, exactly the PPM contract.
+
+    Replayed cycles re-observe their *original* read values, not
+    current memory — that is the point: they reconstruct the private
+    state as checkpointed, without touching shared memory (writes are
+    not re-applied during replay).
+
+    The instance accumulates measurement counters across one execution:
+    ``checkpoints`` committed, ``restarts`` that replayed, and
+    ``cycles_replayed`` in total.
+    """
+
+    def __init__(self, interval: int, cost: int = 1) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        self.interval = interval
+        self.cost = cost
+        self.checkpoints = 0
+        self.restarts = 0
+        self.cycles_replayed = 0
+
+    def reset(self) -> None:
+        self.checkpoints = 0
+        self.restarts = 0
+        self.cycles_replayed = 0
+
+    def wrap(self, factory):
+        """Wrap a program factory with checkpoint/replay semantics."""
+        if self.interval == 0:
+            return factory
+        interval = self.interval
+        cost = self.cost
+        states: Dict[int, dict] = {}
+        policy = self
+
+        def wrapped(pid: int):
+            state = states.get(pid)
+            if state is None:
+                state = states[pid] = {"log": [], "mark": 0, "spawned": False}
+
+            def run():
+                inner = factory(pid)
+                log = state["log"]
+                mark = state["mark"]
+                del log[mark:]  # ephemeral state since the checkpoint
+                try:
+                    cycle = next(inner)
+                    if state["spawned"] and mark:
+                        policy.restarts += 1
+                        policy.cycles_replayed += mark
+                    state["spawned"] = True
+                    for values in log:
+                        cycle = inner.send(values)
+                    since = 0
+                    while True:
+                        values = yield cycle
+                        log.append(values)
+                        since += 1
+                        if since >= interval:
+                            for _ in range(cost):
+                                yield noop_cycle("ppm:checkpoint")
+                            state["mark"] = len(log)
+                            policy.checkpoints += 1
+                            since = 0
+                        cycle = inner.send(values)
+                except StopIteration:
+                    return
+
+            return run()
+
+        return wrapped
+
+
 @dataclass
 class PersistentResult:
     """Outcome of a persistent robust execution."""
@@ -94,6 +201,7 @@ class PersistentSimulator:
         adversary: Optional[object] = None,
         policy: Optional[WritePolicy] = None,
         max_ticks: int = 5_000_000,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         if p <= 0:
             raise ValueError(f"simulator needs p > 0, got {p}")
@@ -101,6 +209,7 @@ class PersistentSimulator:
         self.adversary = adversary
         self.policy = policy
         self.max_ticks = max_ticks
+        self.checkpoint = checkpoint
 
     def execute(
         self, program: SimProgram, initial_memory: Optional[List[int]] = None
@@ -184,7 +293,11 @@ class PersistentSimulator:
                 "program": program.name,
             },
         )
-        machine.load_program(algorithm.program(layout))
+        program_factory = algorithm.program(layout)
+        if self.checkpoint is not None:
+            self.checkpoint.reset()
+            program_factory = self.checkpoint.wrap(program_factory)
+        machine.load_program(program_factory)
         ledger = machine.run(
             until=done_flags_predicate(layout),
             max_ticks=self.max_ticks,

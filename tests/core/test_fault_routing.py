@@ -1,0 +1,109 @@
+"""FaultRouting: the fault-aware Write-All variant for CGP memory faults.
+
+A plain certificate (tracker zeros, done-tree bits stored in the data
+array) can be fooled by poisoned cells; ``froute`` verifies every write
+by read-back and certifies completion through a separate
+acknowledgement region in safe memory, so it terminates and is correct
+even when up to 25% of the Write-All array is dead.  Correctness is
+checked differentially against the ideal oracle restricted to live
+cells — the CGP problem statement.
+"""
+
+import pytest
+
+from repro.core import AlgorithmX, FaultRouting, solve_write_all
+from repro.core.problem import verify_solution
+from repro.faults import (
+    NoFailures,
+    RandomAdversary,
+    SpeedClassAdversary,
+    StaticFaultAdversary,
+)
+from repro.pram.memory import POISON, MemoryReader
+
+
+def run_froute(n, p, adversary=None, **kwargs):
+    result = solve_write_all(
+        FaultRouting(), n, p, adversary=adversary,
+        max_ticks=2_000_000, **kwargs
+    )
+    assert result.solved
+    return result
+
+
+def assert_live_cells_written(result):
+    """The differential oracle: live cells 1, dead cells still poison."""
+    n = result.layout.n
+    x_base = result.layout.x_base
+    dead = result.memory.faulty_addresses()
+    reader = MemoryReader(result.memory)
+    assert verify_solution(reader, x_base, n, skip=dead)
+    for address in range(x_base, x_base + n):
+        if address in dead:
+            assert reader.read(address) == POISON
+        else:
+            assert reader.read(address) == 1
+
+
+class TestFailureFree:
+    def test_solves_and_certifies_through_the_ack_region(self):
+        result = run_froute(64, 8, adversary=NoFailures())
+        assert_live_cells_written(result)
+        ack_base = result.layout.ack_base
+        acks = [
+            result.memory.peek(ack_base + index) for index in range(64)
+        ]
+        assert all(value == 1 for value in acks)
+
+    def test_various_shapes(self):
+        for n, p in ((1, 1), (4, 3), (16, 16), (32, 7)):
+            result = run_froute(n, p)
+            assert_live_cells_written(result)
+
+
+class TestDeadCells:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_routes_around_25_percent_dead_cells(self, seed):
+        result = run_froute(
+            64, 16,
+            adversary=StaticFaultAdversary(
+                dead_frac=0.25, mem_frac=0.25, seed=seed
+            ),
+        )
+        dead = result.memory.faulty_addresses()
+        assert len(dead) == 16  # the adversary really poisoned 25%
+        assert_live_cells_written(result)
+
+    def test_dead_cells_without_dead_processors(self):
+        result = run_froute(
+            32, 8,
+            adversary=StaticFaultAdversary(
+                dead_frac=0.0, mem_frac=0.25, seed=1
+            ),
+        )
+        assert result.pattern_size == 0
+        assert_live_cells_written(result)
+
+    def test_plain_x_is_untouched_without_memory_faults(self):
+        # The fault-aware variant is an addition, not a change: X under
+        # processor-only static faults still solves via its own tree
+        # certificate.
+        result = solve_write_all(
+            AlgorithmX(), 64, 16,
+            adversary=StaticFaultAdversary(dead_frac=0.25, seed=0),
+            max_ticks=2_000_000,
+        )
+        assert result.solved
+
+
+class TestOtherModels:
+    def test_survives_fail_stop_restart_churn(self):
+        result = run_froute(
+            64, 8, adversary=RandomAdversary(0.2, 0.3, seed=11)
+        )
+        assert_live_cells_written(result)
+
+    def test_survives_speed_classes(self):
+        result = run_froute(32, 8, adversary=SpeedClassAdversary(seed=2))
+        assert result.pattern_size == 0
+        assert_live_cells_written(result)

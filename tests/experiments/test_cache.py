@@ -201,6 +201,25 @@ def test_point_key_is_stable_and_spec_sensitive():
     assert key != point_key(**{**base, "max_ticks": 10})
 
 
+def test_point_key_runner_substitution_changes_the_key():
+    # A custom point runner executes a different measurement entirely,
+    # so it must partition the cache; the default (runner=None) leaves
+    # the legacy key material untouched so existing caches survive.
+    from repro.experiments.factories import PersistentCheckpointRunner
+
+    base = dict(
+        sweep="s", algorithm=AlgorithmX, n=8, p=4, seed=0,
+        adversary=RandomChurn(0.2, 0.5), max_ticks=None,
+        fairness_window=None,
+    )
+    legacy = point_key(**base)
+    assert legacy == point_key(**base, runner=None)
+    ck8 = point_key(**base, runner=PersistentCheckpointRunner(8))
+    assert ck8 != legacy
+    assert ck8 != point_key(**base, runner=PersistentCheckpointRunner(2))
+    assert ck8 == point_key(**base, runner=PersistentCheckpointRunner(8))
+
+
 def test_fingerprint_recurses_through_combinators():
     # Frozen-dataclass factories fingerprint field-by-field...
     assert fingerprint(RandomChurn(0.2, 0.5)) == fingerprint(

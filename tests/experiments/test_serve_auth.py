@@ -1,0 +1,83 @@
+"""Shared-secret authentication on the ``repro-serve/1`` handshake.
+
+The fabric's payloads are pickles (one administrative domain), so the
+gate is at the front door: when the daemon holds a token, a hello
+without the matching secret is rejected — constant-time compare,
+before any job payload from that connection is unpacked.  Both sides
+default the token from ``REPRO_SERVE_TOKEN`` so a deployment
+authenticates by exporting one variable.
+"""
+
+import pytest
+
+from repro.experiments.serve import SweepServer, fetch_status
+from repro.experiments.wire import TOKEN_ENV, WireError, connect
+
+from tests.experiments.test_serve import (
+    dial_client,
+    finish,
+    submit,
+    take_lease,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def dial(server, role="client", token=None, name=None):
+    return connect(server.host, server.port, role=role, name=name,
+                   timeout=5.0, token=token)
+
+
+def test_missing_or_wrong_token_is_refused(monkeypatch):
+    monkeypatch.delenv(TOKEN_ENV, raising=False)
+    with SweepServer(token="s3cret") as server:
+        for bad in (None, "", "wrong", "s3cret "):
+            with pytest.raises(WireError, match="refused"):
+                dial(server, token=bad)
+        # The refusal happened at the handshake: nothing was queued,
+        # leased, or counted.
+        status = server.status()
+        assert status["pending"] == 0
+        assert status["workers"] == 0
+
+
+def test_matching_token_serves_the_full_lease_cycle(monkeypatch):
+    monkeypatch.delenv(TOKEN_ENV, raising=False)
+    with SweepServer(token="s3cret") as server:
+        client = dial(server, token="s3cret")
+        submit(client)
+        worker = dial(server, role="worker", name="w", token="s3cret")
+        lease = take_lease(worker)
+        finish(worker, lease, {"value": 0})
+        result = client.recv()
+        assert result["type"] == "result"
+        assert result["status"] == "ok"
+        client.close()
+        worker.close()
+
+
+def test_token_defaults_from_the_environment(monkeypatch):
+    # Daemon and clients both read REPRO_SERVE_TOKEN, so exporting it
+    # once authenticates the whole fleet with zero call-site changes —
+    # including fetch_status.
+    monkeypatch.setenv(TOKEN_ENV, "env-secret")
+    with SweepServer() as server:
+        assert server.token == "env-secret"
+        client = dial_client(server)  # no explicit token: env default
+        client.close()
+        status = fetch_status(server.address)
+        assert status["pending"] == 0
+        with pytest.raises(WireError, match="refused"):
+            dial(server, token="not-it")
+
+
+def test_tokenless_server_keeps_loopback_trust(monkeypatch):
+    # Historic mode: no secret configured, peers connect as before —
+    # even ones volunteering a token.
+    monkeypatch.delenv(TOKEN_ENV, raising=False)
+    with SweepServer() as server:
+        assert server.token is None
+        plain = dial(server)
+        eager = dial(server, token="anything")
+        plain.close()
+        eager.close()

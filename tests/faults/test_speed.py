@@ -1,0 +1,63 @@
+"""Zavou & Fernández Anta heterogeneous speed classes."""
+
+import pytest
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.faults.speed import SpeedClassAdversary
+
+
+class TestClassAssignment:
+    def test_round_robin_rotated_by_seed(self):
+        adversary = SpeedClassAdversary(classes=(1, 2, 4), seed=0)
+        assert [adversary.class_of(pid) for pid in range(6)] == \
+            [1, 2, 4, 1, 2, 4]
+        rotated = SpeedClassAdversary(classes=(1, 2, 4), seed=1)
+        assert [rotated.class_of(pid) for pid in range(3)] == [2, 4, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeedClassAdversary(classes=())
+        with pytest.raises(ValueError):
+            SpeedClassAdversary(classes=(1, 0))
+        with pytest.raises(ValueError):
+            SpeedClassAdversary(classes=(1, True))
+        with pytest.raises(ValueError):
+            SpeedClassAdversary(classes=(1, 2.0))
+
+
+class TestRuns:
+    def test_stalls_cost_time_not_pattern_size(self):
+        slow = solve_write_all(
+            AlgorithmX(), 64, 64, adversary=SpeedClassAdversary(seed=0)
+        )
+        uniform = solve_write_all(AlgorithmX(), 64, 64)
+        assert slow.solved
+        assert slow.pattern_size == 0  # stalls never enter F
+        assert slow.parallel_time > uniform.parallel_time
+        # Deferred cycles are simply retried, so completed work stays
+        # within the same order as the uniform run, not multiplied by
+        # wasted half-executions.
+        assert slow.completed_work >= uniform.completed_work
+
+    def test_all_slow_classes_still_terminate(self):
+        # Every processor is class 4: on 3 of 4 ticks all pending
+        # cycles would stall, and the adversary itself spares the
+        # lowest PID to keep the progress condition (zero vetoes).
+        result = solve_write_all(
+            AlgorithmX(), 16, 8,
+            adversary=SpeedClassAdversary(classes=(4,), seed=0),
+        )
+        assert result.solved
+        assert result.pattern_size == 0
+        assert result.ledger.fairness_vetoes == 0
+
+    def test_deterministic_in_seed(self):
+        runs = [
+            solve_write_all(
+                AlgorithmX(), 32, 32,
+                adversary=SpeedClassAdversary(seed=5),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].parallel_time == runs[1].parallel_time
+        assert runs[0].completed_work == runs[1].completed_work

@@ -1,0 +1,104 @@
+"""Chlebus–Gasieniec–Pelc static faults: dead processors, dead cells."""
+
+import pytest
+
+from repro.core import AlgorithmX, solve_write_all
+from repro.core.base import BaseLayout
+from repro.faults.static import StaticFaultAdversary, apply_memory_faults
+from repro.pram.memory import POISON, SharedMemory
+
+
+class TestProcessorFaults:
+    def test_kills_fraction_at_tick_one_forever(self):
+        adversary = StaticFaultAdversary(dead_frac=0.25, seed=3)
+        result = solve_write_all(AlgorithmX(), 32, 16, adversary=adversary)
+        assert result.solved
+        pattern = result.ledger.pattern
+        assert pattern.failure_count == 4  # int(0.25 * 16)
+        assert pattern.restart_count == 0  # static: no restarts, ever
+        assert {event.time for event in pattern} == {1}
+        assert adversary.dead_pids == {
+            event.pid for event in pattern
+        }
+
+    def test_always_spares_a_survivor(self):
+        adversary = StaticFaultAdversary(dead_frac=0.9, seed=0)
+        result = solve_write_all(AlgorithmX(), 16, 4, adversary=adversary)
+        assert result.solved
+        assert result.ledger.pattern.failure_count == 3  # 4 - 1 survivor
+
+    def test_deterministic_in_seed(self):
+        def dead_set(seed):
+            adversary = StaticFaultAdversary(dead_frac=0.5, seed=seed)
+            solve_write_all(AlgorithmX(), 16, 8, adversary=adversary)
+            return adversary.dead_pids
+
+        assert dead_set(7) == dead_set(7)
+
+    def test_reset_clears_the_realized_dead_set(self):
+        adversary = StaticFaultAdversary(dead_frac=0.5, seed=0)
+        solve_write_all(AlgorithmX(), 16, 8, adversary=adversary)
+        assert adversary.dead_pids
+        adversary.reset()
+        assert adversary.dead_pids == frozenset()
+
+    def test_offline_quiet_forever_after_the_kill_tick(self):
+        from repro.faults.base import QUIET_FOREVER
+
+        adversary = StaticFaultAdversary()
+        assert adversary.online is False
+        assert adversary.quiet_until(0) == 1
+        assert adversary.quiet_until(1) == QUIET_FOREVER
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StaticFaultAdversary(dead_frac=1.0)
+        with pytest.raises(ValueError):
+            StaticFaultAdversary(mem_frac=-0.1)
+        with pytest.raises(ValueError):
+            StaticFaultAdversary(at_tick=0)
+
+
+class TestMemoryFaultPlan:
+    def test_plan_confined_to_the_write_all_array(self):
+        layout = BaseLayout(n=16, p=4, x_base=8, size=32)
+        adversary = StaticFaultAdversary(mem_frac=0.25, seed=1)
+        plan = adversary.memory_fault_plan(layout)
+        assert len(plan) == 4  # int(0.25 * 16)
+        assert plan == tuple(sorted(plan))
+        assert all(8 <= address < 24 for address in plan)
+        assert plan == adversary.memory_fault_plan(layout)  # deterministic
+
+    def test_cell_and_processor_draws_are_independent(self):
+        # Same seed, two fault axes: the dead-cell draw is salted so it
+        # is not the dead-pid draw in disguise.
+        layout = BaseLayout(n=8, p=8, x_base=0, size=8)
+        adversary = StaticFaultAdversary(
+            dead_frac=0.5, mem_frac=0.5, seed=0
+        )
+        plan = adversary.memory_fault_plan(layout)
+        result = solve_write_all(
+            AlgorithmX(), 8, 8,
+            adversary=StaticFaultAdversary(dead_frac=0.5, seed=0),
+        )
+        dead_pids = tuple(sorted(
+            event.pid for event in result.ledger.pattern
+        ))
+        assert plan != dead_pids
+
+    def test_apply_memory_faults_marks_the_plan(self):
+        layout = BaseLayout(n=8, p=2, x_base=0, size=8)
+        memory = SharedMemory(8)
+        adversary = StaticFaultAdversary(mem_frac=0.25, seed=2)
+        marked = apply_memory_faults(memory, adversary, layout)
+        assert marked == adversary.memory_fault_plan(layout)
+        assert memory.faulty_addresses() == frozenset(marked)
+        assert all(memory.peek(address) == POISON for address in marked)
+
+    def test_apply_is_a_no_op_without_the_hook_or_layout(self):
+        memory = SharedMemory(8)
+        assert apply_memory_faults(memory, object(), None) == ()
+        assert apply_memory_faults(
+            memory, StaticFaultAdversary(mem_frac=0.5), None
+        ) == ()
+        assert not memory.has_faults

@@ -288,6 +288,25 @@ class TestCompareReports:
         tagged_cand["backend"] = "remote:127.0.0.1:7341"
         assert compare_reports(legacy_base, tagged_cand).ok
 
+    def test_model_tag_missing_is_one_named_error_per_name(self):
+        # A baseline annotated with an adversary the registry no longer
+        # knows measured a fault model this build cannot reproduce.
+        base = _tiny_report()
+        base["scenarios"][0]["adversaries"] = ["random", "gone-model"]
+        report = compare_reports(base, _tiny_report(tag="cand"))
+        assert not report.model_ok
+        [finding] = [
+            f for f in report.errors if f.kind == "model-tag-missing"
+        ]
+        assert "'gone-model'" in finding.detail
+        # Registered names pass silently; point comparison proceeds.
+        assert report.compared == 1
+
+    def test_registered_adversaries_annotations_pass(self):
+        base = _tiny_report()
+        base["scenarios"][0]["adversaries"] = ["random", "static-mem"]
+        assert compare_reports(base, _tiny_report(tag="cand")).ok
+
 
 class TestCheckRegressionCli:
     @staticmethod

@@ -1,0 +1,78 @@
+"""Static memory faults at the cell level (Chlebus–Gasieniec–Pelc).
+
+A dead cell drops every write and answers every read with the
+:data:`~repro.pram.memory.POISON` sentinel, across all write paths
+(scalar, batch-resolved, vectorized sync) — and a zero-region tracker
+counts poison as *written*, so a certificate that only watches zeros can
+be fooled, exactly as the model intends.
+"""
+
+import pytest
+
+from repro.pram.memory import POISON, MemoryReader, SharedMemory
+
+
+class TestMarkFaulty:
+    def test_reads_poison_writes_vanish(self):
+        memory = SharedMemory(8)
+        memory.poke(3, 7)
+        memory.mark_faulty([3])
+        assert memory.read(3) == POISON
+        memory.write(3, 1)
+        memory.poke(3, 1)
+        assert memory.peek(3) == POISON
+        assert memory.peek(2) == 0  # neighbours untouched
+
+    def test_fault_bookkeeping(self):
+        memory = SharedMemory(8)
+        assert not memory.has_faults
+        memory.mark_faulty([1, 5])
+        memory.mark_faulty([5, 2])  # accumulates, never heals
+        assert memory.has_faults
+        assert memory.faulty_addresses() == frozenset({1, 2, 5})
+        assert memory.is_faulty(5)
+        assert not memory.is_faulty(0)
+
+    def test_out_of_range_address_rejected(self):
+        memory = SharedMemory(4)
+        with pytest.raises(Exception):
+            memory.mark_faulty([4])
+
+    def test_batch_write_paths_skip_dead_cells(self):
+        memory = SharedMemory(8)
+        memory.mark_faulty([2])
+        memory.commit_resolved([(1, 9), (2, 9)])
+        assert memory.peek(1) == 9
+        assert memory.peek(2) == POISON
+        memory.sync_cells([(2, 9), (3, 9)])
+        assert memory.peek(2) == POISON
+        assert memory.peek(3) == 9
+
+    def test_reader_facade_sees_faults(self):
+        memory = SharedMemory(8)
+        memory.mark_faulty([6])
+        reader = MemoryReader(memory)
+        assert reader.read(6) == POISON
+        assert reader.is_faulty(6)
+        assert reader.faulty_addresses() == frozenset({6})
+
+
+class TestTrackerFooling:
+    def test_poison_counts_as_written(self):
+        # The CGP trap: an incremental all-written certificate watches
+        # zeros, and a dead cell stops being zero the moment it dies.
+        memory = SharedMemory(4)
+        tracker = memory.track_zeros(0, 4)
+        assert tracker.zeros == 4
+        memory.mark_faulty([1])
+        assert tracker.zeros == 3
+        for address in (0, 2, 3):
+            memory.write(address, 1)
+        assert tracker.all_nonzero  # fooled: cell 1 was never written
+        assert memory.peek(1) == POISON
+
+    def test_tracker_registered_after_marking_is_consistent(self):
+        memory = SharedMemory(4)
+        memory.mark_faulty([0])
+        tracker = memory.track_zeros(0, 4)
+        assert tracker.zeros == 3  # poison pinned before the scan

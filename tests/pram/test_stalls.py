@@ -1,0 +1,137 @@
+"""The machine's third decision channel: stalls (heterogeneous speeds).
+
+A stalled pending cycle is *deferred* — not executed, not charged, and
+never part of the failure pattern — and re-collects fresh reads on the
+next tick the adversary lets it run.  That is what distinguishes a slow
+processor (Zavou & Fernández Anta's speed classes) from a KS91 restart,
+which erases private state and re-enters the program from the top.
+"""
+
+import pytest
+
+from repro.faults.base import Adversary
+from repro.pram.cycles import Cycle, Write
+from repro.pram.errors import AdversaryError
+from repro.pram.failures import Decision
+from repro.pram.machine import Machine
+from repro.pram.memory import SharedMemory
+
+
+class OneShot(Adversary):
+    """Applies a single decision at a given tick."""
+
+    def __init__(self, tick, decision):
+        self.tick = tick
+        self.decision = decision
+
+    def decide(self, view):
+        if view.time == self.tick:
+            return self.decision
+        return Decision.none()
+
+
+def make_machine(p, mem_size, program, **kwargs):
+    machine = Machine(p, SharedMemory(mem_size), **kwargs)
+    machine.load_program(program)
+    return machine
+
+
+def sequential_writer(pid):
+    for index in range(3):
+        yield Cycle(writes=(Write(index, 1),))
+
+
+class TestDeferral:
+    def test_stalled_cycle_is_not_executed_and_not_charged(self):
+        machine = make_machine(
+            1, 3, sequential_writer,
+            adversary=OneShot(1, Decision.stall([0])),
+            enforce_progress=False,
+        )
+        machine.step()
+        assert machine.memory.snapshot() == [0, 0, 0]
+        assert machine.ledger.completed_work == 0
+        assert machine.ledger.charged_work == 0
+        machine.step()
+        # The same cycle ran one tick late; nothing was lost or skipped.
+        assert machine.memory.snapshot() == [1, 0, 0]
+        assert machine.ledger.completed_work == 1
+
+    def test_stalls_never_enter_the_failure_pattern(self):
+        machine = make_machine(
+            1, 3, sequential_writer,
+            adversary=OneShot(1, Decision.stall([0])),
+            enforce_progress=False,
+        )
+        for _ in range(4):
+            machine.step()
+        assert machine.ledger.pattern.size == 0
+
+    def test_reattempt_collects_fresh_reads(self):
+        # PID 0's cycle reads cell 0; PID 1 overwrites cell 0 on the
+        # tick PID 0 is stalled.  The deferred cycle must see the new
+        # value, not the reads collected at its first attempt.
+        def program(pid):
+            if pid == 0:
+                values = yield Cycle(
+                    reads=(0,), writes=lambda v: (Write(1, v[0]),)
+                )
+            else:
+                yield Cycle(writes=(Write(0, 42),))
+
+        machine = make_machine(
+            2, 2, program, adversary=OneShot(1, Decision.stall([0]))
+        )
+        machine.step()
+        machine.step()
+        assert machine.memory.peek(1) == 42
+
+    def test_private_state_survives_a_stall(self):
+        # A restart would rewind the generator to index 0; a stall must
+        # resume exactly where the processor was.
+        machine = make_machine(
+            1, 3, sequential_writer,
+            adversary=OneShot(2, Decision.stall([0])),
+            enforce_progress=False,
+        )
+        for _ in range(4):
+            machine.step()
+        assert machine.memory.snapshot() == [1, 1, 1]
+
+
+class TestLegalityAndProgress:
+    def test_stalling_a_non_pending_pid_is_adversary_error(self):
+        machine = make_machine(
+            1, 3, sequential_writer,
+            adversary=OneShot(1, Decision.stall([5])),
+        )
+        with pytest.raises(AdversaryError, match="no pending cycle"):
+            machine.step()
+
+    def test_stall_plus_fail_on_one_pid_is_adversary_error(self):
+        machine = make_machine(
+            1, 3, sequential_writer,
+            adversary=OneShot(
+                1, Decision(failures={0: 0}, stalls=frozenset({0}))
+            ),
+        )
+        with pytest.raises(AdversaryError, match="both stalled and failed"):
+            machine.step()
+
+    def test_merged_decisions_drop_stalls_on_failed_pids(self):
+        merged = Decision.fail([0]).merged_with(Decision.stall([0, 1]))
+        assert merged.stalls == frozenset({1})
+        assert set(merged.failures) == {0}
+
+    def test_progress_veto_unstalls_the_lowest_pid(self):
+        # Stalling *every* pending cycle would make the tick vacuous;
+        # under the progress condition the machine spares min(stalls).
+        machine = make_machine(
+            2, 4, sequential_writer,
+            adversary=OneShot(1, Decision.stall([0, 1])),
+            enforce_progress=True,
+        )
+        machine.step()
+        assert machine.ledger.completed_work == 1
+        assert machine.memory.peek(0) == 1
+        assert machine.ledger.pattern.size == 0
